@@ -1,0 +1,165 @@
+"""E10 — Ablation: why speculative flooding and witness selection matter.
+
+The paper argues (Section 4.2, Figure 3) that waiting for confirmed
+failures before flooding either costs extra flooding rounds per failure
+level (breaking O(1) TC) or loses partial sums; and that flooding
+*everything* trivially restores correctness but costs O(N logN) like brute
+force.  We ablate AGG two ways:
+
+* ``AlwaysFloodAgg`` — every node floods its partial sum: same answers,
+  but per-node bits blow up toward brute-force territory.
+* ``ConfirmedOnlyAgg`` — a node floods only if its parent is a *confirmed*
+  (flooded critical-failure) casualty rather than speculating on silence:
+  under the Figure 3 blocker adversary it loses live inputs that real AGG
+  recovers.
+
+Measured on the blocker-adversary family; real AGG must be both correct
+and cheap.
+"""
+
+import random
+import statistics
+
+import pytest
+
+from repro.adversary import blocker_failures
+from repro.analysis import format_table
+from repro.core.agg import AggNode, run_agg
+from repro.core.caaf import SUM
+from repro.core.correctness import correctness_interval, surviving_nodes
+from repro.core.params import params_for
+from repro.graphs import grid_graph
+from repro.sim.network import Network
+
+from _util import emit, once
+
+
+class AlwaysFloodAgg(AggNode):
+    """Ablation: skip the silence test; every node floods its psum."""
+
+    def _flooding_round(self, p, inbox):
+        st = self.state
+        if self.is_root and p == 1:
+            self._initiate_psum_flood()
+        elif st.activated and not self.is_root and p == st.level + 1:
+            self._initiate_psum_flood()
+
+
+class ConfirmedOnlyAgg(AggNode):
+    """Ablation: flood only on *confirmed* parent death (no speculation)."""
+
+    def _flooding_round(self, p, inbox):
+        st = self.state
+        if self.is_root and p == 1:
+            self._initiate_psum_flood()
+        elif (
+            st.activated
+            and not self.is_root
+            and p == st.level + 1
+            and st.parent in st.critical_failures
+        ):
+            self._initiate_psum_flood()
+
+
+class NoWitnessAgg(AggNode):
+    """Ablation: skip witness selection; the root sums every flooded psum.
+
+    Without the dominated/compulsory labels there is nothing to prevent a
+    node's partial sum and its ancestor's from both being counted — the
+    double-counting hazard Section 4.3's witnesses exist to prevent.
+    """
+
+    def _produce_output(self):
+        self.done = True
+        if self.aborted:
+            self.result = None
+            return
+        total = self.p.caaf.identity
+        for _source, psum in self.flooded_sources.items():
+            total = self.p.caaf.op(total, psum)
+        self.result = total
+
+
+def run_variant(node_cls, topo, inputs, t, schedule):
+    params = params_for(topo, t=t, max_input=max(list(inputs.values()) + [1]))
+    # Disable the abort budget for ablation variants so the cost difference
+    # is visible rather than clipped.
+    nodes = {u: node_cls(params, u, inputs[u]) for u in topo.nodes()}
+    if node_cls is AlwaysFloodAgg:
+        for node in nodes.values():
+            node.p = params.with_t(topo.n_nodes)
+    network = Network(topo.adjacency, nodes, schedule.crash_rounds)
+    stats = network.run(params.agg_rounds, stop_on_output=False)
+    root = nodes[topo.root]
+    return root.result, root.aborted, stats
+
+
+def run_ablation():
+    topo = grid_graph(6, 6)
+    t = 12
+    cd = 2 * topo.diameter
+    variants = {
+        "AGG (speculative, paper)": AggNode,
+        "always-flood": AlwaysFloodAgg,
+        "confirmed-only (no speculation)": ConfirmedOnlyAgg,
+        "no-witness (sum all floods)": NoWitnessAgg,
+    }
+    results = {name: {"cc": [], "correct": 0, "trials": 0} for name in variants}
+    # Two scenario flavours per Figure 3's discussion:
+    # * blockers at the start of aggregation — floods get lost, descendants
+    #   must speculate (kills the confirmed-only variant);
+    # * late single crashes at the start of the flooding phase — the dead
+    #   node's psum already reached the root, so its children's speculative
+    #   floods *overlap* the root's sum (kills the no-witness variant).
+    from repro.adversary import FailureSchedule
+
+    scenarios = [
+        blocker_failures(topo, f=16, victim=14, at_round=2 * cd + 2),
+        blocker_failures(topo, f=16, victim=21, at_round=2 * cd + 2),
+        FailureSchedule({7: 4 * cd + 3}),
+        FailureSchedule({14: 4 * cd + 3}),
+    ]
+    for seed, schedule in enumerate(scenarios):
+        rng = random.Random(seed)
+        inputs = {u: rng.randint(1, 9) for u in topo.nodes()}
+        survivors = surviving_nodes(topo, schedule, 10**9)
+        lo, hi = correctness_interval(SUM, inputs, survivors)
+        for name, cls in variants.items():
+            result, aborted, stats = run_variant(cls, topo, inputs, t, schedule)
+            results[name]["trials"] += 1
+            results[name]["cc"].append(stats.max_bits)
+            ok = (not aborted) and result is not None and lo <= result <= hi
+            results[name]["correct"] += ok
+    rows = [
+        {
+            "variant": name,
+            "correct": f"{data['correct']}/{data['trials']}",
+            "CC mean (bits/node)": round(statistics.fmean(data["cc"]), 1),
+        }
+        for name, data in results.items()
+    ]
+    return rows, results
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_speculation_ablation(benchmark):
+    rows, results = once(benchmark, run_ablation)
+    emit(
+        "ablation_speculation",
+        format_table(
+            rows,
+            title="Ablating AGG's speculative flooding (Figure 3 blocker adversary)",
+        ),
+    )
+    paper = results["AGG (speculative, paper)"]
+    always = results["always-flood"]
+    confirmed = results["confirmed-only (no speculation)"]
+    no_witness = results["no-witness (sum all floods)"]
+    # The paper's design is always correct on this family.
+    assert paper["correct"] == paper["trials"]
+    # Always-flood is correct too but strictly more expensive.
+    assert statistics.fmean(always["cc"]) > statistics.fmean(paper["cc"])
+    # Dropping speculation loses correctness on at least one blocker case.
+    assert confirmed["correct"] < confirmed["trials"]
+    # Dropping witnesses double counts on at least one blocker case.
+    assert no_witness["correct"] < no_witness["trials"]

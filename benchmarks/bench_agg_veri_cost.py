@@ -1,0 +1,103 @@
+"""E3 — Theorems 3 and 6: AGG/VERI time and communication complexity.
+
+Paper's claims:
+
+* AGG terminates within ``11c`` flooding rounds and sends at most
+  ``O((t+1) logN)`` bits per node (abort threshold ``(11t+14)(logN+5)``).
+* VERI terminates within ``8c`` flooding rounds and sends at most
+  ``O((t+1) logN)`` bits per node (threshold ``(5t+7)(3logN+10)``).
+
+The bench sweeps ``t`` (expect CC linear in ``t``) and ``N`` (expect CC
+logarithmic in ``N``), and checks the round counts exactly.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.adversary import random_failures
+from repro.analysis import format_table
+from repro.core.agg import run_agg
+from repro.core.params import params_for
+from repro.core.veri import run_agg_veri_pair
+from repro.graphs import grid_graph
+
+from _util import emit, once
+
+C = 2
+
+
+def sweep_t():
+    topo = grid_graph(6, 6)
+    rows = []
+    for t in (0, 2, 4, 8, 16):
+        rng = random.Random(t)
+        schedule = random_failures(
+            topo, f=t, rng=rng, first_round=1, last_round=7 * C * topo.diameter
+        )
+        inputs = {u: rng.randint(0, 9) for u in topo.nodes()}
+        pair = run_agg_veri_pair(topo, inputs, t=t, schedule=schedule, c=C)
+        params = params_for(topo, t=t, c=C)
+        rows.append(
+            {
+                "t": t,
+                "AGG CC (max bits)": pair.agg_stats.max_bits,
+                "AGG budget": params.agg_bit_budget,
+                "VERI CC (max bits)": pair.veri_stats.max_bits,
+                "VERI budget": params.veri_bit_budget,
+                "AGG flooding rounds": math.ceil(
+                    pair.agg_stats.rounds_executed / topo.diameter
+                ),
+                "VERI flooding rounds": math.ceil(
+                    pair.veri_stats.rounds_executed / topo.diameter
+                ),
+            }
+        )
+    return topo, rows
+
+
+def sweep_n():
+    rows = []
+    for side in (4, 6, 8, 10):
+        topo = grid_graph(side, side)
+        inputs = {u: 1 for u in topo.nodes()}
+        pair = run_agg_veri_pair(topo, inputs, t=2, c=C)
+        log_n = math.log2(topo.n_nodes)
+        rows.append(
+            {
+                "N": topo.n_nodes,
+                "AGG CC": pair.agg_stats.max_bits,
+                "AGG CC / logN": round(pair.agg_stats.max_bits / log_n, 1),
+                "VERI CC": pair.veri_stats.max_bits,
+                "VERI CC / logN": round(pair.veri_stats.max_bits / log_n, 1),
+            }
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="agg_veri_cost")
+def test_cost_vs_t(benchmark):
+    topo, rows = once(benchmark, sweep_t)
+    text = format_table(
+        rows, title=f"Theorems 3/6: AGG/VERI cost vs t on {topo.name} (c={C})"
+    )
+    emit("agg_veri_cost_vs_t", text)
+    for row in rows:
+        assert row["AGG CC (max bits)"] <= row["AGG budget"] + 16
+        assert row["VERI CC (max bits)"] <= row["VERI budget"] + 16
+        assert row["AGG flooding rounds"] <= 11 * C
+        assert row["VERI flooding rounds"] <= 8 * C
+    # Linear-in-t shape: CC grows with t, sublinearly vs the 11t budget line.
+    ccs = [row["AGG CC (max bits)"] for row in rows]
+    assert ccs == sorted(ccs)
+
+
+@pytest.mark.benchmark(group="agg_veri_cost")
+def test_cost_vs_n(benchmark):
+    rows = once(benchmark, sweep_n)
+    text = format_table(rows, title="Theorems 3/6: AGG/VERI cost vs N (t=2)")
+    emit("agg_veri_cost_vs_n", text)
+    # O((t+1) logN): normalized by logN the cost is nearly flat.
+    normalized = [row["AGG CC / logN"] for row in rows]
+    assert max(normalized) / min(normalized) < 2.0

@@ -1,0 +1,170 @@
+"""E5 — the introduction's baseline claims.
+
+* Brute force: O(1) TC (2c flooding rounds) and O(N logN) CC, tolerates
+  arbitrary failures.
+* Folklore repeat: O(f) TC and O(f logN) CC.
+* Plain TAG: cheap but silently incorrect under failures — the motivation
+  for the whole problem.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.adversary import random_failures
+from repro.analysis import format_table, run_protocol
+from repro.graphs import grid_graph
+from repro.sim.message import id_bits
+
+from _util import emit, once
+
+SEEDS = 6
+
+
+def bruteforce_scaling():
+    rows = []
+    for side in (4, 6, 8, 10):
+        topo = grid_graph(side, side)
+        inputs = {u: 1 for u in topo.nodes()}
+        rec = run_protocol("bruteforce", topo, inputs)
+        n = topo.n_nodes
+        rows.append(
+            {
+                "N": n,
+                "CC": rec.cc_bits,
+                "CC / (N logN)": round(rec.cc_bits / (n * id_bits(n)), 2),
+                "TC (flooding rounds)": rec.flooding_rounds,
+            }
+        )
+    return rows
+
+
+def folklore_scaling():
+    topo = grid_graph(6, 6)
+    rows = []
+    for f in (1, 4, 8, 16):
+        ccs, tcs = [], []
+        epoch_rounds = 2 * 2 * topo.diameter + 2
+        for seed in range(SEEDS):
+            rng = random.Random(seed)
+            schedule = random_failures(
+                topo, f=f, rng=rng, first_round=1, last_round=(f + 1) * epoch_rounds
+            )
+            inputs = {u: rng.randint(0, 9) for u in topo.nodes()}
+            rec = run_protocol("folklore", topo, inputs, schedule=schedule, f=f)
+            assert rec.correct
+            ccs.append(rec.cc_bits)
+            tcs.append(rec.flooding_rounds)
+        rows.append(
+            {
+                "f": f,
+                "CC mean": round(sum(ccs) / len(ccs), 1),
+                "CC max": max(ccs),
+                "CC bound ~ f logN": round((f + 1) * 3 * id_bits(topo.n_nodes) * 4),
+                "TC max (flooding rounds)": max(tcs),
+                "TC bound ~ 5(f+1)": 5 * (f + 1),
+            }
+        )
+    return topo, rows
+
+
+def tag_incorrectness():
+    topo = grid_graph(5, 5)
+    rows = []
+    for f in (4, 8, 16):
+        wrong = 0
+        for seed in range(SEEDS * 2):
+            rng = random.Random(seed)
+            schedule = random_failures(
+                topo, f=f, rng=rng, first_round=1,
+                last_round=2 * 2 * topo.diameter + 2,
+            )
+            inputs = {u: 100 for u in topo.nodes()}
+            rec = run_protocol("tag", topo, inputs, schedule=schedule)
+            wrong += not rec.correct
+        rows.append(
+            {
+                "f": f,
+                "TAG incorrect runs": f"{wrong}/{SEEDS * 2}",
+            }
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="baselines")
+def test_bruteforce_nlogn(benchmark):
+    rows = once(benchmark, bruteforce_scaling)
+    emit(
+        "baselines_bruteforce",
+        format_table(rows, title="Brute force: CC ~ N logN, TC = 2c flooding rounds"),
+    )
+    normalized = [row["CC / (N logN)"] for row in rows]
+    assert max(normalized) / min(normalized) < 3
+    assert all(row["TC (flooding rounds)"] == 4 for row in rows)
+
+
+@pytest.mark.benchmark(group="baselines")
+def test_folklore_f_logn(benchmark):
+    topo, rows = once(benchmark, folklore_scaling)
+    emit(
+        "baselines_folklore",
+        format_table(rows, title=f"Folklore repeat on {topo.name}: CC ~ f logN, TC ~ f"),
+    )
+    # CC and TC grow with f.
+    ccs = [row["CC max"] for row in rows]
+    assert ccs[-1] >= ccs[0]
+    for row in rows:
+        assert row["TC max (flooding rounds)"] <= row["TC bound ~ 5(f+1)"]
+
+
+def gossip_contrast():
+    from repro.adversary import FailureSchedule
+    from repro.baselines.gossip import run_gossip
+
+    topo = grid_graph(5, 5)
+    inputs = {u: 0 for u in topo.nodes()}
+    inputs[topo.root] = 100
+    rows = []
+    for label, schedule in (
+        ("failure-free", FailureSchedule()),
+        ("4 early crashes", FailureSchedule({12: 3, 13: 3, 17: 3, 18: 3})),
+    ):
+        out = run_gossip(topo, inputs, rounds=200, schedule=schedule)
+        rows.append(
+            {
+                "scenario": label,
+                "gossip estimate": round(out.estimate, 2),
+                "true sum": out.true_sum,
+                "in correctness interval": out.within_correctness_interval(
+                    topo, inputs, schedule
+                ),
+                "CC (bits/node)": out.stats.max_bits,
+            }
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="baselines")
+def test_gossip_is_approximate_not_zero_error(benchmark):
+    """The related-work contrast: push-sum gossip converges beautifully
+    failure-free but leaves the correctness interval under early crashes —
+    the failure mode the paper's protocols exclude by construction."""
+    rows = once(benchmark, gossip_contrast)
+    emit(
+        "baselines_gossip",
+        format_table(rows, title="Push-sum gossip vs the zero-error bar"),
+    )
+    assert rows[0]["in correctness interval"]
+    assert not rows[1]["in correctness interval"]
+
+
+@pytest.mark.benchmark(group="baselines")
+def test_tag_silently_wrong(benchmark):
+    rows = once(benchmark, tag_incorrectness)
+    emit(
+        "baselines_tag",
+        format_table(rows, title="Plain TAG under mid-aggregation failures"),
+    )
+    total_wrong = sum(int(row["TAG incorrect runs"].split("/")[0]) for row in rows)
+    assert total_wrong >= 1  # TAG really does lose inputs

@@ -1,0 +1,108 @@
+"""E18 — the diameter-stretch assumption is load-bearing (future work §2).
+
+The paper assumes failures never push the surviving diameter past
+``c * d`` and says of its necessity: "we are currently working on a new
+lower bound proof that aims to show the necessity of this requirement".
+This bench supplies the *empirical* half of that story on a wheel graph:
+
+* the hub makes ``d = 2``; crashing it stretches the survivors' diameter
+  to ``n/2`` — a factor far beyond any constant the protocol budgeted;
+* with the assumption violated (protocol run at ``c = 1``), the
+  speculative floods cannot cross the rim inside the phase windows, the
+  witnesses never see the far side's partial sums, and the AGG+VERI pair
+  **accepts incorrect results in every trial**;
+* with an honest ``c`` covering the stretch, the same crash is handled
+  with zero errors.
+
+So the guarantee genuinely consumes the assumption — consistent with the
+paper's conjecture that it cannot be dropped.
+"""
+
+import random
+
+import pytest
+
+from repro.adversary import FailureSchedule
+from repro.analysis import format_table
+from repro.core.caaf import SUM
+from repro.core.correctness import is_correct_result
+from repro.core.veri import run_agg_veri_pair
+from repro.graphs import Topology
+
+from _util import emit, once
+
+RIM = 16
+SEEDS = 15
+
+
+def wheel(n_rim: int) -> Topology:
+    """A rim cycle plus a hub adjacent to every rim node (root on the rim)."""
+    adjacency = {u: [] for u in range(n_rim + 1)}
+    hub = n_rim
+    for u in range(n_rim):
+        v = (u + 1) % n_rim
+        adjacency[u].append(v)
+        adjacency[v].append(u)
+        adjacency[u].append(hub)
+        adjacency[hub].append(u)
+    return Topology(adjacency, name=f"wheel({n_rim})")
+
+
+def run_c_study():
+    topo = wheel(RIM)
+    hub = RIM
+    f = topo.degree(hub)
+    rows = []
+    outcomes = {}
+    for c in (1, 4):
+        accepted_wrong = accepted_right = rejected = 0
+        for seed in range(SEEDS):
+            rng = random.Random(seed)
+            inputs = {u: rng.randint(1, 9) for u in topo.nodes()}
+            cd = c * topo.diameter
+            schedule = FailureSchedule({hub: 2 * cd + 2})
+            pair = run_agg_veri_pair(
+                topo, inputs, t=f, schedule=schedule, c=c
+            )
+            end = 12 * cd + 7
+            ok = is_correct_result(
+                pair.agg_result, SUM, topo, inputs, schedule, end
+            )
+            if pair.accepted and not ok:
+                accepted_wrong += 1
+            elif pair.accepted:
+                accepted_right += 1
+            else:
+                rejected += 1
+        stretch = topo.remaining_diameter({hub}) / topo.diameter
+        rows.append(
+            {
+                "protocol c": c,
+                "actual stretch diam(H)/d": stretch,
+                "assumption holds": c >= stretch,
+                "accepted + correct": accepted_right,
+                "accepted + WRONG": accepted_wrong,
+                "rejected (safe)": rejected,
+            }
+        )
+        outcomes[c] = accepted_wrong
+    return topo, rows, outcomes
+
+
+@pytest.mark.benchmark(group="c_necessity")
+def test_c_assumption_is_necessary(benchmark):
+    topo, rows, outcomes = once(benchmark, run_c_study)
+    emit(
+        "c_necessity",
+        format_table(
+            rows,
+            title=(
+                f"E18: hub crash on {topo.name} (d=2 -> diam(H)=8): the "
+                "c*d assumption is load-bearing"
+            ),
+        ),
+    )
+    # Violated assumption: zero-error breaks, and not rarely.
+    assert outcomes[1] > SEEDS // 2
+    # Honest c: zero-error restored on the identical scenario family.
+    assert outcomes[4] == 0

@@ -1,0 +1,87 @@
+"""E13 — the simulation argument behind Section 7's reduction.
+
+A SUM protocol on a topology split into Alice/Bob halves yields a
+two-party protocol whose transcript is exactly the traffic broadcast by
+cut-adjacent nodes.  The bench runs the real protocols under the cut
+harness on bottleneck topologies and reports:
+
+* the cut transcript of brute force (grows ~linearly with N: every value
+  crosses) vs AGG (bounded by the boundary nodes' (t+1)logN budgets);
+* the per-node bound the simulation argument yields, compared against the
+  protocols' actual bottleneck CC (it must be a lower bound).
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.baselines.bruteforce import BruteForceNode
+from repro.core.agg import AggNode
+from repro.core.params import params_for
+from repro.graphs import cluster_line_graph
+from repro.lowerbound.cut_simulation import (
+    CutSimulation,
+    per_node_cut_lower_bound,
+    split_by_bfs_half,
+)
+
+from _util import emit, once
+
+
+def run_cut_study():
+    rows = []
+    for clusters in (2, 3, 4, 6):
+        topo = cluster_line_graph(clusters, 4)
+        alice = split_by_bfs_half(topo)
+
+        params_bf = params_for(topo, t=0)
+        bf_handlers = {u: BruteForceNode(params_bf, u, 1) for u in topo.nodes()}
+        bf_sim = CutSimulation(topo, bf_handlers, alice)
+        bf_tr = bf_sim.run(2 * params_bf.cd, stop_on_output=False)
+
+        params_agg = params_for(topo, t=2)
+        agg_handlers = {u: AggNode(params_agg, u, 1) for u in topo.nodes()}
+        agg_sim = CutSimulation(topo, agg_handlers, alice)
+        agg_tr = agg_sim.run(params_agg.agg_rounds, stop_on_output=False)
+
+        bf_cc = bf_sim.network.stats.max_bits
+        agg_cc = agg_sim.network.stats.max_bits
+        rows.append(
+            {
+                "N": topo.n_nodes,
+                "cut edges": len(bf_sim.cut_edges),
+                "bruteforce cut bits": bf_tr.total_bits,
+                "AGG cut bits": agg_tr.total_bits,
+                "bf per-node bound": round(
+                    per_node_cut_lower_bound(bf_tr, len(bf_sim.boundary)), 1
+                ),
+                "bf actual CC": bf_cc,
+                "AGG per-node bound": round(
+                    per_node_cut_lower_bound(agg_tr, len(agg_sim.boundary)), 1
+                ),
+                "AGG actual CC": agg_cc,
+            }
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="cut_simulation")
+def test_cut_simulation_argument(benchmark):
+    rows = once(benchmark, run_cut_study)
+    emit(
+        "cut_simulation",
+        format_table(
+            rows,
+            title="Two-party simulation across cluster-line cuts (E13)",
+        ),
+    )
+    # The per-node bound derived from the cut is a true lower bound on the
+    # protocol's bottleneck CC.
+    for row in rows:
+        assert row["bf per-node bound"] <= row["bf actual CC"]
+        assert row["AGG per-node bound"] <= row["AGG actual CC"]
+    # Brute force's cut traffic grows with N; AGG's stays near-flat (its
+    # boundary budgets don't depend on N beyond logN).
+    bf = [row["bruteforce cut bits"] for row in rows]
+    agg = [row["AGG cut bits"] for row in rows]
+    assert bf[-1] > 2 * bf[0]
+    assert agg[-1] < 2.5 * agg[0]

@@ -1,0 +1,124 @@
+"""E1 — Figure 1: the CC-vs-TC landscape (analytic curves + measured overlay).
+
+Regenerates the paper's Figure 1: for a fixed ``(N, f)``, the analytic
+curves of every known bound over the time-budget axis ``b``, and the
+*measured* per-node communication of the three executable protocols
+(Algorithm 1 across the ``b`` sweep; brute force and folklore at their
+fixed operating points).
+
+Paper's claim (shape): the new upper bound decays like ``f/b`` before
+flattening at ``log^2 N``; the new lower bound sits a polylog factor below
+it; brute force and folklore are flat points far above the curve.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis import figure1_data, figure1_measured, format_series, format_table
+from repro.graphs import grid_graph
+
+from _util import emit, once
+
+N_ANALYTIC = 1024
+F_ANALYTIC = 128
+BS_ANALYTIC = [42, 84, 168, 336, 672, 1344]
+
+MEASURED_TOPOLOGY = grid_graph(6, 6)
+F_MEASURED = 8
+BS_MEASURED = [42, 84, 168, 336]
+SEEDS = range(4)
+
+
+def build_analytic():
+    return figure1_data(N_ANALYTIC, F_ANALYTIC, BS_ANALYTIC)
+
+
+def build_measured():
+    return figure1_measured(
+        MEASURED_TOPOLOGY, f=F_MEASURED, bs=BS_MEASURED, seeds=SEEDS
+    )
+
+
+@pytest.mark.benchmark(group="figure1")
+def test_figure1_analytic_curves(benchmark):
+    data = once(benchmark, build_analytic)
+    series = {
+        name: [round(v, 1) for v in values]
+        for name, values in data.curves.items()
+    }
+    text = format_series(
+        data.bs,
+        series,
+        x_label="b",
+        title=(
+            f"Figure 1 (analytic): N={data.n}, f={data.f} — CC bounds vs TC "
+            "budget b"
+        ),
+    )
+    emit("figure1_analytic", text)
+    # Shape assertions: the paper's landscape.
+    ub = data.curves["upper_bound_new"]
+    lb = data.curves["lower_bound_new"]
+    assert ub == sorted(ub, reverse=True)  # UB decays with b
+    assert all(u >= l for u, l in zip(ub, lb))  # bounds bracket
+    assert all(
+        g <= c for g, c in zip(data.curves["gap_ratio"], data.curves["polylog_ceiling"])
+    )  # the polylog-gap headline
+
+
+@pytest.mark.benchmark(group="figure1")
+def test_figure1_measured_overlay(benchmark):
+    measured = once(benchmark, build_measured)
+    rows = []
+    for b, point in zip(BS_MEASURED, measured.tradeoff):
+        rows.append(
+            {
+                "protocol": "algorithm1",
+                "b": b,
+                "CC mean": round(point.cc_mean, 1),
+                "CC max": point.cc_max,
+                "TC used (flooding rounds)": round(point.flooding_rounds_mean, 1),
+                "correct": point.correct_rate,
+            }
+        )
+    rows.append(
+        {
+            "protocol": "bruteforce",
+            "b": "2c",
+            "CC mean": round(measured.bruteforce.cc_mean, 1),
+            "CC max": measured.bruteforce.cc_max,
+            "TC used (flooding rounds)": round(
+                measured.bruteforce.flooding_rounds_mean, 1
+            ),
+            "correct": measured.bruteforce.correct_rate,
+        }
+    )
+    rows.append(
+        {
+            "protocol": "folklore",
+            "b": "O(f)",
+            "CC mean": round(measured.folklore.cc_mean, 1),
+            "CC max": measured.folklore.cc_max,
+            "TC used (flooding rounds)": round(
+                measured.folklore.flooding_rounds_mean, 1
+            ),
+            "correct": measured.folklore.correct_rate,
+        }
+    )
+    text = format_table(
+        rows,
+        title=(
+            f"Figure 1 (measured): {measured.topology_name}, N={measured.n}, "
+            f"f={measured.f}"
+        ),
+    )
+    emit("figure1_measured", text)
+    # Who-wins shape: Algorithm 1's CC decreases with b and undercuts brute
+    # force at the largest budget; everything stays correct.
+    ccs = [p.cc_mean for p in measured.tradeoff]
+    assert ccs[0] > ccs[-1]
+    assert ccs[-1] < measured.bruteforce.cc_mean
+    assert all(p.correct_rate == 1.0 for p in measured.tradeoff)
+    assert measured.bruteforce.correct_rate == 1.0
+    assert measured.folklore.correct_rate == 1.0

@@ -1,0 +1,151 @@
+"""E17 — Section 3's probabilistic argument, measured.
+
+Theorem 1's analysis: with ``t = floor(2f/x)``, at most ``f/(t+1) < x/2``
+intervals can contain more than ``t`` edge failures, so a uniformly random
+interval is "clean" with probability at least 1/2; after ``logN``
+independent draws the brute-force fallback fires with probability at most
+``1/N``, and the number of AGG+VERI pairs actually run is geometric.
+
+The bench builds the *worst* oblivious adversary for this argument — it
+packs exactly ``t+1`` failures into as many intervals as the budget
+affords — and measures, across many coin seeds: the fallback rate (vs the
+``1/N`` bound), the mean pairs run (vs the geometric bound), the pair cap
+``min(x, f+1, logN)``, and correctness (always).
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.adversary import EdgeBudget, FailureSchedule, affordable_nodes
+from repro.analysis import format_table
+from repro.core.algorithm1 import TradeoffPlan, run_algorithm1
+from repro.core.caaf import SUM
+from repro.core.correctness import is_correct_result
+from repro.core.params import params_for
+from repro.graphs import grid_graph
+
+from _util import emit, once
+
+TOPOLOGY = grid_graph(5, 5)
+F, B, C = 8, 308, 2  # x = (308 - 4) / 38 = 8 intervals, t = 2
+SEEDS = 40
+
+
+def poison_intervals(plan: TradeoffPlan, rng: random.Random) -> FailureSchedule:
+    """Pack ``t+1`` edge failures into as many intervals as ``f`` affords."""
+    t = plan.t
+    budget = EdgeBudget(TOPOLOGY, F)
+    schedule = FailureSchedule()
+    poisoned = 0
+    interval = 1
+    while budget.remaining >= t + 1 and interval <= plan.x:
+        start = plan.interval_start(interval)
+        spent = 0
+        while spent < t + 1:
+            pool = [
+                u
+                for u in affordable_nodes(budget)
+                if budget.cost_of(u) <= (t + 1) - spent
+            ]
+            if not pool:
+                break
+            node = rng.choice(pool)
+            spent += budget.charge(node)
+            schedule.add(node, start)
+        if spent >= t + 1:
+            poisoned += 1
+        interval += 2  # leave every other interval clean
+    schedule.poisoned_count = poisoned  # type: ignore[attr-defined]
+    return schedule
+
+
+def run_probability_study():
+    base = params_for(TOPOLOGY, c=C)
+    plan = TradeoffPlan(params=base, b=B, f=F)
+    adversary_rng = random.Random(123)
+    schedule = poison_intervals(plan, adversary_rng)
+    inputs = {u: 1 for u in TOPOLOGY.nodes()}
+
+    fallbacks, pairs, correct = 0, [], 0
+    for seed in range(SEEDS):
+        out = run_algorithm1(
+            TOPOLOGY,
+            inputs,
+            f=F,
+            b=B,
+            schedule=schedule,
+            c=C,
+            rng=random.Random(seed),
+        )
+        fallbacks += out.used_bruteforce
+        pairs.append(out.pairs_run)
+        correct += is_correct_result(
+            out.result, SUM, TOPOLOGY, inputs, schedule, out.rounds
+        )
+
+    n = TOPOLOGY.n_nodes
+    log_n = math.ceil(math.log2(n))
+    poisoned = schedule.poisoned_count
+    p_clean = 1 - poisoned / plan.x
+    rows = [
+        {
+            "x (intervals)": plan.x,
+            "t": plan.t,
+            "poisoned intervals": poisoned,
+            "P(clean draw)": round(p_clean, 3),
+            "paper bound": ">= 1/2",
+        },
+        {
+            "x (intervals)": "fallback rate",
+            "t": f"{fallbacks}/{SEEDS}",
+            "poisoned intervals": "bound (poisoned/x)^logN",
+            "P(clean draw)": round((poisoned / plan.x) ** log_n, 4),
+            "paper bound": "<= 1/N = " + str(round(1 / n, 3)),
+        },
+        {
+            "x (intervals)": "mean pairs run",
+            "t": round(sum(pairs) / len(pairs), 2),
+            "poisoned intervals": "geometric bound 1/P(clean)",
+            "P(clean draw)": round(1 / p_clean, 2),
+            "paper bound": f"cap min(x,f+1,logN) = {min(plan.x, F + 1, log_n)}",
+        },
+        {
+            "x (intervals)": "correct runs",
+            "t": f"{correct}/{SEEDS}",
+            "poisoned intervals": "-",
+            "P(clean draw)": "-",
+            "paper bound": "always (zero error)",
+        },
+    ]
+    return plan, poisoned, fallbacks, pairs, correct, rows
+
+
+@pytest.mark.benchmark(group="interval_selection")
+def test_interval_selection_probability(benchmark):
+    plan, poisoned, fallbacks, pairs, correct, rows = once(
+        benchmark, run_probability_study
+    )
+    emit(
+        "interval_selection",
+        format_table(
+            rows,
+            title=(
+                f"E17: random interval selection vs poisoned intervals "
+                f"({TOPOLOGY.name}, f={F}, b={B}, {SEEDS} coin seeds)"
+            ),
+        ),
+    )
+    n = TOPOLOGY.n_nodes
+    log_n = math.ceil(math.log2(n))
+    # The analysis' cornerstone: fewer than half the intervals poisoned.
+    assert poisoned <= plan.x // 2
+    # Fallback probability bound (generous slack over 1/N for 40 seeds).
+    assert fallbacks / SEEDS <= max(3 / n, 0.15)
+    # Pair counts: geometric mean bound and the hard cap.
+    p_clean = 1 - poisoned / plan.x
+    assert sum(pairs) / len(pairs) <= 1 / p_clean + 1
+    assert max(pairs) <= min(plan.x, F + 1, log_n)
+    # Zero error regardless of coins.
+    assert correct == SEEDS

@@ -1,0 +1,148 @@
+"""E6 — Section 7's two-party problems: Theorems 8, 10, 12.
+
+Measured series:
+
+* UNIONSIZECP cost vs ``q`` at fixed ``n`` (expect ~``n/q logn`` decay for
+  the wrap-position protocol, flat ``n logq`` for the trivial one), against
+  the ``Omega(n/q) - O(logn)`` lower bound (Theorem 12).
+* UNIONSIZECP cost vs ``n`` at fixed ``q`` (expect linear growth).
+* EQUALITYCP via the Theorem 8 reduction: overhead over the oracle is
+  ``O(logn + logq)``.
+"""
+
+import random
+import statistics
+
+import pytest
+
+from repro.analysis import format_table
+from repro.lowerbound import (
+    ReductionEquality,
+    TrivialUnionSize,
+    WrapPositionUnionSize,
+    lemma11_bound,
+    random_instance,
+    strings_equal,
+    union_size,
+    unionsize_lower_bound,
+    unionsize_upper_bound,
+)
+
+from _util import emit, once
+
+SEEDS = 10
+
+
+def sweep_q():
+    n = 2048
+    rng = random.Random(0)
+    rows = []
+    for q in (2, 4, 8, 16, 32, 64):
+        wrap, triv = [], []
+        for _ in range(SEEDS):
+            x, y = random_instance(n, q, rng)
+            truth = union_size(x, y)
+            ans, tr = WrapPositionUnionSize(q).run(x, y)
+            assert ans == truth
+            wrap.append(tr.total_bits)
+            ans, tr = TrivialUnionSize(q).run(x, y)
+            assert ans == truth
+            triv.append(tr.total_bits)
+        rows.append(
+            {
+                "q": q,
+                "wrap-position mean bits": round(statistics.fmean(wrap)),
+                "trivial mean bits": round(statistics.fmean(triv)),
+                "UB shape n/q logn + logq": round(unionsize_upper_bound(n, q)),
+                "LB n/q - logn": round(unionsize_lower_bound(n, q)),
+            }
+        )
+    return n, rows
+
+
+def sweep_n():
+    q = 8
+    rng = random.Random(1)
+    rows = []
+    for n in (128, 512, 2048, 8192):
+        wrap = []
+        for _ in range(SEEDS):
+            x, y = random_instance(n, q, rng)
+            ans, tr = WrapPositionUnionSize(q).run(x, y)
+            assert ans == union_size(x, y)
+            wrap.append(tr.total_bits)
+        mean = statistics.fmean(wrap)
+        rows.append(
+            {
+                "n": n,
+                "wrap-position mean bits": round(mean),
+                "LB n/q - logn": round(unionsize_lower_bound(n, q)),
+                "EQUALITYCP LB (Lemma 11)": round(lemma11_bound(n, q), 1),
+            }
+        )
+    return q, rows
+
+
+def reduction_overhead():
+    rng = random.Random(2)
+    rows = []
+    for n, q in ((256, 4), (1024, 8), (4096, 16)):
+        oracle = WrapPositionUnionSize(q)
+        reduction = ReductionEquality(q, oracle)
+        overheads, ok = [], True
+        for _ in range(SEEDS):
+            x, y = random_instance(n, q, rng)
+            answer, tr = reduction.run(x, y)
+            ok = ok and (answer == strings_equal(x, y))
+            _, tr_oracle = oracle.run(x, y)
+            overheads.append(tr.total_bits - tr_oracle.total_bits)
+        rows.append(
+            {
+                "n": n,
+                "q": q,
+                "mean overhead bits": round(statistics.fmean(overheads), 1),
+                "O(logn + logq) scale": n.bit_length() + q.bit_length(),
+                "all answers correct": ok,
+            }
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="twoparty")
+def test_unionsize_vs_q(benchmark):
+    n, rows = once(benchmark, sweep_q)
+    emit(
+        "twoparty_unionsize_vs_q",
+        format_table(rows, title=f"UNIONSIZECP, n={n}: measured cost vs q"),
+    )
+    wrap = [row["wrap-position mean bits"] for row in rows]
+    assert wrap == sorted(wrap, reverse=True)  # ~ n/q decay
+    for row in rows:
+        assert row["wrap-position mean bits"] >= row["LB n/q - logn"]
+
+
+@pytest.mark.benchmark(group="twoparty")
+def test_unionsize_vs_n(benchmark):
+    q, rows = once(benchmark, sweep_n)
+    emit(
+        "twoparty_unionsize_vs_n",
+        format_table(rows, title=f"UNIONSIZECP, q={q}: measured cost vs n"),
+    )
+    wrap = [row["wrap-position mean bits"] for row in rows]
+    assert wrap == sorted(wrap)  # grows with n
+    # Roughly linear: quadrupling n multiplies cost by ~4 (log factor slack).
+    assert 2.5 < wrap[-1] / wrap[-2] < 7
+    for row in rows:
+        assert row["wrap-position mean bits"] >= row["LB n/q - logn"]
+
+
+@pytest.mark.benchmark(group="twoparty")
+def test_reduction_overhead_logarithmic(benchmark):
+    rows = once(benchmark, reduction_overhead)
+    emit(
+        "twoparty_reduction_overhead",
+        format_table(rows, title="Theorem 8 reduction: additive overhead"),
+    )
+    for row in rows:
+        assert row["all answers correct"]
+        assert row["mean overhead bits"] <= 4 * row["O(logn + logq) scale"]

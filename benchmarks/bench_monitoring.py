@@ -1,0 +1,74 @@
+"""E15 — continuous monitoring: the deployment loop the paper motivates.
+
+A base station re-aggregates the field every epoch while sensors die.
+Every epoch's result must individually satisfy the correctness definition,
+and the per-epoch cost should *shrink* as the network loses nodes (fewer
+live senders, fewer floods) — the operational payoff of zero-error
+fault tolerance.
+"""
+
+import random
+
+import pytest
+
+from repro.adversary import random_failures
+from repro.analysis import format_table
+from repro.extensions.monitoring import drifting_inputs, run_monitoring
+from repro.graphs import grid_graph
+
+from _util import emit, once
+
+TOPOLOGY = grid_graph(6, 6)
+EPOCHS = 5
+F, B = 14, 45
+
+
+def run_monitoring_study():
+    rng = random.Random(0)
+    horizon = EPOCHS * B * TOPOLOGY.diameter
+    schedule = random_failures(
+        TOPOLOGY, f=F, rng=rng, first_round=1, last_round=horizon
+    )
+    base = {u: rng.randint(10, 40) for u in TOPOLOGY.nodes()}
+    outcome = run_monitoring(
+        TOPOLOGY,
+        drifting_inputs(base, rng),
+        epochs=EPOCHS,
+        f=F,
+        b=B,
+        schedule=schedule,
+        rng=random.Random(1),
+    )
+    rows = [
+        {
+            "epoch": e.epoch,
+            "result": e.result,
+            "correct": e.correct,
+            "survivors": e.survivors,
+            "CC (bits/node)": e.cc_bits,
+            "rounds": e.rounds,
+        }
+        for e in outcome.epochs
+    ]
+    return outcome, rows
+
+
+@pytest.mark.benchmark(group="monitoring")
+def test_continuous_monitoring(benchmark):
+    outcome, rows = once(benchmark, run_monitoring_study)
+    emit(
+        "monitoring",
+        format_table(
+            rows,
+            title=(
+                f"Continuous monitoring on {TOPOLOGY.name}: {EPOCHS} epochs, "
+                f"f={F}, b={B}, failures persist across epochs"
+            ),
+        ),
+    )
+    assert outcome.all_correct
+    survivors = [e.survivors for e in outcome.epochs]
+    assert survivors == sorted(survivors, reverse=True)
+    # Once the population stabilizes, cost stabilizes too (no failure-free
+    # epoch pays for past failures).
+    assert outcome.epochs[-1].cc_bits <= max(e.cc_bits for e in outcome.epochs)

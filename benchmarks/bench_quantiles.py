@@ -1,0 +1,86 @@
+"""E11 — the Section 2 reduction: MEDIAN/SELECTION via COUNT binary search.
+
+The paper (citing Patt-Shamir): "MEDIAN and SELECTION can be solved using
+COUNT by doing a binary search over the output domain".  The bench runs the
+reduction with Algorithm 1 as the COUNT substrate and checks:
+
+* exactness on failure-free runs;
+* probe count = ceil(log2(domain)) — the binary-search bound;
+* total cost = probes x substrate cost (the reduction's multiplicative
+  overhead, as predicted).
+"""
+
+import random
+import statistics
+
+import pytest
+
+from repro.analysis import format_table
+from repro.extensions.quantiles import (
+    distributed_median,
+    distributed_select,
+    probe_budget,
+)
+from repro.graphs import grid_graph
+
+from _util import emit, once
+
+TOPOLOGY = grid_graph(5, 5)
+F, B = 2, 45
+
+
+def run_selection_sweep():
+    rows = []
+    rng = random.Random(0)
+    inputs = {u: rng.randint(0, 40) for u in TOPOLOGY.nodes()}
+    ordered = sorted(inputs.values())
+    single_agg_cc = None
+    for k in (1, 7, 13, 19, 25):
+        out = distributed_select(
+            TOPOLOGY, inputs, k=k, f=F, b=B, rng=random.Random(k)
+        )
+        per_probe_cc = statistics.fmean(
+            max(p.cc_bits_per_node.values()) for p in out.probes
+        )
+        single_agg_cc = per_probe_cc
+        rows.append(
+            {
+                "k": k,
+                "selected": out.value,
+                "truth": ordered[k - 1],
+                "exact": out.value == ordered[k - 1],
+                "probes": out.probe_count,
+                "probe budget": probe_budget(TOPOLOGY, max(inputs.values())),
+                "CC total": out.cc_bits,
+                "CC per probe": round(per_probe_cc, 1),
+            }
+        )
+    med = distributed_median(TOPOLOGY, inputs, f=F, b=B, rng=random.Random(9))
+    rows.append(
+        {
+            "k": "median",
+            "selected": med.value,
+            "truth": ordered[(len(ordered) - 1) // 2],
+            "exact": med.value == ordered[(len(ordered) - 1) // 2],
+            "probes": med.probe_count,
+            "probe budget": probe_budget(TOPOLOGY, max(inputs.values())) + 1,
+            "CC total": med.cc_bits,
+            "CC per probe": "-",
+        }
+    )
+    return rows
+
+
+@pytest.mark.benchmark(group="quantiles")
+def test_selection_via_count(benchmark):
+    rows = once(benchmark, run_selection_sweep)
+    emit(
+        "quantiles_selection",
+        format_table(
+            rows,
+            title=f"SELECTION/MEDIAN via COUNT on {TOPOLOGY.name}, f={F}, b={B}",
+        ),
+    )
+    assert all(row["exact"] for row in rows)
+    for row in rows:
+        assert row["probes"] <= row["probe budget"]

@@ -1,0 +1,157 @@
+"""E2 — Table 2: the AGG/VERI guarantee matrix, validated empirically.
+
+The paper's Table 2:
+
+| scenario                                | AGG                       | VERI        |
+| 1. <= t edge failures (implies no LFC)  | correct result            | true        |
+| 2. > t edge failures, no LFC            | correct result or abort   | no guarantee|
+| 3. > t edge failures, LFC exists        | no guarantee              | false       |
+
+Each scenario is instantiated by a dedicated adversary family over many
+seeds; the hard guarantees (bold cells) must hold in 100% of trials.
+"""
+
+import random
+
+import pytest
+
+from repro.adversary import chain_failures, predicted_tree, random_failures
+from repro.analysis import format_table
+from repro.core.caaf import SUM
+from repro.core.correctness import is_correct_result
+from repro.core.veri import run_agg_veri_pair
+from repro.graphs import grid_graph
+
+from _util import emit, once
+
+TOPOLOGY = grid_graph(6, 6)
+T = 3
+SEEDS = 10
+
+
+def has_lfc(topo, schedule, t):
+    """Ground-truth LFC oracle (valid for post-construction crash times)."""
+    parent, children = predicted_tree(topo)
+    failed = schedule.failed_nodes
+    alive_connected = topo.alive_component(failed)
+
+    def live_descendant(node):
+        stack = [node]
+        while stack:
+            u = stack.pop()
+            for ch in children[u]:
+                if ch in failed:
+                    stack.append(ch)
+                elif ch in alive_connected:
+                    return True
+        return False
+
+    for tail in failed:
+        chain, walker = [], tail
+        while walker in failed:
+            chain.append(walker)
+            walker = parent[walker]
+            if walker == -1:
+                break
+        if len(chain) >= t and live_descendant(tail):
+            return True
+    return False
+
+
+def run_scenario1():
+    """At most t edge failures."""
+    stats = {"trials": 0, "agg_correct": 0, "no_abort": 0, "veri_true": 0}
+    end = 12 * 2 * TOPOLOGY.diameter + 7
+    for seed in range(SEEDS):
+        rng = random.Random(seed)
+        schedule = random_failures(
+            TOPOLOGY, f=T, rng=rng, first_round=1, last_round=end
+        )
+        inputs = {u: rng.randint(0, 9) for u in TOPOLOGY.nodes()}
+        pair = run_agg_veri_pair(TOPOLOGY, inputs, t=T, schedule=schedule)
+        stats["trials"] += 1
+        stats["no_abort"] += not pair.agg_aborted
+        stats["veri_true"] += pair.veri_output is True
+        stats["agg_correct"] += is_correct_result(
+            pair.agg_result, SUM, TOPOLOGY, inputs, schedule, end
+        )
+    return stats
+
+
+def run_scenario2():
+    """More than t edge failures but no LFC."""
+    stats = {"trials": 0, "agg_correct_or_abort": 0}
+    end = 12 * 2 * TOPOLOGY.diameter + 7
+    seed = 0
+    while stats["trials"] < SEEDS and seed < SEEDS * 20:
+        rng = random.Random(1000 + seed)
+        seed += 1
+        schedule = random_failures(
+            TOPOLOGY, f=4 * T, rng=rng, first_round=1, last_round=end
+        )
+        if schedule.edge_failures(TOPOLOGY) <= T or has_lfc(TOPOLOGY, schedule, T):
+            continue
+        inputs = {u: rng.randint(0, 9) for u in TOPOLOGY.nodes()}
+        pair = run_agg_veri_pair(TOPOLOGY, inputs, t=T, schedule=schedule)
+        stats["trials"] += 1
+        ok = pair.agg_aborted or is_correct_result(
+            pair.agg_result, SUM, TOPOLOGY, inputs, schedule, end
+        )
+        stats["agg_correct_or_abort"] += ok
+    return stats
+
+
+def run_scenario3():
+    """An LFC exists."""
+    stats = {"trials": 0, "veri_false": 0}
+    cd = 2 * TOPOLOGY.diameter
+    for seed in range(SEEDS * 3):
+        if stats["trials"] >= SEEDS:
+            break
+        schedule = chain_failures(
+            TOPOLOGY, chain_length=T, at_round=2 * cd + 2, rng=random.Random(seed)
+        )
+        if schedule is None or not has_lfc(TOPOLOGY, schedule, T):
+            continue
+        inputs = {u: 1 for u in TOPOLOGY.nodes()}
+        pair = run_agg_veri_pair(TOPOLOGY, inputs, t=T, schedule=schedule)
+        stats["trials"] += 1
+        stats["veri_false"] += pair.veri_output is False
+    return stats
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_guarantee_matrix(benchmark):
+    def build():
+        return run_scenario1(), run_scenario2(), run_scenario3()
+
+    s1, s2, s3 = once(benchmark, build)
+    rows = [
+        {
+            "scenario": "1: <= t failures",
+            "guarantee": "AGG correct + no abort; VERI true",
+            "held": f"{min(s1['agg_correct'], s1['no_abort'], s1['veri_true'])}/{s1['trials']}",
+        },
+        {
+            "scenario": "2: > t failures, no LFC",
+            "guarantee": "AGG correct-or-abort",
+            "held": f"{s2['agg_correct_or_abort']}/{s2['trials']}",
+        },
+        {
+            "scenario": "3: LFC exists",
+            "guarantee": "VERI false",
+            "held": f"{s3['veri_false']}/{s3['trials']}",
+        },
+    ]
+    text = format_table(
+        rows,
+        title=f"Table 2 guarantees on {TOPOLOGY.name}, t={T}, {SEEDS} trials each",
+    )
+    emit("table2_guarantees", text)
+    assert s1["agg_correct"] == s1["trials"]
+    assert s1["no_abort"] == s1["trials"]
+    assert s1["veri_true"] == s1["trials"]
+    assert s2["agg_correct_or_abort"] == s2["trials"]
+    assert s2["trials"] >= 3
+    assert s3["veri_false"] == s3["trials"]
+    assert s3["trials"] >= 3

@@ -1,0 +1,76 @@
+"""E14 — Theorem 2's second term: the Theta(logN/logb) timing channel.
+
+The ``Omega(logN / logb)`` term of Theorem 2 comes from [7]: conveying the
+SUM result's ``Omega(logN)`` bits of entropy within ``b`` rounds requires
+``Omega(logN / logb)`` transmitted bits, because message *timing* carries
+at most ``log b`` bits per transmission.  The bench runs both directions:
+
+* the constructive encoder's measured transmissions per ``(N, b)``;
+* the exact counting lower bound over the encoder's horizon;
+* agreement of both with the ``logN / logb`` curve.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.analysis import format_table
+from repro.lowerbound.timing_encoding import (
+    beacons_needed,
+    decode_by_timing,
+    encode_by_timing,
+    min_messages_for,
+    sum_output_entropy_bits,
+    theorem2_second_term,
+)
+
+from _util import emit, once
+
+
+def run_timing_study():
+    rng = random.Random(0)
+    rows = []
+    for n in (1 << 10, 1 << 16, 1 << 20):
+        k = sum_output_entropy_bits(n)
+        for b in (4, 64, 1024):
+            # Round-trip a few random values to certify the code works.
+            for _ in range(5):
+                value = rng.randrange(1 << k)
+                rounds = encode_by_timing(value, k, b)
+                assert decode_by_timing(rounds, k, b) == value
+            sent = beacons_needed(k, b)
+            horizon = max(b, sent * b)
+            lower = min_messages_for(k, horizon)
+            rows.append(
+                {
+                    "N": n,
+                    "b": b,
+                    "entropy bits k=logN": k,
+                    "encoder bits sent": sent,
+                    "counting LB (horizon)": lower,
+                    "logN/logb": round(theorem2_second_term(n, b), 2),
+                }
+            )
+    return rows
+
+
+@pytest.mark.benchmark(group="timing")
+def test_timing_channel(benchmark):
+    rows = once(benchmark, run_timing_study)
+    emit(
+        "timing_encoding",
+        format_table(
+            rows, title="Theorem 2 term 2: timing codes (logN bits in b rounds)"
+        ),
+    )
+    for row in rows:
+        # Upper >= lower always; both within constant factors of logN/logb.
+        assert row["encoder bits sent"] >= row["counting LB (horizon)"]
+        curve = row["logN/logb"]
+        assert row["encoder bits sent"] <= 3 * curve + 2
+        assert row["counting LB (horizon)"] >= curve / 4 - 1
+    # Fixed N: cost decreases as b grows (the tradeoff's time axis).
+    for n in (1 << 10, 1 << 16, 1 << 20):
+        series = [r["encoder bits sent"] for r in rows if r["N"] == n]
+        assert series == sorted(series, reverse=True)

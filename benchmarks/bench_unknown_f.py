@@ -1,0 +1,79 @@
+"""E8 — Early termination: the unknown-``f`` doubling extension.
+
+The paper (Section 1): removing the known-``f`` assumption via the doubling
+trick costs a ``logN`` factor and yields early termination — "the overhead
+of the protocol will automatically vary depending on the actual number of
+failures occurred during its execution".
+
+The bench crashes 0..many nodes and reports the accepted guess, pairs run,
+CC, and rounds; all must track the *actual* failure count.
+"""
+
+import random
+
+import pytest
+
+from repro.adversary import FailureSchedule, random_failures
+from repro.analysis import format_table
+from repro.core.caaf import SUM
+from repro.core.correctness import is_correct_result
+from repro.core.unknown_f import run_unknown_f
+from repro.graphs import grid_graph
+
+from _util import emit, once
+
+TOPOLOGY = grid_graph(6, 6)
+SEEDS = 4
+
+
+def sweep_actual_failures():
+    rows = []
+    for f_actual in (0, 2, 6, 12, 20):
+        ccs, rounds, guesses, correct = [], [], [], 0
+        for seed in range(SEEDS):
+            rng = random.Random(seed * 7 + f_actual)
+            if f_actual == 0:
+                schedule = FailureSchedule()
+            else:
+                schedule = random_failures(
+                    TOPOLOGY, f=f_actual, rng=rng, first_round=1, last_round=400
+                )
+            inputs = {u: rng.randint(0, 9) for u in TOPOLOGY.nodes()}
+            out = run_unknown_f(TOPOLOGY, inputs, schedule=schedule)
+            ccs.append(out.stats.max_bits)
+            rounds.append(out.rounds)
+            guesses.append(out.accepted_guess or -1)
+            correct += is_correct_result(
+                out.result, SUM, TOPOLOGY, inputs, schedule, out.rounds
+            )
+        rows.append(
+            {
+                "declared f": "(unknown)",
+                "actual budget": f_actual,
+                "CC mean": round(sum(ccs) / len(ccs), 1),
+                "rounds mean": round(sum(rounds) / len(rounds), 1),
+                "accepted guesses": sorted(set(guesses)),
+                "correct": f"{correct}/{SEEDS}",
+            }
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="unknown_f")
+def test_early_termination(benchmark):
+    rows = once(benchmark, sweep_actual_failures)
+    emit(
+        "unknown_f_early_termination",
+        format_table(
+            rows,
+            title=f"Unknown-f doubling on {TOPOLOGY.name}: cost vs actual failures",
+        ),
+    )
+    assert all(row["correct"] == f"{SEEDS}/{SEEDS}" for row in rows)
+    ccs = [row["CC mean"] for row in rows]
+    # Early termination: the failure-free run is the cheapest; cost rises
+    # with the actual number of failures.
+    assert ccs[0] == min(ccs)
+    assert ccs[-1] > ccs[0]
+    rounds = [row["rounds mean"] for row in rows]
+    assert rounds[0] == min(rounds)

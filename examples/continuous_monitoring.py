@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""A base station monitoring a decaying sensor grid, epoch after epoch.
+
+The paper's deployments never aggregate once: the base station re-reads
+the field on a schedule while sensors die.  This example runs Algorithm 1
+in back-to-back epochs over a single failure timeline — readings drift
+between epochs, crashed sensors stay crashed — and shows that every
+epoch's SUM is individually correct while the surviving population (and
+the answer) decays.
+
+Run:  python examples/continuous_monitoring.py
+"""
+
+import random
+
+from repro.adversary import spread_failures
+from repro.analysis import format_table, sparkline
+from repro.extensions import drifting_inputs, run_monitoring
+from repro.graphs import grid_graph
+
+
+def main() -> None:
+    rng = random.Random(4)
+    topology = grid_graph(7, 7)
+    print(f"sensor field: {topology} diameter d={topology.diameter}")
+
+    # Sensors die in waves spread across the first epochs.  Each epoch of
+    # Algorithm 1 at b=45 finishes within ~25 flooding rounds.
+    f = 16
+    epoch_rounds = 25 * topology.diameter
+    schedule = spread_failures(
+        topology, f=f, rng=rng, horizon=4 * epoch_rounds
+    )
+    print(
+        f"decay: {len(schedule)} sensors fail over the first ~4 epochs "
+        f"({schedule.edge_failures(topology)} edge failures, budget {f})\n"
+    )
+
+    base_readings = {u: rng.randint(15, 25) for u in topology.nodes()}
+    outcome = run_monitoring(
+        topology,
+        drifting_inputs(base_readings, rng, jitter=2),
+        epochs=6,
+        f=f,
+        b=45,
+        schedule=schedule,
+        rng=random.Random(5),
+    )
+
+    rows = [
+        {
+            "epoch": e.epoch,
+            "SUM": e.result,
+            "correct": e.correct,
+            "live sensors": e.survivors,
+            "CC (bits/node)": e.cc_bits,
+        }
+        for e in outcome.epochs
+    ]
+    print(format_table(rows, title="six monitoring epochs over a decaying grid"))
+    print(f"\nsurvivors per epoch: {sparkline([e.survivors for e in outcome.epochs])}")
+    print(f"SUM per epoch:       {sparkline([e.result for e in outcome.epochs])}")
+    print(
+        "\nEvery epoch is zero-error: the reported SUM always brackets the"
+        "\nlive population's readings, so the base station can trust trends"
+        "\neven while the network decays."
+    )
+
+
+if __name__ == "__main__":
+    main()

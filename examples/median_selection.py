@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Beyond CAAFs: MEDIAN, SELECTION, and AVERAGE on the same machinery.
+
+Section 2 of the paper notes that MEDIAN and SELECTION — which are *not*
+commutative-and-associative aggregates — reduce to COUNT by binary search
+over the output domain, and AVERAGE is the ratio of two CAAFs.  This
+example runs those reductions with Algorithm 1 as the fault-tolerant
+COUNT/SUM substrate, under live crash failures.
+
+Run:  python examples/median_selection.py
+"""
+
+import random
+
+from repro.adversary import random_failures
+from repro.analysis import format_table
+from repro.extensions import (
+    distributed_average,
+    distributed_median,
+    distributed_select,
+    probe_budget,
+)
+from repro.graphs import random_geometric
+
+
+def main() -> None:
+    rng = random.Random(16)
+    topology = random_geometric(80, rng=rng)
+    inputs = {u: rng.randint(0, 60) for u in topology.nodes()}
+    ordered = sorted(inputs.values())
+    print(f"network: {topology} diameter d={topology.diameter}")
+    print(
+        f"selection needs at most {probe_budget(topology, max(inputs.values()))} "
+        "COUNT probes (binary search over the value domain)\n"
+    )
+
+    f, b = 6, 45
+    schedule = random_failures(topology, f=f, rng=rng, first_round=1, last_round=4000)
+    print(
+        f"adversary: {len(schedule)} crashes / "
+        f"{schedule.edge_failures(topology)} edge failures across the query\n"
+    )
+
+    rows = []
+    for k in (1, len(ordered) // 4, len(ordered) // 2, len(ordered)):
+        out = distributed_select(
+            topology, inputs, k=k, f=f, b=b, schedule=schedule, rng=random.Random(k)
+        )
+        rows.append(
+            {
+                "query": f"select k={k}",
+                "answer": out.value,
+                "failure-free truth": ordered[k - 1],
+                "probes": out.probe_count,
+                "rounds": out.total_rounds,
+                "CC (bits/node)": out.cc_bits,
+            }
+        )
+
+    med = distributed_median(
+        topology, inputs, f=f, b=b, schedule=schedule, rng=random.Random(99)
+    )
+    rows.append(
+        {
+            "query": "median",
+            "answer": med.value,
+            "failure-free truth": ordered[(len(ordered) - 1) // 2],
+            "probes": med.probe_count,
+            "rounds": med.total_rounds,
+            "CC (bits/node)": med.cc_bits,
+        }
+    )
+
+    avg = distributed_average(
+        topology, inputs, f=f, b=b, schedule=schedule, rng=random.Random(7)
+    )
+    rows.append(
+        {
+            "query": "average",
+            "answer": round(avg.value, 2),
+            "failure-free truth": round(sum(ordered) / len(ordered), 2),
+            "probes": avg.probe_count,
+            "rounds": avg.total_rounds,
+            "CC (bits/node)": avg.cc_bits,
+        }
+    )
+
+    print(format_table(rows, title="non-CAAF queries via COUNT/SUM reductions"))
+    print(
+        "\nEach probe is a full zero-error aggregation, so every count is"
+        "\nexact for a population bracketed between the survivors and the"
+        "\noriginal membership — answers can only drift by what the crashed"
+        "\nnodes contributed."
+    )
+
+
+if __name__ == "__main__":
+    main()

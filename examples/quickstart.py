@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Quickstart: fault-tolerant SUM with a tunable communication-time tradeoff.
+
+Builds a small grid network, injects crash failures within an edge-failure
+budget ``f``, and runs the paper's Algorithm 1 under a time budget of ``b``
+flooding rounds.  Shows that the result is always correct and how the
+per-node communication falls as ``b`` grows.
+
+Run:  python examples/quickstart.py
+"""
+
+import random
+
+from repro import FailureSchedule, SUM, Topology, run_algorithm1
+from repro.adversary import random_failures
+from repro.analysis import format_table
+from repro.core.correctness import correctness_interval, surviving_nodes
+from repro.graphs import grid_graph
+
+
+def main() -> None:
+    rng = random.Random(7)
+
+    # An 6x6 grid: node 0 (a corner) is the root / base station.
+    topology = grid_graph(6, 6)
+    print(f"topology: {topology}  diameter d={topology.diameter}")
+
+    # Every node holds a reading.
+    inputs = {u: rng.randint(0, 50) for u in topology.nodes()}
+    print(f"ground-truth SUM of all inputs: {sum(inputs.values())}")
+
+    # An oblivious adversary crashes nodes within an edge-failure budget.
+    f = 8
+    schedule = random_failures(
+        topology, f=f, rng=rng, first_round=1, last_round=600
+    )
+    print(
+        f"adversary: {len(schedule)} crashes, "
+        f"{schedule.edge_failures(topology)} edge failures (budget f={f})"
+    )
+
+    rows = []
+    for b in (45, 90, 180, 360):
+        out = run_algorithm1(
+            topology, inputs, f=f, b=b, schedule=schedule, rng=random.Random(b)
+        )
+        survivors = surviving_nodes(topology, schedule, out.rounds)
+        lo, hi = correctness_interval(SUM, inputs, survivors)
+        rows.append(
+            {
+                "b (flooding rounds budget)": b,
+                "result": out.result,
+                "valid interval": f"[{lo}, {hi}]",
+                "correct": lo <= out.result <= hi,
+                "CC (max bits/node)": out.stats.max_bits,
+                "TC (flooding rounds used)": out.flooding_rounds,
+                "AGG+VERI pairs": out.pairs_run,
+            }
+        )
+
+    print()
+    print(
+        format_table(
+            rows,
+            title="Algorithm 1: communication falls as the time budget grows",
+        )
+    )
+    print(
+        "\nEvery result lands in the correctness interval; larger b lets the"
+        "\nprotocol use a smaller per-interval tolerance t = floor(2f/x),"
+        "\nshrinking the bits each node must send (Theorem 1)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Sensor-network scenario: base station aggregating a field of sensors.
+
+The paper's motivating deployment: a wireless sensor network whose base
+station (root) must learn the SUM of all sensor readings while sensors die.
+We model the field as a random geometric graph, crash sensors at random
+within an edge-failure budget, and compare all four protocols:
+
+* plain TAG (tree aggregation) — fast and cheap but silently loses readings;
+* brute force — always correct, O(1) time, but O(N logN) bits per node;
+* folklore repeat — correct, O(f logN) bits, but O(f) time;
+* Algorithm 1 — correct, tunable time budget, O(f/b log^2 N + log^2 N) bits.
+
+Run:  python examples/sensor_network.py
+"""
+
+import random
+import statistics
+
+from repro.adversary import random_failures
+from repro.analysis import format_table, make_inputs, run_protocol
+from repro.graphs import random_geometric
+
+
+def main() -> None:
+    rng = random.Random(2014)
+    n, f, b, seeds = 120, 12, 60, 8
+
+    topology = random_geometric(n, rng=rng)
+    print(
+        f"sensor field: {topology} diameter d={topology.diameter}, "
+        f"root = node {topology.root} (closest to the corner base station)"
+    )
+
+    per_protocol = {"tag": [], "bruteforce": [], "folklore": [], "algorithm1": []}
+    for seed in range(seeds):
+        run_rng = random.Random(seed)
+        inputs = make_inputs(topology, run_rng, max_input=100)
+        schedule = random_failures(
+            topology, f=f, rng=run_rng, first_round=1, last_round=b * topology.diameter
+        )
+        for name in per_protocol:
+            rec = run_protocol(
+                name,
+                topology,
+                inputs,
+                schedule=schedule,
+                f=f,
+                b=b,
+                rng=random.Random(seed * 31 + 1),
+            )
+            per_protocol[name].append(rec)
+
+    rows = []
+    for name, records in per_protocol.items():
+        rows.append(
+            {
+                "protocol": name,
+                "correct": f"{sum(r.correct for r in records)}/{len(records)}",
+                "CC mean (bits/node)": round(
+                    statistics.fmean(r.cc_bits for r in records), 1
+                ),
+                "CC max": max(r.cc_bits for r in records),
+                "TC mean (flooding rounds)": round(
+                    statistics.fmean(r.flooding_rounds for r in records), 1
+                ),
+            }
+        )
+    print()
+    print(format_table(rows, title=f"N={n}, f={f}, b={b}, {seeds} seeds"))
+    print(
+        "\nTAG is cheapest but can be wrong; the three fault-tolerant"
+        "\nprotocols are always correct, and Algorithm 1 undercuts brute"
+        "\nforce's per-node bits by exploiting the time budget."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Early termination: the unknown-``f`` doubling protocol.
+
+The paper notes (Section 1) that the known-``f`` assumption can be removed
+with a doubling trick, and that the resulting protocol's overhead
+automatically scales with the number of failures that *actually* occur.
+This example crashes 0, 2, 6, and then many nodes and shows the per-node
+communication growing with actual failures — not with any a-priori bound.
+
+Run:  python examples/unknown_failures.py
+"""
+
+import random
+
+from repro.adversary import FailureSchedule, random_failures
+from repro.analysis import format_table
+from repro.core import run_unknown_f
+from repro.core.correctness import is_correct_result
+from repro.core.caaf import SUM
+from repro.graphs import grid_graph
+
+
+def main() -> None:
+    topology = grid_graph(6, 6)
+    print(f"topology: {topology} diameter d={topology.diameter}\n")
+
+    rows = []
+    for f_actual in (0, 2, 6, 14):
+        rng = random.Random(f_actual)
+        inputs = {u: rng.randint(0, 30) for u in topology.nodes()}
+        if f_actual == 0:
+            schedule = FailureSchedule()
+        else:
+            schedule = random_failures(
+                topology, f=f_actual, rng=rng, first_round=1, last_round=300
+            )
+        out = run_unknown_f(topology, inputs, schedule=schedule)
+        correct = is_correct_result(
+            out.result, SUM, topology, inputs, schedule, out.rounds
+        )
+        rows.append(
+            {
+                "actual edge failures": schedule.edge_failures(topology),
+                "result": out.result,
+                "correct": correct,
+                "accepted guess t": out.accepted_guess,
+                "pairs run": out.pairs_run,
+                "CC (bits/node)": out.stats.max_bits,
+                "rounds": out.rounds,
+            }
+        )
+
+    print(
+        format_table(
+            rows,
+            title="Unknown-f doubling: cost tracks the failures that happen",
+        )
+    )
+    print(
+        "\nNo failure bound was given to the protocol: guesses t = 1, 2, 4,"
+        "\n... run until an AGG+VERI pair is accepted, which Theorems 5 and 7"
+        "\nguarantee is safe, so the answer is always correct and the cost is"
+        "\ndominated by the first sufficient guess."
+    )
+
+
+if __name__ == "__main__":
+    main()

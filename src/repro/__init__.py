@@ -1,0 +1,65 @@
+"""repro — reproduction of "Near-Optimal Communication-Time Tradeoff in
+Fault-Tolerant Computation of Aggregate Functions" (Zhao, Yu, Chen, PODC'14).
+
+Public API highlights:
+
+* :func:`repro.core.run_algorithm1` — the paper's near-optimal SUM/CAAF
+  protocol under a TC budget of ``b`` flooding rounds.
+* :func:`repro.core.run_agg` / :func:`repro.core.run_agg_veri_pair` — the
+  AGG and VERI building blocks.
+* :func:`repro.baselines.run_bruteforce` / :func:`repro.baselines.run_folklore`
+  — the two pre-existing fault-tolerant SUM protocols.
+* :mod:`repro.lowerbound` — the Section 7 machinery (UNIONSIZECP,
+  EQUALITYCP, Sperner capacity, closed-form bound curves).
+* :mod:`repro.graphs`, :mod:`repro.adversary`, :mod:`repro.sim` — the
+  substrate: topologies, oblivious failure adversaries, and the synchronous
+  local-broadcast simulator.
+"""
+
+from . import adversary, analysis, baselines, core, extensions, graphs, lowerbound, sim
+from .adversary import FailureSchedule
+from .extensions import distributed_average, distributed_median, distributed_select
+from .core import (
+    CAAF,
+    COUNT,
+    MAX,
+    SUM,
+    is_correct_result,
+    run_agg,
+    run_agg_veri_pair,
+    run_algorithm1,
+    run_unknown_f,
+)
+from .baselines import run_bruteforce, run_folklore, run_plain_tag
+from .graphs import Topology
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CAAF",
+    "COUNT",
+    "FailureSchedule",
+    "MAX",
+    "SUM",
+    "Topology",
+    "adversary",
+    "analysis",
+    "baselines",
+    "core",
+    "distributed_average",
+    "distributed_median",
+    "distributed_select",
+    "extensions",
+    "graphs",
+    "lowerbound",
+    "is_correct_result",
+    "run_agg",
+    "run_agg_veri_pair",
+    "run_algorithm1",
+    "run_bruteforce",
+    "run_folklore",
+    "run_plain_tag",
+    "run_unknown_f",
+    "sim",
+    "__version__",
+]

@@ -1,0 +1,45 @@
+"""Oblivious crash-failure adversaries with edge-failure budgets."""
+
+from .adversaries import (
+    articulation_points,
+    blocker_failures,
+    chain_failures,
+    concentrated_failures,
+    no_failures,
+    predicted_tree,
+    random_failures,
+    spread_failures,
+    targeted_failures,
+    tree_path_to_root,
+)
+from .budget import EdgeBudget, affordable_nodes
+from .schedule import FailureSchedule, merge_schedules
+from .search import (
+    SearchResult,
+    make_algorithm1_evaluator,
+    mutate_schedule,
+    random_schedule,
+    search_worst_adversary,
+)
+
+__all__ = [
+    "SearchResult",
+    "make_algorithm1_evaluator",
+    "mutate_schedule",
+    "random_schedule",
+    "search_worst_adversary",
+    "articulation_points",
+    "targeted_failures",
+    "EdgeBudget",
+    "FailureSchedule",
+    "affordable_nodes",
+    "blocker_failures",
+    "chain_failures",
+    "concentrated_failures",
+    "merge_schedules",
+    "no_failures",
+    "predicted_tree",
+    "random_failures",
+    "spread_failures",
+    "tree_path_to_root",
+]

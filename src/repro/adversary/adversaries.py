@@ -1,0 +1,322 @@
+"""Constructive oblivious-adversary families.
+
+Worst-case complexity quantifies over *all* oblivious adversaries; to
+exercise the protocols we implement generators for the structures the
+paper's analysis identifies as decisive:
+
+* uniformly random crashes (baseline noise);
+* crashes concentrated in a single time window (the case Algorithm 1's
+  random interval selection defends against);
+* crashes spread evenly over time (the case a single AGG run with small
+  ``t`` handles);
+* *blocker* crashes that kill a node's whole neighbourhood at once — the
+  Figure 3 scenario that makes speculative flooding necessary;
+* *chain* crashes that fail a root-ward path of tree ancestors — the long
+  failure chain (LFC) structure VERI exists to detect.
+
+All generators respect the edge-failure budget ``f`` and never crash the
+root.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from ..graphs.topology import Topology
+from .budget import EdgeBudget, affordable_nodes
+from .schedule import FailureSchedule
+
+
+def no_failures() -> FailureSchedule:
+    """The failure-free schedule."""
+    return FailureSchedule()
+
+
+def random_failures(
+    topology: Topology,
+    f: int,
+    rng: random.Random,
+    first_round: int = 1,
+    last_round: int = 100,
+    respect_c: Optional[int] = None,
+    max_tries: int = 200,
+) -> FailureSchedule:
+    """Crash random affordable nodes at random rounds in a window.
+
+    Keeps adding nodes while the budget allows and candidates remain.  When
+    ``respect_c`` is given, candidate crashes that would push the remaining
+    diameter past ``respect_c * d`` are skipped (the paper assumes such
+    failures do not happen).
+    """
+    if last_round < first_round:
+        raise ValueError("empty crash window")
+    budget = EdgeBudget(topology, f)
+    schedule = FailureSchedule()
+    tries = 0
+    while tries < max_tries:
+        tries += 1
+        pool = affordable_nodes(budget)
+        if not pool:
+            break
+        node = rng.choice(pool)
+        when = rng.randint(first_round, last_round)
+        if respect_c is not None:
+            trial = FailureSchedule(dict(schedule.crash_rounds))
+            trial.add(node, when)
+            if not trial.respects_c_constraint(topology, respect_c):
+                continue
+        budget.charge(node)
+        schedule.add(node, when)
+    return schedule
+
+
+def concentrated_failures(
+    topology: Topology,
+    f: int,
+    rng: random.Random,
+    window: Tuple[int, int],
+    respect_c: Optional[int] = None,
+) -> FailureSchedule:
+    """All crashes land inside one time window.
+
+    This is the adversary that defeats a *single* AGG execution with small
+    ``t`` and motivates Algorithm 1's random choice of intervals.
+    """
+    return random_failures(
+        topology,
+        f,
+        rng,
+        first_round=window[0],
+        last_round=window[1],
+        respect_c=respect_c,
+    )
+
+
+def spread_failures(
+    topology: Topology,
+    f: int,
+    rng: random.Random,
+    horizon: int,
+    respect_c: Optional[int] = None,
+) -> FailureSchedule:
+    """Crashes spaced evenly across ``[1, horizon]``.
+
+    With failures spread across Algorithm 1's intervals, most intervals see
+    few failures — the favourable case in the Theorem 1 analysis.
+    """
+    budget = EdgeBudget(topology, f)
+    chosen: List[int] = []
+    while True:
+        pool = affordable_nodes(budget)
+        if not pool:
+            break
+        node = rng.choice(pool)
+        budget.charge(node)
+        chosen.append(node)
+    schedule = FailureSchedule()
+    for i, node in enumerate(chosen):
+        when = max(1, round((i + 1) * horizon / (len(chosen) + 1)))
+        if respect_c is not None:
+            trial = FailureSchedule(dict(schedule.crash_rounds))
+            trial.add(node, when)
+            if not trial.respects_c_constraint(topology, respect_c):
+                continue
+        schedule.add(node, when)
+    return schedule
+
+
+def targeted_failures(
+    topology: Topology,
+    f: int,
+    at_round: int,
+    strategy: str = "degree",
+) -> FailureSchedule:
+    """Crash the structurally most valuable nodes the budget affords.
+
+    Strategies:
+
+    * ``"degree"`` — highest-degree nodes first (hub attack): maximizes
+      edge failures per crashed node, stressing the ``f``-vs-crash-count
+      distinction in the model.
+    * ``"articulation"`` — articulation points first (partition attack):
+      maximizes the number of nodes separated from the root, stressing the
+      correctness definition's "disconnected counts as failed" clause.
+    * ``"deep"`` — deepest BFS-tree nodes first: stresses the aggregation
+      schedule's late slots.
+    """
+    if strategy not in ("degree", "articulation", "deep"):
+        raise ValueError(f"unknown strategy {strategy!r}")
+    budget = EdgeBudget(topology, f)
+    schedule = FailureSchedule()
+    candidates = topology.non_root_nodes()
+    if strategy == "degree":
+        candidates.sort(key=lambda u: (-topology.degree(u), u))
+    elif strategy == "deep":
+        levels = topology.levels
+        candidates.sort(key=lambda u: (-levels[u], u))
+    else:
+        arts = articulation_points(topology)
+        candidates.sort(
+            key=lambda u: (0 if u in arts else 1, -topology.degree(u), u)
+        )
+    for node in candidates:
+        if budget.can_afford(node):
+            budget.charge(node)
+            schedule.add(node, at_round)
+    return schedule
+
+
+def articulation_points(topology: Topology) -> set:
+    """Nodes whose removal disconnects the graph (iterative Tarjan)."""
+    adjacency = topology.adjacency
+    visited: Dict[int, int] = {}
+    low: Dict[int, int] = {}
+    parent: Dict[int, Optional[int]] = {}
+    points = set()
+    counter = [0]
+    for start in adjacency:
+        if start in visited:
+            continue
+        parent[start] = None
+        stack: List[Tuple[int, int]] = [(start, 0)]
+        order: List[int] = []
+        while stack:
+            node, child_index = stack.pop()
+            if child_index == 0:
+                visited[node] = low[node] = counter[0]
+                counter[0] += 1
+                order.append(node)
+            neighbours = adjacency[node]
+            advanced = False
+            for idx in range(child_index, len(neighbours)):
+                nxt = neighbours[idx]
+                if nxt not in visited:
+                    stack.append((node, idx + 1))
+                    parent[nxt] = node
+                    stack.append((nxt, 0))
+                    advanced = True
+                    break
+                elif nxt != parent[node]:
+                    low[node] = min(low[node], visited[nxt])
+            if not advanced and parent[node] is not None:
+                p = parent[node]
+                low[p] = min(low[p], low[node])
+                if low[node] >= visited[p] and parent[p] is not None:
+                    points.add(p)
+        root_children = sum(1 for u in adjacency if parent.get(u) == start)
+        if root_children > 1:
+            points.add(start)
+    return points
+
+
+def predicted_tree(topology: Topology) -> Tuple[Dict[int, int], Dict[int, List[int]]]:
+    """The aggregation tree AGG builds when construction is failure-free.
+
+    AGG breaks first-message ties by smallest sender id (our deterministic
+    realization of the paper's "arbitrary tie breaking"), so the tree is the
+    BFS tree where every node's parent is its smallest-id neighbour one
+    level closer to the root.  Returns ``(parent, children)`` maps; the root
+    has parent ``-1``.
+    """
+    levels = topology.levels
+    parent: Dict[int, int] = {topology.root: -1}
+    children: Dict[int, List[int]] = {u: [] for u in topology.nodes()}
+    for node in topology.nodes():
+        if node == topology.root:
+            continue
+        lvl = levels[node]
+        ups = [v for v in topology.neighbours(node) if levels.get(v) == lvl - 1]
+        best = min(ups)
+        parent[node] = best
+        children[best].append(node)
+    return parent, children
+
+
+def tree_path_to_root(parent: Dict[int, int], node: int) -> List[int]:
+    """The tree path ``node, parent(node), ..., root``."""
+    path = [node]
+    while parent[path[-1]] != -1:
+        path.append(parent[path[-1]])
+    return path
+
+
+def blocker_failures(
+    topology: Topology,
+    f: int,
+    victim: int,
+    at_round: int,
+) -> FailureSchedule:
+    """Crash ``victim`` and as much of its neighbourhood as the budget allows.
+
+    This reproduces the Figure 3 scenario: a node's partial sum is blocked
+    and even its own flooding dies because its entire neighbourhood fails
+    with it, forcing descendants to flood speculatively.
+    """
+    if victim == topology.root:
+        raise ValueError("the victim may not be the root")
+    budget = EdgeBudget(topology, f)
+    schedule = FailureSchedule()
+    if not budget.can_afford(victim):
+        raise ValueError(
+            f"victim {victim} alone costs {budget.cost_of(victim)} edge "
+            f"failures; budget is {f}"
+        )
+    budget.charge(victim)
+    schedule.add(victim, at_round)
+    for neighbour in topology.neighbours(victim):
+        if neighbour == topology.root or neighbour in budget.failed:
+            continue
+        if budget.can_afford(neighbour):
+            budget.charge(neighbour)
+            schedule.add(neighbour, at_round)
+    return schedule
+
+
+def chain_failures(
+    topology: Topology,
+    chain_length: int,
+    at_round: int,
+    f: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+) -> Optional[FailureSchedule]:
+    """Crash a root-ward tree path of ``chain_length`` nodes at ``at_round``.
+
+    Built against :func:`predicted_tree`, so it realizes a long failure
+    chain (LFC) for AGG/VERI executions whose tree construction finishes
+    before ``at_round``: the chain's tail keeps at least one live local
+    descendant (the deep node the chain hangs under stays alive).
+
+    Returns None when the topology has no tree path deep enough, or when the
+    chain would exceed the ``f`` edge budget.
+    """
+    if chain_length < 1:
+        raise ValueError("chain_length must be >= 1")
+    rng = rng or random.Random(0)
+    parent, _children = predicted_tree(topology)
+    # A survivor node whose ancestor chain (excluding itself and the root)
+    # is long enough to crash wholesale.
+    candidates = []
+    for node in topology.non_root_nodes():
+        path = tree_path_to_root(parent, node)
+        # path = [node, a1, a2, ..., root]; we crash a1..a_chain_length.
+        if len(path) >= chain_length + 2:
+            candidates.append(node)
+    if not candidates:
+        return None
+    rng.shuffle(candidates)
+    for survivor in candidates:
+        path = tree_path_to_root(parent, survivor)
+        chain = path[1 : 1 + chain_length]
+        if f is not None:
+            budget = EdgeBudget(topology, f)
+            try:
+                for node in chain:
+                    budget.charge(node)
+            except ValueError:
+                continue
+        schedule = FailureSchedule()
+        for node in chain:
+            schedule.add(node, at_round)
+        return schedule
+    return None

@@ -1,0 +1,69 @@
+"""Edge-failure budget accounting.
+
+The paper bounds failures by ``f``, the number of edges incident to failed
+nodes.  Crashing a node "costs" the edges it touches that are not already
+failed; this module provides the greedy budget tracker adversary generators
+use to stay within ``f``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Set
+
+from ..graphs.topology import Topology
+
+
+class EdgeBudget:
+    """Tracks how many edge failures a growing set of crashed nodes costs."""
+
+    def __init__(self, topology: Topology, f: int) -> None:
+        if f < 0:
+            raise ValueError(f"budget must be non-negative, got {f}")
+        self.topology = topology
+        self.f = f
+        self.failed: Set[int] = set()
+        self.used = 0
+
+    def cost_of(self, node: int) -> int:
+        """Marginal edge failures from additionally crashing ``node``."""
+        if node in self.failed:
+            return 0
+        return sum(
+            1 for v in self.topology.neighbours(node) if v not in self.failed
+        )
+
+    def can_afford(self, node: int) -> bool:
+        """Whether crashing ``node`` stays within the budget."""
+        return self.used + self.cost_of(node) <= self.f
+
+    def charge(self, node: int) -> int:
+        """Crash ``node``; returns the marginal cost.  Raises if over budget."""
+        if node == self.topology.root:
+            raise ValueError("the root node may not fail")
+        cost = self.cost_of(node)
+        if self.used + cost > self.f:
+            raise ValueError(
+                f"crashing node {node} costs {cost} edges; "
+                f"only {self.f - self.used} of {self.f} remain"
+            )
+        self.failed.add(node)
+        self.used += cost
+        return cost
+
+    @property
+    def remaining(self) -> int:
+        """Edge failures still affordable."""
+        return self.f - self.used
+
+
+def affordable_nodes(
+    budget: EdgeBudget, candidates: Optional[Iterable[int]] = None
+) -> List[int]:
+    """Candidates (default: all non-root nodes) the budget can still afford."""
+    topo = budget.topology
+    pool = candidates if candidates is not None else topo.non_root_nodes()
+    return [
+        u
+        for u in pool
+        if u not in budget.failed and u != topo.root and budget.can_afford(u)
+    ]

@@ -1,0 +1,158 @@
+"""Empirical worst-case adversary search.
+
+The paper's CC is defined against the *worst-case* oblivious adversary.
+Closed-form worst cases are not computable, so this module estimates them:
+random restarts plus greedy hill-climbing over failure schedules, keeping
+whatever maximizes the protocol's measured bottleneck bits (or rounds).
+
+It doubles as a falsification harness: every candidate run also checks
+result correctness, so a search that ever surfaces an incorrect result has
+found a protocol bug (the zero-error claim says it cannot).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core.caaf import SUM
+from ..core.correctness import is_correct_result
+from ..graphs.topology import Topology
+from .budget import EdgeBudget, affordable_nodes
+from .schedule import FailureSchedule
+
+
+@dataclass
+class SearchResult:
+    """The worst schedule found and its measured cost."""
+
+    schedule: FailureSchedule
+    cc_bits: int
+    rounds: int
+    trials: int
+    incorrect_runs: int
+
+
+Evaluator = Callable[[FailureSchedule, random.Random], Tuple[int, int, bool]]
+"""Maps (schedule, rng) -> (cc_bits, rounds, correct)."""
+
+
+def make_algorithm1_evaluator(
+    topology: Topology,
+    inputs: Dict[int, int],
+    f: int,
+    b: int,
+    c: int = 2,
+) -> Evaluator:
+    """Standard evaluator: run Algorithm 1 and grade it."""
+    from ..core.algorithm1 import run_algorithm1
+
+    def evaluate(schedule: FailureSchedule, rng: random.Random):
+        out = run_algorithm1(
+            topology, inputs, f=f, b=b, schedule=schedule, c=c, rng=rng
+        )
+        correct = is_correct_result(
+            out.result, SUM, topology, inputs, schedule, out.rounds
+        )
+        return out.stats.max_bits, out.rounds, correct
+
+    return evaluate
+
+
+def random_schedule(
+    topology: Topology, f: int, horizon: int, rng: random.Random
+) -> FailureSchedule:
+    """A fresh random budgeted schedule (possibly empty)."""
+    budget = EdgeBudget(topology, f)
+    schedule = FailureSchedule()
+    pool = affordable_nodes(budget)
+    target = rng.randint(0, max(0, len(pool)))
+    while len(schedule) < target:
+        pool = affordable_nodes(budget)
+        if not pool:
+            break
+        node = rng.choice(pool)
+        budget.charge(node)
+        schedule.add(node, rng.randint(1, horizon))
+    return schedule
+
+
+def mutate_schedule(
+    topology: Topology,
+    schedule: FailureSchedule,
+    f: int,
+    horizon: int,
+    rng: random.Random,
+) -> FailureSchedule:
+    """One local move: retime a crash, drop one, or add one within budget."""
+    crash_rounds = dict(schedule.crash_rounds)
+    move = rng.random()
+    if crash_rounds and move < 0.4:
+        node = rng.choice(sorted(crash_rounds))
+        crash_rounds[node] = rng.randint(1, horizon)
+    elif crash_rounds and move < 0.6:
+        node = rng.choice(sorted(crash_rounds))
+        del crash_rounds[node]
+    else:
+        budget = EdgeBudget(topology, f)
+        for node in crash_rounds:
+            budget.charge(node)
+        pool = affordable_nodes(budget)
+        if pool:
+            crash_rounds[rng.choice(pool)] = rng.randint(1, horizon)
+    return FailureSchedule(crash_rounds)
+
+
+def search_worst_adversary(
+    evaluator: Evaluator,
+    topology: Topology,
+    f: int,
+    horizon: int,
+    rng: Optional[random.Random] = None,
+    restarts: int = 4,
+    steps_per_restart: int = 8,
+    objective: str = "cc",
+) -> SearchResult:
+    """Random-restart hill climbing toward the costliest schedule.
+
+    ``objective`` is ``"cc"`` (bottleneck bits) or ``"rounds"``.  Every
+    evaluation also verifies zero-error correctness; violations are
+    counted in ``incorrect_runs`` (and should always be zero).
+    """
+    if objective not in ("cc", "rounds"):
+        raise ValueError("objective must be 'cc' or 'rounds'")
+    rng = rng or random.Random()
+    best_schedule = FailureSchedule()
+    best_cc, best_rounds = evaluator(best_schedule, random.Random(rng.random()))[:2]
+    best_score = best_cc if objective == "cc" else best_rounds
+    trials, incorrect = 1, 0
+
+    for _ in range(restarts):
+        current = random_schedule(topology, f, horizon, rng)
+        cc, rounds, correct = evaluator(current, random.Random(rng.random()))
+        trials += 1
+        incorrect += not correct
+        score = cc if objective == "cc" else rounds
+        for _ in range(steps_per_restart):
+            candidate = mutate_schedule(topology, current, f, horizon, rng)
+            c_cc, c_rounds, c_ok = evaluator(
+                candidate, random.Random(rng.random())
+            )
+            trials += 1
+            incorrect += not c_ok
+            c_score = c_cc if objective == "cc" else c_rounds
+            if c_score >= score:
+                current, score = candidate, c_score
+                cc, rounds = c_cc, c_rounds
+        if score > best_score:
+            best_schedule, best_score = current, score
+            best_cc, best_rounds = cc, rounds
+
+    return SearchResult(
+        schedule=best_schedule,
+        cc_bits=best_cc,
+        rounds=best_rounds,
+        trials=trials,
+        incorrect_runs=incorrect,
+    )

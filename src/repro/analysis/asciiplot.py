@@ -1,0 +1,103 @@
+"""Terminal rendering of Figure-1-style curves.
+
+No plotting dependency is available offline, so the figure regeneration
+renders curves as ASCII: multiple named series over a shared x grid, with
+optional log-scaled y axis (the natural scale for CC curves spanning
+orders of magnitude).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+#: Glyphs assigned to series in order.
+GLYPHS = "*o+x#@%&"
+
+
+def _scale(value: float, lo: float, hi: float, height: int, log: bool) -> int:
+    if log:
+        value = math.log10(max(value, 1e-12))
+        lo = math.log10(max(lo, 1e-12))
+        hi = math.log10(max(hi, 1e-12))
+    if hi == lo:
+        return 0
+    frac = (value - lo) / (hi - lo)
+    return int(round(frac * (height - 1)))
+
+
+def plot_series(
+    xs: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    width: int = 72,
+    height: int = 20,
+    log_y: bool = True,
+    title: Optional[str] = None,
+    x_label: str = "b",
+    y_label: str = "CC (bits)",
+) -> str:
+    """Render named series as an ASCII chart with a legend.
+
+    Values <= 0 are skipped on a log axis (they have no finite position).
+    """
+    if not xs or not series:
+        raise ValueError("need at least one x and one series")
+    all_values = [
+        v
+        for values in series.values()
+        for v in values
+        if not log_y or v > 0
+    ]
+    if not all_values:
+        raise ValueError("no plottable values")
+    lo, hi = min(all_values), max(all_values)
+
+    grid = [[" "] * width for _ in range(height)]
+    x_lo, x_hi = min(xs), max(xs)
+
+    def col_of(x: float) -> int:
+        if x_hi == x_lo:
+            return 0
+        return int(round((x - x_lo) / (x_hi - x_lo) * (width - 1)))
+
+    legend = []
+    for idx, (name, values) in enumerate(series.items()):
+        glyph = GLYPHS[idx % len(GLYPHS)]
+        legend.append(f"{glyph} {name}")
+        for x, y in zip(xs, values):
+            if log_y and y <= 0:
+                continue
+            row = _scale(y, lo, hi, height, log_y)
+            grid[height - 1 - row][col_of(x)] = glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    axis_hi = f"{hi:,.0f}" if hi >= 10 else f"{hi:.2f}"
+    axis_lo = f"{lo:,.0f}" if lo >= 10 else f"{lo:.2f}"
+    scale_note = "log" if log_y else "linear"
+    lines.append(f"{y_label} [{axis_lo} .. {axis_hi}] ({scale_note} scale)")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(
+        f" {x_label}: {x_lo} .. {x_hi}    " + "   ".join(legend)
+    )
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float], width: int = 40) -> str:
+    """A one-line trend glyph string (8-level blocks) for quick tables."""
+    blocks = " ▁▂▃▄▅▆▇█"
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    if len(values) > width:
+        # Downsample by striding.
+        stride = len(values) / width
+        values = [values[int(i * stride)] for i in range(width)]
+    out = []
+    for v in values:
+        level = 0 if hi == lo else int((v - lo) / (hi - lo) * 8)
+        out.append(blocks[min(level, 8)])
+    return "".join(out)

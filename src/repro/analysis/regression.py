@@ -1,0 +1,127 @@
+"""Performance-regression baselines for the benchmark harness.
+
+Reproductions decay silently: a refactor that doubles AGG's bit cost
+keeps every correctness test green.  This module pins measured costs to a
+JSON baseline and flags drift:
+
+* :func:`capture_baseline` — run the compact metric suite and write it;
+* :func:`compare_to_baseline` — re-run and report per-metric ratios,
+  flagging anything outside the tolerance band.
+
+The metrics are deterministic (fixed seeds), so the comparison is exact
+on one machine and meaningful across machines (bit counts and round
+counts do not depend on hardware).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..adversary import random_failures
+from ..core import run_agg, run_agg_veri_pair, run_algorithm1
+from ..graphs import grid_graph
+
+
+def _metric_suite() -> Dict[str, Callable[[], float]]:
+    """Named deterministic cost probes (bits / rounds)."""
+
+    def agg_cc_failure_free() -> float:
+        topo = grid_graph(5, 5)
+        return float(
+            run_agg(topo, {u: 1 for u in topo.nodes()}, t=2).stats.max_bits
+        )
+
+    def agg_cc_with_failures() -> float:
+        topo = grid_graph(5, 5)
+        schedule = random_failures(
+            topo, 6, random.Random(7), last_round=200
+        )
+        return float(
+            run_agg(
+                topo, {u: 1 for u in topo.nodes()}, t=6, schedule=schedule
+            ).stats.max_bits
+        )
+
+    def pair_veri_cc() -> float:
+        topo = grid_graph(5, 5)
+        pair = run_agg_veri_pair(topo, {u: 1 for u in topo.nodes()}, t=3)
+        return float(pair.veri_stats.max_bits)
+
+    def algorithm1_cc() -> float:
+        topo = grid_graph(5, 5)
+        out = run_algorithm1(
+            topo, {u: 1 for u in topo.nodes()}, f=4, b=84,
+            rng=random.Random(3),
+        )
+        return float(out.stats.max_bits)
+
+    def algorithm1_rounds() -> float:
+        topo = grid_graph(5, 5)
+        out = run_algorithm1(
+            topo, {u: 1 for u in topo.nodes()}, f=4, b=84,
+            rng=random.Random(3),
+        )
+        return float(out.rounds)
+
+    return {
+        "agg_cc_failure_free": agg_cc_failure_free,
+        "agg_cc_with_failures": agg_cc_with_failures,
+        "pair_veri_cc": pair_veri_cc,
+        "algorithm1_cc": algorithm1_cc,
+        "algorithm1_rounds": algorithm1_rounds,
+    }
+
+
+def measure_metrics() -> Dict[str, float]:
+    """Run every probe; returns name -> measured value."""
+    return {name: fn() for name, fn in _metric_suite().items()}
+
+
+def capture_baseline(path: str) -> Dict[str, float]:
+    """Measure and persist the baseline JSON; returns the metrics."""
+    metrics = measure_metrics()
+    with open(path, "w") as fh:
+        json.dump(metrics, fh, indent=2, sort_keys=True)
+    return metrics
+
+
+@dataclass(frozen=True)
+class Drift:
+    """One metric's deviation from its baseline."""
+
+    metric: str
+    baseline: float
+    measured: float
+
+    @property
+    def ratio(self) -> float:
+        if self.baseline == 0:
+            return float("inf") if self.measured else 1.0
+        return self.measured / self.baseline
+
+    def within(self, tolerance: float) -> bool:
+        """Whether the ratio stays inside ``[1/(1+tol), 1+tol]``."""
+        return 1 / (1 + tolerance) <= self.ratio <= 1 + tolerance
+
+
+def compare_to_baseline(
+    path: str, tolerance: float = 0.05
+) -> List[Drift]:
+    """Re-measure and return the metrics drifting beyond ``tolerance``.
+
+    Unknown metrics in the baseline are ignored; metrics missing from the
+    baseline are reported with baseline 0 (always flagged), so adding a
+    probe forces a baseline refresh.
+    """
+    with open(path) as fh:
+        baseline = json.load(fh)
+    measured = measure_metrics()
+    drifts = []
+    for metric, value in measured.items():
+        drift = Drift(metric, float(baseline.get(metric, 0.0)), value)
+        if not drift.within(tolerance):
+            drifts.append(drift)
+    return drifts

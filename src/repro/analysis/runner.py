@@ -1,0 +1,184 @@
+"""Uniform experiment runner over all protocols in the library.
+
+One call = one protocol execution on one (topology, inputs, schedule) tuple,
+returning a flat :class:`RunRecord` with the paper's two costs (CC in bits
+at the bottleneck node, TC in rounds/flooding rounds) plus correctness per
+the Section 2 oracle.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import asdict, dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from ..adversary.schedule import FailureSchedule
+from ..baselines.bruteforce import run_bruteforce
+from ..baselines.folklore import run_folklore, run_plain_tag
+from ..core.caaf import CAAF, SUM
+from ..core.correctness import is_correct_result
+from ..core.unknown_f import run_unknown_f
+from ..core.algorithm1 import run_algorithm1
+from ..core.veri import run_agg_veri_pair
+from ..graphs.topology import Topology
+
+
+@dataclass
+class RunRecord:
+    """Flat result row for tables and benches."""
+
+    protocol: str
+    topology: str
+    n_nodes: int
+    diameter: int
+    f_budget: Optional[int]
+    f_actual: int
+    result: Optional[int]
+    correct: bool
+    cc_bits: int
+    rounds: int
+    flooding_rounds: int
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        row = asdict(self)
+        row.update(row.pop("extra"))
+        return row
+
+
+def make_inputs(
+    topology: Topology, rng: random.Random, max_input: Optional[int] = None
+) -> Dict[int, int]:
+    """Random node inputs in ``[0, max_input]`` (default ``N``, polynomial
+    domain per the model)."""
+    hi = topology.n_nodes if max_input is None else max_input
+    return {u: rng.randint(0, hi) for u in topology.nodes()}
+
+
+def run_protocol(
+    protocol: str,
+    topology: Topology,
+    inputs: Dict[int, int],
+    schedule: Optional[FailureSchedule] = None,
+    f: Optional[int] = None,
+    b: Optional[int] = None,
+    t: Optional[int] = None,
+    c: int = 2,
+    caaf: CAAF = SUM,
+    rng: Optional[random.Random] = None,
+    strict: bool = False,
+) -> RunRecord:
+    """Run one named protocol and grade its output.
+
+    Protocols: ``algorithm1`` (needs ``f`` and ``b``), ``bruteforce``,
+    ``folklore`` (needs ``f``), ``tag``, ``unknown_f``, ``agg_veri``
+    (needs ``t``; grades the pair's result only when accepted).
+
+    With ``strict=True`` the configuration is checked against every
+    Section 2 model assumption first (see :mod:`repro.sim.validation`) and
+    a ValueError with full diagnostics is raised on any violation.
+    """
+    schedule = schedule or FailureSchedule()
+    rng = rng or random.Random()
+    extra: Dict[str, Any] = {}
+    if strict:
+        from ..sim.validation import assert_model
+
+        assert_model(
+            topology,
+            inputs=inputs,
+            schedule=schedule,
+            f=f,
+            b=b if protocol == "algorithm1" else None,
+            c=c,
+        )
+
+    if protocol == "algorithm1":
+        if f is None or b is None:
+            raise ValueError("algorithm1 needs f and b")
+        out = run_algorithm1(
+            topology, inputs, f=f, b=b, schedule=schedule, c=c, caaf=caaf, rng=rng
+        )
+        result, stats, rounds = out.result, out.stats, out.rounds
+        extra = {
+            "pairs_run": out.pairs_run,
+            "used_bruteforce": out.used_bruteforce,
+            "winning_interval": out.winning_interval,
+            "x_intervals": out.plan.x,
+            "t": out.plan.t,
+        }
+    elif protocol == "bruteforce":
+        out = run_bruteforce(topology, inputs, schedule=schedule, c=c, caaf=caaf)
+        result, stats, rounds = out.result, out.stats, out.rounds
+    elif protocol == "folklore":
+        if f is None:
+            raise ValueError("folklore needs f")
+        out = run_folklore(topology, inputs, f=f, schedule=schedule, c=c, caaf=caaf)
+        result, stats, rounds = out.result, out.stats, out.rounds
+    elif protocol == "tag":
+        out = run_plain_tag(topology, inputs, schedule=schedule, c=c, caaf=caaf)
+        result, stats, rounds = out.result, out.stats, out.rounds
+    elif protocol == "unknown_f":
+        out = run_unknown_f(topology, inputs, schedule=schedule, c=c, caaf=caaf)
+        result, stats, rounds = out.result, out.stats, out.rounds
+        extra = {
+            "pairs_run": out.pairs_run,
+            "accepted_guess": out.accepted_guess,
+            "used_bruteforce": out.used_bruteforce,
+        }
+    elif protocol == "agg_veri":
+        if t is None:
+            raise ValueError("agg_veri needs t")
+        pair = run_agg_veri_pair(
+            topology, inputs, t=t, schedule=schedule, c=c, caaf=caaf
+        )
+        result = pair.agg_result if pair.accepted else None
+        stats = pair.agg_stats
+        rounds = pair.agg_stats.rounds_executed + pair.veri_stats.rounds_executed
+        cc = max(
+            (
+                pair.agg_stats.bits_of(u) + pair.veri_stats.bits_of(u)
+                for u in topology.nodes()
+            ),
+            default=0,
+        )
+        extra = {
+            "agg_aborted": pair.agg_aborted,
+            "veri_output": pair.veri_output,
+            "accepted": pair.accepted,
+        }
+        correct = is_correct_result(
+            result, caaf, topology, inputs, schedule, rounds
+        )
+        return RunRecord(
+            protocol=protocol,
+            topology=topology.name,
+            n_nodes=topology.n_nodes,
+            diameter=topology.diameter,
+            f_budget=f,
+            f_actual=schedule.edge_failures(topology),
+            result=result,
+            correct=correct,
+            cc_bits=cc,
+            rounds=rounds,
+            flooding_rounds=-(-rounds // topology.diameter),
+            extra=extra,
+        )
+    else:
+        raise ValueError(f"unknown protocol {protocol!r}")
+
+    correct = is_correct_result(result, caaf, topology, inputs, schedule, rounds)
+    return RunRecord(
+        protocol=protocol,
+        topology=topology.name,
+        n_nodes=topology.n_nodes,
+        diameter=topology.diameter,
+        f_budget=f,
+        f_actual=schedule.edge_failures(topology),
+        result=result,
+        correct=correct,
+        cc_bits=stats.max_bits,
+        rounds=rounds,
+        flooding_rounds=-(-rounds // topology.diameter),
+        extra=extra,
+    )

@@ -1,0 +1,181 @@
+"""Parameter sweeps with seed averaging.
+
+The paper defines CC over *average-case coin flips* but worst-case inputs
+and adversary.  Experimentally we approximate by averaging the bottleneck
+bits over seeds (coins and adversary samples) and also reporting the max.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+from ..adversary.adversaries import no_failures, random_failures
+from ..adversary.schedule import FailureSchedule
+from ..core.caaf import CAAF, SUM
+from ..graphs.topology import Topology
+from .runner import RunRecord, make_inputs, run_protocol
+
+
+@dataclass
+class SweepPoint:
+    """Aggregated statistics at one sweep coordinate."""
+
+    coords: Dict[str, Any]
+    runs: int
+    cc_mean: float
+    cc_max: int
+    rounds_mean: float
+    flooding_rounds_mean: float
+    correct_rate: float
+    records: List[RunRecord] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, Any]:
+        row = dict(self.coords)
+        row.update(
+            runs=self.runs,
+            cc_mean=round(self.cc_mean, 1),
+            cc_max=self.cc_max,
+            rounds_mean=round(self.rounds_mean, 1),
+            flooding_rounds_mean=round(self.flooding_rounds_mean, 2),
+            correct_rate=self.correct_rate,
+        )
+        return row
+
+
+def aggregate(coords: Dict[str, Any], records: Sequence[RunRecord]) -> SweepPoint:
+    """Collapse per-seed records into one :class:`SweepPoint`."""
+    if not records:
+        raise ValueError("no records to aggregate")
+    return SweepPoint(
+        coords=dict(coords),
+        runs=len(records),
+        cc_mean=statistics.fmean(r.cc_bits for r in records),
+        cc_max=max(r.cc_bits for r in records),
+        rounds_mean=statistics.fmean(r.rounds for r in records),
+        flooding_rounds_mean=statistics.fmean(
+            r.flooding_rounds for r in records
+        ),
+        correct_rate=sum(1 for r in records if r.correct) / len(records),
+        records=list(records),
+    )
+
+
+ScheduleFactory = Callable[[Topology, random.Random], FailureSchedule]
+
+
+def random_schedule_factory(
+    f: int, horizon: int, respect_c: Optional[int] = None
+) -> ScheduleFactory:
+    """A factory producing fresh random budgeted schedules per seed."""
+
+    def factory(topology: Topology, rng: random.Random) -> FailureSchedule:
+        if f <= 0:
+            return no_failures()
+        return random_failures(
+            topology, f, rng, first_round=1, last_round=horizon, respect_c=respect_c
+        )
+
+    return factory
+
+
+def run_point(
+    protocol: str,
+    topology: Topology,
+    seeds: Iterable[int],
+    schedule_factory: Optional[ScheduleFactory] = None,
+    f: Optional[int] = None,
+    b: Optional[int] = None,
+    t: Optional[int] = None,
+    c: int = 2,
+    caaf: CAAF = SUM,
+    coords: Optional[Dict[str, Any]] = None,
+) -> SweepPoint:
+    """Run one sweep coordinate across seeds and aggregate."""
+    records = []
+    for seed in seeds:
+        rng = random.Random(seed)
+        inputs = make_inputs(topology, rng)
+        schedule = (
+            schedule_factory(topology, rng)
+            if schedule_factory
+            else FailureSchedule()
+        )
+        records.append(
+            run_protocol(
+                protocol,
+                topology,
+                inputs,
+                schedule=schedule,
+                f=f,
+                b=b,
+                t=t,
+                c=c,
+                caaf=caaf,
+                rng=rng,
+            )
+        )
+    base = {"protocol": protocol, "topology": topology.name}
+    base.update(coords or {})
+    return aggregate(base, records)
+
+
+def sweep_b(
+    topology: Topology,
+    f: int,
+    bs: Sequence[int],
+    seeds: Iterable[int],
+    horizon_factor: int = 1,
+    c: int = 2,
+) -> List[SweepPoint]:
+    """Measured CC of Algorithm 1 across a TC-budget grid (Figure 1's x-axis).
+
+    The adversary re-samples random failures inside each run's full time
+    horizon so longer budgets face proportionally spread failures.
+    """
+    points = []
+    seeds = list(seeds)
+    for b in bs:
+        factory = random_schedule_factory(f, horizon=b * topology.diameter)
+        points.append(
+            run_point(
+                "algorithm1",
+                topology,
+                seeds,
+                schedule_factory=factory,
+                f=f,
+                b=b,
+                c=c,
+                coords={"b": b, "f": f, "n": topology.n_nodes},
+            )
+        )
+    return points
+
+
+def sweep_f(
+    topology: Topology,
+    fs: Sequence[int],
+    b: int,
+    seeds: Iterable[int],
+    c: int = 2,
+) -> List[SweepPoint]:
+    """Measured CC of Algorithm 1 across a failure-budget grid."""
+    points = []
+    seeds = list(seeds)
+    for f in fs:
+        factory = random_schedule_factory(f, horizon=b * topology.diameter)
+        points.append(
+            run_point(
+                "algorithm1",
+                topology,
+                seeds,
+                schedule_factory=factory,
+                f=f,
+                b=b,
+                c=c,
+                coords={"b": b, "f": f, "n": topology.n_nodes},
+            )
+        )
+    return points

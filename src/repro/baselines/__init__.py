@@ -1,0 +1,17 @@
+"""The paper's pre-existing SUM protocols, used as baselines."""
+
+from .bruteforce import BaselineOutcome, BruteForceNode, run_bruteforce
+from .folklore import TreeEpochNode, run_folklore, run_plain_tag
+from .gossip import GossipOutcome, PushSumNode, run_gossip
+
+__all__ = [
+    "BaselineOutcome",
+    "BruteForceNode",
+    "GossipOutcome",
+    "PushSumNode",
+    "TreeEpochNode",
+    "run_bruteforce",
+    "run_folklore",
+    "run_gossip",
+    "run_plain_tag",
+]

@@ -1,0 +1,400 @@
+"""Command-line interface for the reproduction harness.
+
+Usage (installed as ``repro-agg`` or via ``python -m repro.cli``)::
+
+    repro-agg run       --topology grid:6x6 --protocol algorithm1 -f 8 -b 90
+    repro-agg sweep-b   --topology grid:6x6 -f 10 --bs 42,84,168 --seeds 3
+    repro-agg figure1   -n 1024 -f 128 --bs 42,84,168,336 [--plot]
+    repro-agg select    --topology grid:5x5 -f 4 -b 45 -k 7
+    repro-agg topology  --topology geometric:100 --out field.json
+
+Every subcommand prints the same ASCII tables the benchmarks save.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import List, Optional
+
+from . import graphs
+from .adversary import no_failures, random_failures
+from .analysis import (
+    figure1_data,
+    format_series,
+    format_table,
+    make_inputs,
+    run_protocol,
+    sweep_b,
+)
+from .analysis.asciiplot import plot_series
+from .extensions.quantiles import distributed_select
+from .graphs import io as graph_io
+
+
+def parse_topology(spec: str, seed: int = 0) -> graphs.Topology:
+    """Parse ``kind[:args]`` specs like ``grid:6x6``, ``geometric:100``,
+    ``path:20``, ``gnp:50``, ``file:/path/to.json``."""
+    kind, _, arg = spec.partition(":")
+    rng = random.Random(seed)
+    if kind == "grid":
+        rows, _, cols = arg.partition("x")
+        return graphs.grid_graph(int(rows), int(cols or rows))
+    if kind == "path":
+        return graphs.path_graph(int(arg))
+    if kind == "cycle":
+        return graphs.cycle_graph(int(arg))
+    if kind == "star":
+        return graphs.star_graph(int(arg))
+    if kind == "tree":
+        branching, _, n = arg.partition(",")
+        return graphs.balanced_tree(int(branching), int(n))
+    if kind == "geometric":
+        return graphs.random_geometric(int(arg), rng=rng)
+    if kind == "gnp":
+        return graphs.gnp_connected(int(arg), rng=rng)
+    if kind == "clustered":
+        clusters, _, size = arg.partition("x")
+        return graphs.clustered_graph(int(clusters), int(size))
+    if kind == "file":
+        return graph_io.load(arg)
+    raise SystemExit(f"unknown topology spec {spec!r}")
+
+
+def _ints(text: str) -> List[int]:
+    return [int(v) for v in text.split(",") if v]
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    topology = parse_topology(args.topology, args.seed)
+    rng = random.Random(args.seed)
+    inputs = make_inputs(topology, rng, max_input=args.max_input)
+    if args.failures > 0:
+        schedule = random_failures(
+            topology,
+            args.failures,
+            rng,
+            first_round=1,
+            last_round=max(2, (args.budget or 42) * topology.diameter),
+        )
+    else:
+        schedule = no_failures()
+    record = run_protocol(
+        args.protocol,
+        topology,
+        inputs,
+        schedule=schedule,
+        f=args.failures or None,
+        b=args.budget,
+        t=args.tolerance,
+        rng=rng,
+    )
+    print(format_table([record.as_dict()], title=f"{args.protocol} on {topology}"))
+    return 0 if record.correct else 1
+
+
+def cmd_sweep_b(args: argparse.Namespace) -> int:
+    topology = parse_topology(args.topology, args.seed)
+    points = sweep_b(
+        topology, f=args.failures, bs=_ints(args.bs), seeds=range(args.seeds)
+    )
+    print(
+        format_table(
+            [p.as_dict() for p in points],
+            title=f"Algorithm 1 CC vs b on {topology.name} (f={args.failures})",
+        )
+    )
+    return 0
+
+
+def cmd_figure1(args: argparse.Namespace) -> int:
+    data = figure1_data(args.n, args.failures, _ints(args.bs))
+    series = {
+        name: [round(v, 2) for v in values]
+        for name, values in data.curves.items()
+        if name in ("upper_bound_new", "lower_bound_new", "lower_bound_old",
+                    "bruteforce", "folklore")
+    }
+    print(
+        format_series(
+            data.bs,
+            series,
+            x_label="b",
+            title=f"Figure 1 curves: N={args.n}, f={args.failures}",
+        )
+    )
+    if args.plot:
+        print()
+        print(
+            plot_series(
+                data.bs,
+                series,
+                title="Figure 1 (log-scale CC vs b)",
+            )
+        )
+    return 0
+
+
+def cmd_select(args: argparse.Namespace) -> int:
+    topology = parse_topology(args.topology, args.seed)
+    rng = random.Random(args.seed)
+    inputs = make_inputs(topology, rng, max_input=args.max_input)
+    outcome = distributed_select(
+        topology, inputs, k=args.k, f=args.failures, b=args.budget, rng=rng
+    )
+    expected = sorted(inputs.values())[args.k - 1]
+    print(
+        format_table(
+            [
+                {
+                    "k": args.k,
+                    "selected value": outcome.value,
+                    "expected (failure-free)": expected,
+                    "COUNT probes": outcome.probe_count,
+                    "total rounds": outcome.total_rounds,
+                    "CC (bits/node)": outcome.cc_bits,
+                }
+            ],
+            title=f"distributed selection on {topology.name}",
+        )
+    )
+    return 0
+
+
+def cmd_worst_case(args: argparse.Namespace) -> int:
+    from .adversary.search import (
+        make_algorithm1_evaluator,
+        search_worst_adversary,
+    )
+
+    topology = parse_topology(args.topology, args.seed)
+    rng = random.Random(args.seed)
+    inputs = make_inputs(topology, rng, max_input=args.max_input)
+    evaluator = make_algorithm1_evaluator(
+        topology, inputs, f=args.failures, b=args.budget
+    )
+    result = search_worst_adversary(
+        evaluator,
+        topology,
+        f=args.failures,
+        horizon=args.budget * topology.diameter,
+        rng=rng,
+        restarts=args.restarts,
+        steps_per_restart=args.steps,
+    )
+    print(
+        format_table(
+            [
+                {
+                    "worst CC (bits/node)": result.cc_bits,
+                    "rounds": result.rounds,
+                    "crashes": len(result.schedule),
+                    "protocol runs": result.trials,
+                    "incorrect results": result.incorrect_runs,
+                }
+            ],
+            title=f"worst-case search on {topology.name} (f={args.failures}, b={args.budget})",
+        )
+    )
+    if result.schedule.crash_rounds:
+        print("schedule:", sorted(result.schedule.crash_rounds.items()))
+    return 0 if result.incorrect_runs == 0 else 1
+
+
+def cmd_monitor(args: argparse.Namespace) -> int:
+    from .adversary import random_failures
+    from .extensions.monitoring import drifting_inputs, run_monitoring
+
+    topology = parse_topology(args.topology, args.seed)
+    rng = random.Random(args.seed)
+    base = make_inputs(topology, rng, max_input=args.max_input)
+    horizon = args.epochs * args.budget * topology.diameter
+    schedule = (
+        random_failures(topology, args.failures, rng, last_round=horizon)
+        if args.failures
+        else no_failures()
+    )
+    outcome = run_monitoring(
+        topology,
+        drifting_inputs(base, rng),
+        epochs=args.epochs,
+        f=max(1, args.failures),
+        b=args.budget,
+        schedule=schedule,
+        rng=rng,
+    )
+    rows = [
+        {
+            "epoch": e.epoch,
+            "result": e.result,
+            "correct": e.correct,
+            "survivors": e.survivors,
+            "CC": e.cc_bits,
+        }
+        for e in outcome.epochs
+    ]
+    print(format_table(rows, title=f"monitoring {topology.name}"))
+    return 0 if outcome.all_correct else 1
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from .analysis.report import generate_report
+
+    text = generate_report(side=args.side, f=args.failures, seeds=args.seeds)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+        print(f"report written to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_baseline(args: argparse.Namespace) -> int:
+    from .analysis.regression import capture_baseline, compare_to_baseline
+
+    if args.action == "capture":
+        metrics = capture_baseline(args.path)
+        print(
+            format_table(
+                [{"metric": k, "value": v} for k, v in sorted(metrics.items())],
+                title=f"baseline captured -> {args.path}",
+            )
+        )
+        return 0
+    drifts = compare_to_baseline(args.path, tolerance=args.tolerance)
+    if not drifts:
+        print(f"no drift beyond {args.tolerance:.0%} vs {args.path}")
+        return 0
+    print(
+        format_table(
+            [
+                {
+                    "metric": d.metric,
+                    "baseline": d.baseline,
+                    "measured": d.measured,
+                    "ratio": round(d.ratio, 3),
+                }
+                for d in drifts
+            ],
+            title=f"DRIFT beyond {args.tolerance:.0%}",
+        )
+    )
+    return 1
+
+
+def cmd_topology(args: argparse.Namespace) -> int:
+    topology = parse_topology(args.topology, args.seed)
+    print(
+        format_table(
+            [
+                {
+                    "name": topology.name,
+                    "N": topology.n_nodes,
+                    "edges": topology.n_edges,
+                    "diameter": topology.diameter,
+                    "root": topology.root,
+                }
+            ],
+            title="topology",
+        )
+    )
+    if args.out:
+        graph_io.save(topology, args.out)
+        print(f"saved to {args.out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-agg",
+        description="Fault-tolerant aggregation (PODC'14 reproduction) CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--topology", default="grid:6x6", help="kind[:args] spec")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--max-input", type=int, default=None, dest="max_input")
+
+    p_run = sub.add_parser("run", help="run one protocol execution")
+    common(p_run)
+    p_run.add_argument(
+        "--protocol",
+        default="algorithm1",
+        choices=["algorithm1", "bruteforce", "folklore", "tag", "unknown_f", "agg_veri"],
+    )
+    p_run.add_argument("-f", "--failures", type=int, default=0)
+    p_run.add_argument("-b", "--budget", type=int, default=None)
+    p_run.add_argument("-t", "--tolerance", type=int, default=None)
+    p_run.set_defaults(func=cmd_run)
+
+    p_sweep = sub.add_parser("sweep-b", help="Algorithm 1 CC vs time budget")
+    common(p_sweep)
+    p_sweep.add_argument("-f", "--failures", type=int, required=True)
+    p_sweep.add_argument("--bs", default="42,84,168,336")
+    p_sweep.add_argument("--seeds", type=int, default=3)
+    p_sweep.set_defaults(func=cmd_sweep_b)
+
+    p_fig = sub.add_parser("figure1", help="print the Figure 1 bound curves")
+    p_fig.add_argument("-n", type=int, default=1024)
+    p_fig.add_argument("-f", "--failures", type=int, default=128)
+    p_fig.add_argument("--bs", default="42,84,168,336,672")
+    p_fig.add_argument("--plot", action="store_true", help="ASCII chart too")
+    p_fig.set_defaults(func=cmd_figure1)
+
+    p_sel = sub.add_parser("select", help="k-th smallest via COUNT probes")
+    common(p_sel)
+    p_sel.add_argument("-k", type=int, required=True)
+    p_sel.add_argument("-f", "--failures", type=int, default=1)
+    p_sel.add_argument("-b", "--budget", type=int, default=45)
+    p_sel.set_defaults(func=cmd_select)
+
+    p_worst = sub.add_parser(
+        "worst-case", help="hill-climb for a costly failure schedule"
+    )
+    common(p_worst)
+    p_worst.add_argument("-f", "--failures", type=int, required=True)
+    p_worst.add_argument("-b", "--budget", type=int, default=60)
+    p_worst.add_argument("--restarts", type=int, default=3)
+    p_worst.add_argument("--steps", type=int, default=5)
+    p_worst.set_defaults(func=cmd_worst_case)
+
+    p_mon = sub.add_parser("monitor", help="periodic aggregation epochs")
+    common(p_mon)
+    p_mon.add_argument("--epochs", type=int, default=4)
+    p_mon.add_argument("-f", "--failures", type=int, default=0)
+    p_mon.add_argument("-b", "--budget", type=int, default=45)
+    p_mon.set_defaults(func=cmd_monitor)
+
+    p_rep = sub.add_parser("report", help="run the compact experiment suite")
+    p_rep.add_argument("--side", type=int, default=5, help="grid side length")
+    p_rep.add_argument("-f", "--failures", type=int, default=6)
+    p_rep.add_argument("--seeds", type=int, default=3)
+    p_rep.add_argument("--out", default=None, help="write Markdown here")
+    p_rep.set_defaults(func=cmd_report)
+
+    p_base = sub.add_parser(
+        "baseline", help="capture/check performance-regression baselines"
+    )
+    p_base.add_argument("action", choices=["capture", "check"])
+    p_base.add_argument("--path", default="repro-baseline.json")
+    p_base.add_argument("--tolerance", type=float, default=0.05)
+    p_base.set_defaults(func=cmd_baseline)
+
+    p_topo = sub.add_parser("topology", help="describe / export a topology")
+    common(p_topo)
+    p_topo.add_argument("--out", default=None, help="write .json/.dot/edge list")
+    p_topo.set_defaults(func=cmd_topology)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

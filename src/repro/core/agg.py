@@ -1,0 +1,391 @@
+"""The AGG protocol (Algorithm 2 of the paper).
+
+AGG is a deterministic aggregation protocol parameterized by ``t >= 0``, the
+number of edge failures it intends to tolerate.  It runs in four fixed
+phases (``7cd + 4`` rounds, i.e. at most ``11c`` flooding rounds):
+
+1. **Tree construction** — a BFS wave of ``tree_construct`` beacons builds a
+   spanning tree; every node learns its level, parent, children, and the ids
+   of its nearest ``2t`` ancestors.
+2. **Tree aggregation** — partial aggregates propagate upstream on a fixed
+   schedule (a node at level ``l`` acts in round ``cd - l + 1`` of the
+   phase); a parent that misses a child's slot floods a
+   ``critical_failure`` claim.
+3. **Speculative flooding** — the root floods its partial aggregate in round
+   1; a non-root node at level ``l`` floods its own in round ``l + 1`` iff
+   it heard *nothing* from its parent in that round.  This is the paper's
+   key trick: flooding happens speculatively, before anyone knows which
+   floodings are needed, keeping the time complexity at O(1) flooding
+   rounds.
+4. **Partial-sum selection** — *witnesses* (a node is a witness of each of
+   its ``t`` nearest local ancestors and of itself) label each flooded
+   partial aggregate ``dominated`` or ``compulsory||optional`` using only
+   their 2t-ancestor lists; the root keeps exactly the latter, which form a
+   representative set and therefore aggregate to a correct result.
+
+A node floods a special ``agg_abort`` symbol once its sends would exceed
+``(11t + 14)(logN + 5)`` bits; with at most ``t`` edge failures this never
+happens (Theorem 4) and AGG outputs a correct result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..adversary.schedule import FailureSchedule
+from ..graphs.topology import Topology
+from ..sim.flooding import FloodManager
+from ..sim.message import Envelope, Part
+from ..sim.network import Network
+from ..sim.node import NodeHandler
+from ..sim.stats import SimStats
+from . import wire
+from .params import ProtocolParams, params_for
+from .wire import AGG_FLOOD_KINDS, DOMINATED, KEEP
+
+
+@dataclass
+class TreeState:
+    """Per-node tree knowledge AGG hands over to the following VERI run."""
+
+    activated: bool = False
+    level: int = -1
+    parent: Optional[int] = None
+    children: Set[int] = field(default_factory=set)
+    #: ``ancestors[0]`` is the node itself, then the nearest 2t ancestors
+    #: root-wards; entries beyond the root are None.
+    ancestors: List[Optional[int]] = field(default_factory=list)
+    max_level: int = -1
+    psum: int = 0
+    #: Nodes claimed (by flooded ``critical_failure`` messages) to have
+    #: critically failed — fragment boundaries for the witness logic.
+    critical_failures: Set[int] = field(default_factory=set)
+
+
+class AggNode(NodeHandler):
+    """Per-node handler implementing Algorithm 2.
+
+    ``start_round`` lets Algorithm 1 embed AGG executions at interval
+    boundaries; rounds outside ``[start_round, start_round + 7cd + 3]`` are
+    ignored.
+    """
+
+    def __init__(
+        self,
+        params: ProtocolParams,
+        node_id: int,
+        my_input: int,
+        start_round: int = 1,
+    ) -> None:
+        self.p = params
+        self.node_id = node_id
+        self.is_root = node_id == params.root
+        self.start_round = start_round
+        self.floods = FloodManager(AGG_FLOOD_KINDS)
+
+        self.state = TreeState()
+        if self.is_root:
+            self.state.activated = True
+            self.state.level = 0
+            self.state.ancestors = [node_id] + [None] * (2 * params.t)
+        self.state.psum = params.caaf.prepare(my_input)
+        self._pending_tree_construct: Optional[int] = None
+
+        #: source id -> flooded partial aggregate (phase 3 observations).
+        self.flooded_sources: Dict[int, int] = {}
+        #: (label, source) determinations seen (phase 4 observations).
+        self.determinations: Set[Tuple[str, int]] = set()
+
+        self.bits_sent = 0
+        self.aborted = False
+        self.done = False
+        #: Root-only: the final aggregate (None if aborted / not finished).
+        self.result: Optional[int] = None
+
+    # ------------------------------------------------------------------ #
+    # Round dispatch.
+    # ------------------------------------------------------------------ #
+
+    def on_round(self, rnd: int, inbox: Sequence[Envelope]) -> List[Part]:
+        rel = rnd - self.start_round + 1
+        if rel < 1 or rel > self.p.agg_rounds:
+            return []
+
+        fresh = self.floods.absorb(inbox, rel)
+        self._note_flood_observations(fresh)
+
+        out: List[Part] = []
+        if not self.aborted:
+            cd = self.p.cd
+            if rel <= 2 * cd + 1:
+                self._construction_round(rel, inbox, out)
+            elif rel <= 4 * cd + 2:
+                self._aggregation_round(rel - (2 * cd + 1), inbox, out)
+            elif rel <= 6 * cd + 3:
+                self._flooding_round(rel - (4 * cd + 2), inbox)
+            else:
+                self._selection_round(rel - (6 * cd + 3))
+
+        out.extend(self.floods.emit())
+        out = self._enforce_budget(out)
+
+        if self.is_root and rel == self.p.agg_rounds:
+            self._produce_output()
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Phase 1: tree construction (rounds 1 .. 2cd+1).
+    # ------------------------------------------------------------------ #
+
+    def _construction_round(
+        self, rel: int, inbox: Sequence[Envelope], out: List[Part]
+    ) -> None:
+        st = self.state
+        if self.is_root and rel == 1:
+            out.append(wire.tree_construct(self.p, 0, ()))
+
+        if not self.is_root and not st.activated:
+            beacons = [
+                env for env in inbox if env.part.kind == "tree_construct"
+            ]
+            if beacons:
+                # Arbitrary tie breaking, realized as smallest sender id.
+                chosen = min(beacons, key=lambda env: env.sender)
+                sender_level, sender_ancestors = chosen.part.payload
+                st.activated = True
+                st.level = sender_level + 1
+                st.parent = chosen.sender
+                width = 2 * self.p.t
+                chain = ([chosen.sender] + list(sender_ancestors))[:width]
+                chain += [None] * (width - len(chain))
+                st.ancestors = [self.node_id] + chain
+                out.append(wire.ack(self.p, chosen.sender))
+                self._pending_tree_construct = rel + 1
+
+        if self._pending_tree_construct == rel:
+            self._pending_tree_construct = None
+            out.append(
+                wire.tree_construct(
+                    self.p,
+                    st.level,
+                    tuple(a for a in st.ancestors[1:] if a is not None),
+                )
+            )
+
+        for env in inbox:
+            if env.part.kind == "ack" and env.part.payload == (self.node_id,):
+                st.children.add(env.sender)
+
+    # ------------------------------------------------------------------ #
+    # Phase 2: tree aggregation (phase rounds 1 .. 2cd+1).
+    # ------------------------------------------------------------------ #
+
+    def _aggregation_round(
+        self, p: int, inbox: Sequence[Envelope], out: List[Part]
+    ) -> None:
+        st = self.state
+        if not st.activated or st.level > self.p.cd:
+            return
+        if st.max_level < st.level:
+            st.max_level = st.level
+        if p != self.p.cd - st.level + 1:
+            return
+        arrived = {
+            env.sender: env.part.payload
+            for env in inbox
+            if env.part.kind == "aggregation"
+        }
+        for child in sorted(st.children):
+            if child in arrived:
+                child_psum, child_max_level = arrived[child]
+                st.psum = self.p.caaf.op(st.psum, child_psum)
+                st.max_level = max(st.max_level, child_max_level)
+            else:
+                self.floods.initiate(wire.critical_failure(self.p, child))
+                st.critical_failures.add(child)
+        # Line 23: every node (root included) broadcasts its aggregate.
+        out.append(wire.aggregation(self.p, st.psum, st.max_level))
+
+    # ------------------------------------------------------------------ #
+    # Phase 3: speculative flooding (phase rounds 1 .. 2cd+1).
+    # ------------------------------------------------------------------ #
+
+    def _flooding_round(self, p: int, inbox: Sequence[Envelope]) -> None:
+        st = self.state
+        if self.is_root and p == 1:
+            self._initiate_psum_flood()
+        elif (
+            st.activated
+            and not self.is_root
+            and p == st.level + 1
+        ):
+            heard_parent = any(env.sender == st.parent for env in inbox)
+            if not heard_parent:
+                self._initiate_psum_flood()
+
+    def _initiate_psum_flood(self) -> None:
+        part = wire.flooded_psum(self.p, self.node_id, self.state.psum)
+        if self.floods.initiate(part):
+            self.flooded_sources[self.node_id] = self.state.psum
+
+    # ------------------------------------------------------------------ #
+    # Phase 4: partial-sum selection (phase rounds 1 .. cd+1).
+    # ------------------------------------------------------------------ #
+
+    def _selection_round(self, p: int) -> None:
+        if p != 1 or not self.state.activated:
+            return
+        for source in sorted(self.flooded_sources):
+            label = self._witness_label(source)
+            if label is not None:
+                self.floods.initiate(wire.determination(self.p, label, source))
+                self.determinations.add((label, source))
+
+    def _witness_label(self, source: int) -> Optional[str]:
+        """Lines 32-39 of Algorithm 2: this node's determination on ``source``.
+
+        Returns None when this node is not a witness of ``source``.
+        """
+        st = self.state
+        anc = st.ancestors
+        t = self.p.t
+        i = _index_of(anc, source)
+        j = self._boundary_index()
+        if i is None or i > t:
+            return None
+        if j is not None and i > j:
+            return None
+        if j is None:
+            return DOMINATED
+        dominated = any(
+            anc[k] is not None and anc[k] in self.flooded_sources
+            for k in range(i + 1, j + 1)
+        )
+        return DOMINATED if dominated else KEEP
+
+    def _boundary_index(self) -> Optional[int]:
+        """Smallest ``j`` with ``ancestors[j]`` the root or a critical failure."""
+        st = self.state
+        for j, node in enumerate(st.ancestors):
+            if node is None:
+                return None
+            if node == self.p.root or node in st.critical_failures:
+                return j
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Observations, output, and the bit budget.
+    # ------------------------------------------------------------------ #
+
+    def _note_flood_observations(self, fresh: Sequence[Envelope]) -> None:
+        for env in fresh:
+            kind, payload = env.part.kind, env.part.payload
+            if kind == "flooded_psum":
+                source, psum = payload
+                self.flooded_sources.setdefault(source, psum)
+            elif kind == "critical_failure":
+                self.state.critical_failures.add(payload[0])
+            elif kind == "determination":
+                self.determinations.add(payload)
+            elif kind == "agg_abort":
+                self.aborted = True
+
+    def _produce_output(self) -> None:
+        self.done = True
+        if self.aborted:
+            self.result = None
+            return
+        total = self.p.caaf.identity
+        for source, psum in self.flooded_sources.items():
+            if (KEEP, source) in self.determinations:
+                total = self.p.caaf.op(total, psum)
+        self.result = total
+
+    def _enforce_budget(self, out: List[Part]) -> List[Part]:
+        """Abort (Algorithm 2's special-symbol mechanism) before exceeding
+        the ``(11t + 14)(logN + 5)`` budget by more than the abort symbol."""
+        planned = sum(part.bits for part in out)
+        if (
+            not self.aborted
+            and out
+            and self.bits_sent + planned > self.p.agg_bit_budget
+        ):
+            self.aborted = True
+            abort_part = wire.agg_abort(self.p)
+            self.floods.initiate(abort_part)
+            self.floods.emit()
+            out = [abort_part]
+            planned = abort_part.bits
+        if self.aborted:
+            out = [part for part in out if part.kind == "agg_abort"]
+            planned = sum(part.bits for part in out)
+        self.bits_sent += planned
+        return out
+
+
+def _index_of(ancestors: List[Optional[int]], target: int) -> Optional[int]:
+    """Smallest index of ``target`` in the ancestor list, else None."""
+    for idx, node in enumerate(ancestors):
+        if node == target:
+            return idx
+    return None
+
+
+# --------------------------------------------------------------------- #
+# Standalone runner.
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class AggOutcome:
+    """Result of one standalone AGG execution."""
+
+    result: Optional[int]
+    aborted: bool
+    stats: SimStats
+    nodes: Dict[int, AggNode]
+    network: Network
+
+    @property
+    def tree_states(self) -> Dict[int, TreeState]:
+        """Per-node tree state, for feeding a subsequent VERI execution."""
+        return {u: n.state for u, n in self.nodes.items()}
+
+
+def run_agg(
+    topology: Topology,
+    inputs: Dict[int, int],
+    t: int,
+    schedule: Optional[FailureSchedule] = None,
+    c: int = 2,
+    caaf=None,
+    max_input: Optional[int] = None,
+) -> AggOutcome:
+    """Run one AGG execution on ``topology`` with the given failure schedule."""
+    from .caaf import SUM
+
+    schedule = schedule or FailureSchedule()
+    schedule.validate(topology)
+    params = params_for(
+        topology,
+        t=t,
+        c=c,
+        caaf=caaf or SUM,
+        max_input=max_input
+        if max_input is not None
+        else max(list(inputs.values()) + [1]),
+    )
+    nodes = {
+        u: AggNode(params, u, inputs[u]) for u in topology.nodes()
+    }
+    network = Network(topology.adjacency, nodes, schedule.crash_rounds)
+    stats = network.run(params.agg_rounds, stop_on_output=False)
+    root = nodes[topology.root]
+    return AggOutcome(
+        result=root.result,
+        aborted=root.aborted,
+        stats=stats,
+        nodes=nodes,
+        network=network,
+    )

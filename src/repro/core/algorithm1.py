@@ -1,0 +1,269 @@
+"""Algorithm 1: the near-optimal communication-time tradeoff SUM protocol.
+
+Given a TC budget of ``b`` flooding rounds (``b >= 21c``), the first
+``b - 2c`` flooding rounds are divided into ``x = floor((b-2c)/(19c))``
+intervals of ``19c`` flooding rounds each.  The root privately selects
+``logN`` interval indices uniformly at random (with replacement); in each
+distinct selected interval it initiates an AGG + VERI pair with
+``t = floor(2f / x)``.  The first pair where AGG does not abort and VERI
+outputs true yields the final (always correct, by Theorems 5 and 7) result.
+With probability at least ``1 - 1/N`` some selected interval contains at
+most ``t`` edge failures and the protocol stops there (Theorems 4 and 7);
+otherwise the last ``2c`` flooding rounds run the brute-force protocol.
+
+Expected communication: at most ``min(x, f+1, logN)`` pairs actually run,
+each costing ``O((t+1) logN)`` per node, plus ``O(N logN) / N`` for the
+rare brute-force fallback — total
+``O((f/b logN + logN) * min(b, f, logN))``, Theorem 1.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from ..adversary.schedule import FailureSchedule
+from ..graphs.topology import Topology
+from ..sim.message import Envelope, Part
+from ..sim.network import Network
+from ..sim.node import NodeHandler
+from ..sim.stats import SimStats
+from .agg import AggNode
+from .caaf import CAAF, SUM
+from .params import ProtocolParams, params_for
+from .veri import VeriNode
+
+
+@dataclass(frozen=True)
+class TradeoffPlan:
+    """Static schedule shared by all nodes (only the root knows the coins).
+
+    The interval grid is deterministic given ``(b, c, d)``: interval ``i``
+    (1-based) spans rounds ``(i-1)*19cd + 1 .. i*19cd``; the brute-force
+    fallback occupies the last ``2c`` flooding rounds.
+    """
+
+    params: ProtocolParams
+    b: int
+    f: int
+
+    def __post_init__(self) -> None:
+        if self.b < 21 * self.params.c:
+            raise ValueError(
+                f"Theorem 1 requires b >= 21c (b={self.b}, c={self.params.c})"
+            )
+        if self.f < 1:
+            raise ValueError("Theorem 1 requires f >= 1")
+
+    @property
+    def x(self) -> int:
+        """Number of intervals: ``floor((b - 2c) / (19c))``."""
+        return (self.b - 2 * self.params.c) // (19 * self.params.c)
+
+    @property
+    def t(self) -> int:
+        """AGG/VERI tolerance parameter: ``floor(2f / x)``."""
+        return (2 * self.f) // self.x
+
+    @property
+    def interval_rounds(self) -> int:
+        """Rounds per interval: ``19c`` flooding rounds."""
+        return 19 * self.params.cd
+
+    def interval_start(self, i: int) -> int:
+        """First round of interval ``i`` (1-based)."""
+        if not 1 <= i <= self.x:
+            raise ValueError(f"interval {i} out of range [1, {self.x}]")
+        return (i - 1) * self.interval_rounds + 1
+
+    @property
+    def bruteforce_start(self) -> int:
+        """First round of the brute-force fallback window."""
+        return (self.b - 2 * self.params.c) * self.params.diameter + 1
+
+    @property
+    def total_rounds(self) -> int:
+        """The TC budget in rounds: ``b * d``."""
+        return self.b * self.params.diameter
+
+    def select_intervals(self, rng: random.Random) -> List[int]:
+        """The root's private coins: ``logN`` uniform draws, deduplicated.
+
+        Line 1 of Algorithm 1 sorts the draws non-decreasingly and line 2
+        skips repeats, so the result is the sorted set of distinct draws.
+        """
+        draws = max(1, math.ceil(math.log2(self.params.n_nodes)))
+        picks = {rng.randint(1, self.x) for _ in range(draws)}
+        return sorted(picks)
+
+
+class Algorithm1Node(NodeHandler):
+    """Composite per-node handler: dormant AGG/VERI per interval + fallback.
+
+    Non-root nodes re-arm a fresh (dormant) :class:`AggNode` at every
+    interval boundary; it only speaks if the root's ``tree_construct``
+    beacon arrives, so unselected intervals cost nothing.  The root arms
+    handlers only in its selected intervals.
+    """
+
+    def __init__(
+        self,
+        plan: TradeoffPlan,
+        node_id: int,
+        my_input: int,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.plan = plan
+        self.p = plan.params.with_t(plan.t)
+        self.node_id = node_id
+        self.my_input = my_input
+        self.is_root = node_id == self.p.root
+        if self.is_root:
+            self.selected = plan.select_intervals(rng or random.Random())
+        else:
+            self.selected: List[int] = []
+
+        self._agg: Optional[AggNode] = None
+        self._veri: Optional[VeriNode] = None
+        self._bf: Optional[BruteForceNode] = None
+
+        self.done = False
+        self.result: Optional[int] = None
+        #: Diagnostics: interval that produced the accepted result (root).
+        self.winning_interval: Optional[int] = None
+        self.pairs_run = 0
+        self.used_bruteforce = False
+
+    # ------------------------------------------------------------------ #
+
+    def on_round(self, rnd: int, inbox: Sequence[Envelope]) -> List[Part]:
+        if self.done or rnd > self.plan.total_rounds:
+            return []
+        out: List[Part] = []
+        self._maybe_arm(rnd)
+        if self._agg is not None:
+            out.extend(self._agg.on_round(rnd, inbox))
+        if self._veri is not None:
+            out.extend(self._veri.on_round(rnd, inbox))
+        if self._bf is not None:
+            out.extend(self._bf.on_round(rnd, inbox))
+        self._maybe_decide(rnd)
+        return out
+
+    def _maybe_arm(self, rnd: int) -> None:
+        plan = self.plan
+        # Interval boundaries: arm a fresh AGG (root: selected ones only).
+        offset = rnd - 1
+        if offset % plan.interval_rounds == 0:
+            interval = offset // plan.interval_rounds + 1
+            if interval <= plan.x:
+                self._veri = None
+                if self.is_root:
+                    if interval in self.selected:
+                        self._agg = AggNode(
+                            self.p, self.node_id, self.my_input, start_round=rnd
+                        )
+                        self.pairs_run += 1
+                        self._current_interval = interval
+                    else:
+                        self._agg = None
+                else:
+                    self._agg = AggNode(
+                        self.p, self.node_id, self.my_input, start_round=rnd
+                    )
+        # AGG -> VERI handoff inside the interval.
+        if (
+            self._agg is not None
+            and offset % plan.interval_rounds == self.p.agg_rounds
+        ):
+            self._veri = VeriNode(
+                self.p, self.node_id, self._agg.state, start_round=rnd
+            )
+        # Brute-force fallback window.
+        if rnd == plan.bruteforce_start and self._bf is None:
+            from ..baselines.bruteforce import BruteForceNode
+
+            self._agg = None
+            self._veri = None
+            if self.is_root:
+                self.used_bruteforce = True
+            self._bf = BruteForceNode(
+                self.p, self.node_id, self.my_input, start_round=rnd
+            )
+
+    def _maybe_decide(self, rnd: int) -> None:
+        if not self.is_root or self.done:
+            return
+        if (
+            self._agg is not None
+            and self._veri is not None
+            and self._veri.done
+        ):
+            accepted = (not self._agg.aborted) and self._veri.output is True
+            if accepted:
+                self.result = self._agg.result
+                self.winning_interval = self._current_interval
+                self.done = True
+            self._veri = None
+            self._agg = None
+        if self._bf is not None and self._bf.done:
+            self.result = self._bf.result
+            self.done = True
+
+    def wants_to_stop(self) -> bool:
+        return self.done
+
+
+@dataclass
+class TradeoffOutcome:
+    """Result of one Algorithm 1 execution."""
+
+    result: Optional[int]
+    stats: SimStats
+    rounds: int
+    flooding_rounds: int
+    pairs_run: int
+    winning_interval: Optional[int]
+    used_bruteforce: bool
+    selected_intervals: List[int]
+    plan: TradeoffPlan
+
+
+def run_algorithm1(
+    topology: Topology,
+    inputs: Dict[int, int],
+    f: int,
+    b: int,
+    schedule: Optional[FailureSchedule] = None,
+    c: int = 2,
+    caaf: CAAF = SUM,
+    rng: Optional[random.Random] = None,
+) -> TradeoffOutcome:
+    """Run Algorithm 1 once with TC budget ``b`` and failure budget ``f``."""
+    schedule = schedule or FailureSchedule()
+    schedule.validate(topology, f=f)
+    base = params_for(
+        topology, t=0, c=c, caaf=caaf, max_input=max(list(inputs.values()) + [1])
+    )
+    plan = TradeoffPlan(params=base, b=b, f=f)
+    rng = rng or random.Random()
+    nodes = {
+        u: Algorithm1Node(plan, u, inputs[u], rng=rng if u == topology.root else None)
+        for u in topology.nodes()
+    }
+    network = Network(topology.adjacency, nodes, schedule.crash_rounds)
+    stats = network.run(plan.total_rounds, stop_on_output=True)
+    root = nodes[topology.root]
+    return TradeoffOutcome(
+        result=root.result,
+        stats=stats,
+        rounds=stats.rounds_executed,
+        flooding_rounds=stats.flooding_rounds(topology.diameter),
+        pairs_run=root.pairs_run,
+        winning_interval=root.winning_interval,
+        used_bruteforce=root.used_bruteforce,
+        selected_intervals=root.selected,
+        plan=plan,
+    )

@@ -1,0 +1,210 @@
+"""Commutative and associative aggregate functions (CAAFs).
+
+Section 2 of the paper: a function ``F`` is a CAAF iff it is induced by a
+commutative and associative binary operator and every partial aggregate has
+domain size polynomial in ``N``.  SUM and COUNT are CAAFs; MAX, MIN, OR, AND
+are too.  The paper proves its upper bound for SUM and notes the argument
+generalizes to any CAAF by swapping the operator — our AGG implementation is
+likewise parameterized by a :class:`CAAF` instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional, Tuple
+
+from ..sim.message import value_bits
+
+
+@dataclass(frozen=True)
+class CAAF:
+    """A commutative-and-associative aggregate function.
+
+    Attributes:
+        name: Human-readable name ("SUM", "MAX", ...).
+        op: The binary operator; must be commutative and associative on the
+            value domain.
+        identity: Neutral element (``op(identity, x) == x``); used as the
+            aggregate of an empty set.
+        monotone: Whether including more operands moves the aggregate
+            monotonically in one direction (non-decreasing for SUM over
+            non-negative inputs, MAX, OR, COUNT; non-increasing for MIN,
+            AND).  Monotone CAAFs admit a closed-form correctness interval.
+        prepare: Maps a node's raw input into the operator's value domain
+            (e.g. COUNT maps every input to 1).
+        domain_bits: Bits needed to encode any partial aggregate for a
+            system of ``N`` nodes with inputs in ``[0, max_input]``.
+    """
+
+    name: str
+    op: Callable[[int, int], int]
+    identity: int
+    monotone: bool = True
+    prepare: Callable[[int], int] = field(default=lambda x: x)
+    domain_bits: Callable[[int, int], int] = field(
+        default=lambda n, max_input: value_bits(max(1, n * max_input))
+    )
+
+    def combine(self, values: Iterable[int]) -> int:
+        """Aggregate an iterable of already-prepared values."""
+        result = self.identity
+        for value in values:
+            result = self.op(result, value)
+        return result
+
+    def aggregate_inputs(self, raw_inputs: Iterable[int]) -> int:
+        """Aggregate raw node inputs (applies :attr:`prepare` first)."""
+        return self.combine(self.prepare(x) for x in raw_inputs)
+
+    def value_bits_for(self, n_nodes: int, max_input: int) -> int:
+        """Wire size of a partial aggregate for this system."""
+        return self.domain_bits(n_nodes, max_input)
+
+    def __repr__(self) -> str:
+        return f"CAAF({self.name})"
+
+
+def _sum_bits(n: int, max_input: int) -> int:
+    return value_bits(max(1, n * max_input))
+
+
+def _max_bits(n: int, max_input: int) -> int:
+    return value_bits(max(1, max_input))
+
+
+def _count_bits(n: int, max_input: int) -> int:
+    return value_bits(max(1, n))
+
+
+def _one_bit(n: int, max_input: int) -> int:
+    return 1
+
+
+#: SUM over non-negative integer inputs (the paper's running example).
+SUM = CAAF("SUM", lambda a, b: a + b, 0, monotone=True, domain_bits=_sum_bits)
+
+#: COUNT of participating nodes: every input contributes 1.
+COUNT = CAAF(
+    "COUNT",
+    lambda a, b: a + b,
+    0,
+    monotone=True,
+    prepare=lambda _x: 1,
+    domain_bits=_count_bits,
+)
+
+#: MAX of the inputs.  Identity is 0 because inputs are non-negative.
+MAX = CAAF("MAX", max, 0, monotone=True, domain_bits=_max_bits)
+
+#: MIN of the inputs, with a large sentinel identity supplied per use via
+#: :func:`bounded_min`.  The module-level MIN assumes inputs below 2**62.
+MIN = CAAF(
+    "MIN", min, (1 << 62) - 1, monotone=False, domain_bits=_max_bits
+)
+
+#: Logical OR over {0, 1} inputs ("has any sensor fired?").
+OR = CAAF(
+    "OR",
+    lambda a, b: a | b,
+    0,
+    monotone=True,
+    prepare=lambda x: 1 if x else 0,
+    domain_bits=_one_bit,
+)
+
+#: Logical AND over {0, 1} inputs ("are all sensors healthy?").
+AND = CAAF(
+    "AND",
+    lambda a, b: a & b,
+    1,
+    monotone=False,
+    prepare=lambda x: 1 if x else 0,
+    domain_bits=_one_bit,
+)
+
+#: XOR over {0, 1} inputs — commutative and associative but *not* monotone;
+#: included to exercise the exhaustive correctness checker.
+XOR = CAAF(
+    "XOR",
+    lambda a, b: a ^ b,
+    0,
+    monotone=False,
+    prepare=lambda x: x & 1,
+    domain_bits=_one_bit,
+)
+
+
+def bounded_min(max_value: int) -> CAAF:
+    """MIN with the identity tailored to a known input bound.
+
+    MIN is monotone non-increasing in the inclusion order; we mark it
+    ``monotone=False`` at the :class:`CAAF` level and let the correctness
+    checker treat the two endpoint aggregates order-agnostically.
+    """
+    return CAAF(
+        f"MIN(<={max_value})",
+        min,
+        max_value,
+        monotone=False,
+        domain_bits=lambda n, mi: value_bits(max(1, max_value)),
+    )
+
+
+def _gcd_bits(n: int, max_input: int) -> int:
+    return value_bits(max(1, max_input))
+
+
+def _gcd(a: int, b: int) -> int:
+    while b:
+        a, b = b, a % b
+    return a
+
+
+def _lcm(a: int, b: int) -> int:
+    if a == 0 or b == 0:
+        return 0
+    return a * b // _gcd(a, b)
+
+
+#: Greatest common divisor.  gcd is commutative and associative with
+#: identity 0 (``gcd(0, x) = x``), and partial aggregates never exceed the
+#: largest input — a textbook CAAF beyond the usual SUM/MAX examples.
+GCD = CAAF("GCD", _gcd, 0, monotone=False, domain_bits=_gcd_bits)
+
+
+def bounded_lcm(max_value: int) -> CAAF:
+    """Least common multiple, valid while aggregates stay within a bound.
+
+    lcm is commutative and associative with identity 1, but its aggregates
+    can grow super-polynomially — violating the CAAF domain condition — so
+    the library only offers it with an explicit cap: aggregation clamps at
+    ``max_value + 1`` (a saturating "overflow" sentinel), keeping the wire
+    fields bounded while remaining commutative and associative.
+    """
+    cap = max_value + 1
+
+    def op(a: int, b: int) -> int:
+        if a >= cap or b >= cap:
+            return cap
+        value = _lcm(a, b)
+        return value if value <= max_value else cap
+
+    return CAAF(
+        f"LCM(<={max_value})",
+        op,
+        1,
+        monotone=True,
+        prepare=lambda x: max(1, min(x, cap)),
+        domain_bits=lambda n, mi: value_bits(cap),
+    )
+
+
+ALL_CAAFS: Tuple[CAAF, ...] = (SUM, COUNT, MAX, MIN, OR, AND, XOR, GCD)
+
+
+def by_name(name: str) -> CAAF:
+    """Look up one of the built-in CAAFs by name."""
+    for caaf in ALL_CAAFS:
+        if caaf.name == name:
+            return caaf
+    raise KeyError(f"unknown CAAF {name!r}")

@@ -1,0 +1,180 @@
+"""Shared protocol parameters and the paper's phase/budget arithmetic.
+
+Everything the paper lets protocols know is collected here: ``N``, the root
+id, the diameter ``d``, the diameter-stretch constant ``c`` (failures never
+push the remaining diameter past ``c * d``), the failure-tolerance parameter
+``t`` of AGG/VERI, and the input domain bound used to size value fields.
+
+Phase boundaries follow Algorithms 2 and 3 exactly:
+
+* AGG: tree construction ``2cd+1`` rounds, aggregation ``2cd+1``,
+  speculative flooding ``2cd+1``, partial-sum selection ``cd+1`` —
+  ``7cd+4`` rounds total (Theorem 3's "at most 11c flooding rounds").
+* VERI: failed-parent detection ``2cd+1``, failed-child detection
+  ``2cd+1``, LFC detection ``cd+1`` — ``5cd+3`` rounds total (Theorem 6's
+  "at most 8c flooding rounds").
+
+Bit budgets are the paper's abort thresholds: a node running AGG floods an
+abort symbol once it has sent ``(11t+14)(logN+5)`` bits; a node running VERI
+floods an overflow symbol once it has sent ``(5t+7)(3logN+10)`` bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..graphs.topology import Topology
+from ..sim.message import id_bits, value_bits
+from .caaf import CAAF, SUM
+
+
+@dataclass(frozen=True)
+class ProtocolParams:
+    """Static knowledge shared by every node (Section 2's model)."""
+
+    n_nodes: int
+    root: int
+    diameter: int
+    c: int = 2
+    t: int = 0
+    max_input: int = 0
+    caaf: CAAF = SUM
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 2:
+            raise ValueError("need at least 2 nodes")
+        if self.diameter < 1:
+            raise ValueError("diameter must be >= 1")
+        if self.c < 1:
+            raise ValueError("c must be >= 1")
+        if self.t < 0:
+            raise ValueError("t must be >= 0")
+        if self.max_input < 0:
+            raise ValueError("max_input must be >= 0")
+
+    # ------------------------------------------------------------------ #
+    # Wire sizes.
+    # ------------------------------------------------------------------ #
+
+    @property
+    def id_bits(self) -> int:
+        """Bits per node id (the paper's ``log N``)."""
+        return id_bits(self.n_nodes)
+
+    @property
+    def level_bits(self) -> int:
+        """Bits per tree-level field (levels stay within ``c * d``)."""
+        return value_bits(max(1, self.c * self.diameter))
+
+    @property
+    def psum_bits(self) -> int:
+        """Bits per partial aggregate."""
+        return self.caaf.value_bits_for(self.n_nodes, self.max_input)
+
+    # ------------------------------------------------------------------ #
+    # Timing.
+    # ------------------------------------------------------------------ #
+
+    @property
+    def cd(self) -> int:
+        """``c * d`` — the conservative per-flood round allowance."""
+        return self.c * self.diameter
+
+    @property
+    def agg_rounds(self) -> int:
+        """Total rounds of one AGG execution (``7cd + 4``)."""
+        return 7 * self.cd + 4
+
+    @property
+    def veri_rounds(self) -> int:
+        """Total rounds of one VERI execution (``5cd + 3``)."""
+        return 5 * self.cd + 3
+
+    @property
+    def pair_rounds(self) -> int:
+        """Rounds of an AGG immediately followed by a VERI (``12cd + 7``)."""
+        return self.agg_rounds + self.veri_rounds
+
+    # AGG phase boundaries (1-based relative rounds, inclusive).
+    @property
+    def agg_construction_span(self) -> tuple:
+        return (1, 2 * self.cd + 1)
+
+    @property
+    def agg_aggregation_span(self) -> tuple:
+        return (2 * self.cd + 2, 4 * self.cd + 2)
+
+    @property
+    def agg_flooding_span(self) -> tuple:
+        return (4 * self.cd + 3, 6 * self.cd + 3)
+
+    @property
+    def agg_selection_span(self) -> tuple:
+        return (6 * self.cd + 4, 7 * self.cd + 4)
+
+    # VERI phase boundaries.
+    @property
+    def veri_parent_span(self) -> tuple:
+        return (1, 2 * self.cd + 1)
+
+    @property
+    def veri_child_span(self) -> tuple:
+        return (2 * self.cd + 2, 4 * self.cd + 2)
+
+    @property
+    def veri_lfc_span(self) -> tuple:
+        return (4 * self.cd + 3, 5 * self.cd + 3)
+
+    # ------------------------------------------------------------------ #
+    # Bit budgets (the abort thresholds of Algorithms 2 and 3).
+    # ------------------------------------------------------------------ #
+
+    @property
+    def agg_bit_budget(self) -> int:
+        """AGG's per-node abort threshold ``(11t + 14)(logN + 5)``."""
+        return (11 * self.t + 14) * (self.id_bits + 5)
+
+    @property
+    def veri_bit_budget(self) -> int:
+        """VERI's per-node overflow threshold ``(5t + 7)(3 logN + 10)``."""
+        return (5 * self.t + 7) * (3 * self.id_bits + 10)
+
+    # ------------------------------------------------------------------ #
+    # Constructors.
+    # ------------------------------------------------------------------ #
+
+    def with_t(self, t: int) -> "ProtocolParams":
+        """A copy with a different failure-tolerance parameter."""
+        return ProtocolParams(
+            n_nodes=self.n_nodes,
+            root=self.root,
+            diameter=self.diameter,
+            c=self.c,
+            t=t,
+            max_input=self.max_input,
+            caaf=self.caaf,
+        )
+
+
+def params_for(
+    topology: Topology,
+    t: int = 0,
+    c: int = 2,
+    max_input: Optional[int] = None,
+    caaf: CAAF = SUM,
+) -> ProtocolParams:
+    """Build :class:`ProtocolParams` from a topology.
+
+    ``max_input`` defaults to ``N`` — a polynomial input domain, as the
+    model requires.
+    """
+    return ProtocolParams(
+        n_nodes=topology.n_nodes,
+        root=topology.root,
+        diameter=topology.diameter,
+        c=c,
+        t=t,
+        max_input=topology.n_nodes if max_input is None else max_input,
+        caaf=caaf,
+    )

@@ -1,0 +1,357 @@
+"""Topology generators for the paper's experiments.
+
+The paper imposes no restriction on the topology beyond connectivity, and
+motivates the problem with wireless sensor networks (base station root) and
+wireless ad hoc networks (gateway root).  These generators cover the regular
+shapes used in analysis (paths, cycles, grids, trees) and the random shapes
+used to emulate deployments (random geometric = sensor field, G(n, p),
+random regular = expander-like).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .topology import Topology
+
+
+def _empty(n: int) -> Dict[int, List[int]]:
+    return {u: [] for u in range(n)}
+
+
+def _add_edge(adj: Dict[int, List[int]], u: int, v: int) -> None:
+    if u == v or v in adj[u]:
+        return
+    adj[u].append(v)
+    adj[v].append(u)
+
+
+def path_graph(n: int) -> Topology:
+    """A path ``0 - 1 - ... - n-1`` rooted at one end (diameter ``n - 1``)."""
+    if n < 2:
+        raise ValueError("need at least 2 nodes")
+    adj = _empty(n)
+    for u in range(n - 1):
+        _add_edge(adj, u, u + 1)
+    return Topology(adj, name=f"path({n})")
+
+
+def cycle_graph(n: int) -> Topology:
+    """A cycle on ``n`` nodes (diameter ``n // 2``)."""
+    if n < 3:
+        raise ValueError("need at least 3 nodes")
+    adj = _empty(n)
+    for u in range(n):
+        _add_edge(adj, u, (u + 1) % n)
+    return Topology(adj, name=f"cycle({n})")
+
+
+def star_graph(n: int) -> Topology:
+    """A star with the root at the hub (diameter 2)."""
+    if n < 2:
+        raise ValueError("need at least 2 nodes")
+    adj = _empty(n)
+    for u in range(1, n):
+        _add_edge(adj, 0, u)
+    return Topology(adj, name=f"star({n})")
+
+
+def complete_graph(n: int) -> Topology:
+    """The complete graph on ``n`` nodes (diameter 1)."""
+    if n < 2:
+        raise ValueError("need at least 2 nodes")
+    adj = _empty(n)
+    for u in range(n):
+        for v in range(u + 1, n):
+            _add_edge(adj, u, v)
+    return Topology(adj, name=f"complete({n})")
+
+
+def grid_graph(rows: int, cols: int) -> Topology:
+    """A ``rows x cols`` grid rooted at a corner."""
+    if rows < 1 or cols < 1 or rows * cols < 2:
+        raise ValueError("need at least 2 nodes")
+    adj = _empty(rows * cols)
+    for r in range(rows):
+        for c in range(cols):
+            u = r * cols + c
+            if c + 1 < cols:
+                _add_edge(adj, u, u + 1)
+            if r + 1 < rows:
+                _add_edge(adj, u, u + cols)
+    return Topology(adj, name=f"grid({rows}x{cols})")
+
+
+def balanced_tree(branching: int, n: int) -> Topology:
+    """A complete ``branching``-ary tree truncated to ``n`` nodes, rooted at 0."""
+    if branching < 1 or n < 2:
+        raise ValueError("branching >= 1 and n >= 2 required")
+    adj = _empty(n)
+    for u in range(1, n):
+        parent = (u - 1) // branching
+        _add_edge(adj, u, parent)
+    return Topology(adj, name=f"tree(b={branching},n={n})")
+
+
+def caterpillar_graph(spine: int, legs_per_node: int) -> Topology:
+    """A path ("spine") with ``legs_per_node`` leaves hanging off each node.
+
+    Useful for adversary constructions: spine nodes are articulation points
+    whose failure disconnects many leaves.
+    """
+    if spine < 2 or legs_per_node < 0:
+        raise ValueError("spine >= 2 and legs_per_node >= 0 required")
+    n = spine * (1 + legs_per_node)
+    adj = _empty(n)
+    for u in range(spine - 1):
+        _add_edge(adj, u, u + 1)
+    leaf = spine
+    for u in range(spine):
+        for _ in range(legs_per_node):
+            _add_edge(adj, u, leaf)
+            leaf += 1
+    return Topology(adj, name=f"caterpillar({spine},{legs_per_node})")
+
+
+def barbell_graph(clique: int, bridge: int) -> Topology:
+    """Two cliques of size ``clique`` joined by a path of ``bridge`` nodes.
+
+    The bridge is a communication bottleneck — the shape that makes the
+    bottleneck-node CC definition bite.
+    """
+    if clique < 2 or bridge < 1:
+        raise ValueError("clique >= 2 and bridge >= 1 required")
+    n = 2 * clique + bridge
+    adj = _empty(n)
+    for u in range(clique):
+        for v in range(u + 1, clique):
+            _add_edge(adj, u, v)
+    offset = clique + bridge
+    for u in range(offset, offset + clique):
+        for v in range(u + 1, offset + clique):
+            _add_edge(adj, u, v)
+    chain = [clique - 1] + list(range(clique, clique + bridge)) + [offset]
+    for a, b in zip(chain, chain[1:]):
+        _add_edge(adj, a, b)
+    return Topology(adj, name=f"barbell({clique},{bridge})")
+
+
+def random_geometric(
+    n: int,
+    radius: Optional[float] = None,
+    rng: Optional[random.Random] = None,
+    max_tries: int = 50,
+) -> Topology:
+    """A random geometric graph in the unit square — a synthetic sensor field.
+
+    Nodes connect when within ``radius``; the default radius is slightly
+    above the connectivity threshold ``sqrt(ln n / (pi n))``.  The radius is
+    grown geometrically until the sample is connected.  The root is the node
+    closest to the corner (0, 0), playing the base station.
+    """
+    if n < 2:
+        raise ValueError("need at least 2 nodes")
+    rng = rng or random.Random(0)
+    r = radius or 1.3 * math.sqrt(math.log(max(n, 2)) / (math.pi * n))
+    points = [(rng.random(), rng.random()) for _ in range(n)]
+    for attempt in range(max_tries):
+        adj = _empty(n)
+        for u in range(n):
+            for v in range(u + 1, n):
+                dx = points[u][0] - points[v][0]
+                dy = points[u][1] - points[v][1]
+                if dx * dx + dy * dy <= r * r:
+                    _add_edge(adj, u, v)
+        try:
+            base = min(range(n), key=lambda u: points[u][0] + points[u][1])
+            topo = Topology(adj, name=f"geometric({n})", root=base)
+            topo.positions = points  # type: ignore[attr-defined]
+            return topo
+        except ValueError:
+            r *= 1.25
+    raise RuntimeError("failed to build a connected geometric graph")
+
+
+def gnp_connected(
+    n: int,
+    p: Optional[float] = None,
+    rng: Optional[random.Random] = None,
+    max_tries: int = 200,
+) -> Topology:
+    """A connected Erdos-Renyi ``G(n, p)`` sample (re-sampled until connected).
+
+    The default ``p`` is twice the connectivity threshold ``ln n / n``.
+    """
+    if n < 2:
+        raise ValueError("need at least 2 nodes")
+    rng = rng or random.Random(0)
+    prob = p if p is not None else min(1.0, 2.0 * math.log(max(n, 2)) / n)
+    for _ in range(max_tries):
+        adj = _empty(n)
+        for u in range(n):
+            for v in range(u + 1, n):
+                if rng.random() < prob:
+                    _add_edge(adj, u, v)
+        try:
+            return Topology(adj, name=f"gnp({n},{prob:.3f})")
+        except ValueError:
+            prob = min(1.0, prob * 1.2)
+    raise RuntimeError("failed to build a connected G(n, p) graph")
+
+
+def random_tree(n: int, rng: Optional[random.Random] = None) -> Topology:
+    """A uniformly random recursive tree on ``n`` nodes rooted at 0."""
+    if n < 2:
+        raise ValueError("need at least 2 nodes")
+    rng = rng or random.Random(0)
+    adj = _empty(n)
+    for u in range(1, n):
+        _add_edge(adj, u, rng.randrange(u))
+    return Topology(adj, name=f"random_tree({n})")
+
+
+def random_regular(
+    n: int, degree: int, rng: Optional[random.Random] = None, max_tries: int = 200
+) -> Topology:
+    """A random ``degree``-regular connected graph (expander-like, low diameter).
+
+    Uses the pairing model with rejection; requires ``n * degree`` even.
+    """
+    if n < 2 or degree < 2 or degree >= n:
+        raise ValueError("need n >= 2 and 2 <= degree < n")
+    if (n * degree) % 2 != 0:
+        raise ValueError("n * degree must be even")
+    rng = rng or random.Random(0)
+    for _ in range(max_tries):
+        stubs = [u for u in range(n) for _ in range(degree)]
+        rng.shuffle(stubs)
+        adj = _empty(n)
+        ok = True
+        for a, b in zip(stubs[::2], stubs[1::2]):
+            if a == b or b in adj[a]:
+                ok = False
+                break
+            _add_edge(adj, a, b)
+        if not ok:
+            continue
+        try:
+            return Topology(adj, name=f"regular({n},{degree})")
+        except ValueError:
+            continue
+    raise RuntimeError("failed to build a connected random regular graph")
+
+
+def clustered_graph(
+    n_clusters: int,
+    cluster_size: int,
+    rng: Optional[random.Random] = None,
+) -> Topology:
+    """Dense clusters joined by a backbone ring — a two-tier ad hoc network.
+
+    Node 0 (the root/gateway) sits in cluster 0.  Each cluster is a clique;
+    one designated head per cluster joins the backbone ring.
+    """
+    if n_clusters < 2 or cluster_size < 2:
+        raise ValueError("need at least 2 clusters of size >= 2")
+    rng = rng or random.Random(0)
+    n = n_clusters * cluster_size
+    adj = _empty(n)
+    heads = []
+    for c in range(n_clusters):
+        members = list(range(c * cluster_size, (c + 1) * cluster_size))
+        for i, u in enumerate(members):
+            for v in members[i + 1:]:
+                _add_edge(adj, u, v)
+        heads.append(members[0])
+    for i, head in enumerate(heads):
+        _add_edge(adj, head, heads[(i + 1) % n_clusters])
+    return Topology(adj, name=f"clustered({n_clusters}x{cluster_size})")
+
+
+def hypercube_graph(dimension: int) -> Topology:
+    """The ``dimension``-dimensional hypercube (diameter = dimension).
+
+    Low diameter with high symmetry — the regime where the ``log N``
+    terms of the bounds dominate the ``f/b`` term.
+    """
+    if dimension < 1:
+        raise ValueError("dimension >= 1 required")
+    n = 1 << dimension
+    adj = _empty(n)
+    for u in range(n):
+        for bit in range(dimension):
+            _add_edge(adj, u, u ^ (1 << bit))
+    return Topology(adj, name=f"hypercube({dimension})")
+
+
+def torus_graph(rows: int, cols: int) -> Topology:
+    """A 2-D torus (grid with wraparound): 4-regular, no border effects."""
+    if rows < 3 or cols < 3:
+        raise ValueError("need rows, cols >= 3 for a simple torus")
+    adj = _empty(rows * cols)
+    for r in range(rows):
+        for c in range(cols):
+            u = r * cols + c
+            _add_edge(adj, u, r * cols + (c + 1) % cols)
+            _add_edge(adj, u, ((r + 1) % rows) * cols + c)
+    return Topology(adj, name=f"torus({rows}x{cols})")
+
+
+def cluster_line_graph(n_clusters: int, cluster_size: int) -> Topology:
+    """Cliques strung on a line — the extreme bottleneck shape.
+
+    Unlike :func:`clustered_graph` (backbone ring), consecutive cluster
+    heads form a path, so a single head failure partitions everything
+    beyond it.  Useful for partition-heavy correctness tests and for the
+    cut-simulation harness (the line is the cut).
+    """
+    if n_clusters < 2 or cluster_size < 2:
+        raise ValueError("need at least 2 clusters of size >= 2")
+    n = n_clusters * cluster_size
+    adj = _empty(n)
+    heads = []
+    for c in range(n_clusters):
+        members = list(range(c * cluster_size, (c + 1) * cluster_size))
+        for i, u in enumerate(members):
+            for v in members[i + 1:]:
+                _add_edge(adj, u, v)
+        heads.append(members[0])
+    for a, b in zip(heads, heads[1:]):
+        _add_edge(adj, a, b)
+    return Topology(adj, name=f"cluster_line({n_clusters}x{cluster_size})")
+
+
+def lollipop_graph(clique: int, tail: int) -> Topology:
+    """A clique with a path tail, rooted at the tail's far end.
+
+    Maximizes the distance between the root and the dense region —
+    adversarial for tree-aggregation depth.
+    """
+    if clique < 2 or tail < 1:
+        raise ValueError("need clique >= 2 and tail >= 1")
+    n = clique + tail
+    adj = _empty(n)
+    # Tail: nodes 0..tail-1, root at 0; clique: tail..n-1.
+    for u in range(tail - 1):
+        _add_edge(adj, u, u + 1)
+    _add_edge(adj, tail - 1, tail)
+    for u in range(tail, n):
+        for v in range(u + 1, n):
+            _add_edge(adj, u, v)
+    return Topology(adj, name=f"lollipop({clique},{tail})")
+
+
+#: Name -> factory for the standard experiment suite (all take ``n`` and rng).
+def standard_suite(n: int, rng: Optional[random.Random] = None) -> List[Topology]:
+    """A diverse bundle of topologies of ~``n`` nodes for sweep experiments."""
+    rng = rng or random.Random(0)
+    side = max(2, int(math.sqrt(n)))
+    topos = [
+        grid_graph(side, side),
+        balanced_tree(3, n),
+        random_geometric(n, rng=random.Random(rng.randrange(1 << 30))),
+        gnp_connected(n, rng=random.Random(rng.randrange(1 << 30))),
+    ]
+    return topos

@@ -1,0 +1,134 @@
+"""Graph property computations: BFS, distances, diameter, connectivity.
+
+The paper's model assumes an arbitrary connected undirected topology ``G``
+with known diameter ``d``, and a "remaining" graph ``H`` (failed nodes and
+their incident edges deleted) whose diameter is assumed to stay within
+``c * d``.  These helpers implement exactly the quantities needed there.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set
+
+
+def bfs_levels(
+    adjacency: Mapping[int, Sequence[int]],
+    source: int,
+    excluded: Optional[Set[int]] = None,
+) -> Dict[int, int]:
+    """Hop distances from ``source``, skipping ``excluded`` nodes.
+
+    Returns a map containing only the nodes reachable from ``source``.
+    """
+    excluded = excluded or set()
+    if source in excluded:
+        return {}
+    levels = {source: 0}
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        for v in adjacency[u]:
+            if v in excluded or v in levels:
+                continue
+            levels[v] = levels[u] + 1
+            queue.append(v)
+    return levels
+
+
+def is_connected(adjacency: Mapping[int, Sequence[int]]) -> bool:
+    """Whether the whole graph is one connected component."""
+    if not adjacency:
+        return True
+    source = next(iter(adjacency))
+    return len(bfs_levels(adjacency, source)) == len(adjacency)
+
+
+def component_of(
+    adjacency: Mapping[int, Sequence[int]],
+    source: int,
+    excluded: Optional[Set[int]] = None,
+) -> Set[int]:
+    """The connected component containing ``source`` after removing ``excluded``."""
+    return set(bfs_levels(adjacency, source, excluded))
+
+
+def eccentricity(
+    adjacency: Mapping[int, Sequence[int]],
+    source: int,
+    excluded: Optional[Set[int]] = None,
+) -> int:
+    """Largest hop distance from ``source`` within its component."""
+    levels = bfs_levels(adjacency, source, excluded)
+    if not levels:
+        raise ValueError(f"source {source} is excluded or absent")
+    return max(levels.values())
+
+
+def diameter(
+    adjacency: Mapping[int, Sequence[int]],
+    nodes: Optional[Iterable[int]] = None,
+) -> int:
+    """Exact diameter of the (sub)graph induced by ``nodes`` (default: all).
+
+    Raises ValueError if the induced subgraph is disconnected or empty.
+    """
+    if nodes is None:
+        included = set(adjacency)
+    else:
+        included = set(nodes)
+    if not included:
+        raise ValueError("cannot take the diameter of an empty graph")
+    excluded = set(adjacency) - included
+    best = 0
+    seen_size = None
+    for u in included:
+        levels = bfs_levels(adjacency, u, excluded)
+        if seen_size is None:
+            seen_size = len(levels)
+            if seen_size != len(included):
+                raise ValueError("induced subgraph is disconnected")
+        best = max(best, max(levels.values()))
+    return best
+
+
+def subgraph_without(
+    adjacency: Mapping[int, Sequence[int]], removed: Set[int]
+) -> Dict[int, List[int]]:
+    """Adjacency of the graph with ``removed`` nodes (and their edges) deleted."""
+    return {
+        u: [v for v in vs if v not in removed]
+        for u, vs in adjacency.items()
+        if u not in removed
+    }
+
+
+def edge_count(adjacency: Mapping[int, Sequence[int]]) -> int:
+    """Number of undirected edges."""
+    return sum(len(vs) for vs in adjacency.values()) // 2
+
+
+def edges(adjacency: Mapping[int, Sequence[int]]) -> List[tuple]:
+    """All undirected edges as sorted ``(u, v)`` pairs with ``u < v``."""
+    out = []
+    for u, vs in adjacency.items():
+        for v in vs:
+            if u < v:
+                out.append((u, v))
+    return sorted(out)
+
+
+def validate_undirected(adjacency: Mapping[int, Sequence[int]]) -> None:
+    """Raise ValueError unless ``adjacency`` is a simple undirected graph."""
+    for u, vs in adjacency.items():
+        seen = set()
+        for v in vs:
+            if v == u:
+                raise ValueError(f"self-loop at node {u}")
+            if v in seen:
+                raise ValueError(f"duplicate edge ({u}, {v})")
+            seen.add(v)
+            if v not in adjacency:
+                raise ValueError(f"edge ({u}, {v}) points outside the graph")
+            if u not in adjacency[v]:
+                raise ValueError(f"edge ({u}, {v}) is not symmetric")

@@ -1,0 +1,121 @@
+"""Closed-form bound curves — everything plotted in Figure 1.
+
+All formulas give bits per (bottleneck) node as a function of ``N``, the
+edge-failure budget ``f``, and the TC budget ``b`` in flooding rounds.
+Asymptotic constants are set to 1; the curves are meant for *shape*
+comparisons (who wins where, where crossovers fall), exactly like Figure 1's
+illustration.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+
+def _log2(value: float) -> float:
+    return math.log2(max(2.0, value))
+
+
+def upper_bound_new(n: int, f: int, b: int) -> float:
+    """Theorem 1's tight form:
+    ``(f/b logN + logN) * min(b, f, logN)``."""
+    log_n = _log2(n)
+    return (f / b * log_n + log_n) * min(b, f, log_n)
+
+
+def upper_bound_new_simple(n: int, f: int, b: int) -> float:
+    """Theorem 1's simple form: ``f/b log^2 N + log^2 N``."""
+    log_n = _log2(n)
+    return f / b * log_n**2 + log_n**2
+
+
+def lower_bound_new(n: int, f: int, b: int) -> float:
+    """Theorem 2: ``f/(b logb) + logN/logb``."""
+    log_b = _log2(b)
+    return f / (b * log_b) + _log2(n) / log_b
+
+
+def lower_bound_old(n: int, f: int, b: int) -> float:
+    """The previous lower bound from [4]: ``f/(b^2 logb)``."""
+    return f / (b**2 * _log2(b))
+
+
+def upper_bound_bruteforce(n: int, f: int, b: int) -> float:
+    """Brute-force protocol: ``N logN`` CC at ``O(1)`` TC (flat in ``b``)."""
+    return n * _log2(n)
+
+
+def upper_bound_folklore(n: int, f: int, b: int) -> float:
+    """Folklore repeated tree aggregation: ``f logN`` CC at ``O(f)`` TC."""
+    return f * _log2(n)
+
+
+def agg_veri_budget(n: int, t: int) -> float:
+    """The per-node AGG + VERI bit ceiling for tolerance ``t``:
+    ``(11t+14)(logN+5) + (5t+7)(3 logN + 10)`` (Theorems 3 and 6)."""
+    log_n = _log2(n)
+    return (11 * t + 14) * (log_n + 5) + (5 * t + 7) * (3 * log_n + 10)
+
+
+def gap_ratio(n: int, f: int, b: int) -> float:
+    """Upper bound over lower bound — the paper's headline says this is at
+    most ``log^2 N * log b`` (polylog), down from polynomial before."""
+    return upper_bound_new(n, f, b) / lower_bound_new(n, f, b)
+
+
+def polylog_gap_ceiling(n: int, b: int) -> float:
+    """The paper's claimed ceiling on the gap: ``log^2 N * log b``."""
+    return _log2(n) ** 2 * _log2(b)
+
+
+def unionsize_lower_bound(n: int, q: int) -> float:
+    """Theorem 12: ``Omega(n/q) - O(log n)`` for UNIONSIZECP."""
+    return max(0.0, n / q - _log2(n))
+
+
+def unionsize_upper_bound(n: int, q: int) -> float:
+    """[4]'s upper bound shape for UNIONSIZECP: ``n/q logn + logq``."""
+    return n / q * _log2(n) + _log2(q)
+
+
+def equality_lower_bound(n: int, q: int) -> float:
+    """Lemma 11: ``n log2(1 + 1/(q-1))`` for private-coin EQUALITYCP."""
+    return n * math.log2(1 + 1 / (q - 1))
+
+
+#: Curve registry used by the Figure 1 generator.
+CURVES: Dict[str, Callable[[int, int, int], float]] = {
+    "upper_bound_new": upper_bound_new,
+    "upper_bound_new_simple": upper_bound_new_simple,
+    "lower_bound_new": lower_bound_new,
+    "lower_bound_old": lower_bound_old,
+    "bruteforce": upper_bound_bruteforce,
+    "folklore": upper_bound_folklore,
+}
+
+
+@dataclass(frozen=True)
+class CurvePoint:
+    """One sample of a Figure 1 curve."""
+
+    b: int
+    value: float
+
+
+def sample_curve(
+    name: str, n: int, f: int, bs: Sequence[int]
+) -> List[CurvePoint]:
+    """Sample a named curve over a ``b`` grid."""
+    fn = CURVES[name]
+    return [CurvePoint(b, fn(n, f, b)) for b in bs]
+
+
+def crossover_b(n: int, f: int) -> float:
+    """The ``b`` where Theorem 1's two terms balance: ``b ~ f``.
+
+    Beyond ``b ~ f`` the ``log^2 N`` floor dominates and buying more time
+    no longer buys communication — the knee visible in Figure 1.
+    """
+    return float(max(1, f))

@@ -1,0 +1,85 @@
+"""EQUALITYCP and the Theorem 8 reduction to UNIONSIZECP.
+
+``EQUALITYCP(n, q)`` is UNIONSIZECP's sibling: same cycle-promise inputs,
+but Alice must decide whether ``X = Y``.  The paper introduces it because
+its rectangle structure is what the Sperner-capacity argument (Theorem 9 /
+Lemma 11) bounds, and Theorem 8 transfers that bound to UNIONSIZECP::
+
+    R_0(EQUALITYCP) <= R_0(UNIONSIZECP) + O(log q) + O(log n)
+
+The reduction's observation: from the union size Alice can tell whether a
+wrap position (``X_j = q-1, Y_j = 0``) exists; if not, the promise loses
+its "mod q" and ``X = Y  iff  sum(X) = sum(Y)``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from .twoparty import Transcript, TwoPartyProtocol, bits_for_domain
+from .unionsizecp import check_cycle_promise, union_size
+
+
+def strings_equal(x: Sequence[int], y: Sequence[int]) -> bool:
+    """Ground truth for EQUALITYCP."""
+    return tuple(x) == tuple(y)
+
+
+class TrivialEquality(TwoPartyProtocol):
+    """Alice ships ``X``; Bob answers (baseline)."""
+
+    name = "trivial-equality"
+
+    def __init__(self, q: int) -> None:
+        if q < 2:
+            raise ValueError("q >= 2 required")
+        self.q = q
+
+    def run(self, x, y) -> Tuple[bool, Transcript]:
+        if not check_cycle_promise(x, y, self.q):
+            raise ValueError("inputs violate the cycle promise")
+        tr = Transcript()
+        tr.alice_sends("X", len(x) * bits_for_domain(self.q))
+        answer = strings_equal(x, y)
+        tr.bob_sends("answer", 1)
+        return answer, tr
+
+
+class ReductionEquality(TwoPartyProtocol):
+    """Theorem 8's protocol: solve EQUALITYCP via a UNIONSIZECP oracle.
+
+    Steps (exactly the proof of Theorem 8):
+
+    1. Invoke the oracle UNIONSIZECP protocol on ``(X, Y)``.
+    2. Bob sends ``sum(Y)`` (``log n + log q`` bits) and ``z``, the count of
+       zeros in ``Y`` (``log n`` bits).
+    3. Alice outputs ``X = Y`` iff ``sum(X) = sum(Y)`` and the union size
+       equals ``n - z``.
+    """
+
+    name = "equality-via-unionsize"
+
+    def __init__(self, q: int, oracle: TwoPartyProtocol) -> None:
+        if q < 2:
+            raise ValueError("q >= 2 required")
+        self.q = q
+        self.oracle = oracle
+
+    def run(self, x, y) -> Tuple[bool, Transcript]:
+        if not check_cycle_promise(x, y, self.q):
+            raise ValueError("inputs violate the cycle promise")
+        n = len(x)
+        usc, tr = self.oracle.run(x, y)
+
+        sum_bits = bits_for_domain(max(2, n * self.q + 1))
+        count_bits = bits_for_domain(n + 1)
+        tr.bob_sends("sum(Y)", sum_bits)
+        z = sum(1 for yi in y if yi == 0)
+        tr.bob_sends("zero-count", count_bits)
+
+        answer = (sum(x) == sum(y)) and (usc == n - z)
+        return answer, tr
+
+    def overhead_bits(self, n: int) -> int:
+        """The reduction's additive cost beyond the oracle: ``O(log q + log n)``."""
+        return bits_for_domain(max(2, n * self.q + 1)) + bits_for_domain(n + 1)

@@ -1,0 +1,170 @@
+"""Newman's theorem ([15]), executable: public coins -> private coins.
+
+Theorem 10's proof uses Newman's theorem: "a public coin protocol using
+``k`` bits can always be simulated via private coins while using
+``O(k + loglog |input domain|)`` bits".  The mechanism: a public-coin
+protocol with error ``eps`` admits a *small fixed set* of coin seeds
+(size ``O(log |domain| / eps^2)``) such that picking a uniform seed from
+the set keeps the error below ``2 eps`` on **every** input; Alice can
+then sample the seed privately and ship its index — ``log`` of the set
+size, i.e. ``O(loglog |domain|)`` extra bits.
+
+This module makes every step concrete for small instances:
+
+* :class:`PublicCoinEquality` — the classic public-coin protocol for
+  EQUALITY (random-subset parity fingerprints, error 1/2 per repetition);
+* :func:`find_seed_set` — derandomization: search for a seed set whose
+  *worst-case over all inputs* error is below the target (verified
+  exhaustively, so the guarantee is unconditional for the instance);
+* :class:`NewmanSimulation` — the private-coin simulation: seed index +
+  the original transcript, with the predicted ``log |seeds|`` overhead.
+
+The protocols here have one-sided error (they are the standard textbook
+objects, not the paper's zero-error SUM protocols); they exist to execute
+the [15] step of the lower-bound chain.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from itertools import product
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from .twoparty import Transcript, bits_for_domain
+
+
+def parity_fingerprint(x: Sequence[int], mask: Sequence[int], q: int) -> int:
+    """A 1-bit fingerprint: parity of ``sum(mask_i * x_i) mod q``-ish mix.
+
+    We hash each character into bits via the mask and fold to one parity
+    bit; equal strings always agree, and for ``x != y`` a uniform mask
+    disagrees with probability 1/2 (tested exhaustively in the suite).
+    """
+    acc = 0
+    for xi, mi in zip(x, mask):
+        acc ^= bin(xi & mi).count("1") & 1
+    return acc
+
+
+def random_mask(n: int, q: int, rng: random.Random) -> Tuple[int, ...]:
+    """A uniform mask with one word per character position."""
+    width = max(1, (q - 1).bit_length())
+    return tuple(rng.randrange(1 << width) for _ in range(n))
+
+
+@dataclass
+class PublicCoinEquality:
+    """Public-coin EQUALITY with ``repetitions`` fingerprint rounds.
+
+    Error: declares unequal strings "equal" with probability at most
+    ``2^-repetitions`` (one-sided); equal strings are always accepted.
+    The transcript is ``repetitions + 1`` bits — independent of ``n``,
+    which is the whole point of public coins.
+    """
+
+    n: int
+    q: int
+    repetitions: int = 4
+
+    def run_with_coins(
+        self, x: Sequence[int], y: Sequence[int], rng: random.Random
+    ) -> Tuple[bool, Transcript]:
+        """Execute with an explicit shared coin source."""
+        tr = Transcript()
+        verdict = True
+        for _ in range(self.repetitions):
+            mask = random_mask(self.n, self.q, rng)
+            bit_a = parity_fingerprint(x, mask, self.q)
+            tr.alice_sends("fingerprint", 1)
+            bit_b = parity_fingerprint(y, mask, self.q)
+            if bit_a != bit_b:
+                verdict = False
+        tr.bob_sends("verdict", 1)
+        return verdict, tr
+
+    def error_on(
+        self, x: Sequence[int], y: Sequence[int], seed: int
+    ) -> bool:
+        """Whether the protocol errs on ``(x, y)`` under coin seed ``seed``."""
+        verdict, _ = self.run_with_coins(x, y, random.Random(seed))
+        truth = tuple(x) == tuple(y)
+        return verdict != truth
+
+
+def all_input_pairs(n: int, q: int) -> List[Tuple[tuple, tuple]]:
+    """Every input pair of the (tiny) universe — for exhaustive checking."""
+    strings = list(product(range(q), repeat=n))
+    return [(x, y) for x in strings for y in strings]
+
+
+def worst_case_error(
+    protocol: PublicCoinEquality, seeds: Sequence[int]
+) -> float:
+    """The max over inputs of the fraction of seeds on which the protocol
+    errs — Newman's quantity, computed exactly."""
+    pairs = all_input_pairs(protocol.n, protocol.q)
+    worst = 0.0
+    for x, y in pairs:
+        errors = sum(protocol.error_on(x, y, seed) for seed in seeds)
+        worst = max(worst, errors / len(seeds))
+    return worst
+
+
+def find_seed_set(
+    protocol: PublicCoinEquality,
+    target_error: float,
+    set_size: int,
+    rng: Optional[random.Random] = None,
+    attempts: int = 50,
+) -> List[int]:
+    """Find a fixed seed set realizing Newman's theorem for the instance.
+
+    Samples candidate sets and *verifies exhaustively* that the worst-case
+    error stays below ``target_error``; the probabilistic argument says a
+    random set of size ``O(log(#inputs)/eps^2)`` works with high
+    probability, so a few attempts suffice.
+    """
+    rng = rng or random.Random(0)
+    for _ in range(attempts):
+        seeds = [rng.randrange(1 << 30) for _ in range(set_size)]
+        if worst_case_error(protocol, seeds) <= target_error:
+            return seeds
+    raise RuntimeError(
+        f"no seed set of size {set_size} reached error {target_error}; "
+        "increase set_size"
+    )
+
+
+@dataclass
+class NewmanSimulation:
+    """The private-coin simulation of a public-coin protocol.
+
+    Alice privately samples an index into the fixed ``seeds`` list, sends
+    it (``ceil(log2 |seeds|)`` bits — the ``O(loglog domain)`` overhead),
+    and both parties run the original protocol with that seed.
+    """
+
+    protocol: PublicCoinEquality
+    seeds: List[int]
+
+    @property
+    def overhead_bits(self) -> int:
+        """Extra bits vs the public-coin protocol: the seed index."""
+        return bits_for_domain(len(self.seeds))
+
+    def run(
+        self, x: Sequence[int], y: Sequence[int], rng: random.Random
+    ) -> Tuple[bool, Transcript]:
+        """Private-coin execution: seed index + original transcript."""
+        index = rng.randrange(len(self.seeds))
+        verdict, tr = self.protocol.run_with_coins(
+            x, y, random.Random(self.seeds[index])
+        )
+        tr.alice_sends("seed-index", self.overhead_bits)
+        return verdict, tr
+
+    def worst_case_error(self) -> float:
+        """Exhaustive worst-case error of the simulation (over the seed
+        choice) — Newman guarantees at most twice the public-coin error."""
+        return worst_case_error(self.protocol, self.seeds)

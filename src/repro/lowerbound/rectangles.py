@@ -1,0 +1,176 @@
+"""Lemma 11's rectangle argument, executable for small instances.
+
+Lemma 11 lower-bounds private-coin EQUALITYCP via the classic chain
+``R_0^pri(h) >= N(h) >= log C^1(h)`` where ``C^1(h)`` is the smallest
+number of monochromatic rectangles covering the 1-entries of ``h``'s
+communication matrix.  For EQUALITYCP the matrix ``Z`` is ``q^n x q^n``
+with 1s on the diagonal, 0s on promise-respecting unequal pairs, and
+*undefined* entries elsewhere; a monochromatic 1-rectangle may use
+undefined entries freely but no 0s.
+
+This module builds ``Z`` explicitly, checks rectangles, and computes
+``C^1`` exactly (branch and bound) for tiny ``(n, q)`` so Lemma 11's
+``q^n / (q-1)^n`` bound — and Theorem 9's role in it — can be verified
+end to end rather than taken on faith.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from .sperner import confusable, theorem9_bound
+
+#: Matrix cell values.
+ONE, ZERO, UNDEFINED = 1, 0, None
+
+
+def all_strings(n: int, q: int) -> List[Tuple[int, ...]]:
+    """The input universe ``[0, q-1]^n``."""
+    return list(product(range(q), repeat=n))
+
+
+def promise_holds(x: Sequence[int], y: Sequence[int], q: int) -> bool:
+    """Whether ``(x, y)`` satisfies the cycle promise."""
+    return all(yi == xi or yi == (xi + 1) % q for xi, yi in zip(x, y))
+
+
+def matrix_entry(x: Sequence[int], y: Sequence[int], q: int):
+    """The EQUALITYCP matrix entry for row ``x`` (Alice), column ``y`` (Bob)."""
+    if not promise_holds(x, y, q):
+        return UNDEFINED
+    return ONE if tuple(x) == tuple(y) else ZERO
+
+
+def build_matrix(n: int, q: int) -> Dict[Tuple[tuple, tuple], Optional[int]]:
+    """The full ``q^n x q^n`` EQUALITYCP matrix (small ``n, q`` only)."""
+    strings = all_strings(n, q)
+    if len(strings) > 256:
+        raise ValueError("matrix restricted to q^n <= 256 cells per side")
+    return {
+        (x, y): matrix_entry(x, y, q) for x in strings for y in strings
+    }
+
+
+def rectangle_is_one_monochromatic(
+    rows: Iterable[tuple], cols: Iterable[tuple], q: int
+) -> bool:
+    """Whether ``rows x cols`` contains no ZERO entry (1s/undefined only)."""
+    cols = list(cols)
+    for x in rows:
+        for y in cols:
+            if matrix_entry(x, y, q) == ZERO:
+                return False
+    return True
+
+
+def diagonal_set_is_valid_rectangle(members: Sequence[tuple], q: int) -> bool:
+    """Whether the diagonal 1-entries of ``members`` fit in one
+    monochromatic rectangle (rows = cols = members).
+
+    The proof of Lemma 11 observes this holds iff every pair of members is
+    NOT cycle-separable in either direction — i.e. iff every pair is
+    *confusable* in the Theorem 9 sense.
+    """
+    return rectangle_is_one_monochromatic(members, members, q)
+
+
+def max_diagonal_rectangle(n: int, q: int) -> int:
+    """Largest set of diagonal 1-entries coverable by one rectangle.
+
+    By the Lemma 11 observation this equals the maximum Theorem 9 family
+    size, so it is bounded by ``(q-1)^n``.  Exact branch-and-bound.
+    """
+    strings = all_strings(n, q)
+    count = len(strings)
+    compatible = [
+        set(
+            j
+            for j in range(count)
+            if j != i and not _separable(strings[i], strings[j], q)
+        )
+        for i in range(count)
+    ]
+    best = [1]
+
+    def extend(size: int, candidates: set) -> None:
+        if size + len(candidates) <= best[0]:
+            return
+        if not candidates:
+            best[0] = max(best[0], size)
+            return
+        pool = sorted(candidates)
+        while pool:
+            if size + len(pool) <= best[0]:
+                return
+            v = pool.pop()
+            extend(size + 1, set(pool) & compatible[v])
+
+    extend(0, set(range(count)))
+    return best[0]
+
+
+def _separable(v: tuple, w: tuple, q: int) -> bool:
+    """Whether ``Z[v,w]`` or ``Z[w,v]`` is a ZERO (blocks co-membership)."""
+    return (
+        matrix_entry(v, w, q) == ZERO or matrix_entry(w, v, q) == ZERO
+    )
+
+
+def min_rectangle_cover(n: int, q: int, limit: int = 64) -> int:
+    """Exact ``C^1``: fewest monochromatic rectangles covering the diagonal.
+
+    Greedy-free exact set cover by branch and bound over maximal
+    rectangles; exponential, so only tiny ``(n, q)`` are accepted
+    (``q^n <= limit``).
+    """
+    strings = all_strings(n, q)
+    if len(strings) > limit:
+        raise ValueError(f"q^n must be <= {limit} for the exact cover")
+    count = len(strings)
+    compatible = [
+        frozenset(
+            j
+            for j in range(count)
+            if j != i and not _separable(strings[i], strings[j], q)
+        )
+        for i in range(count)
+    ]
+
+    # Enumerate maximal cliques (maximal coverable diagonal sets).
+    cliques: List[FrozenSet[int]] = []
+
+    def bron_kerbosch(r: set, p: set, x: set) -> None:
+        if not p and not x:
+            cliques.append(frozenset(r))
+            return
+        pivot_pool = p | x
+        pivot = max(pivot_pool, key=lambda v: len(compatible[v] & p))
+        for v in sorted(p - compatible[pivot]):
+            bron_kerbosch(r | {v}, p & compatible[v], x & compatible[v])
+            p = p - {v}
+            x = x | {v}
+
+    bron_kerbosch(set(), set(range(count)), set())
+    cliques.sort(key=len, reverse=True)
+
+    best = [count]  # singleton rectangles always work
+
+    def cover(uncovered: frozenset, used: int) -> None:
+        if used >= best[0]:
+            return
+        if not uncovered:
+            best[0] = used
+            return
+        target = min(uncovered)
+        for clique in cliques:
+            if target in clique:
+                cover(uncovered - clique, used + 1)
+
+    cover(frozenset(range(count)), 0)
+    return best[0]
+
+
+def lemma11_cover_bound(n: int, q: int) -> float:
+    """The bound Lemma 11 derives: ``C^1 >= q^n / (q-1)^n``."""
+    return (q**n) / theorem9_bound(n, q)

@@ -1,0 +1,33 @@
+"""Synchronous local-broadcast network simulator (the paper's model)."""
+
+from .flooding import FloodManager
+from .message import TAG_BITS, Envelope, Part, id_bits, total_bits, value_bits
+from .network import NEVER, Network
+from .node import NodeHandler, RelayNode, SilentNode
+from .stats import SimStats
+from .trace import CrashEvent, DeliverEvent, SendEvent, Tracer, attach_tracer
+from .validation import Violation, assert_model, validate_model
+
+__all__ = [
+    "CrashEvent",
+    "DeliverEvent",
+    "Envelope",
+    "FloodManager",
+    "NEVER",
+    "Network",
+    "NodeHandler",
+    "Part",
+    "RelayNode",
+    "SendEvent",
+    "SilentNode",
+    "SimStats",
+    "TAG_BITS",
+    "Tracer",
+    "Violation",
+    "assert_model",
+    "attach_tracer",
+    "id_bits",
+    "validate_model",
+    "total_bits",
+    "value_bits",
+]

@@ -1,0 +1,118 @@
+"""The synchronous local-broadcast network simulator.
+
+This is the paper's model, realized exactly (Section 2):
+
+* Protocols proceed in rounds.  In each round a node first receives all
+  messages its neighbours broadcast in the previous round, computes, and may
+  broadcast a single (combined) message received by all neighbours next
+  round.
+* All nodes except the root may crash.  A node crashed at round ``r``
+  neither computes nor sends in rounds ``>= r``; its round-``r - 1``
+  broadcast is still delivered.  The adversary is oblivious: the crash
+  schedule is fixed before execution.
+* Per-node bits are accounted in :class:`repro.sim.stats.SimStats`; the max
+  over nodes is the paper's communication complexity for the execution.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from .message import Envelope, Part
+from .node import NodeHandler
+from .stats import SimStats
+
+#: Crash round assigned to nodes that never fail.
+NEVER = float("inf")
+
+
+class Network:
+    """Synchronous round executor over an undirected topology.
+
+    Args:
+        adjacency: Mapping from node id to its neighbours.  Must describe an
+            undirected graph (``v in adjacency[u]`` iff ``u in adjacency[v]``).
+        handlers: One :class:`NodeHandler` per node id.
+        crash_rounds: Optional mapping from node id to the first round in
+            which the node is dead.  Missing nodes never crash.
+    """
+
+    def __init__(
+        self,
+        adjacency: Mapping[int, Sequence[int]],
+        handlers: Mapping[int, NodeHandler],
+        crash_rounds: Optional[Mapping[int, int]] = None,
+        tracer=None,
+    ) -> None:
+        self.adjacency: Dict[int, tuple] = {
+            u: tuple(vs) for u, vs in adjacency.items()
+        }
+        missing = set(self.adjacency) - set(handlers)
+        if missing:
+            raise ValueError(f"no handler for nodes: {sorted(missing)}")
+        self.handlers: Dict[int, NodeHandler] = dict(handlers)
+        self.crash_rounds: Dict[int, float] = dict(crash_rounds or {})
+        self.stats = SimStats()
+        self.round = 0
+        #: Optional :class:`repro.sim.trace.Tracer` receiving event hooks.
+        self.tracer = tracer
+        # Broadcasts made in the current round, delivered next round.
+        self._in_flight: List[tuple] = []
+
+    def is_alive(self, node: int, rnd: Optional[int] = None) -> bool:
+        """Whether ``node`` is alive in round ``rnd`` (default: current)."""
+        if rnd is None:
+            rnd = self.round
+        return rnd < self.crash_rounds.get(node, NEVER)
+
+    def alive_nodes(self, rnd: Optional[int] = None) -> List[int]:
+        """All nodes alive in round ``rnd`` (default: current)."""
+        return [u for u in self.adjacency if self.is_alive(u, rnd)]
+
+    def step(self) -> None:
+        """Execute one round: deliver, compute, broadcast."""
+        self.round += 1
+        rnd = self.round
+
+        # Deliver last round's broadcasts to live neighbours.
+        inboxes: Dict[int, List[Envelope]] = {}
+        for sender, parts in self._in_flight:
+            for neighbour in self.adjacency[sender]:
+                if self.is_alive(neighbour, rnd):
+                    box = inboxes.setdefault(neighbour, [])
+                    box.extend(Envelope(sender, p) for p in parts)
+                    if self.tracer is not None:
+                        for p in parts:
+                            self.tracer.on_deliver(rnd, sender, neighbour, p)
+        self._in_flight = []
+
+        # Live nodes compute and broadcast.
+        for node in self.adjacency:
+            if not self.is_alive(node, rnd):
+                if self.tracer is not None and self.crash_rounds.get(node) == rnd:
+                    self.tracer.on_crash(rnd, node)
+                continue
+            inbox = inboxes.get(node, ())
+            parts = list(self.handlers[node].on_round(rnd, inbox))
+            if parts:
+                bits = sum(p.bits for p in parts)
+                self.stats.record_broadcast(node, len(parts), bits)
+                self._in_flight.append((node, parts))
+                if self.tracer is not None:
+                    self.tracer.on_send(rnd, node, parts, bits)
+        self.stats.rounds_executed = rnd
+
+    def run(self, max_rounds: int, stop_on_output: bool = True) -> SimStats:
+        """Run up to ``max_rounds`` rounds.
+
+        Stops early once any handler's :meth:`NodeHandler.wants_to_stop`
+        returns True (the root terminating with its output), unless
+        ``stop_on_output`` is False.
+        """
+        for _ in range(max_rounds):
+            self.step()
+            if stop_on_output and any(
+                h.wants_to_stop() for h in self.handlers.values()
+            ):
+                break
+        return self.stats

@@ -1,0 +1,54 @@
+"""Execution statistics: per-node bit counters and round accounting.
+
+The paper defines a protocol's communication complexity (CC) as the maximum,
+over nodes, of the number of bits the node sends (locally broadcasts), and
+its time complexity (TC) in *flooding rounds* — blocks of ``d`` rounds where
+``d`` is the diameter of the topology.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class SimStats:
+    """Counters accumulated by :class:`repro.sim.network.Network`."""
+
+    bits_sent: Dict[int, int] = field(default_factory=dict)
+    parts_sent: Dict[int, int] = field(default_factory=dict)
+    broadcasts: Dict[int, int] = field(default_factory=dict)
+    rounds_executed: int = 0
+
+    def record_broadcast(self, node: int, n_parts: int, bits: int) -> None:
+        """Record one physical broadcast of ``n_parts`` parts totalling ``bits``."""
+        self.bits_sent[node] = self.bits_sent.get(node, 0) + bits
+        self.parts_sent[node] = self.parts_sent.get(node, 0) + n_parts
+        self.broadcasts[node] = self.broadcasts.get(node, 0) + 1
+
+    @property
+    def max_bits(self) -> int:
+        """The bottleneck-node bit count — the paper's CC for one execution."""
+        return max(self.bits_sent.values(), default=0)
+
+    @property
+    def total_bits(self) -> int:
+        """Bits sent by all nodes combined (not the paper's CC; informational)."""
+        return sum(self.bits_sent.values())
+
+    def bits_of(self, node: int) -> int:
+        """Bits sent by one node."""
+        return self.bits_sent.get(node, 0)
+
+    def flooding_rounds(self, diameter: int) -> int:
+        """Rounds executed, expressed in flooding rounds of ``diameter`` rounds."""
+        if diameter < 1:
+            raise ValueError(f"diameter must be >= 1, got {diameter}")
+        return math.ceil(self.rounds_executed / diameter)
+
+    def top_senders(self, k: int = 5) -> List[tuple]:
+        """The ``k`` nodes that sent the most bits, as ``(node, bits)`` pairs."""
+        ranked = sorted(self.bits_sent.items(), key=lambda kv: kv[1], reverse=True)
+        return ranked[:k]

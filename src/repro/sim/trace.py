@@ -1,0 +1,171 @@
+"""Structured execution tracing for the simulator.
+
+A :class:`Tracer` attached to a :class:`repro.sim.network.Network` records
+every broadcast, delivery, and crash as typed events.  Traces are the
+debugging story for protocol work: they answer "who sent what when", "when
+did the flood reach node 17", and "what did the root hear in round 42"
+without print statements inside handlers.
+
+Events are cheap namedtuples; filters return lists so they compose with
+ordinary list comprehensions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, NamedTuple, Optional, Set
+
+from .message import Part
+
+
+class SendEvent(NamedTuple):
+    """One physical broadcast: ``node`` sent ``parts`` in ``round``."""
+
+    round: int
+    node: int
+    parts: tuple
+    bits: int
+
+
+class DeliverEvent(NamedTuple):
+    """One delivery: ``receiver`` got ``part`` from ``sender`` in ``round``."""
+
+    round: int
+    sender: int
+    receiver: int
+    part: Part
+
+
+class CrashEvent(NamedTuple):
+    """``node`` became dead at the start of ``round``."""
+
+    round: int
+    node: int
+
+
+class Tracer:
+    """Collects simulator events, with query helpers.
+
+    Attach via ``Network(..., tracer=Tracer())`` or
+    :func:`attach_tracer`.  Deliveries are voluminous; pass
+    ``record_deliveries=False`` to keep only sends and crashes.
+    """
+
+    def __init__(self, record_deliveries: bool = True) -> None:
+        self.record_deliveries = record_deliveries
+        self.sends: List[SendEvent] = []
+        self.deliveries: List[DeliverEvent] = []
+        self.crashes: List[CrashEvent] = []
+        self._crashed_seen: Set[int] = set()
+
+    # ------------------------------------------------------------------ #
+    # Recording hooks (called by Network).
+    # ------------------------------------------------------------------ #
+
+    def on_send(self, rnd: int, node: int, parts: List[Part], bits: int) -> None:
+        """Network hook: one physical broadcast happened."""
+        self.sends.append(SendEvent(rnd, node, tuple(parts), bits))
+
+    def on_deliver(self, rnd: int, sender: int, receiver: int, part: Part) -> None:
+        """Network hook: one part was delivered to one neighbour."""
+        if self.record_deliveries:
+            self.deliveries.append(DeliverEvent(rnd, sender, receiver, part))
+
+    def on_crash(self, rnd: int, node: int) -> None:
+        """Network hook: a node entered its first dead round."""
+        if node not in self._crashed_seen:
+            self._crashed_seen.add(node)
+            self.crashes.append(CrashEvent(rnd, node))
+
+    # ------------------------------------------------------------------ #
+    # Queries.
+    # ------------------------------------------------------------------ #
+
+    def sends_by(self, node: int) -> List[SendEvent]:
+        """All broadcasts made by ``node``."""
+        return [e for e in self.sends if e.node == node]
+
+    def sends_of_kind(self, kind: str) -> List[SendEvent]:
+        """All broadcasts containing at least one part of ``kind``."""
+        return [
+            e for e in self.sends if any(p.kind == kind for p in e.parts)
+        ]
+
+    def first_send_of_kind(self, kind: str) -> Optional[SendEvent]:
+        """The earliest broadcast carrying a part of ``kind``."""
+        events = self.sends_of_kind(kind)
+        return min(events, default=None, key=lambda e: e.round)
+
+    def deliveries_to(self, node: int) -> List[DeliverEvent]:
+        """Everything ``node`` received."""
+        return [e for e in self.deliveries if e.receiver == node]
+
+    def first_delivery(
+        self, receiver: int, kind: str
+    ) -> Optional[DeliverEvent]:
+        """When ``receiver`` first heard a part of ``kind`` (None if never)."""
+        for e in self.deliveries:
+            if e.receiver == receiver and e.part.kind == kind:
+                return e
+        return None
+
+    def bits_per_round(self) -> Dict[int, int]:
+        """Total bits broadcast network-wide, per round."""
+        out: Dict[int, int] = {}
+        for e in self.sends:
+            out[e.round] = out.get(e.round, 0) + e.bits
+        return out
+
+    def kind_histogram(self) -> Dict[str, int]:
+        """How many parts of each kind were broadcast in total."""
+        out: Dict[str, int] = {}
+        for e in self.sends:
+            for p in e.parts:
+                out[p.kind] = out.get(p.kind, 0) + 1
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Rendering.
+    # ------------------------------------------------------------------ #
+
+    def timeline(
+        self,
+        node: Optional[int] = None,
+        kinds: Optional[Iterable[str]] = None,
+        limit: int = 200,
+    ) -> str:
+        """A human-readable event log, optionally filtered."""
+        kind_set = set(kinds) if kinds is not None else None
+        lines = []
+        events = sorted(
+            [("send", e.round, e) for e in self.sends]
+            + [("crash", e.round, e) for e in self.crashes],
+            key=lambda item: item[1],
+        )
+        for label, rnd, event in events:
+            if label == "send":
+                if node is not None and event.node != node:
+                    continue
+                parts = [
+                    p
+                    for p in event.parts
+                    if kind_set is None or p.kind in kind_set
+                ]
+                if not parts:
+                    continue
+                desc = ", ".join(f"{p.kind}{p.payload}" for p in parts)
+                lines.append(f"r{rnd:>4}  node {event.node:>3} sends: {desc}")
+            else:
+                if node is not None and event.node != node:
+                    continue
+                lines.append(f"r{rnd:>4}  node {event.node:>3} CRASHES")
+            if len(lines) >= limit:
+                lines.append(f"... (truncated at {limit} lines)")
+                break
+        return "\n".join(lines) if lines else "(no matching events)"
+
+
+def attach_tracer(network, tracer: Optional[Tracer] = None) -> Tracer:
+    """Attach a tracer to an existing network; returns the tracer."""
+    tracer = tracer or Tracer()
+    network.tracer = tracer
+    return tracer

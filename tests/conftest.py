@@ -1,0 +1,66 @@
+"""Shared fixtures for the test suite."""
+
+import random
+
+import pytest
+
+from repro.graphs import (
+    balanced_tree,
+    caterpillar_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    star_graph,
+)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(0)
+
+
+@pytest.fixture
+def grid44():
+    return grid_graph(4, 4)
+
+
+@pytest.fixture
+def grid55():
+    return grid_graph(5, 5)
+
+
+@pytest.fixture
+def path8():
+    return path_graph(8)
+
+
+@pytest.fixture
+def star10():
+    return star_graph(10)
+
+
+@pytest.fixture
+def tree15():
+    return balanced_tree(2, 15)
+
+
+@pytest.fixture
+def small_topologies():
+    return [
+        path_graph(6),
+        cycle_graph(8),
+        star_graph(9),
+        grid_graph(3, 4),
+        balanced_tree(3, 13),
+        caterpillar_graph(5, 2),
+    ]
+
+
+def unit_inputs(topology):
+    """Every node holds 1 — SUM equals the number of contributing nodes."""
+    return {u: 1 for u in topology.nodes()}
+
+
+def indexed_inputs(topology):
+    """Node u holds u + 1 — distinct contributions for double-count checks."""
+    return {u: u + 1 for u in topology.nodes()}

@@ -1,0 +1,93 @@
+"""Worst-case adversary search (random restarts + hill climbing)."""
+
+import random
+
+import pytest
+
+from repro.adversary.search import (
+    make_algorithm1_evaluator,
+    mutate_schedule,
+    random_schedule,
+    search_worst_adversary,
+)
+from repro.adversary.schedule import FailureSchedule
+from repro.graphs import grid_graph
+
+
+class TestScheduleMoves:
+    def test_random_schedule_respects_budget(self):
+        topo = grid_graph(4, 4)
+        for seed in range(8):
+            s = random_schedule(topo, f=5, horizon=100, rng=random.Random(seed))
+            assert s.edge_failures(topo) <= 5
+            assert all(1 <= r <= 100 for r in s.crash_rounds.values())
+
+    def test_mutation_respects_budget(self):
+        topo = grid_graph(4, 4)
+        rng = random.Random(1)
+        schedule = random_schedule(topo, f=6, horizon=50, rng=rng)
+        for _ in range(20):
+            schedule = mutate_schedule(topo, schedule, f=6, horizon=50, rng=rng)
+            assert schedule.edge_failures(topo) <= 6
+
+    def test_mutation_from_empty_can_add(self):
+        topo = grid_graph(4, 4)
+        rng = random.Random(3)
+        grew = any(
+            len(mutate_schedule(topo, FailureSchedule(), 4, 50, rng)) > 0
+            for _ in range(10)
+        )
+        assert grew
+
+
+class TestSearch:
+    def _search(self, objective="cc"):
+        topo = grid_graph(4, 4)
+        inputs = {u: 1 for u in topo.nodes()}
+        evaluator = make_algorithm1_evaluator(topo, inputs, f=4, b=45)
+        return topo, search_worst_adversary(
+            evaluator,
+            topo,
+            f=4,
+            horizon=45 * topo.diameter,
+            rng=random.Random(0),
+            restarts=2,
+            steps_per_restart=4,
+            objective=objective,
+        )
+
+    def test_finds_worse_than_empty_schedule(self):
+        topo = grid_graph(4, 4)
+        inputs = {u: 1 for u in topo.nodes()}
+        evaluator = make_algorithm1_evaluator(topo, inputs, f=4, b=45)
+        empty_cc, _, _ = evaluator(FailureSchedule(), random.Random(0))
+        _, result = self._search()
+        assert result.cc_bits >= empty_cc
+
+    def test_never_finds_incorrect_results(self):
+        # Zero-error: the falsification side of the search must come up
+        # empty.
+        _, result = self._search()
+        assert result.incorrect_runs == 0
+
+    def test_budget_respected_by_winner(self):
+        topo, result = self._search()
+        assert result.schedule.edge_failures(topo) <= 4
+
+    def test_rounds_objective(self):
+        _, result = self._search(objective="rounds")
+        assert result.rounds >= 1
+
+    def test_rejects_unknown_objective(self):
+        topo = grid_graph(3, 3)
+        evaluator = make_algorithm1_evaluator(
+            topo, {u: 1 for u in topo.nodes()}, f=2, b=45
+        )
+        with pytest.raises(ValueError):
+            search_worst_adversary(
+                evaluator, topo, f=2, horizon=10, objective="latency"
+            )
+
+    def test_trial_count_reported(self):
+        _, result = self._search()
+        assert result.trials == 1 + 2 * (1 + 4)

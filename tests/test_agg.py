@@ -1,0 +1,281 @@
+"""AGG (Algorithm 2): tree construction, aggregation, speculative flooding,
+witness selection, abort — and Theorems 3, 4, 5."""
+
+import random
+
+import pytest
+
+from repro.adversary import (
+    FailureSchedule,
+    blocker_failures,
+    chain_failures,
+    predicted_tree,
+    random_failures,
+)
+from repro.core.agg import run_agg
+from repro.core.caaf import COUNT, MAX, SUM
+from repro.core.correctness import is_correct_result
+from repro.graphs import (
+    balanced_tree,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    star_graph,
+)
+from tests.conftest import indexed_inputs, unit_inputs
+
+
+class TestTreeConstruction:
+    def test_levels_match_bfs_distances(self, grid44):
+        out = run_agg(grid44, unit_inputs(grid44), t=2)
+        for u, node in out.nodes.items():
+            assert node.state.activated
+            assert node.state.level == grid44.levels[u]
+
+    def test_parents_match_predicted_tree(self, grid44):
+        out = run_agg(grid44, unit_inputs(grid44), t=2)
+        parent, _ = predicted_tree(grid44)
+        for u, node in out.nodes.items():
+            if u != grid44.root:
+                assert node.state.parent == parent[u]
+
+    def test_children_are_inverse_of_parents(self, grid55):
+        out = run_agg(grid55, unit_inputs(grid55), t=1)
+        for u, node in out.nodes.items():
+            for child in node.state.children:
+                assert out.nodes[child].state.parent == u
+
+    def test_ancestor_lists_follow_tree_paths(self, grid55):
+        t = 3
+        out = run_agg(grid55, unit_inputs(grid55), t=t)
+        parent, _ = predicted_tree(grid55)
+        for u, node in out.nodes.items():
+            anc = node.state.ancestors
+            assert anc[0] == u
+            assert len(anc) == 2 * t + 1
+            walker = u
+            for entry in anc[1:]:
+                expected = parent[walker] if parent[walker] != -1 else None
+                assert entry == expected
+                if expected is None:
+                    break
+                walker = expected
+
+    def test_max_level_is_subtree_depth(self, path8):
+        out = run_agg(path8, unit_inputs(path8), t=1)
+        # On a path rooted at 0, node u's subtree reaches the far end.
+        for u, node in out.nodes.items():
+            assert node.state.max_level == 7
+
+    def test_dead_before_start_never_activates(self, grid44):
+        schedule = FailureSchedule({15: 1})
+        out = run_agg(grid44, unit_inputs(grid44), t=4, schedule=schedule)
+        assert not out.nodes[15].state.activated
+
+
+class TestFailureFreeAggregation:
+    @pytest.mark.parametrize("t", [0, 1, 4])
+    def test_exact_sum_on_grid(self, grid44, t):
+        inputs = indexed_inputs(grid44)
+        out = run_agg(grid44, inputs, t=t)
+        assert out.result == sum(inputs.values())
+        assert not out.aborted
+
+    def test_exact_sum_on_all_small_topologies(self, small_topologies):
+        for topo in small_topologies:
+            inputs = indexed_inputs(topo)
+            out = run_agg(topo, inputs, t=2)
+            assert out.result == sum(inputs.values()), topo.name
+
+    def test_only_root_floods_psum_when_no_failures(self, grid55):
+        out = run_agg(grid55, unit_inputs(grid55), t=2)
+        root = out.nodes[grid55.root]
+        assert set(root.flooded_sources) == {grid55.root}
+
+    def test_max_caaf(self, grid44):
+        inputs = {u: (u * 7) % 23 for u in grid44.nodes()}
+        out = run_agg(grid44, inputs, t=1, caaf=MAX)
+        assert out.result == max(inputs.values())
+
+    def test_count_caaf(self, grid44):
+        inputs = {u: 999 for u in grid44.nodes()}
+        out = run_agg(grid44, inputs, t=1, caaf=COUNT)
+        assert out.result == grid44.n_nodes
+
+
+class TestTheorem3Complexity:
+    def test_terminates_within_7cd_plus_4_rounds(self, grid44):
+        out = run_agg(grid44, unit_inputs(grid44), t=1, c=2)
+        assert out.stats.rounds_executed == 7 * 2 * grid44.diameter + 4
+
+    def test_cc_within_abort_budget(self, small_topologies):
+        for topo in small_topologies:
+            for t in (0, 2):
+                out = run_agg(topo, indexed_inputs(topo), t=t)
+                budget = next(iter(out.nodes.values())).p.agg_bit_budget
+                assert out.stats.max_bits <= budget + 16, (topo.name, t)
+
+    def test_cc_grows_linearly_in_t(self, grid55):
+        # O((t+1) logN): the failure-free cost is dominated by the 2t
+        # ancestor ids in tree_construct.
+        ccs = [
+            run_agg(grid55, unit_inputs(grid55), t=t).stats.max_bits
+            for t in (0, 4, 8)
+        ]
+        assert ccs[0] < ccs[1] < ccs[2]
+        step1, step2 = ccs[1] - ccs[0], ccs[2] - ccs[1]
+        assert abs(step1 - step2) <= max(step1, step2) * 0.5
+
+
+class TestTheorem4UnderTolerableFailures:
+    """At most t edge failures => AGG never aborts, result always correct."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_failures_grid(self, seed):
+        topo = grid_graph(5, 5)
+        rng = random.Random(seed)
+        t = 6
+        schedule = random_failures(
+            topo, f=t, rng=rng, first_round=1, last_round=7 * 2 * topo.diameter + 4
+        )
+        inputs = {u: rng.randint(0, 9) for u in topo.nodes()}
+        out = run_agg(topo, inputs, t=t, schedule=schedule)
+        assert not out.aborted
+        assert is_correct_result(
+            out.result, SUM, topo, inputs, schedule, out.stats.rounds_executed
+        )
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_failures_cycle(self, seed):
+        topo = cycle_graph(14)
+        rng = random.Random(100 + seed)
+        t = 4
+        schedule = random_failures(
+            topo,
+            f=t,
+            rng=rng,
+            first_round=1,
+            last_round=7 * 2 * topo.diameter + 4,
+            respect_c=2,
+        )
+        inputs = {u: rng.randint(0, 9) for u in topo.nodes()}
+        out = run_agg(topo, inputs, t=t, schedule=schedule)
+        assert not out.aborted
+        assert is_correct_result(
+            out.result, SUM, topo, inputs, schedule, out.stats.rounds_executed
+        )
+
+    def test_single_leaf_failure_detected_as_critical(self):
+        topo = balanced_tree(2, 15)
+        cd = 2 * topo.diameter
+        # Node 7 (a leaf in the aggregation tree) dies mid-aggregation.
+        schedule = FailureSchedule({7: 2 * cd + 2})
+        inputs = indexed_inputs(topo)
+        out = run_agg(topo, inputs, t=2, schedule=schedule)
+        root = out.nodes[topo.root]
+        assert 7 in root.state.critical_failures
+        assert is_correct_result(
+            out.result, SUM, topo, inputs, schedule, out.stats.rounds_executed
+        )
+
+
+class TestSpeculativeFlooding:
+    def test_blocked_parent_triggers_descendant_floods(self):
+        # Figure 3's scenario: a node and its neighbourhood die together
+        # during aggregation, so descendants must flood speculatively.
+        topo = grid_graph(5, 5)
+        cd = 2 * topo.diameter
+        # Victim 12 (the grid centre) is far from the root, so its blocked
+        # descendants stay connected and must speculatively flood.
+        schedule = blocker_failures(topo, f=12, victim=12, at_round=2 * cd + 2)
+        inputs = indexed_inputs(topo)
+        out = run_agg(topo, inputs, t=12, schedule=schedule)
+        root = out.nodes[topo.root]
+        assert len(root.flooded_sources) > 1  # someone besides the root flooded
+        assert not out.aborted
+        assert is_correct_result(
+            out.result, SUM, topo, inputs, schedule, out.stats.rounds_executed
+        )
+
+    def test_no_excessive_floods_without_failures(self, grid55):
+        out = run_agg(grid55, unit_inputs(grid55), t=3)
+        # Exactly one flooded psum (the root's) and one determination.
+        root = out.nodes[grid55.root]
+        assert len(root.flooded_sources) == 1
+        assert len(root.determinations) == 1
+
+    def test_flood_count_bounded_by_failures(self):
+        topo = grid_graph(5, 5)
+        cd = 2 * topo.diameter
+        rng = random.Random(17)
+        schedule = random_failures(
+            topo, f=8, rng=rng, first_round=2 * cd + 2, last_round=4 * cd + 2
+        )
+        out = run_agg(topo, indexed_inputs(topo), t=8, schedule=schedule)
+        root = out.nodes[topo.root]
+        n_failures = schedule.edge_failures(topo)
+        # "the total number of floodings is linear with the number of edge
+        # failures" — allow the constant some slack.
+        assert len(root.flooded_sources) <= 2 * n_failures + 1
+
+
+class TestNoDoubleCounting:
+    """The representative set never double counts an input."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_result_never_exceeds_total(self, seed):
+        topo = grid_graph(5, 5)
+        rng = random.Random(1000 + seed)
+        schedule = random_failures(
+            topo, f=12, rng=rng, first_round=1, last_round=200
+        )
+        inputs = {u: 1 for u in topo.nodes()}
+        out = run_agg(topo, inputs, t=12, schedule=schedule)
+        if out.result is not None:
+            assert out.result <= topo.n_nodes
+
+
+class TestAbortMechanism:
+    def test_aborted_run_returns_none(self):
+        # t=0 with many failures on a dense graph forces the tiny budget.
+        topo = grid_graph(6, 6)
+        rng = random.Random(3)
+        cd = 2 * topo.diameter
+        schedule = random_failures(
+            topo, f=20, rng=rng, first_round=2 * cd + 2, last_round=6 * cd
+        )
+        out = run_agg(topo, unit_inputs(topo), t=0, schedule=schedule)
+        if out.aborted:
+            assert out.result is None
+
+    def test_abort_bounds_cc_even_under_heavy_failures(self):
+        topo = grid_graph(6, 6)
+        for seed in range(5):
+            rng = random.Random(seed)
+            cd = 2 * topo.diameter
+            schedule = random_failures(
+                topo, f=30, rng=rng, first_round=2 * cd + 2, last_round=7 * cd
+            )
+            out = run_agg(topo, unit_inputs(topo), t=1, schedule=schedule)
+            budget = next(iter(out.nodes.values())).p.agg_bit_budget
+            assert out.stats.max_bits <= budget + 16
+
+
+class TestTheorem5NoLfc:
+    """Without a long failure chain, AGG outputs correctly or aborts."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_correct_or_abort_under_scattered_failures(self, seed):
+        # Scattered single-node failures cannot build a chain of t=4
+        # consecutive tree ancestors.
+        topo = grid_graph(5, 5)
+        rng = random.Random(seed)
+        t = 4
+        schedule = random_failures(
+            topo, f=2, rng=rng, first_round=1, last_round=300
+        )
+        inputs = {u: rng.randint(0, 9) for u in topo.nodes()}
+        out = run_agg(topo, inputs, t=t, schedule=schedule)
+        assert out.aborted or is_correct_result(
+            out.result, SUM, topo, inputs, schedule, out.stats.rounds_executed
+        )

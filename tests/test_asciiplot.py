@@ -1,0 +1,68 @@
+"""ASCII chart rendering."""
+
+import pytest
+
+from repro.analysis.asciiplot import GLYPHS, plot_series, sparkline
+
+
+class TestPlotSeries:
+    def test_basic_render(self):
+        text = plot_series(
+            [1, 2, 3],
+            {"up": [1, 10, 100], "down": [100, 10, 1]},
+            title="T",
+            width=30,
+            height=8,
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert any("*" in line for line in lines)  # first series glyph
+        assert any("o" in line for line in lines)  # second series glyph
+        assert "x" not in GLYPHS[:2]
+
+    def test_legend_lists_series(self):
+        text = plot_series([1, 2], {"alpha": [1, 2], "beta": [2, 1]})
+        assert "alpha" in text and "beta" in text
+
+    def test_log_scale_skips_non_positive(self):
+        text = plot_series([1, 2], {"s": [0, 10]}, log_y=True)
+        assert "10" in text  # renders without error
+
+    def test_linear_scale(self):
+        text = plot_series([1, 2, 3], {"s": [1, 2, 3]}, log_y=False)
+        assert "linear scale" in text
+
+    def test_monotone_series_renders_monotone_columns(self):
+        text = plot_series(
+            [1, 2, 3, 4], {"s": [1, 10, 100, 1000]}, width=40, height=10
+        )
+        cols = [
+            line.index("*")
+            for line in text.splitlines()
+            if line.startswith("|") and "*" in line
+        ]
+        # Higher values sit on upper lines and later columns, so scanning
+        # downward the marks move left.
+        assert cols == sorted(cols, reverse=True)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            plot_series([], {})
+        with pytest.raises(ValueError):
+            plot_series([1], {"s": [0]}, log_y=True)
+
+
+class TestSparkline:
+    def test_monotone_shape(self):
+        line = sparkline([1, 2, 3, 4, 5])
+        assert line[0] < line[-1]  # block glyphs are ordered code points
+
+    def test_constant_series(self):
+        assert sparkline([5, 5, 5]) == "   "
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_downsampling(self):
+        line = sparkline(list(range(400)), width=40)
+        assert len(line) == 40

@@ -1,0 +1,141 @@
+"""Baselines: brute force, folklore repeat, and plain TAG."""
+
+import random
+
+import pytest
+
+from repro.adversary import FailureSchedule, random_failures
+from repro.baselines import run_bruteforce, run_folklore, run_plain_tag
+from repro.core.caaf import MAX, SUM
+from repro.core.correctness import is_correct_result
+from repro.graphs import cycle_graph, grid_graph, path_graph, star_graph
+from repro.sim.message import id_bits
+from tests.conftest import indexed_inputs, unit_inputs
+
+
+class TestBruteForce:
+    def test_exact_sum_failure_free(self, small_topologies):
+        for topo in small_topologies:
+            inputs = indexed_inputs(topo)
+            out = run_bruteforce(topo, inputs)
+            assert out.result == sum(inputs.values()), topo.name
+
+    def test_completes_in_2c_flooding_rounds(self, grid44):
+        out = run_bruteforce(grid44, unit_inputs(grid44), c=2)
+        assert out.rounds == 2 * 2 * grid44.diameter
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_tolerates_arbitrary_failures(self, seed):
+        # "can tolerate arbitrary number of failures"
+        topo = grid_graph(5, 5)
+        rng = random.Random(seed)
+        schedule = random_failures(
+            topo, f=20, rng=rng, first_round=1, last_round=4 * topo.diameter
+        )
+        inputs = {u: rng.randint(0, 9) for u in topo.nodes()}
+        out = run_bruteforce(topo, inputs, schedule=schedule)
+        assert is_correct_result(out.result, SUM, topo, inputs, schedule, out.rounds)
+
+    def test_cc_scales_linearly_with_n(self):
+        # O(N logN): every node forwards every other node's value flood.
+        cc = {}
+        for n in (9, 25, 49):
+            side = int(n**0.5)
+            topo = grid_graph(side, side)
+            out = run_bruteforce(topo, unit_inputs(topo))
+            cc[n] = out.stats.max_bits / (n * id_bits(n))
+        ratios = list(cc.values())
+        # Normalized by N logN the cost is roughly flat.
+        assert max(ratios) / min(ratios) < 3
+
+    def test_each_value_counted_once(self, star10):
+        # Distinct ids prevent double counting even with many forwarders.
+        inputs = indexed_inputs(star10)
+        out = run_bruteforce(star10, inputs)
+        assert out.result == sum(inputs.values())
+
+    def test_max_caaf(self, grid44):
+        inputs = {u: (u * 5) % 17 for u in grid44.nodes()}
+        out = run_bruteforce(grid44, inputs, caaf=MAX)
+        assert out.result == max(inputs.values())
+
+
+class TestFolklore:
+    def test_exact_sum_failure_free(self, small_topologies):
+        for topo in small_topologies:
+            inputs = indexed_inputs(topo)
+            out = run_folklore(topo, inputs, f=3)
+            assert out.result == sum(inputs.values()), topo.name
+
+    def test_single_epoch_when_no_failures(self, grid44):
+        out = run_folklore(grid44, unit_inputs(grid44), f=5)
+        assert out.rounds == 2 * 2 * grid44.diameter + 2
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_correct_under_failures(self, seed):
+        topo = grid_graph(5, 5)
+        rng = random.Random(seed)
+        f = 8
+        schedule = random_failures(
+            topo, f=f, rng=rng, first_round=1, last_round=300
+        )
+        inputs = {u: rng.randint(0, 9) for u in topo.nodes()}
+        out = run_folklore(topo, inputs, f=f, schedule=schedule)
+        assert is_correct_result(out.result, SUM, topo, inputs, schedule, out.rounds)
+
+    def test_retries_after_mid_epoch_failure(self):
+        topo = grid_graph(4, 4)
+        cd = 2 * topo.diameter
+        # Node 5 dies during the first epoch's aggregation wave.
+        schedule = FailureSchedule({5: cd + 3})
+        inputs = indexed_inputs(topo)
+        out = run_folklore(topo, inputs, f=4, schedule=schedule)
+        assert out.rounds > 2 * cd + 2  # needed more than one epoch
+        assert is_correct_result(out.result, SUM, topo, inputs, schedule, out.rounds)
+
+    def test_epochs_bounded_by_f_plus_1(self):
+        topo = grid_graph(4, 4)
+        f = 3
+        out = run_folklore(topo, unit_inputs(topo), f=f)
+        epoch_rounds = 2 * 2 * topo.diameter + 2
+        assert out.rounds <= (f + 1) * epoch_rounds
+
+    def test_budget_overrun_rejected(self, grid44):
+        schedule = FailureSchedule({5: 1, 6: 1, 9: 1})
+        with pytest.raises(ValueError, match="budget"):
+            run_folklore(grid44, unit_inputs(grid44), f=1, schedule=schedule)
+
+
+class TestPlainTag:
+    def test_exact_sum_failure_free(self, small_topologies):
+        for topo in small_topologies:
+            inputs = indexed_inputs(topo)
+            out = run_plain_tag(topo, inputs)
+            assert out.result == sum(inputs.values()), topo.name
+
+    def test_silently_wrong_under_failures(self):
+        # The paper's point: tree aggregation "cannot tolerate failures".
+        # Killing a spine node mid-aggregation on a path loses a whole
+        # suffix of inputs, yet the subtree nodes are still alive... on a
+        # path they get disconnected, so use a cycle: node stays reachable
+        # the other way around but its tree subtree's sum is lost.
+        topo = cycle_graph(10)
+        cd = 2 * topo.diameter
+        schedule = FailureSchedule({1: cd + 2})
+        inputs = {u: 100 for u in topo.nodes()}
+        out = run_plain_tag(topo, inputs, schedule=schedule)
+        correct = is_correct_result(
+            out.result, SUM, topo, inputs, schedule, out.rounds
+        )
+        assert not correct  # alive, root-connected inputs were dropped
+
+    def test_always_terminates_in_one_epoch(self, grid44):
+        schedule = FailureSchedule({5: 3, 10: 7})
+        out = run_plain_tag(grid44, unit_inputs(grid44), schedule=schedule)
+        assert out.rounds <= 2 * 2 * grid44.diameter + 2
+
+    def test_cheaper_than_bruteforce(self, grid55):
+        inputs = unit_inputs(grid55)
+        tag = run_plain_tag(grid55, inputs)
+        bf = run_bruteforce(grid55, inputs)
+        assert tag.stats.max_bits < bf.stats.max_bits

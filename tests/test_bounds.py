@@ -1,0 +1,100 @@
+"""Closed-form bound formulas (the Figure 1 curves)."""
+
+import pytest
+
+from repro.lowerbound import bounds
+
+
+class TestUpperBound:
+    def test_simple_form_dominates_tight_form(self):
+        for n, f, b in [(256, 64, 50), (1024, 512, 100), (64, 8, 42)]:
+            assert bounds.upper_bound_new(n, f, b) <= bounds.upper_bound_new_simple(
+                n, f, b
+            ) + 1e-9
+
+    def test_decreasing_in_b(self):
+        values = [bounds.upper_bound_new(1024, 256, b) for b in (42, 84, 336, 1344)]
+        assert values == sorted(values, reverse=True)
+
+    def test_floor_at_log_squared(self):
+        # Once b >> f the bound approaches min(f, logN) * logN-ish terms;
+        # it never drops below logN (some output must reach the root).
+        import math
+
+        n = 4096
+        assert bounds.upper_bound_new(n, 1, 10**6) >= math.log2(n)
+
+    def test_increasing_in_f(self):
+        values = [bounds.upper_bound_new(1024, f, 50) for f in (1, 16, 256)]
+        assert values == sorted(values)
+
+
+class TestLowerBounds:
+    def test_new_dominates_old(self):
+        # The factor-b improvement of Theorem 2 over [4].
+        for n, f, b in [(256, 128, 16), (4096, 1024, 64), (64, 32, 8)]:
+            assert bounds.lower_bound_new(n, f, b) > bounds.lower_bound_old(n, f, b)
+
+    def test_new_has_log_term_even_without_failures_pressure(self):
+        # The Omega(logN / logb) term from [7].
+        assert bounds.lower_bound_new(2**20, 1, 4) >= 20 / 2 - 1
+
+    def test_old_decays_quadratically(self):
+        a = bounds.lower_bound_old(256, 1000, 10)
+        b = bounds.lower_bound_old(256, 1000, 20)
+        assert a / b == pytest.approx(4 * bounds._log2(20) / bounds._log2(10), rel=0.1)
+
+
+class TestGap:
+    def test_gap_is_polylog(self):
+        # The headline: UB/LB <= log^2 N * log b.
+        for n in (64, 1024, 2**16):
+            for f in (1, n // 16, n):
+                for b in (42, 168, 1344):
+                    assert bounds.gap_ratio(n, f, b) <= bounds.polylog_gap_ceiling(
+                        n, b
+                    )
+
+    def test_baselines_sit_above_new_upper_bound_region(self):
+        # At matching TC points the baselines are never cheaper than the new
+        # bound's curve: brute force at b = O(1)-scale, folklore at b = f.
+        n, f = 4096, 256
+        assert bounds.upper_bound_bruteforce(n, f, 21) >= bounds.upper_bound_new(
+            n, f, 21
+        )
+        assert bounds.upper_bound_folklore(n, f, f) >= bounds.upper_bound_new(
+            n, f, f
+        )
+
+
+class TestTwoPartyBounds:
+    def test_unionsize_bounds_bracket(self):
+        for n in (256, 4096):
+            for q in (2, 8, 64):
+                assert bounds.unionsize_lower_bound(n, q) <= bounds.unionsize_upper_bound(
+                    n, q
+                )
+
+    def test_unionsize_lower_bound_clamped_at_zero(self):
+        assert bounds.unionsize_lower_bound(8, 64) == 0.0
+
+    def test_equality_lower_bound_positive(self):
+        assert bounds.equality_lower_bound(100, 2) == pytest.approx(100.0)
+
+
+class TestCurveRegistry:
+    def test_all_curves_sampleable(self):
+        bs = [42, 84]
+        for name in bounds.CURVES:
+            points = bounds.sample_curve(name, 256, 32, bs)
+            assert [p.b for p in points] == bs
+            assert all(p.value >= 0 for p in points)
+
+    def test_agg_veri_budget_linear_in_t(self):
+        n = 1024
+        d0 = bounds.agg_veri_budget(n, 1) - bounds.agg_veri_budget(n, 0)
+        d1 = bounds.agg_veri_budget(n, 2) - bounds.agg_veri_budget(n, 1)
+        assert d0 == pytest.approx(d1)
+
+    def test_crossover_at_f(self):
+        assert bounds.crossover_b(1024, 77) == 77

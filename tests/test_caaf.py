@@ -1,0 +1,120 @@
+"""CAAF operators and domain-size accounting (Section 2 definitions)."""
+
+import pytest
+
+from repro.core.caaf import (
+    ALL_CAAFS,
+    AND,
+    CAAF,
+    COUNT,
+    MAX,
+    MIN,
+    OR,
+    SUM,
+    XOR,
+    bounded_min,
+    by_name,
+)
+
+
+class TestSum:
+    def test_combine(self):
+        assert SUM.combine([1, 2, 3]) == 6
+
+    def test_identity(self):
+        assert SUM.combine([]) == 0
+
+    def test_aggregate_inputs(self):
+        assert SUM.aggregate_inputs([5, 7]) == 12
+
+    def test_value_bits_scale_with_n_times_max(self):
+        assert SUM.value_bits_for(100, 100) >= 13  # 10^4 needs 14 bits
+
+    def test_monotone(self):
+        assert SUM.monotone
+
+
+class TestCount:
+    def test_counts_nodes_not_values(self):
+        assert COUNT.aggregate_inputs([17, 0, 99]) == 3
+
+    def test_value_bits_scale_with_n_only(self):
+        assert COUNT.value_bits_for(1000, 10**9) == COUNT.value_bits_for(1000, 1)
+
+
+class TestMaxMin:
+    def test_max(self):
+        assert MAX.aggregate_inputs([3, 9, 1]) == 9
+
+    def test_max_identity_for_nonnegative(self):
+        assert MAX.combine([]) == 0
+
+    def test_min(self):
+        assert MIN.aggregate_inputs([3, 9, 1]) == 1
+
+    def test_bounded_min_identity(self):
+        m = bounded_min(100)
+        assert m.combine([]) == 100
+        assert m.aggregate_inputs([42, 77]) == 42
+
+    def test_max_bits_ignore_n(self):
+        assert MAX.value_bits_for(10**6, 255) == 8
+
+
+class TestBooleanOps:
+    def test_or(self):
+        assert OR.aggregate_inputs([0, 0, 5]) == 1
+        assert OR.aggregate_inputs([0, 0]) == 0
+
+    def test_and(self):
+        assert AND.aggregate_inputs([1, 1, 1]) == 1
+        assert AND.aggregate_inputs([1, 0, 1]) == 0
+
+    def test_xor_parity(self):
+        assert XOR.aggregate_inputs([1, 1, 1]) == 1
+        assert XOR.aggregate_inputs([1, 3, 1]) == 1  # prepared to parity bits
+        assert XOR.aggregate_inputs([1, 1]) == 0
+
+    def test_xor_not_monotone(self):
+        assert not XOR.monotone
+
+    def test_single_bit_domains(self):
+        for caaf in (OR, AND, XOR):
+            assert caaf.value_bits_for(1000, 1000) == 1
+
+
+class TestAssociativityCommutativity:
+    """The defining CAAF laws, exercised over concrete operand triples."""
+
+    @pytest.mark.parametrize("caaf", ALL_CAAFS, ids=lambda c: c.name)
+    def test_commutative(self, caaf):
+        for a, b in [(0, 1), (3, 7), (12, 12)]:
+            assert caaf.op(a, b) == caaf.op(b, a)
+
+    @pytest.mark.parametrize("caaf", ALL_CAAFS, ids=lambda c: c.name)
+    def test_associative(self, caaf):
+        for a, b, c in [(0, 1, 2), (5, 5, 5), (9, 2, 7)]:
+            assert caaf.op(caaf.op(a, b), c) == caaf.op(a, caaf.op(b, c))
+
+    @pytest.mark.parametrize("caaf", [SUM, COUNT, MAX, OR, XOR], ids=lambda c: c.name)
+    def test_identity_is_neutral(self, caaf):
+        for v in (0, 1, 13):
+            assert caaf.op(caaf.identity, v) == v
+
+    @pytest.mark.parametrize("caaf", ALL_CAAFS, ids=lambda c: c.name)
+    def test_order_invariance_of_combine(self, caaf):
+        values = [caaf.prepare(v) for v in (4, 1, 9, 0, 7)]
+        assert caaf.combine(values) == caaf.combine(list(reversed(values)))
+
+
+class TestRegistry:
+    def test_by_name(self):
+        assert by_name("SUM") is SUM
+        assert by_name("MAX") is MAX
+
+    def test_by_name_unknown(self):
+        with pytest.raises(KeyError):
+            by_name("MEDIAN")  # MEDIAN is not a CAAF (Section 2)
+
+    def test_repr(self):
+        assert "SUM" in repr(SUM)

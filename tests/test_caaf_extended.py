@@ -1,0 +1,84 @@
+"""GCD/LCM CAAFs and running non-standard operators through the protocols."""
+
+import math
+import random
+
+import pytest
+
+from repro.core import run_agg, run_algorithm1
+from repro.core.caaf import GCD, bounded_lcm
+from repro.graphs import grid_graph, path_graph
+
+
+class TestGcd:
+    def test_combine(self):
+        assert GCD.aggregate_inputs([12, 18, 24]) == 6
+
+    def test_identity_is_neutral(self):
+        assert GCD.op(0, 42) == 42
+        assert GCD.combine([]) == 0
+
+    def test_coprime_inputs(self):
+        assert GCD.aggregate_inputs([7, 13, 5]) == 1
+
+    def test_laws(self):
+        for a, b, c in [(12, 18, 24), (0, 5, 10), (9, 9, 9)]:
+            assert GCD.op(a, b) == GCD.op(b, a)
+            assert GCD.op(GCD.op(a, b), c) == GCD.op(a, GCD.op(b, c))
+
+    def test_domain_bits_bounded_by_max_input(self):
+        assert GCD.value_bits_for(10**6, 255) == 8
+
+    def test_through_agg(self):
+        topo = grid_graph(4, 4)
+        inputs = {u: 6 * (u + 1) for u in topo.nodes()}
+        out = run_agg(topo, inputs, t=1, caaf=GCD, max_input=max(inputs.values()))
+        assert out.result == math.gcd(*inputs.values())
+
+    def test_through_algorithm1(self):
+        topo = path_graph(6)
+        inputs = {u: 10 * (u % 3 + 1) for u in topo.nodes()}
+        out = run_algorithm1(
+            topo, inputs, f=1, b=45, caaf=GCD, rng=random.Random(0)
+        )
+        expected = 0
+        for v in inputs.values():
+            expected = math.gcd(expected, v)
+        assert out.result == expected
+
+
+class TestBoundedLcm:
+    def test_combine_within_bound(self):
+        lcm = bounded_lcm(1000)
+        assert lcm.aggregate_inputs([4, 6, 10]) == 60
+
+    def test_identity(self):
+        lcm = bounded_lcm(100)
+        assert lcm.combine([]) == 1
+        assert lcm.op(1, 42) == 42
+
+    def test_saturates_at_cap(self):
+        lcm = bounded_lcm(50)
+        assert lcm.aggregate_inputs([49, 48]) == 51  # overflow sentinel
+
+    def test_saturation_is_absorbing_and_associative(self):
+        lcm = bounded_lcm(50)
+        cap = 51
+        assert lcm.op(cap, 7) == cap
+        for a, b, c in [(49, 48, 2), (10, 20, 30), (51, 51, 3)]:
+            assert lcm.op(lcm.op(a, b), c) == lcm.op(a, lcm.op(b, c))
+
+    def test_zero_inputs_clamped_to_one(self):
+        lcm = bounded_lcm(100)
+        assert lcm.aggregate_inputs([0, 5]) == 5
+
+    def test_wire_width_is_capped(self):
+        lcm = bounded_lcm(255)
+        assert lcm.value_bits_for(10**6, 255) == 9  # fits cap = 256
+
+    def test_through_agg(self):
+        topo = grid_graph(3, 3)
+        inputs = {u: (u % 3) + 2 for u in topo.nodes()}  # values 2..4
+        lcm = bounded_lcm(1000)
+        out = run_agg(topo, inputs, t=1, caaf=lcm, max_input=1000)
+        assert out.result == 12  # lcm(2, 3, 4)

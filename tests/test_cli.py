@@ -1,0 +1,166 @@
+"""The repro-agg command-line interface."""
+
+import os
+
+import pytest
+
+from repro.cli import build_parser, main, parse_topology
+
+
+class TestTopologySpecs:
+    def test_grid(self):
+        topo = parse_topology("grid:3x4")
+        assert topo.n_nodes == 12
+
+    def test_grid_square_shorthand(self):
+        assert parse_topology("grid:5").n_nodes == 25
+
+    def test_path_cycle_star(self):
+        assert parse_topology("path:7").n_nodes == 7
+        assert parse_topology("cycle:8").n_nodes == 8
+        assert parse_topology("star:9").n_nodes == 9
+
+    def test_tree(self):
+        assert parse_topology("tree:2,15").n_nodes == 15
+
+    def test_geometric_and_gnp_seeded(self):
+        a = parse_topology("geometric:30", seed=5)
+        b = parse_topology("geometric:30", seed=5)
+        assert a.adjacency == b.adjacency
+        assert parse_topology("gnp:25", seed=1).n_nodes == 25
+
+    def test_clustered(self):
+        assert parse_topology("clustered:3x4").n_nodes == 12
+
+    def test_file_round_trip(self, tmp_path):
+        from repro.graphs import io as gio
+
+        path = os.path.join(tmp_path, "t.json")
+        gio.save(parse_topology("grid:3x3"), path)
+        assert parse_topology(f"file:{path}").n_nodes == 9
+
+    def test_unknown_spec(self):
+        with pytest.raises(SystemExit):
+            parse_topology("torus:5")
+
+
+class TestCommands:
+    def test_run_algorithm1(self, capsys):
+        code = main(
+            [
+                "run",
+                "--topology",
+                "grid:4x4",
+                "--protocol",
+                "algorithm1",
+                "-f",
+                "2",
+                "-b",
+                "45",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "algorithm1" in out
+        assert "True" in out  # correct column
+
+    def test_run_bruteforce_no_failures(self, capsys):
+        code = main(["run", "--topology", "path:6", "--protocol", "bruteforce"])
+        assert code == 0
+        assert "bruteforce" in capsys.readouterr().out
+
+    def test_sweep_b(self, capsys):
+        code = main(
+            [
+                "sweep-b",
+                "--topology",
+                "grid:4x4",
+                "-f",
+                "2",
+                "--bs",
+                "42,84",
+                "--seeds",
+                "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "42" in out and "84" in out
+
+    def test_figure1(self, capsys):
+        code = main(["figure1", "-n", "256", "-f", "32", "--bs", "42,84"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "upper_bound_new" in out
+
+    def test_figure1_with_plot(self, capsys):
+        code = main(
+            ["figure1", "-n", "256", "-f", "32", "--bs", "42,84", "--plot"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "log scale" in out
+
+    def test_select(self, capsys):
+        code = main(
+            ["select", "--topology", "grid:4x4", "-k", "3", "-f", "1", "-b", "45"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "COUNT probes" in out
+
+    def test_topology_export(self, capsys, tmp_path):
+        out_path = os.path.join(tmp_path, "g.dot")
+        code = main(["topology", "--topology", "grid:3x3", "--out", out_path])
+        assert code == 0
+        assert os.path.exists(out_path)
+        assert "saved" in capsys.readouterr().out
+
+    def test_worst_case_search(self, capsys):
+        code = main(
+            [
+                "worst-case",
+                "--topology",
+                "grid:4x4",
+                "-f",
+                "2",
+                "-b",
+                "45",
+                "--restarts",
+                "1",
+                "--steps",
+                "1",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0  # zero incorrect results
+        assert "worst CC" in out
+
+    def test_monitor(self, capsys):
+        code = main(
+            [
+                "monitor",
+                "--topology",
+                "grid:4x4",
+                "--epochs",
+                "2",
+                "-f",
+                "2",
+                "-b",
+                "45",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "epoch" in out
+
+    def test_baseline_capture_and_check(self, capsys, tmp_path):
+        path = os.path.join(tmp_path, "base.json")
+        assert main(["baseline", "capture", "--path", path]) == 0
+        capsys.readouterr()
+        assert main(["baseline", "check", "--path", path]) == 0
+        assert "no drift" in capsys.readouterr().out
+
+    def test_parser_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

@@ -1,0 +1,83 @@
+"""Property tests for the concrete wire codec (random payloads/params)."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import wire
+from repro.core.codec import decode_part, encode_part, encoding_fits_declared_size
+from repro.core.params import ProtocolParams
+
+SETTINGS = dict(
+    max_examples=80,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def params_strategy(draw):
+    n = draw(st.integers(2, 2000))
+    return ProtocolParams(
+        n_nodes=n,
+        root=0,
+        diameter=draw(st.integers(1, 20)),
+        c=draw(st.integers(1, 3)),
+        t=draw(st.integers(0, 10)),
+        max_input=draw(st.integers(0, 5000)),
+    )
+
+
+class TestCodecProperties:
+    @settings(**SETTINGS)
+    @given(p=params_strategy(), data=st.data())
+    def test_flooded_psum_round_trip(self, p, data):
+        source = data.draw(st.integers(0, p.n_nodes - 1))
+        psum = data.draw(st.integers(0, max(0, (1 << p.psum_bits) - 1)))
+        sender = data.draw(st.integers(0, p.n_nodes - 1))
+        part = wire.flooded_psum(p, source, psum)
+        got = decode_part(p, encode_part(p, sender, part))
+        assert got == (sender, "flooded_psum", (source, psum))
+
+    @settings(**SETTINGS)
+    @given(p=params_strategy(), data=st.data())
+    def test_tree_construct_round_trip(self, p, data):
+        level = data.draw(st.integers(0, p.cd))
+        chain_len = data.draw(st.integers(0, 2 * p.t))
+        ancestors = tuple(
+            data.draw(st.integers(0, p.n_nodes - 1)) for _ in range(chain_len)
+        )
+        part = wire.tree_construct(p, level, ancestors)
+        sender = data.draw(st.integers(0, p.n_nodes - 1))
+        got_sender, kind, payload = decode_part(p, encode_part(p, sender, part))
+        assert (got_sender, kind) == (sender, "tree_construct")
+        assert payload == (level, ancestors)
+
+    @settings(**SETTINGS)
+    @given(p=params_strategy(), data=st.data())
+    def test_failed_parent_round_trip(self, p, data):
+        ids = [data.draw(st.integers(0, p.n_nodes - 1)) for _ in range(3)]
+        depth = data.draw(st.integers(0, p.cd))
+        part = wire.failed_parent(p, ids[0], depth, ids[1])
+        got = decode_part(p, encode_part(p, ids[2], part))
+        assert got == (ids[2], "failed_parent", (ids[0], depth, ids[1]))
+
+    @settings(**SETTINGS)
+    @given(p=params_strategy(), data=st.data())
+    def test_every_encoding_fits_declared_size(self, p, data):
+        sender = data.draw(st.integers(0, p.n_nodes - 1))
+        parts = [
+            wire.ack(p, sender),
+            wire.aggregation(
+                p, data.draw(st.integers(0, max(0, (1 << p.psum_bits) - 1))), 0
+            ),
+            wire.critical_failure(p, sender),
+            wire.determination(p, wire.KEEP, sender),
+            wire.agg_abort(p),
+            wire.detect_failed_parent(p),
+            wire.failed_child(p, sender),
+            wire.veri_overflow(p),
+        ]
+        for part in parts:
+            assert encoding_fits_declared_size(p, sender, part), part.kind

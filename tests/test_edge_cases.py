@@ -1,0 +1,224 @@
+"""Boundary configurations: the smallest/extreme parameter corners.
+
+The theorems quantify over wide parameter ranges; these tests pin the
+exact edges — two nodes, diameter 1, ``b = 21c`` exactly, ``t = 0``,
+``f = 1``, ``c = 1`` vs ``c = 3`` — where off-by-one bugs live.
+"""
+
+import random
+
+import pytest
+
+from repro.adversary import FailureSchedule
+from repro.baselines import run_bruteforce, run_folklore
+from repro.core import run_agg, run_agg_veri_pair, run_algorithm1, run_unknown_f
+from repro.core.caaf import SUM
+from repro.core.correctness import is_correct_result
+from repro.core.params import ProtocolParams, params_for
+from repro.graphs import Topology, complete_graph, path_graph, star_graph
+
+
+def two_nodes():
+    return Topology({0: [1], 1: [0]}, name="pair")
+
+
+class TestTwoNodeSystem:
+    def test_agg(self):
+        topo = two_nodes()
+        out = run_agg(topo, {0: 3, 1: 4}, t=1)
+        assert out.result == 7
+
+    def test_agg_with_partner_crash(self):
+        topo = two_nodes()
+        schedule = FailureSchedule({1: 1})
+        out = run_agg(topo, {0: 3, 1: 4}, t=1, schedule=schedule)
+        assert out.result == 3  # only the root's input remains
+
+    def test_pair_verdict(self):
+        topo = two_nodes()
+        pair = run_agg_veri_pair(topo, {0: 1, 1: 1}, t=1)
+        assert pair.accepted and pair.agg_result == 2
+
+    def test_algorithm1(self):
+        topo = two_nodes()
+        out = run_algorithm1(topo, {0: 5, 1: 6}, f=1, b=42, rng=random.Random(0))
+        assert out.result == 11
+
+    def test_bruteforce_and_folklore(self):
+        topo = two_nodes()
+        assert run_bruteforce(topo, {0: 1, 1: 2}).result == 3
+        assert run_folklore(topo, {0: 1, 1: 2}, f=1).result == 3
+
+    def test_unknown_f(self):
+        topo = two_nodes()
+        out = run_unknown_f(topo, {0: 9, 1: 1})
+        assert out.result == 10
+
+
+class TestDiameterOne:
+    def test_complete_graph_agg(self):
+        topo = complete_graph(6)
+        out = run_agg(topo, {u: u for u in topo.nodes()}, t=2)
+        assert out.result == 15
+
+    def test_complete_graph_algorithm1_minimum_b(self):
+        topo = complete_graph(5)
+        out = run_algorithm1(
+            topo, {u: 1 for u in topo.nodes()}, f=1, b=42, rng=random.Random(1)
+        )
+        assert out.result == 5
+        assert out.rounds <= 42 * topo.diameter
+
+    def test_star_mid_aggregation_leaf_crash(self):
+        topo = star_graph(6)
+        cd = 2 * topo.diameter
+        schedule = FailureSchedule({3: 2 * cd + 2})
+        inputs = {u: 10 for u in topo.nodes()}
+        out = run_agg(topo, inputs, t=1, schedule=schedule)
+        assert is_correct_result(
+            out.result, SUM, topo, inputs, schedule, out.stats.rounds_executed
+        )
+
+
+class TestParameterEdges:
+    def test_b_exactly_21c(self):
+        # The Theorem 1 precondition boundary: x = floor((21c-2c)/(19c)) = 1.
+        topo = path_graph(4)
+        for c in (1, 2, 3):
+            out = run_algorithm1(
+                topo,
+                {u: 1 for u in topo.nodes()},
+                f=1,
+                b=21 * c,
+                c=c,
+                rng=random.Random(c),
+            )
+            assert out.result == 4, c
+            assert out.plan.x == 1
+
+    def test_t_zero_agg_failure_free(self):
+        topo = path_graph(5)
+        out = run_agg(topo, {u: 1 for u in topo.nodes()}, t=0)
+        assert out.result == 5
+
+    def test_t_zero_veri_true_without_failures(self):
+        topo = path_graph(5)
+        pair = run_agg_veri_pair(topo, {u: 1 for u in topo.nodes()}, t=0)
+        assert pair.veri_output is True
+
+    def test_t_zero_veri_false_on_any_orphaning_failure(self):
+        # With t = 0 any failed-parent claim means "LFC of length 0" — the
+        # conservative side of Table 2.
+        topo = complete_graph(5)  # keep everyone connected after the crash
+        cd = 2 * topo.diameter
+        schedule = FailureSchedule({1: 2 * cd + 2})
+        pair = run_agg_veri_pair(
+            topo, {u: 1 for u in topo.nodes()}, t=0, schedule=schedule
+        )
+        accepted_implies_correct = (not pair.accepted) or pair.agg_result in (
+            4,
+            5,
+        )
+        assert accepted_implies_correct
+
+    def test_f_equals_one(self):
+        topo = path_graph(6)
+        schedule = FailureSchedule({5: 40})
+        inputs = {u: 2 for u in topo.nodes()}
+        out = run_algorithm1(
+            topo, inputs, f=1, b=45, schedule=schedule, rng=random.Random(2)
+        )
+        assert is_correct_result(out.result, SUM, topo, inputs, schedule, out.rounds)
+
+    @pytest.mark.parametrize("c", [1, 3])
+    def test_c_variants_run_clean(self, c):
+        topo = path_graph(5)
+        out = run_agg(topo, {u: 1 for u in topo.nodes()}, t=1, c=c)
+        assert out.result == 5
+        params = params_for(topo, t=1, c=c)
+        assert out.stats.rounds_executed == params.agg_rounds
+
+    def test_zero_inputs(self):
+        topo = path_graph(4)
+        out = run_agg(topo, {u: 0 for u in topo.nodes()}, t=1)
+        assert out.result == 0
+
+    def test_max_polynomial_inputs(self):
+        topo = path_graph(4)
+        big = topo.n_nodes**3
+        out = run_agg(topo, {u: big for u in topo.nodes()}, t=1, max_input=big)
+        assert out.result == 4 * big
+
+
+class TestCAssumptionBoundary:
+    """The diameter-stretch assumption is load-bearing (see E18)."""
+
+    def _wheel(self, n_rim=12):
+        adjacency = {u: [] for u in range(n_rim + 1)}
+        hub = n_rim
+        for u in range(n_rim):
+            v = (u + 1) % n_rim
+            adjacency[u].append(v)
+            adjacency[v].append(u)
+            adjacency[u].append(hub)
+            adjacency[hub].append(u)
+        return Topology(adjacency, name=f"wheel({n_rim})"), hub
+
+    def test_violated_c_can_accept_wrong_results(self):
+        topo, hub = self._wheel()
+        inputs = {u: 5 for u in topo.nodes()}
+        cd = 1 * topo.diameter
+        schedule = FailureSchedule({hub: 2 * cd + 2})
+        pair = run_agg_veri_pair(
+            topo, inputs, t=topo.degree(hub), schedule=schedule, c=1
+        )
+        end = 12 * cd + 7
+        assert pair.accepted
+        assert not is_correct_result(
+            pair.agg_result, SUM, topo, inputs, schedule, end
+        )
+
+    def test_honest_c_restores_zero_error(self):
+        topo, hub = self._wheel()
+        c = topo.remaining_diameter({hub}) // topo.diameter + 1
+        inputs = {u: 5 for u in topo.nodes()}
+        cd = c * topo.diameter
+        schedule = FailureSchedule({hub: 2 * cd + 2})
+        pair = run_agg_veri_pair(
+            topo, inputs, t=topo.degree(hub), schedule=schedule, c=c
+        )
+        end = 12 * cd + 7
+        if pair.accepted:
+            assert is_correct_result(
+                pair.agg_result, SUM, topo, inputs, schedule, end
+            )
+
+
+class TestDegenerateSchedules:
+    def test_everyone_but_root_crashes_before_start(self):
+        topo = star_graph(5)
+        schedule = FailureSchedule({u: 1 for u in topo.non_root_nodes()})
+        inputs = {u: 7 for u in topo.nodes()}
+        out = run_agg(topo, inputs, t=4, schedule=schedule)
+        assert out.result == 7  # the root alone
+
+    def test_crash_on_final_round_is_harmless(self):
+        topo = path_graph(4)
+        params = params_for(topo, t=1)
+        schedule = FailureSchedule({3: params.agg_rounds})
+        inputs = {u: 1 for u in topo.nodes()}
+        out = run_agg(topo, inputs, t=1, schedule=schedule)
+        assert is_correct_result(
+            out.result, SUM, topo, inputs, schedule, out.stats.rounds_executed
+        )
+
+    def test_simultaneous_mass_crash_with_large_t(self):
+        topo = complete_graph(8)
+        cd = 2 * topo.diameter
+        schedule = FailureSchedule({u: 2 * cd + 2 for u in (1, 2, 3)})
+        inputs = {u: 1 for u in topo.nodes()}
+        out = run_agg(topo, inputs, t=topo.edges_incident({1, 2, 3}), schedule=schedule)
+        assert not out.aborted
+        assert is_correct_result(
+            out.result, SUM, topo, inputs, schedule, out.stats.rounds_executed
+        )

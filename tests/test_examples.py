@@ -1,0 +1,88 @@
+"""Smoke tests: every shipped example runs clean and says what it promises.
+
+The examples are deliverables; these tests keep them from rotting.  Each
+runs in-process (import + main()) with stdout captured.
+"""
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def run_example(name, capsys):
+    path = os.path.join(EXAMPLES_DIR, f"{name}.py")
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    module.main()
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart", capsys)
+        assert "Algorithm 1" in out
+        assert "True" in out
+        assert "False" not in out.split("correct")[-1][:200]
+
+    def test_sensor_network(self, capsys):
+        out = run_example("sensor_network", capsys)
+        assert "bruteforce" in out and "folklore" in out and "tag" in out
+        assert "8/8" in out  # fault-tolerant protocols fully correct
+
+    def test_adhoc_gateway(self, capsys):
+        out = run_example("adhoc_gateway", capsys)
+        assert "MAX" in out
+        assert "True" in out
+
+    def test_unknown_failures(self, capsys):
+        out = run_example("unknown_failures", capsys)
+        assert "doubling" in out.lower()
+        assert "True" in out
+
+    def test_lower_bound_demo(self, capsys):
+        out = run_example("lower_bound_demo", capsys)
+        assert "UNIONSIZECP" in out
+        assert "rank(M(q))" in out
+        assert "Figure 1" in out
+
+    def test_median_selection(self, capsys):
+        out = run_example("median_selection", capsys)
+        assert "median" in out
+        assert "average" in out
+
+    def test_trace_debugging(self, capsys):
+        out = run_example("trace_debugging", capsys)
+        assert "CRASHES" in out
+        assert "speculative" in out
+
+    def test_continuous_monitoring(self, capsys):
+        out = run_example("continuous_monitoring", capsys)
+        assert "epoch" in out
+        assert "True" in out
+
+    def test_zero_error_hunt(self, capsys):
+        out = run_example("zero_error_hunt", capsys)
+        assert "total incorrect results across all attacks: 0" in out
+
+    def test_paper_tables(self, capsys):
+        out = run_example("paper_tables", capsys)
+        assert r"\begin{table}" in out
+        assert "E16" in out
+
+    def test_every_example_has_a_docstring_and_main(self):
+        for fname in sorted(os.listdir(EXAMPLES_DIR)):
+            if not fname.endswith(".py"):
+                continue
+            path = os.path.join(EXAMPLES_DIR, fname)
+            with open(path) as fh:
+                source = fh.read()
+            assert '"""' in source.split("\n", 2)[-1] or source.startswith(
+                '#!/usr/bin/env python\n"""'
+            ), fname
+            assert "def main()" in source, fname
+            assert '__name__ == "__main__"' in source, fname

@@ -1,0 +1,182 @@
+"""The fragment / representative-set oracle, and AGG validated against it."""
+
+import random
+
+import pytest
+
+from repro.adversary import FailureSchedule, chain_failures, random_failures
+from repro.core.agg import run_agg
+from repro.core.fragments import (
+    build_fragment_model,
+    oracle_representative_set_is_valid,
+    psum_members,
+)
+from repro.core.params import params_for
+from repro.core.wire import KEEP
+from repro.graphs import balanced_tree, grid_graph, path_graph
+
+
+def aggregation_phase_start(topo, c=2):
+    return 2 * c * topo.diameter + 2
+
+
+class TestFragmentModel:
+    def test_no_failures_single_fragment(self):
+        topo = grid_graph(4, 4)
+        model = build_fragment_model(
+            topo, FailureSchedule(), params_for(topo, t=2)
+        )
+        assert model.critical_failures == set()
+        assert set(model.fragment_of.values()) == {topo.root}
+
+    def test_mid_aggregation_crash_is_critical(self):
+        topo = path_graph(6)
+        params = params_for(topo, t=2)
+        at = aggregation_phase_start(topo)
+        schedule = FailureSchedule({3: at})
+        model = build_fragment_model(topo, schedule, params)
+        assert 3 in model.critical_failures
+        assert 3 in model.visible_critical_failures  # parent 2 is alive
+
+    def test_crash_after_slot_is_not_critical(self):
+        topo = path_graph(6)
+        params = params_for(topo, t=2)
+        # Node 5 (deepest, level 5) acts first in the aggregation phase;
+        # crashing it at the very end of AGG is past its slot.
+        schedule = FailureSchedule({5: params.agg_rounds})
+        model = build_fragment_model(topo, schedule, params)
+        assert 5 not in model.critical_failures
+
+    def test_chain_makes_invisible_critical_failures(self):
+        # In a failed chain, only the topmost failed node has a live
+        # parent, so only it is visible.
+        topo = path_graph(8)
+        params = params_for(topo, t=3)
+        at = aggregation_phase_start(topo)
+        schedule = FailureSchedule({2: at, 3: at, 4: at})
+        model = build_fragment_model(topo, schedule, params)
+        assert model.critical_failures == {2, 3, 4}
+        assert model.visible_critical_failures == {2}
+
+    def test_fragments_split_at_visible_failures(self):
+        topo = path_graph(6)
+        params = params_for(topo, t=2)
+        at = aggregation_phase_start(topo)
+        schedule = FailureSchedule({2: at})
+        model = build_fragment_model(topo, schedule, params)
+        assert model.fragment_of[1] == topo.root
+        assert model.fragment_of[2] == 2
+        assert model.fragment_of[5] == 2
+
+    def test_local_ancestors_stop_at_fragment_boundary(self):
+        topo = path_graph(6)
+        params = params_for(topo, t=2)
+        at = aggregation_phase_start(topo)
+        schedule = FailureSchedule({2: at})
+        model = build_fragment_model(topo, schedule, params)
+        assert model.local_ancestors(5) == [4, 3, 2]
+        assert model.local_ancestors(1) == [0]
+
+    def test_local_descendants(self):
+        topo = balanced_tree(2, 7)
+        model = build_fragment_model(
+            topo, FailureSchedule(), params_for(topo, t=1)
+        )
+        assert model.local_descendants(1) == {3, 4}
+        assert model.local_descendants(0) == {1, 2, 3, 4, 5, 6}
+
+    def test_representatives_cross_invisible_failures_only_via_live_path(self):
+        topo = path_graph(8)
+        params = params_for(topo, t=3)
+        at = aggregation_phase_start(topo)
+        schedule = FailureSchedule({2: at, 3: at, 4: at})
+        model = build_fragment_model(topo, schedule, params)
+        # Node 5's local ancestors inside fragment rooted at 2: [4, 3, 2];
+        # 3 and 4 are invisible critical failures, so representatives of 5
+        # stop once the downward path crosses an invisible failure.
+        reps = model.representatives_of(5, model.critical_failures - model.visible_critical_failures)
+        assert reps[0] == 5
+        assert 4 in reps  # path 4->5 has nothing strictly between
+
+
+class TestPsumMembers:
+    def test_failure_free_root_psum_covers_everyone(self):
+        topo = grid_graph(4, 4)
+        params = params_for(topo, t=1)
+        model = build_fragment_model(topo, FailureSchedule(), params)
+        members = psum_members(model, FailureSchedule(), topo.root, params)
+        assert members == set(topo.nodes())
+
+    def test_crash_prunes_subtree(self):
+        topo = path_graph(6)
+        params = params_for(topo, t=1)
+        at = aggregation_phase_start(topo)
+        schedule = FailureSchedule({3: at})
+        model = build_fragment_model(topo, schedule, params)
+        members = psum_members(model, schedule, topo.root, params)
+        assert members == {0, 1, 2}
+
+    def test_members_of_inner_source(self):
+        topo = path_graph(6)
+        params = params_for(topo, t=1)
+        model = build_fragment_model(topo, FailureSchedule(), params)
+        assert psum_members(model, FailureSchedule(), 3, params) == {3, 4, 5}
+
+
+class TestAggAgainstOracle:
+    """AGG's distributed selection reproduces the oracle's arithmetic."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_result_equals_oracle_member_sum(self, seed):
+        topo = grid_graph(5, 5)
+        params = params_for(topo, t=6)
+        rng = random.Random(seed)
+        # Crashes strictly after construction so the predicted tree holds.
+        start = aggregation_phase_start(topo)
+        schedule = random_failures(
+            topo, f=6, rng=rng, first_round=start, last_round=params.agg_rounds
+        )
+        inputs = {u: rng.randint(1, 9) for u in topo.nodes()}
+        out = run_agg(topo, inputs, t=6, schedule=schedule)
+        assert not out.aborted
+        model = build_fragment_model(topo, schedule, params)
+        root = out.nodes[topo.root]
+        selected = {
+            source
+            for source in root.flooded_sources
+            if (KEEP, source) in root.determinations
+        }
+        oracle_sum = 0
+        covered = set()
+        members_by_source = {}
+        for source in selected:
+            members = psum_members(model, schedule, source, params)
+            members_by_source[source] = members
+            oracle_sum += sum(inputs[u] for u in members)
+            covered |= members
+        assert out.result == oracle_sum
+
+        alive = topo.alive_component(schedule.failed_by(params.agg_rounds))
+        ok, reason = oracle_representative_set_is_valid(
+            model, selected, members_by_source, alive
+        )
+        assert ok, reason
+
+    def test_validity_checker_catches_double_count(self):
+        topo = path_graph(4)
+        params = params_for(topo, t=1)
+        model = build_fragment_model(topo, FailureSchedule(), params)
+        members = {0: {0, 1, 2, 3}, 2: {2, 3}}
+        ok, reason = oracle_representative_set_is_valid(
+            model, {0, 2}, members, alive_at_end={0, 1, 2, 3}
+        )
+        assert not ok and "counted 2 times" in reason
+
+    def test_validity_checker_catches_missing_alive_node(self):
+        topo = path_graph(4)
+        params = params_for(topo, t=1)
+        model = build_fragment_model(topo, FailureSchedule(), params)
+        ok, reason = oracle_representative_set_is_valid(
+            model, {0}, {0: {0, 1}}, alive_at_end={0, 1, 2}
+        )
+        assert not ok and "covered 0 times" in reason

@@ -1,0 +1,182 @@
+"""Topology generators: sizes, connectivity, and shape-specific facts."""
+
+import random
+
+import pytest
+
+from repro.graphs import (
+    Topology,
+    balanced_tree,
+    barbell_graph,
+    caterpillar_graph,
+    clustered_graph,
+    complete_graph,
+    cycle_graph,
+    gnp_connected,
+    grid_graph,
+    path_graph,
+    random_geometric,
+    random_regular,
+    random_tree,
+    standard_suite,
+    star_graph,
+)
+
+
+class TestRegularShapes:
+    def test_path(self):
+        topo = path_graph(7)
+        assert topo.n_nodes == 7
+        assert topo.n_edges == 6
+        assert topo.diameter == 6
+
+    def test_cycle(self):
+        topo = cycle_graph(10)
+        assert topo.n_edges == 10
+        assert topo.diameter == 5
+        assert all(topo.degree(u) == 2 for u in topo.nodes())
+
+    def test_star(self):
+        topo = star_graph(12)
+        assert topo.degree(0) == 11
+        assert topo.diameter == 2
+
+    def test_complete(self):
+        topo = complete_graph(6)
+        assert topo.n_edges == 15
+        assert topo.diameter == 1
+
+    def test_grid(self):
+        topo = grid_graph(4, 5)
+        assert topo.n_nodes == 20
+        assert topo.diameter == 3 + 4
+        # Interior nodes have degree 4.
+        assert topo.degree(1 * 5 + 2) == 4
+
+    def test_balanced_tree(self):
+        topo = balanced_tree(2, 15)
+        assert topo.n_edges == 14
+        assert topo.degree(0) == 2
+
+    def test_caterpillar(self):
+        topo = caterpillar_graph(4, 2)
+        assert topo.n_nodes == 12
+        # Legs are leaves.
+        assert topo.degree(4) == 1
+
+    def test_barbell_bridge_is_bottleneck(self):
+        topo = barbell_graph(4, 2)
+        assert topo.n_nodes == 10
+        bridge_nodes = [4, 5]
+        for u in bridge_nodes:
+            assert topo.degree(u) == 2
+
+    def test_clustered(self):
+        topo = clustered_graph(3, 4)
+        assert topo.n_nodes == 12
+        # Cluster members form a clique.
+        assert 1 in topo.neighbours(2) and 3 in topo.neighbours(2)
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: path_graph(1),
+            lambda: cycle_graph(2),
+            lambda: star_graph(1),
+            lambda: grid_graph(1, 1),
+            lambda: balanced_tree(0, 5),
+            lambda: caterpillar_graph(1, 1),
+            lambda: barbell_graph(1, 1),
+            lambda: clustered_graph(1, 3),
+        ],
+    )
+    def test_degenerate_sizes_rejected(self, factory):
+        with pytest.raises(ValueError):
+            factory()
+
+
+class TestRandomShapes:
+    def test_geometric_connected_and_sized(self):
+        topo = random_geometric(50, rng=random.Random(1))
+        assert topo.n_nodes == 50
+        assert topo.diameter >= 1
+
+    def test_geometric_root_near_corner(self):
+        topo = random_geometric(40, rng=random.Random(2))
+        pts = topo.positions
+        root_score = pts[topo.root][0] + pts[topo.root][1]
+        assert all(root_score <= x + y + 1e-12 for x, y in pts)
+
+    def test_geometric_deterministic_per_seed(self):
+        a = random_geometric(30, rng=random.Random(5))
+        b = random_geometric(30, rng=random.Random(5))
+        assert a.adjacency == b.adjacency
+
+    def test_gnp_connected(self):
+        topo = gnp_connected(40, rng=random.Random(3))
+        assert topo.n_nodes == 40
+
+    def test_gnp_dense_probability_one(self):
+        topo = gnp_connected(10, p=1.0, rng=random.Random(0))
+        assert topo.n_edges == 45
+
+    def test_random_tree_has_n_minus_1_edges(self):
+        topo = random_tree(20, rng=random.Random(4))
+        assert topo.n_edges == 19
+
+    def test_random_regular_degrees(self):
+        topo = random_regular(16, 4, rng=random.Random(7))
+        assert all(topo.degree(u) == 4 for u in topo.nodes())
+
+    def test_random_regular_parity_check(self):
+        with pytest.raises(ValueError):
+            random_regular(7, 3)
+
+    def test_standard_suite_diverse(self):
+        suite = standard_suite(25, rng=random.Random(0))
+        assert len(suite) >= 4
+        assert len({t.name for t in suite}) == len(suite)
+
+
+class TestTopologyApi:
+    def test_rejects_disconnected(self):
+        with pytest.raises(ValueError, match="connected"):
+            Topology({0: [1], 1: [0], 2: [], 3: []})
+
+    def test_rejects_unknown_root(self):
+        with pytest.raises(ValueError, match="root"):
+            Topology({0: [1], 1: [0]}, root=5)
+
+    def test_edges_incident_counts_paper_edge_failures(self):
+        topo = star_graph(6)
+        # Failing two leaves costs exactly their two edges.
+        assert topo.edges_incident({1, 2}) == 2
+        # Failing the hub costs all edges.
+        assert topo.edges_incident({0}) == 5
+
+    def test_edges_incident_does_not_double_count(self):
+        topo = path_graph(4)
+        assert topo.edges_incident({1, 2}) == 3  # edges 01, 12, 23
+
+    def test_alive_component(self):
+        topo = path_graph(5)
+        assert topo.alive_component({2}) == {0, 1}
+
+    def test_alive_component_root_failure_rejected(self):
+        topo = path_graph(5)
+        with pytest.raises(ValueError):
+            topo.alive_component({0})
+
+    def test_remaining_diameter(self):
+        topo = cycle_graph(8)
+        assert topo.diameter == 4
+        # Cutting one node turns the cycle into a path of 7 -> diameter 6.
+        assert topo.remaining_diameter({4}) == 6
+
+    def test_levels_cached_and_correct(self):
+        topo = grid_graph(3, 3)
+        assert topo.levels[0] == 0
+        assert topo.levels[8] == 4
+
+    def test_repr_mentions_name(self):
+        assert "grid" in repr(grid_graph(2, 2))

@@ -1,0 +1,110 @@
+"""Distributed histograms via per-bucket COUNT."""
+
+import random
+
+import pytest
+
+from repro.adversary import random_failures
+from repro.extensions.histogram import (
+    Bucket,
+    distributed_histogram,
+    equi_width_buckets,
+    exact_histogram,
+)
+from repro.graphs import grid_graph
+
+
+class TestBuckets:
+    def test_half_open_membership(self):
+        bucket = Bucket(0, 10)
+        assert bucket.contains(0)
+        assert bucket.contains(9)
+        assert not bucket.contains(10)
+
+    def test_last_bucket_is_closed(self):
+        bucket = Bucket(10, 20)
+        assert bucket.contains(20, last=True)
+        assert not bucket.contains(20, last=False)
+
+    def test_equi_width_cover_the_domain(self):
+        buckets = equi_width_buckets(29, 3)
+        assert buckets[0].lo == 0
+        assert buckets[-1].hi >= 29
+        # Every value lands in exactly one bucket.
+        for value in range(30):
+            hits = sum(
+                b.contains(value, last=(i == len(buckets) - 1))
+                for i, b in enumerate(buckets)
+            )
+            assert hits == 1, value
+
+    def test_equi_width_validation(self):
+        with pytest.raises(ValueError):
+            equi_width_buckets(10, 0)
+        with pytest.raises(ValueError):
+            equi_width_buckets(-1, 3)
+
+    def test_more_buckets_than_values(self):
+        buckets = equi_width_buckets(2, 8)
+        assert len(buckets) <= 8
+        assert buckets[-1].hi >= 2
+
+
+class TestDistributedHistogram:
+    def test_matches_exact_failure_free(self):
+        topo = grid_graph(4, 4)
+        rng = random.Random(0)
+        inputs = {u: rng.randint(0, 29) for u in topo.nodes()}
+        buckets = equi_width_buckets(29, 3)
+        out = distributed_histogram(
+            topo, inputs, buckets, f=1, b=45, rng=random.Random(1)
+        )
+        assert out.counts == exact_histogram(inputs, buckets)
+        assert out.total == topo.n_nodes
+
+    def test_probe_per_bucket(self):
+        topo = grid_graph(3, 3)
+        inputs = {u: u for u in topo.nodes()}
+        buckets = equi_width_buckets(8, 4)
+        out = distributed_histogram(
+            topo, inputs, buckets, f=1, b=45, rng=random.Random(2)
+        )
+        assert out.probes == len(buckets)
+
+    def test_bruteforce_substrate(self):
+        topo = grid_graph(3, 3)
+        inputs = {u: u % 3 for u in topo.nodes()}
+        buckets = [Bucket(0, 1), Bucket(1, 2), Bucket(2, 2)]
+        out = distributed_histogram(
+            topo, inputs, buckets, f=1, protocol="bruteforce"
+        )
+        assert out.counts == [3, 3, 3]
+
+    def test_rows_rendering(self):
+        topo = grid_graph(3, 3)
+        inputs = {u: 0 for u in topo.nodes()}
+        out = distributed_histogram(
+            topo, inputs, [Bucket(0, 1)], f=1, protocol="bruteforce"
+        )
+        rows = out.as_rows()
+        assert rows[0]["count"] == 9
+
+    def test_rejects_empty_buckets(self):
+        topo = grid_graph(3, 3)
+        with pytest.raises(ValueError):
+            distributed_histogram(
+                topo, {u: 0 for u in topo.nodes()}, [], f=1, b=45
+            )
+
+    def test_under_failures_total_is_bracketed(self):
+        topo = grid_graph(5, 5)
+        rng = random.Random(3)
+        inputs = {u: rng.randint(0, 9) for u in topo.nodes()}
+        schedule = random_failures(topo, f=4, rng=rng, first_round=1, last_round=4000)
+        buckets = equi_width_buckets(9, 2)
+        out = distributed_histogram(
+            topo, inputs, buckets, f=4, b=45, schedule=schedule,
+            rng=random.Random(4),
+        )
+        survivors = topo.alive_component(schedule.failed_nodes)
+        assert len(survivors) <= out.total <= topo.n_nodes

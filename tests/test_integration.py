@@ -1,0 +1,185 @@
+"""Cross-module integration scenarios tying the whole system together."""
+
+import random
+
+import pytest
+
+from repro.adversary import (
+    FailureSchedule,
+    blocker_failures,
+    chain_failures,
+    concentrated_failures,
+    random_failures,
+)
+from repro.analysis import figure1_data, run_protocol, sweep_b
+from repro.baselines import run_bruteforce, run_folklore, run_plain_tag
+from repro.core import COUNT, MAX, OR, SUM, run_agg_veri_pair, run_algorithm1
+from repro.core.correctness import correctness_interval, is_correct_result, surviving_nodes
+from repro.graphs import (
+    balanced_tree,
+    barbell_graph,
+    clustered_graph,
+    grid_graph,
+    random_geometric,
+)
+from repro.lowerbound import bounds
+
+
+class TestEndToEndScenarios:
+    def test_sensor_field_all_protocols_agree_when_failure_free(self):
+        topo = random_geometric(60, rng=random.Random(1))
+        inputs = {u: u % 13 for u in topo.nodes()}
+        expected = sum(inputs.values())
+        assert run_bruteforce(topo, inputs).result == expected
+        assert run_folklore(topo, inputs, f=3).result == expected
+        assert run_plain_tag(topo, inputs).result == expected
+        assert (
+            run_algorithm1(topo, inputs, f=3, b=45, rng=random.Random(2)).result
+            == expected
+        )
+
+    def test_bottleneck_topology_survives_bridge_failure(self):
+        topo = barbell_graph(5, 3)
+        inputs = {u: 1 for u in topo.nodes()}
+        # Kill a bridge node: the far clique gets partitioned and its
+        # inputs legitimately drop out of s1.
+        schedule = FailureSchedule({6: 30})
+        out = run_algorithm1(
+            topo, inputs, f=2, b=45, schedule=schedule, rng=random.Random(0)
+        )
+        assert is_correct_result(out.result, SUM, topo, inputs, schedule, out.rounds)
+
+    def test_cluster_blackout_with_all_caafs(self):
+        topo = clustered_graph(4, 5)
+        rng = random.Random(3)
+        inputs = {u: rng.randint(0, 9) for u in topo.nodes()}
+        schedule = blocker_failures(topo, f=14, victim=10, at_round=50)
+        for caaf in (SUM, COUNT, MAX, OR):
+            out = run_algorithm1(
+                topo,
+                inputs,
+                f=14,
+                b=45,
+                schedule=schedule,
+                caaf=caaf,
+                rng=random.Random(4),
+            )
+            assert is_correct_result(
+                out.result, caaf, topo, inputs, schedule, out.rounds
+            ), caaf.name
+
+    def test_deep_tree_with_chain_failure_still_correct(self):
+        topo = balanced_tree(2, 31)
+        t_chain = 3
+        schedule = chain_failures(
+            topo, chain_length=t_chain, at_round=100, rng=random.Random(5)
+        )
+        assert schedule is not None
+        inputs = {u: 1 for u in topo.nodes()}
+        f = schedule.edge_failures(topo)
+        out = run_algorithm1(
+            topo, inputs, f=f, b=60, schedule=schedule, rng=random.Random(6)
+        )
+        assert is_correct_result(out.result, SUM, topo, inputs, schedule, out.rounds)
+
+
+class TestPaperNarrativeChecks:
+    def test_tradeoff_beats_bruteforce_cc_for_large_b(self):
+        # Figure 1's headline: for the same correctness guarantee, spending
+        # time buys communication.
+        topo = grid_graph(6, 6)
+        inputs = {u: 1 for u in topo.nodes()}
+        rng = random.Random(7)
+        f = 6
+        schedule = random_failures(topo, f, rng, first_round=1, last_round=400)
+        bf = run_bruteforce(topo, inputs, schedule=schedule)
+        alg = run_algorithm1(
+            topo, inputs, f=f, b=800, schedule=schedule, rng=random.Random(8)
+        )
+        assert alg.stats.max_bits < bf.stats.max_bits
+
+    def test_interval_concentration_beaten_by_random_selection(self):
+        # The adversary kills one specific interval; Algorithm 1's random
+        # selection routes around it with high probability across seeds.
+        topo = grid_graph(5, 5)
+        inputs = {u: 1 for u in topo.nodes()}
+        b = 120
+        plan_rounds = 19 * 2 * topo.diameter
+        schedule = concentrated_failures(
+            topo, 8, random.Random(9), window=(1, plan_rounds)
+        )
+        fallbacks = 0
+        for seed in range(6):
+            out = run_algorithm1(
+                topo, inputs, f=8, b=b, schedule=schedule, rng=random.Random(seed)
+            )
+            fallbacks += out.used_bruteforce
+            assert is_correct_result(
+                out.result, SUM, topo, inputs, schedule, out.rounds
+            )
+        assert fallbacks <= 2  # most coin flips dodge the poisoned interval
+
+    def test_tag_failure_rate_vs_fault_tolerant_protocols(self):
+        # E5's table: TAG silently loses inputs, others never do.
+        topo = grid_graph(5, 5)
+        tag_wrong = 0
+        for seed in range(10):
+            rng = random.Random(seed)
+            schedule = random_failures(
+                topo, f=10, rng=rng, first_round=1,
+                last_round=2 * 2 * topo.diameter + 2,
+            )
+            inputs = {u: 100 for u in topo.nodes()}
+            rec_tag = run_protocol("tag", topo, inputs, schedule=schedule)
+            rec_bf = run_protocol("bruteforce", topo, inputs, schedule=schedule)
+            tag_wrong += not rec_tag.correct
+            assert rec_bf.correct
+        # Failures mid-aggregation usually hurt TAG at least once in 10.
+        assert tag_wrong >= 1
+
+    def test_measured_cc_between_analytic_bounds_shape(self):
+        # The measured Algorithm 1 CC decreases in b, like the UB curve, and
+        # stays above the (constant-free) LB curve.
+        topo = grid_graph(5, 5)
+        f = 6
+        points = sweep_b(topo, f=f, bs=[42, 168, 672], seeds=range(3))
+        ccs = [p.cc_mean for p in points]
+        assert ccs[0] > ccs[-1]
+        n = topo.n_nodes
+        for b, cc in zip([42, 168, 672], ccs):
+            assert cc >= bounds.lower_bound_new(n, f, b)
+
+    def test_figure1_curve_relationships(self):
+        data = figure1_data(1024, 128, [42, 84, 168, 336])
+        ub = data.curves["upper_bound_new"]
+        lb = data.curves["lower_bound_new"]
+        old_lb = data.curves["lower_bound_old"]
+        for u, l, o in zip(ub, lb, old_lb):
+            assert u >= l >= o
+
+
+class TestCorrectnessIntervalIntegration:
+    def test_partition_shrinks_interval_lower_end(self):
+        topo = grid_graph(4, 4)
+        inputs = {u: 10 for u in topo.nodes()}
+        schedule = FailureSchedule({1: 5, 4: 5, 5: 5})  # cut the root's corner
+        survivors = surviving_nodes(topo, schedule, 100)
+        lo, hi = correctness_interval(SUM, inputs, survivors)
+        assert lo == 10 * len(survivors)
+        assert hi == 160
+
+    def test_all_protocol_outputs_land_in_interval(self):
+        topo = grid_graph(4, 4)
+        rng = random.Random(11)
+        inputs = {u: rng.randint(0, 9) for u in topo.nodes()}
+        schedule = random_failures(topo, f=5, rng=rng, first_round=1, last_round=100)
+        for name, kwargs in [
+            ("bruteforce", {}),
+            ("folklore", {"f": 5}),
+            ("algorithm1", {"f": 5, "b": 45}),
+            ("unknown_f", {}),
+        ]:
+            rec = run_protocol(
+                name, topo, inputs, schedule=schedule, rng=random.Random(12), **kwargs
+            )
+            assert rec.correct, name

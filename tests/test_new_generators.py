@@ -1,0 +1,98 @@
+"""Hypercube, torus, cluster-line, and lollipop topologies."""
+
+import pytest
+
+from repro.graphs import (
+    cluster_line_graph,
+    hypercube_graph,
+    lollipop_graph,
+    torus_graph,
+)
+
+
+class TestHypercube:
+    def test_size_and_regularity(self):
+        topo = hypercube_graph(4)
+        assert topo.n_nodes == 16
+        assert all(topo.degree(u) == 4 for u in topo.nodes())
+
+    def test_diameter_is_dimension(self):
+        for dim in (2, 3, 4):
+            assert hypercube_graph(dim).diameter == dim
+
+    def test_edges_flip_single_bits(self):
+        topo = hypercube_graph(3)
+        for u, v in topo.edges():
+            assert bin(u ^ v).count("1") == 1
+
+    def test_rejects_zero_dimension(self):
+        with pytest.raises(ValueError):
+            hypercube_graph(0)
+
+
+class TestTorus:
+    def test_four_regular(self):
+        topo = torus_graph(4, 5)
+        assert topo.n_nodes == 20
+        assert all(topo.degree(u) == 4 for u in topo.nodes())
+
+    def test_diameter_half_plus_half(self):
+        assert torus_graph(4, 4).diameter == 4
+        assert torus_graph(6, 6).diameter == 6
+
+    def test_wraparound_edges_exist(self):
+        topo = torus_graph(4, 4)
+        assert 3 in topo.neighbours(0)  # row wrap
+        assert 12 in topo.neighbours(0)  # column wrap
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            torus_graph(2, 5)
+
+
+class TestClusterLine:
+    def test_size(self):
+        topo = cluster_line_graph(3, 4)
+        assert topo.n_nodes == 12
+
+    def test_heads_form_a_path(self):
+        topo = cluster_line_graph(4, 3)
+        heads = [0, 3, 6, 9]
+        for a, b in zip(heads, heads[1:]):
+            assert b in topo.neighbours(a)
+        # Not a ring: first and last head are not adjacent.
+        assert heads[-1] not in topo.neighbours(heads[0])
+
+    def test_head_failure_partitions_far_clusters(self):
+        topo = cluster_line_graph(3, 3)
+        survivors = topo.alive_component({3})  # middle head
+        assert survivors == {0, 1, 2}
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            cluster_line_graph(1, 4)
+
+
+class TestLollipop:
+    def test_size_and_root_placement(self):
+        topo = lollipop_graph(5, 3)
+        assert topo.n_nodes == 8
+        assert topo.root == 0
+        assert topo.degree(0) == 1  # far end of the tail
+
+    def test_clique_is_complete(self):
+        topo = lollipop_graph(4, 2)
+        clique = list(range(2, 6))
+        for i, u in enumerate(clique):
+            for v in clique[i + 1:]:
+                assert v in topo.neighbours(u)
+
+    def test_diameter_spans_tail(self):
+        topo = lollipop_graph(4, 5)
+        assert topo.diameter == 6  # 5 tail hops + 1 into the clique
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            lollipop_graph(1, 3)
+        with pytest.raises(ValueError):
+            lollipop_graph(3, 0)

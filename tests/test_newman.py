@@ -1,0 +1,124 @@
+"""Newman's theorem ([15], used in Theorem 10), verified exhaustively."""
+
+import random
+
+import pytest
+
+from repro.lowerbound.newman import (
+    NewmanSimulation,
+    PublicCoinEquality,
+    all_input_pairs,
+    find_seed_set,
+    parity_fingerprint,
+    random_mask,
+    worst_case_error,
+)
+
+
+class TestFingerprints:
+    def test_equal_strings_always_agree(self):
+        rng = random.Random(0)
+        for _ in range(20):
+            x = tuple(rng.randrange(4) for _ in range(5))
+            mask = random_mask(5, 4, rng)
+            assert parity_fingerprint(x, mask, 4) == parity_fingerprint(
+                x, mask, 4
+            )
+
+    def test_unequal_strings_disagree_about_half_the_time(self):
+        rng = random.Random(1)
+        x = (0, 1, 2, 3)
+        y = (0, 1, 2, 0)
+        disagreements = 0
+        trials = 400
+        for _ in range(trials):
+            mask = random_mask(4, 4, rng)
+            disagreements += parity_fingerprint(
+                x, mask, 4
+            ) != parity_fingerprint(y, mask, 4)
+        assert 0.3 < disagreements / trials < 0.7
+
+
+class TestPublicCoinProtocol:
+    def test_equal_inputs_always_accepted(self):
+        protocol = PublicCoinEquality(n=3, q=3, repetitions=3)
+        for seed in range(30):
+            x = tuple(random.Random(seed).randrange(3) for _ in range(3))
+            verdict, _ = protocol.run_with_coins(x, x, random.Random(seed))
+            assert verdict is True
+
+    def test_transcript_is_constant_size(self):
+        protocol = PublicCoinEquality(n=3, q=3, repetitions=5)
+        _, tr = protocol.run_with_coins(
+            (0, 1, 2), (0, 1, 2), random.Random(0)
+        )
+        assert tr.total_bits == 6  # repetitions + verdict, independent of n
+
+    def test_one_sided_error_rate_exhaustive(self):
+        # Across all unequal pairs and many seeds, the acceptance rate of
+        # unequal inputs stays near 2^-repetitions.
+        protocol = PublicCoinEquality(n=2, q=3, repetitions=3)
+        pairs = [
+            (x, y) for x, y in all_input_pairs(2, 3) if x != y
+        ]
+        seeds = range(60)
+        total_errors = sum(
+            protocol.error_on(x, y, seed)
+            for x, y in pairs
+            for seed in seeds
+        )
+        rate = total_errors / (len(pairs) * len(seeds))
+        assert rate < 0.3  # expected 1/8, generous margin
+
+
+class TestNewmanDerandomization:
+    @pytest.fixture(scope="class")
+    def instance(self):
+        protocol = PublicCoinEquality(n=2, q=3, repetitions=4)
+        seeds = find_seed_set(
+            protocol, target_error=0.25, set_size=24, rng=random.Random(7)
+        )
+        return protocol, seeds
+
+    def test_seed_set_has_verified_worst_case_error(self, instance):
+        protocol, seeds = instance
+        assert worst_case_error(protocol, seeds) <= 0.25
+
+    def test_simulation_overhead_is_loglog_scale(self, instance):
+        protocol, seeds = instance
+        simulation = NewmanSimulation(protocol, seeds)
+        # log2(24) ~ 5 bits: the O(loglog domain) overhead, tiny next to
+        # shipping an input (2 * log2(3) * n bits).
+        assert simulation.overhead_bits <= 5
+
+    def test_simulation_transcript_cost(self, instance):
+        protocol, seeds = instance
+        simulation = NewmanSimulation(protocol, seeds)
+        _, tr = simulation.run((0, 1), (0, 1), random.Random(3))
+        base_bits = protocol.repetitions + 1
+        assert tr.total_bits == base_bits + simulation.overhead_bits
+
+    def test_simulation_never_rejects_equal_inputs(self, instance):
+        protocol, seeds = instance
+        simulation = NewmanSimulation(protocol, seeds)
+        for x, y in all_input_pairs(2, 3):
+            if x != y:
+                continue
+            for coin in range(10):
+                verdict, _ = simulation.run(x, y, random.Random(coin))
+                assert verdict is True
+
+    def test_simulation_error_bounded_for_every_input(self, instance):
+        protocol, seeds = instance
+        simulation = NewmanSimulation(protocol, seeds)
+        assert simulation.worst_case_error() <= 0.25
+
+    def test_impossible_target_raises(self):
+        protocol = PublicCoinEquality(n=2, q=3, repetitions=1)
+        with pytest.raises(RuntimeError):
+            # One repetition errs with probability ~1/2 per seed: a set of
+            # size 2 cannot reach worst-case error 0.01.
+            find_seed_set(
+                protocol, target_error=0.01, set_size=2,
+                rng=random.Random(0), attempts=5,
+            )

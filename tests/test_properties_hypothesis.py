@@ -1,0 +1,177 @@
+"""Property-based tests (hypothesis) on the library's core invariants.
+
+These are the heavyweight guarantees:
+
+* Algorithm 1 / AGG+VERI / baselines never produce an incorrect result, for
+  *arbitrary* random connected topologies, inputs, and budgeted oblivious
+  adversaries (Theorems 1, 4, 7 + the baselines' folklore guarantees).
+* Floods reach exactly the root-connected alive region.
+* Cycle-promise instances and the Theorem 8 reduction behave on arbitrary
+  promise-respecting pairs.
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.adversary import FailureSchedule, random_failures
+from repro.baselines import run_bruteforce, run_folklore
+from repro.core.agg import run_agg
+from repro.core.caaf import SUM
+from repro.core.correctness import is_correct_result
+from repro.core.veri import run_agg_veri_pair
+from repro.core.algorithm1 import run_algorithm1
+from repro.graphs import Topology
+from repro.lowerbound.equalitycp import ReductionEquality, strings_equal
+from repro.lowerbound.unionsizecp import (
+    WrapPositionUnionSize,
+    check_cycle_promise,
+    union_size,
+)
+
+SETTINGS = dict(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def connected_topologies(draw, min_nodes=4, max_nodes=18):
+    """Random connected graphs: a random spanning tree plus random extras."""
+    n = draw(st.integers(min_nodes, max_nodes))
+    rng = random.Random(draw(st.integers(0, 2**30)))
+    adjacency = {u: [] for u in range(n)}
+
+    def add(u, v):
+        if u != v and v not in adjacency[u]:
+            adjacency[u].append(v)
+            adjacency[v].append(u)
+
+    for u in range(1, n):
+        add(u, rng.randrange(u))
+    extra = draw(st.integers(0, n))
+    for _ in range(extra):
+        add(rng.randrange(n), rng.randrange(n))
+    return Topology(adjacency, name=f"hyp({n})")
+
+
+@st.composite
+def failure_cases(draw):
+    """(topology, inputs, schedule, f) with a budget-respecting adversary."""
+    topo = draw(connected_topologies())
+    rng = random.Random(draw(st.integers(0, 2**30)))
+    inputs = {u: draw(st.integers(0, 50)) for u in topo.nodes()}
+    f = draw(st.integers(1, 8))
+    schedule = random_failures(
+        topo, f, rng, first_round=1, last_round=60 * topo.diameter
+    )
+    return topo, inputs, schedule, f
+
+
+class TestProtocolCorrectnessProperties:
+    @settings(**SETTINGS)
+    @given(case=failure_cases(), coin=st.integers(0, 2**30))
+    def test_algorithm1_always_correct(self, case, coin):
+        topo, inputs, schedule, f = case
+        out = run_algorithm1(
+            topo, inputs, f=f, b=60, schedule=schedule, rng=random.Random(coin)
+        )
+        assert is_correct_result(
+            out.result, SUM, topo, inputs, schedule, out.rounds
+        )
+
+    @settings(**SETTINGS)
+    @given(case=failure_cases())
+    def test_bruteforce_always_correct(self, case):
+        topo, inputs, schedule, _f = case
+        out = run_bruteforce(topo, inputs, schedule=schedule)
+        assert is_correct_result(
+            out.result, SUM, topo, inputs, schedule, out.rounds
+        )
+
+    @settings(**SETTINGS)
+    @given(case=failure_cases())
+    def test_folklore_always_correct(self, case):
+        topo, inputs, schedule, f = case
+        out = run_folklore(topo, inputs, f=f, schedule=schedule)
+        assert is_correct_result(
+            out.result, SUM, topo, inputs, schedule, out.rounds
+        )
+
+    @settings(**SETTINGS)
+    @given(case=failure_cases())
+    def test_accepted_pair_always_correct(self, case):
+        # Theorems 5 + 7 combined: acceptance implies correctness, with any
+        # number of failures.
+        topo, inputs, schedule, f = case
+        t = 2
+        pair = run_agg_veri_pair(topo, inputs, t=t, schedule=schedule)
+        if pair.accepted:
+            end = 12 * 2 * topo.diameter + 7
+            assert is_correct_result(
+                pair.agg_result, SUM, topo, inputs, schedule, end
+            )
+
+    @settings(**SETTINGS)
+    @given(case=failure_cases())
+    def test_agg_within_budget_is_exact_or_correct(self, case):
+        # Theorem 4 restricted to schedules that happen to fit within t.
+        topo, inputs, schedule, f = case
+        t = schedule.edge_failures(topo)
+        out = run_agg(topo, inputs, t=t, schedule=schedule)
+        assert not out.aborted
+        assert is_correct_result(
+            out.result, SUM, topo, inputs, schedule, out.stats.rounds_executed
+        )
+
+    @settings(**SETTINGS)
+    @given(topo=connected_topologies())
+    def test_agg_exact_without_failures(self, topo):
+        inputs = {u: u % 7 for u in topo.nodes()}
+        out = run_agg(topo, inputs, t=1)
+        assert out.result == sum(inputs.values())
+
+    @settings(**SETTINGS)
+    @given(case=failure_cases())
+    def test_agg_never_overcounts(self, case):
+        # Representative sets never double count: the result can never
+        # exceed the total even when AGG errs (> t failures, LFC present).
+        topo, inputs, schedule, _f = case
+        out = run_agg(topo, inputs, t=1, schedule=schedule)
+        if out.result is not None:
+            assert out.result <= sum(inputs.values())
+
+
+class TestTwoPartyProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        n=st.integers(1, 80),
+        q=st.integers(2, 16),
+        seed=st.integers(0, 2**30),
+    )
+    def test_random_instances_satisfy_promise_and_protocols_agree(
+        self, n, q, seed
+    ):
+        from repro.lowerbound.unionsizecp import random_instance
+
+        rng = random.Random(seed)
+        x, y = random_instance(n, q, rng)
+        assert check_cycle_promise(x, y, q)
+        answer, _ = WrapPositionUnionSize(q).run(x, y)
+        assert answer == union_size(x, y)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        q=st.integers(2, 12),
+        data=st.data(),
+    )
+    def test_reduction_on_arbitrary_promise_pairs(self, q, data):
+        n = data.draw(st.integers(1, 40))
+        x = tuple(data.draw(st.integers(0, q - 1)) for _ in range(n))
+        bumps = tuple(data.draw(st.booleans()) for _ in range(n))
+        y = tuple((xi + 1) % q if b else xi for xi, b in zip(x, bumps))
+        reduction = ReductionEquality(q, WrapPositionUnionSize(q))
+        answer, _ = reduction.run(x, y)
+        assert answer == strings_equal(x, y)

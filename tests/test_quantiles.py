@@ -1,0 +1,128 @@
+"""SELECTION / MEDIAN / AVERAGE via fault-tolerant COUNT (Section 2's
+Patt-Shamir reduction)."""
+
+import random
+
+import pytest
+
+from repro.adversary import FailureSchedule, random_failures
+from repro.extensions.quantiles import (
+    distributed_average,
+    distributed_median,
+    distributed_select,
+    probe_budget,
+)
+from repro.graphs import grid_graph, path_graph
+
+
+class TestSelection:
+    def test_exact_on_failure_free_grid(self):
+        topo = grid_graph(4, 4)
+        inputs = {u: (u * 7) % 23 for u in topo.nodes()}
+        ordered = sorted(inputs.values())
+        for k in (1, 5, 16):
+            out = distributed_select(
+                topo, inputs, k=k, f=1, b=45, rng=random.Random(k)
+            )
+            assert out.value == ordered[k - 1]
+
+    def test_duplicated_values(self):
+        topo = grid_graph(4, 4)
+        inputs = {u: u % 3 for u in topo.nodes()}
+        out = distributed_select(topo, inputs, k=8, f=1, b=45, rng=random.Random(0))
+        assert out.value == sorted(inputs.values())[7]
+
+    def test_probe_count_is_logarithmic(self):
+        topo = grid_graph(4, 4)
+        inputs = {u: u * 10 for u in topo.nodes()}  # domain up to 150
+        out = distributed_select(topo, inputs, k=4, f=1, b=45, rng=random.Random(1))
+        assert out.probe_count <= probe_budget(topo, max(inputs.values()))
+
+    def test_bruteforce_substrate(self):
+        topo = grid_graph(4, 4)
+        inputs = {u: u for u in topo.nodes()}
+        out = distributed_select(
+            topo, inputs, k=10, f=1, protocol="bruteforce"
+        )
+        assert out.value == 9
+
+    def test_rejects_bad_rank(self):
+        topo = grid_graph(3, 3)
+        with pytest.raises(ValueError):
+            distributed_select(topo, {u: 1 for u in topo.nodes()}, k=0, f=1, b=45)
+
+    def test_rejects_missing_budget(self):
+        topo = grid_graph(3, 3)
+        with pytest.raises(ValueError, match="time budget"):
+            distributed_select(topo, {u: 1 for u in topo.nodes()}, k=1, f=1)
+
+    def test_rejects_unknown_substrate(self):
+        topo = grid_graph(3, 3)
+        with pytest.raises(ValueError, match="substrate"):
+            distributed_select(
+                topo, {u: 1 for u in topo.nodes()}, k=1, f=1, b=45,
+                protocol="gossip",
+            )
+
+    def test_cc_accumulates_across_probes(self):
+        topo = grid_graph(4, 4)
+        inputs = {u: u for u in topo.nodes()}
+        out = distributed_select(topo, inputs, k=8, f=1, b=45, rng=random.Random(2))
+        per_probe_max = max(
+            max(p.cc_bits_per_node.values()) for p in out.probes
+        )
+        assert out.cc_bits >= per_probe_max
+        assert out.total_rounds == sum(p.rounds for p in out.probes)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_under_failures_result_is_rank_consistent(self, seed):
+        # With crashes mid-query, the result must still be a value some
+        # bracketed population ranks at k: it lies between the k-th
+        # smallest over survivors-only and over everyone.
+        topo = grid_graph(5, 5)
+        rng = random.Random(seed)
+        inputs = {u: rng.randint(0, 30) for u in topo.nodes()}
+        schedule = random_failures(
+            topo, f=4, rng=rng, first_round=1, last_round=3000
+        )
+        k = 5
+        out = distributed_select(
+            topo, inputs, k=k, f=4, b=45, schedule=schedule,
+            rng=random.Random(seed),
+        )
+        survivors = topo.alive_component(schedule.failed_nodes)
+        all_sorted = sorted(inputs.values())
+        surv_sorted = sorted(inputs[u] for u in survivors)
+        lo = min(all_sorted[k - 1], surv_sorted[min(k, len(surv_sorted)) - 1])
+        hi = max(all_sorted[k - 1], surv_sorted[min(k, len(surv_sorted)) - 1])
+        assert lo <= out.value <= hi
+
+
+class TestMedian:
+    def test_exact_median_odd_population(self):
+        topo = grid_graph(5, 5)
+        inputs = {u: u for u in topo.nodes()}
+        out = distributed_median(topo, inputs, f=1, b=45, rng=random.Random(0))
+        assert out.value == 12
+
+    def test_uses_extra_population_probe(self):
+        topo = grid_graph(4, 4)
+        inputs = {u: u for u in topo.nodes()}
+        out = distributed_median(topo, inputs, f=1, b=45, rng=random.Random(1))
+        assert out.probes[0].description == "count(all)"
+        assert out.probe_count >= 2
+
+
+class TestAverage:
+    def test_exact_average(self):
+        topo = path_graph(6)
+        inputs = {0: 2, 1: 4, 2: 6, 3: 8, 4: 10, 5: 12}
+        out = distributed_average(topo, inputs, f=1, b=45, rng=random.Random(0))
+        assert out.value == pytest.approx(7.0)
+        assert out.probe_count == 2
+
+    def test_average_with_bruteforce_substrate(self):
+        topo = grid_graph(3, 3)
+        inputs = {u: 3 for u in topo.nodes()}
+        out = distributed_average(topo, inputs, f=1, protocol="bruteforce")
+        assert out.value == pytest.approx(3.0)

@@ -1,0 +1,103 @@
+"""Lemma 11's rectangle argument, verified end to end on small matrices."""
+
+import math
+
+import pytest
+
+from repro.lowerbound.rectangles import (
+    ONE,
+    UNDEFINED,
+    ZERO,
+    all_strings,
+    build_matrix,
+    diagonal_set_is_valid_rectangle,
+    lemma11_cover_bound,
+    matrix_entry,
+    max_diagonal_rectangle,
+    min_rectangle_cover,
+    rectangle_is_one_monochromatic,
+)
+from repro.lowerbound.sperner import max_sperner_family_size, theorem9_bound
+
+
+class TestMatrixStructure:
+    def test_diagonal_is_ones(self):
+        for x in all_strings(2, 3):
+            assert matrix_entry(x, x, 3) == ONE
+
+    def test_promise_violations_are_undefined(self):
+        assert matrix_entry((0,), (2,), 3) == UNDEFINED
+
+    def test_promise_respecting_unequal_is_zero(self):
+        assert matrix_entry((0,), (1,), 3) == ZERO
+
+    def test_matrix_cell_count(self):
+        m = build_matrix(2, 3)
+        assert len(m) == 81
+
+    def test_matrix_size_cap(self):
+        with pytest.raises(ValueError):
+            build_matrix(6, 3)
+
+    def test_entry_classification_partition(self):
+        m = build_matrix(1, 4)
+        ones = sum(1 for v in m.values() if v == ONE)
+        zeros = sum(1 for v in m.values() if v == ZERO)
+        undefined = sum(1 for v in m.values() if v is UNDEFINED)
+        assert ones == 4  # the diagonal
+        assert zeros == 4  # the promise's +1 offsets
+        assert ones + zeros + undefined == 16
+
+
+class TestRectangles:
+    def test_single_diagonal_cell_is_rectangle(self):
+        for x in all_strings(1, 3):
+            assert diagonal_set_is_valid_rectangle([x], 3)
+
+    def test_cycle_neighbours_cannot_share_a_rectangle(self):
+        # Z[(0,),(1,)] is a 0-entry -> the rectangle {0,1}x{0,1} has a 0.
+        assert not diagonal_set_is_valid_rectangle([(0,), (1,)], 3)
+
+    def test_rectangle_checker_on_mixed_rows_cols(self):
+        assert rectangle_is_one_monochromatic([(0,)], [(0,), (2,)], 3)
+        assert not rectangle_is_one_monochromatic([(0,)], [(0,), (1,)], 3)
+
+    @pytest.mark.parametrize(
+        "n,q", [(1, 3), (2, 3), (3, 3), (1, 4), (2, 4), (1, 5)]
+    )
+    def test_lemma11_observation_rectangles_equal_sperner_families(self, n, q):
+        # The proof's pivot: a diagonal set fits one rectangle iff it is a
+        # Theorem 9 family, so the maxima coincide.
+        assert max_diagonal_rectangle(n, q) == max_sperner_family_size(n, q)
+
+    @pytest.mark.parametrize("n,q", [(1, 3), (2, 3), (1, 4), (2, 4)])
+    def test_max_rectangle_within_theorem9_bound(self, n, q):
+        assert max_diagonal_rectangle(n, q) <= theorem9_bound(n, q)
+
+
+class TestExactCovers:
+    @pytest.mark.parametrize("n,q", [(1, 3), (2, 3), (1, 4), (1, 5)])
+    def test_cover_respects_lemma11_bound(self, n, q):
+        c1 = min_rectangle_cover(n, q)
+        assert c1 >= lemma11_cover_bound(n, q)
+
+    def test_cover_lower_bounds_nondeterministic_cc(self):
+        # N(h) >= log2 C^1(h): for (2,3) the cover needs 3 rectangles, so
+        # EQUALITYCP_{2,3} needs > 1.5 bits nondeterministically.
+        c1 = min_rectangle_cover(2, 3)
+        assert math.log2(c1) > 1.5
+
+    def test_cover_at_most_diagonal_size(self):
+        # Singleton rectangles always cover.
+        for n, q in [(1, 3), (1, 4)]:
+            assert min_rectangle_cover(n, q) <= q**n
+
+    def test_cover_size_cap(self):
+        with pytest.raises(ValueError):
+            min_rectangle_cover(5, 4)
+
+    def test_cover_times_max_rectangle_covers_diagonal(self):
+        # Counting consistency: C^1 * max_rectangle >= q^n.
+        for n, q in [(1, 3), (2, 3), (1, 4)]:
+            c1 = min_rectangle_cover(n, q)
+            assert c1 * max_diagonal_rectangle(n, q) >= q**n

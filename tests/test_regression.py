@@ -1,0 +1,60 @@
+"""The regression-baseline tool: capture, compare, drift detection."""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis.regression import (
+    Drift,
+    capture_baseline,
+    compare_to_baseline,
+    measure_metrics,
+)
+
+
+class TestMetrics:
+    def test_suite_is_deterministic(self):
+        assert measure_metrics() == measure_metrics()
+
+    def test_all_metrics_positive(self):
+        for name, value in measure_metrics().items():
+            assert value > 0, name
+
+
+class TestBaselineFlow:
+    def test_capture_writes_json(self, tmp_path):
+        path = os.path.join(tmp_path, "baseline.json")
+        metrics = capture_baseline(path)
+        with open(path) as fh:
+            assert json.load(fh) == metrics
+
+    def test_fresh_baseline_has_no_drift(self, tmp_path):
+        path = os.path.join(tmp_path, "baseline.json")
+        capture_baseline(path)
+        assert compare_to_baseline(path) == []
+
+    def test_tampered_baseline_is_flagged(self, tmp_path):
+        path = os.path.join(tmp_path, "baseline.json")
+        metrics = capture_baseline(path)
+        metrics["agg_cc_failure_free"] *= 2  # pretend costs halved since
+        with open(path, "w") as fh:
+            json.dump(metrics, fh)
+        drifts = compare_to_baseline(path)
+        assert [d.metric for d in drifts] == ["agg_cc_failure_free"]
+        assert drifts[0].ratio == pytest.approx(0.5)
+
+    def test_missing_metric_forces_refresh(self, tmp_path):
+        path = os.path.join(tmp_path, "baseline.json")
+        metrics = capture_baseline(path)
+        del metrics["pair_veri_cc"]
+        with open(path, "w") as fh:
+            json.dump(metrics, fh)
+        drifts = compare_to_baseline(path)
+        assert any(d.metric == "pair_veri_cc" for d in drifts)
+
+    def test_tolerance_band(self):
+        assert Drift("m", 100.0, 104.0).within(0.05)
+        assert not Drift("m", 100.0, 106.0).within(0.05)
+        assert Drift("m", 100.0, 96.0).within(0.05)
+        assert not Drift("m", 100.0, 94.0).within(0.05)

@@ -1,0 +1,61 @@
+"""The one-shot Markdown experiment report."""
+
+import pytest
+
+from repro.analysis.report import generate_report
+
+
+@pytest.fixture(scope="module")
+def report_text():
+    # Smallest meaningful configuration; shared across assertions.
+    return generate_report(side=4, f=3, seeds=2, rng_seed=1)
+
+
+class TestReport:
+    def test_contains_every_section(self, report_text):
+        for marker in (
+            "# Reproduction report",
+            "E1 — Figure 1 curves",
+            "E4 — Algorithm 1 CC vs b",
+            "E5 — baselines",
+            "E9 — CAAF generality",
+            "E6/E7 — two-party + Sperner",
+            "E11 — selection via COUNT",
+        ):
+            assert marker in report_text
+
+    def test_mentions_topology_parameters(self, report_text):
+        assert "grid(4x4)" in report_text
+        assert "N=16" in report_text
+
+    def test_tables_are_fenced(self, report_text):
+        assert report_text.count("```") % 2 == 0
+        assert report_text.count("```") >= 12
+
+    def test_correctness_columns_are_perfect(self, report_text):
+        # Fault-tolerant protocols in the report must be 100% correct
+        # (TAG may legitimately fail; its row says "correct rate").
+        for line in report_text.splitlines():
+            if line.startswith("algorithm1") or line.startswith("bruteforce"):
+                assert "1.00" in line or "True" in line
+
+    def test_cli_report_subcommand(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "report.md"
+        code = main(
+            [
+                "report",
+                "--side",
+                "4",
+                "-f",
+                "2",
+                "--seeds",
+                "1",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        assert out.exists()
+        assert "Reproduction report" in out.read_text()

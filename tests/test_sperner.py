@@ -1,0 +1,117 @@
+"""Sperner capacity machinery: Theorem 9 and Lemma 11."""
+
+import numpy as np
+import pytest
+
+from repro.lowerbound.sperner import (
+    confusable,
+    lemma11_bound,
+    max_sperner_family_size,
+    rank_is_q_minus_1,
+    sperner_matrix,
+    sperner_rank,
+    theorem9_bound,
+)
+
+
+class TestMatrix:
+    def test_shape_and_diagonal(self):
+        m = sperner_matrix(5)
+        assert m.shape == (5, 5)
+        assert np.all(np.diag(m) == 1)
+
+    def test_zero_pattern(self):
+        # M[i][j] = 0 whenever (j - i) mod q in {2, .., q-1}.
+        q = 6
+        m = sperner_matrix(q)
+        for i in range(q):
+            for j in range(q):
+                if (j - i) % q in range(2, q):
+                    assert m[i][j] == 0
+
+    def test_superdiagonal_and_corner_free_entries(self):
+        q = 4
+        m = sperner_matrix(q, free_value=-1)
+        for i in range(q):
+            assert m[i][(i + 1) % q] == -1
+
+    def test_rows_sum_to_zero_with_minus_one(self):
+        m = sperner_matrix(7)
+        assert np.all(m.sum(axis=0) == 0)
+
+    def test_rejects_tiny_q(self):
+        with pytest.raises(ValueError):
+            sperner_matrix(1)
+
+
+class TestRank:
+    @pytest.mark.parametrize("q", [2, 3, 4, 5, 8, 16, 32, 64, 128])
+    def test_rank_is_q_minus_1_numerically(self, q):
+        assert sperner_rank(q) == q - 1
+
+    @pytest.mark.parametrize("q", [2, 3, 4, 5, 8, 16, 32])
+    def test_rank_is_q_minus_1_exactly(self, q):
+        assert rank_is_q_minus_1(q)
+
+    def test_other_free_values_can_have_full_rank(self):
+        # The choice -1 matters: +1 on the free entries gives full rank for
+        # odd q, so the Lemma 11 bound would be vacuous.
+        assert sperner_rank(5, free_value=1.0) == 5
+
+
+class TestConfusability:
+    def test_equal_strings_not_confusable_pair(self):
+        assert not confusable((0, 1), (0, 1), q=3)
+
+    def test_cycle_successor_is_confusable(self):
+        # W = V + 1 (mod q) at every coordinate: condition (i) fails.
+        assert confusable((0, 0), (1, 1), q=3)
+
+    def test_antipodal_strings_not_confusable(self):
+        # V and W differ by 2 (mod 4) everywhere: both conditions hold.
+        assert not confusable((0, 0), (2, 2), q=4)
+
+    def test_asymmetric_case(self):
+        # One direction satisfied, the other not -> still confusable.
+        v, w = (0,), (1,)
+        assert confusable(v, w, q=3)
+
+
+class TestTheorem9Exhaustive:
+    @pytest.mark.parametrize(
+        "n,q",
+        [(1, 2), (1, 3), (2, 3), (3, 3), (1, 4), (2, 4), (1, 5)],
+    )
+    def test_family_size_within_bound(self, n, q):
+        assert max_sperner_family_size(n, q) <= theorem9_bound(n, q)
+
+    def test_cyclic_triangle_capacity_single_letter(self):
+        # For q = 3, n = 1 the max family is a single string (any two
+        # distinct letters of Z_3 are cycle-related in one direction).
+        assert max_sperner_family_size(1, 3) == 1
+
+    def test_family_grows_with_n(self):
+        assert max_sperner_family_size(2, 3) > max_sperner_family_size(1, 3)
+
+
+class TestLemma11Bound:
+    def test_matches_closed_form(self):
+        import math
+
+        assert lemma11_bound(10, 3) == pytest.approx(10 * math.log2(1.5))
+
+    def test_at_least_n_over_q_minus_1_nats(self):
+        # n log2(1 + 1/(q-1)) >= n/(q-1) * log2(e) * ln(...)  — the paper's
+        # weaker n/(q-1) statement holds in bits for q >= 2:
+        import math
+
+        for n in (10, 100):
+            for q in (2, 3, 9):
+                assert lemma11_bound(n, q) >= n / (q - 1) * math.log2(math.e) / 2
+
+    def test_decreasing_in_q(self):
+        assert lemma11_bound(50, 2) > lemma11_bound(50, 4) > lemma11_bound(50, 16)
+
+    def test_rejects_q_below_2(self):
+        with pytest.raises(ValueError):
+            lemma11_bound(5, 1)

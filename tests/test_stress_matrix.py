@@ -1,0 +1,117 @@
+"""The full matrix: topology families x adversary families x protocols.
+
+A final integration sweep asserting the library's one non-negotiable
+invariant — zero-error correctness — across every combination the suite
+ships, with model validation on every cell.  Sizes are kept small so the
+whole matrix stays fast.
+"""
+
+import random
+
+import pytest
+
+from repro.adversary import (
+    FailureSchedule,
+    blocker_failures,
+    random_failures,
+    spread_failures,
+    targeted_failures,
+)
+from repro.analysis import run_protocol
+from repro.graphs import (
+    balanced_tree,
+    cluster_line_graph,
+    cycle_graph,
+    grid_graph,
+    hypercube_graph,
+    random_geometric,
+)
+from repro.sim.validation import validate_model
+
+TOPOLOGIES = [
+    grid_graph(4, 4),
+    cycle_graph(12),
+    balanced_tree(2, 15),
+    hypercube_graph(4),
+    cluster_line_graph(4, 4),
+    random_geometric(18, rng=random.Random(3)),
+]
+
+F, B = 4, 60
+
+
+def adversary_menu(topo, seed):
+    rng = random.Random(seed)
+    horizon = B * topo.diameter
+    menu = {
+        "none": FailureSchedule(),
+        "random": random_failures(topo, F, rng, last_round=horizon),
+        "spread": spread_failures(topo, F, rng, horizon=horizon),
+        "targeted": targeted_failures(topo, F, at_round=horizon // 3),
+    }
+    victim = next(
+        (u for u in topo.non_root_nodes() if topo.degree(u) <= F), None
+    )
+    if victim is not None:
+        menu["blocker"] = blocker_failures(
+            topo, F, victim=victim, at_round=max(1, horizon // 4)
+        )
+    return menu
+
+
+@pytest.mark.parametrize("topo", TOPOLOGIES, ids=lambda t: t.name)
+@pytest.mark.parametrize("adversary", ["none", "random", "spread", "targeted"])
+def test_algorithm1_matrix(topo, adversary):
+    schedule = adversary_menu(topo, seed=11)[adversary]
+    rng = random.Random(17)
+    inputs = {u: rng.randint(0, 9) for u in topo.nodes()}
+    violations = validate_model(topo, inputs=inputs, schedule=schedule, f=F, b=B)
+    assert not violations, violations
+    record = run_protocol(
+        "algorithm1",
+        topo,
+        inputs,
+        schedule=schedule,
+        f=F,
+        b=B,
+        rng=random.Random(23),
+        strict=True,
+    )
+    assert record.correct, (topo.name, adversary, record.result)
+    assert record.flooding_rounds <= B
+
+
+@pytest.mark.parametrize("topo", TOPOLOGIES[:4], ids=lambda t: t.name)
+@pytest.mark.parametrize("protocol", ["bruteforce", "folklore", "unknown_f"])
+def test_other_protocols_matrix(topo, protocol):
+    schedule = adversary_menu(topo, seed=29)["random"]
+    rng = random.Random(31)
+    inputs = {u: rng.randint(0, 9) for u in topo.nodes()}
+    record = run_protocol(
+        protocol,
+        topo,
+        inputs,
+        schedule=schedule,
+        f=F if protocol == "folklore" else None,
+        rng=random.Random(37),
+    )
+    assert record.correct, (topo.name, protocol, record.result)
+
+
+@pytest.mark.parametrize("topo", TOPOLOGIES[:3], ids=lambda t: t.name)
+def test_blocker_cells_where_available(topo):
+    menu = adversary_menu(topo, seed=41)
+    if "blocker" not in menu:
+        pytest.skip("no affordable blocker victim on this topology")
+    schedule = menu["blocker"]
+    inputs = {u: 1 for u in topo.nodes()}
+    record = run_protocol(
+        "algorithm1",
+        topo,
+        inputs,
+        schedule=schedule,
+        f=F,
+        b=B,
+        rng=random.Random(43),
+    )
+    assert record.correct

@@ -1,0 +1,115 @@
+"""Targeted adversary families (hub / articulation / depth attacks)."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.adversary import articulation_points, targeted_failures
+from repro.core.caaf import SUM
+from repro.core.correctness import is_correct_result
+from repro.core.algorithm1 import run_algorithm1
+from repro.graphs import (
+    barbell_graph,
+    caterpillar_graph,
+    gnp_connected,
+    grid_graph,
+    path_graph,
+    star_graph,
+)
+
+
+def to_nx(topology):
+    g = nx.Graph()
+    g.add_nodes_from(topology.adjacency)
+    for u, vs in topology.adjacency.items():
+        g.add_edges_from((u, v) for v in vs)
+    return g
+
+
+class TestArticulationPoints:
+    def test_path_interior_nodes(self):
+        topo = path_graph(6)
+        assert articulation_points(topo) == {1, 2, 3, 4}
+
+    def test_grid_has_none(self):
+        assert articulation_points(grid_graph(4, 4)) == set()
+
+    def test_star_hub(self):
+        assert articulation_points(star_graph(6)) == {0}
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_networkx_on_random_graphs(self, seed):
+        topo = gnp_connected(30, rng=random.Random(seed))
+        assert articulation_points(topo) == set(
+            nx.articulation_points(to_nx(topo))
+        )
+
+    def test_matches_networkx_on_structured_graphs(self):
+        for topo in (barbell_graph(4, 3), caterpillar_graph(6, 2)):
+            assert articulation_points(topo) == set(
+                nx.articulation_points(to_nx(topo))
+            )
+
+
+class TestTargetedFailures:
+    def test_degree_attack_hits_hubs_first(self):
+        topo = grid_graph(4, 4)
+        schedule = targeted_failures(topo, f=4, at_round=5, strategy="degree")
+        # The cheapest max-degree victim is an interior node (degree 4).
+        assert all(topo.degree(u) == 4 for u in schedule.failed_nodes)
+        assert schedule.edge_failures(topo) <= 4
+
+    def test_articulation_attack_prefers_cut_nodes(self):
+        topo = caterpillar_graph(6, 1)
+        schedule = targeted_failures(
+            topo, f=4, at_round=5, strategy="articulation"
+        )
+        arts = articulation_points(topo)
+        assert schedule.failed_nodes & arts
+
+    def test_deep_attack_hits_far_nodes(self):
+        topo = path_graph(8)
+        schedule = targeted_failures(topo, f=2, at_round=5, strategy="deep")
+        assert 7 in schedule.failed_nodes
+
+    def test_budget_always_respected(self):
+        for strategy in ("degree", "articulation", "deep"):
+            for f in (1, 3, 7):
+                topo = grid_graph(4, 4)
+                schedule = targeted_failures(topo, f=f, at_round=3, strategy=strategy)
+                assert schedule.edge_failures(topo) <= f
+                assert 0 not in schedule.failed_nodes
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            targeted_failures(grid_graph(3, 3), f=2, at_round=1, strategy="random")
+
+    def test_all_crashes_at_given_round(self):
+        schedule = targeted_failures(grid_graph(4, 4), f=6, at_round=42)
+        assert set(schedule.crash_rounds.values()) == {42}
+
+
+class TestProtocolsUnderTargetedAttacks:
+    @pytest.mark.parametrize("strategy", ["degree", "articulation", "deep"])
+    def test_algorithm1_correct_under_every_attack(self, strategy):
+        topo = caterpillar_graph(5, 2)
+        f = 6
+        schedule = targeted_failures(topo, f=f, at_round=30, strategy=strategy)
+        inputs = {u: 3 for u in topo.nodes()}
+        out = run_algorithm1(
+            topo, inputs, f=f, b=60, schedule=schedule, rng=random.Random(1)
+        )
+        assert is_correct_result(out.result, SUM, topo, inputs, schedule, out.rounds)
+
+    def test_articulation_attack_partitions_more_than_random(self):
+        # Sanity on the attack's intent: targeting articulation points
+        # strands more nodes than equal-budget hub attacks on a
+        # bottleneck-free-hub topology.
+        topo = caterpillar_graph(8, 2)
+        f = 4
+        art = targeted_failures(topo, f=f, at_round=5, strategy="articulation")
+        deg = targeted_failures(topo, f=f, at_round=5, strategy="degree")
+        stranded_art = topo.n_nodes - len(topo.alive_component(art.failed_nodes)) - len(art.failed_nodes)
+        stranded_deg = topo.n_nodes - len(topo.alive_component(deg.failed_nodes)) - len(deg.failed_nodes)
+        assert stranded_art >= stranded_deg

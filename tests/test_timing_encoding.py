@@ -1,0 +1,113 @@
+"""Timing codes: the executable Omega(logN/logb) story (Theorem 2, term 2)."""
+
+import math
+import random
+
+import pytest
+
+from repro.lowerbound.timing_encoding import (
+    beacons_needed,
+    bits_per_beacon,
+    decode_by_timing,
+    encode_by_timing,
+    min_messages_for,
+    sum_output_entropy_bits,
+    theorem2_second_term,
+    timing_channel_capacity,
+    transmitted_bits,
+)
+
+
+class TestEncoderDecoder:
+    @pytest.mark.parametrize("b", [2, 4, 7, 16, 100])
+    def test_round_trip_exhaustive_small_values(self, b):
+        k = 6
+        for value in range(1 << k):
+            rounds = encode_by_timing(value, k, b)
+            assert decode_by_timing(rounds, k, b) == value
+
+    def test_round_trip_random_large_values(self):
+        rng = random.Random(0)
+        for _ in range(30):
+            k = rng.randint(1, 40)
+            b = rng.randint(2, 512)
+            value = rng.randrange(1 << k)
+            rounds = encode_by_timing(value, k, b)
+            assert decode_by_timing(rounds, k, b) == value
+
+    def test_transmitted_bits_match_formula(self):
+        k, b = 20, 16  # 4 payload bits per beacon -> 5 beacons
+        rounds = encode_by_timing(12345, k, b)
+        assert transmitted_bits(rounds) == beacons_needed(k, b) == 5
+
+    def test_beacons_shrink_as_b_grows(self):
+        k = 30
+        counts = [beacons_needed(k, b) for b in (2, 8, 64, 1024)]
+        assert counts == sorted(counts, reverse=True)
+        assert counts[-1] == 3  # 30 bits / 10 bits-per-beacon
+
+    def test_value_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            encode_by_timing(8, 3, 4)
+
+    def test_decode_rejects_out_of_window_beacon(self):
+        with pytest.raises(ValueError):
+            decode_by_timing([99], 2, 4)
+
+    def test_zero_bits_needs_no_beacons(self):
+        assert beacons_needed(0, 8) == 0
+        assert encode_by_timing(0, 0, 8) == []
+
+
+class TestCapacityBound:
+    def test_capacity_formula(self):
+        assert timing_channel_capacity(4, 1) == 4 * 2
+        assert timing_channel_capacity(4, 2) == 6 * 4
+        assert timing_channel_capacity(3, 5) == 0  # more messages than rounds
+
+    def test_min_messages_is_consistent_with_capacity(self):
+        for k in (1, 4, 10):
+            for horizon in (64, 256):
+                m = min_messages_for(k, horizon)
+                assert timing_channel_capacity(horizon, m) >= (1 << k)
+                if m > 0:
+                    assert timing_channel_capacity(horizon, m - 1) < (1 << k)
+
+    def test_encoder_respects_the_lower_bound(self):
+        # The constructive encoder, over its actual horizon, can never beat
+        # the counting bound.
+        for k in (8, 16, 24):
+            for b in (4, 32, 256):
+                horizon = beacons_needed(k, b) * b
+                assert beacons_needed(k, b) >= min_messages_for(k, horizon)
+
+    def test_lower_bound_scales_like_k_over_log_rounds(self):
+        k = 20
+        for horizon in (64, 1024, 16384):
+            m = min_messages_for(k, horizon)
+            predicted = k / math.log2(2 * horizon)
+            assert m >= predicted - 1
+            assert m <= 2 * predicted + 2
+
+    def test_impossible_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            min_messages_for(10, 2)  # 2 rounds cannot convey 10 bits
+
+
+class TestTheorem2Connection:
+    def test_sum_entropy_floor(self):
+        assert sum_output_entropy_bits(1024) == 10
+
+    def test_second_term_decreases_in_b(self):
+        values = [theorem2_second_term(1 << 20, b) for b in (4, 64, 4096)]
+        assert values == sorted(values, reverse=True)
+
+    def test_second_term_matches_encoder_cost_shape(self):
+        # The constructive scheme transmits Theta(logN/logb) bits for the
+        # root to learn a logN-bit output.
+        n = 1 << 16
+        for b in (4, 64, 1024):
+            k = sum_output_entropy_bits(n)
+            actual = beacons_needed(k, b)
+            bound = theorem2_second_term(n, b)
+            assert bound / 2 <= actual <= 3 * bound + 2

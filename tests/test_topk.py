@@ -1,0 +1,88 @@
+"""Top-k queries built from COUNT probes."""
+
+import random
+
+import pytest
+
+from repro.adversary import random_failures
+from repro.extensions.topk import distributed_topk
+from repro.graphs import grid_graph, path_graph
+
+
+class TestTopK:
+    def test_exact_on_distinct_values(self):
+        topo = grid_graph(4, 4)
+        inputs = {u: u * 3 for u in topo.nodes()}
+        out = distributed_topk(topo, inputs, k=4, f=1, b=45, rng=random.Random(0))
+        assert out.values == sorted(inputs.values(), reverse=True)[:4]
+
+    def test_exact_with_ties(self):
+        topo = grid_graph(4, 4)
+        inputs = {u: u % 4 for u in topo.nodes()}
+        out = distributed_topk(topo, inputs, k=6, f=1, b=45, rng=random.Random(1))
+        assert out.values == sorted(inputs.values(), reverse=True)[:6]
+
+    def test_k_equals_population(self):
+        topo = path_graph(5)
+        inputs = {0: 9, 1: 1, 2: 5, 3: 5, 4: 2}
+        out = distributed_topk(topo, inputs, k=5, f=1, b=45, rng=random.Random(2))
+        assert out.values == [9, 5, 5, 2, 1]
+
+    def test_values_are_non_increasing(self):
+        topo = grid_graph(4, 4)
+        rng = random.Random(3)
+        inputs = {u: rng.randint(0, 40) for u in topo.nodes()}
+        out = distributed_topk(topo, inputs, k=7, f=1, b=45, rng=rng)
+        assert out.values == sorted(out.values, reverse=True)
+
+    def test_memoization_bounds_probe_count(self):
+        # Probes are memoized per threshold: for k ranks over a domain D
+        # the probe count stays well under k * log D.
+        topo = grid_graph(4, 4)
+        inputs = {u: u for u in topo.nodes()}
+        out = distributed_topk(topo, inputs, k=5, f=1, b=45, rng=random.Random(4))
+        import math
+
+        naive = 5 * math.ceil(math.log2(max(inputs.values()) + 1))
+        assert out.probes <= naive
+
+    def test_bruteforce_substrate(self):
+        topo = grid_graph(3, 3)
+        inputs = {u: u for u in topo.nodes()}
+        out = distributed_topk(topo, inputs, k=3, f=1, protocol="bruteforce")
+        assert out.values == [8, 7, 6]
+
+    def test_cost_accounting(self):
+        topo = grid_graph(3, 3)
+        inputs = {u: u for u in topo.nodes()}
+        out = distributed_topk(topo, inputs, k=2, f=1, b=45, rng=random.Random(5))
+        assert out.cc_bits > 0
+        assert out.total_rounds > 0
+
+    def test_rejects_bad_k(self):
+        topo = grid_graph(3, 3)
+        inputs = {u: 1 for u in topo.nodes()}
+        with pytest.raises(ValueError):
+            distributed_topk(topo, inputs, k=0, f=1, b=45)
+        with pytest.raises(ValueError):
+            distributed_topk(topo, inputs, k=10, f=1, b=45)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_rank_consistent_under_failures(self, seed):
+        topo = grid_graph(5, 5)
+        rng = random.Random(seed)
+        inputs = {u: rng.randint(0, 30) for u in topo.nodes()}
+        schedule = random_failures(
+            topo, f=4, rng=rng, first_round=1, last_round=5000
+        )
+        out = distributed_topk(
+            topo, inputs, k=3, f=4, b=45, schedule=schedule,
+            rng=random.Random(seed),
+        )
+        survivors = topo.alive_component(schedule.failed_nodes)
+        all_sorted = sorted(inputs.values(), reverse=True)
+        surv_sorted = sorted((inputs[u] for u in survivors), reverse=True)
+        for rank, value in enumerate(out.values, start=1):
+            hi = all_sorted[rank - 1]
+            lo = surv_sorted[min(rank, len(surv_sorted)) - 1]
+            assert min(lo, hi) <= value <= max(lo, hi)

@@ -1,0 +1,203 @@
+"""Two-party problems: UNIONSIZECP, EQUALITYCP, and the Theorem 8 reduction."""
+
+import random
+
+import pytest
+
+from repro.lowerbound.equalitycp import (
+    ReductionEquality,
+    TrivialEquality,
+    strings_equal,
+)
+from repro.lowerbound.twoparty import (
+    Transcript,
+    bits_for_domain,
+)
+from repro.lowerbound.unionsizecp import (
+    TrivialUnionSize,
+    WrapPositionUnionSize,
+    check_cycle_promise,
+    equal_instance,
+    random_instance,
+    union_size,
+    wrap_count,
+)
+
+
+class TestTranscript:
+    def test_totals(self):
+        tr = Transcript()
+        tr.alice_sends("a", 5)
+        tr.bob_sends("b", 7)
+        assert tr.alice_bits == 5
+        assert tr.bob_bits == 7
+        assert tr.total_bits == 12
+        assert len(tr.messages) == 2
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Transcript().alice_sends("a", -1)
+
+    def test_bits_for_domain(self):
+        assert bits_for_domain(1) == 1
+        assert bits_for_domain(2) == 1
+        assert bits_for_domain(3) == 2
+        assert bits_for_domain(1024) == 10
+
+
+class TestCyclePromise:
+    def test_valid_instances(self):
+        assert check_cycle_promise((0, 1, 2), (0, 2, 0), q=3)
+
+    def test_rejects_non_promise_pair(self):
+        assert not check_cycle_promise((0,), (2,), q=3)
+
+    def test_rejects_out_of_alphabet(self):
+        assert not check_cycle_promise((5,), (5,), q=3)
+
+    def test_rejects_length_mismatch(self):
+        assert not check_cycle_promise((0, 1), (0,), q=3)
+
+    def test_random_instances_satisfy_promise(self):
+        rng = random.Random(0)
+        for q in (2, 3, 7):
+            x, y = random_instance(50, q, rng)
+            assert check_cycle_promise(x, y, q)
+
+    def test_equal_instances(self):
+        rng = random.Random(1)
+        x, y = equal_instance(30, 4, rng)
+        assert x == y
+        assert check_cycle_promise(x, y, 4)
+
+    def test_union_size_ground_truth(self):
+        assert union_size((0, 0, 1), (0, 1, 1)) == 2
+        assert union_size((0,), (0,)) == 0
+
+    def test_wrap_count(self):
+        assert wrap_count((2, 0, 2, 1), q=3) == 2
+
+
+class TestUnionSizeProtocols:
+    @pytest.mark.parametrize("q", [2, 3, 8, 16])
+    @pytest.mark.parametrize("proto_cls", [TrivialUnionSize, WrapPositionUnionSize])
+    def test_correct_on_random_instances(self, q, proto_cls):
+        rng = random.Random(q)
+        proto = proto_cls(q)
+        for _ in range(10):
+            x, y = random_instance(60, q, rng)
+            answer, _ = proto.run(x, y)
+            assert answer == union_size(x, y)
+
+    def test_correct_on_all_zero(self):
+        proto = WrapPositionUnionSize(4)
+        x = y = (0,) * 20
+        answer, _ = proto.run(x, y)
+        assert answer == 0
+
+    def test_correct_on_wrap_heavy_input(self):
+        q = 4
+        proto = WrapPositionUnionSize(q)
+        x = (q - 1,) * 10
+        y = (0,) * 10  # every position wraps
+        answer, _ = proto.run(x, y)
+        assert answer == 10
+
+    def test_promise_violation_rejected(self):
+        with pytest.raises(ValueError, match="promise"):
+            WrapPositionUnionSize(3).run((0,), (2,))
+
+    def test_wrap_cost_driven_by_wrap_count(self):
+        q = 8
+        proto = WrapPositionUnionSize(q)
+        few = tuple([0] * 64)
+        many = tuple([q - 1] * 64)
+        _, tr_few = proto.run(few, few)
+        _, tr_many = proto.run(many, many)
+        assert tr_many.total_bits > tr_few.total_bits
+
+    def test_wrap_beats_trivial_for_large_q(self):
+        # The q-dependence that drives Theorem 12's n/q shape.
+        rng = random.Random(5)
+        n, q = 512, 32
+        x, y = random_instance(n, q, rng)
+        _, tr_wrap = WrapPositionUnionSize(q).run(x, y)
+        _, tr_triv = TrivialUnionSize(q).run(x, y)
+        assert tr_wrap.total_bits < tr_triv.total_bits
+
+    def test_expected_cost_shrinks_with_q(self):
+        rng = random.Random(6)
+        n, seeds = 512, 20
+        means = []
+        for q in (2, 8, 32):
+            total = 0
+            for _ in range(seeds):
+                x, y = random_instance(n, q, rng)
+                _, tr = WrapPositionUnionSize(q).run(x, y)
+                total += tr.total_bits
+            means.append(total / seeds)
+        assert means[0] > means[1] > means[2]
+
+    def test_q_below_2_rejected(self):
+        with pytest.raises(ValueError):
+            TrivialUnionSize(1)
+        with pytest.raises(ValueError):
+            WrapPositionUnionSize(0)
+
+
+class TestEqualityProtocols:
+    @pytest.mark.parametrize("q", [2, 3, 8])
+    def test_reduction_matches_ground_truth(self, q):
+        rng = random.Random(q * 7)
+        reduction = ReductionEquality(q, WrapPositionUnionSize(q))
+        for _ in range(15):
+            x, y = random_instance(40, q, rng)
+            answer, _ = reduction.run(x, y)
+            assert answer == strings_equal(x, y)
+
+    @pytest.mark.parametrize("q", [2, 5])
+    def test_reduction_true_on_equal_strings(self, q):
+        rng = random.Random(3)
+        reduction = ReductionEquality(q, TrivialUnionSize(q))
+        x, y = equal_instance(25, q, rng)
+        answer, _ = reduction.run(x, y)
+        assert answer is True
+
+    def test_reduction_false_on_single_increment(self):
+        q = 4
+        reduction = ReductionEquality(q, WrapPositionUnionSize(q))
+        x = (1, 2, 3, 0)
+        y = (1, 2, 3, 1)  # differs by +1 in the last position
+        answer, _ = reduction.run(x, y)
+        assert answer is False
+
+    def test_reduction_handles_wrap_difference(self):
+        # The subtle case Theorem 8's proof handles: X_j = q-1, Y_j = 0.
+        q = 3
+        reduction = ReductionEquality(q, WrapPositionUnionSize(q))
+        x = (2, 0, 0)
+        y = (0, 0, 0)
+        answer, _ = reduction.run(x, y)
+        assert answer is False
+
+    def test_reduction_overhead_is_logarithmic(self):
+        # Theorem 8: the overhead beyond the oracle is O(log q + log n).
+        q = 8
+        oracle = WrapPositionUnionSize(q)
+        reduction = ReductionEquality(q, oracle)
+        rng = random.Random(11)
+        for n in (64, 256, 1024):
+            x, y = random_instance(n, q, rng)
+            _, tr_red = reduction.run(x, y)
+            _, tr_orc = oracle.run(x, y)
+            overhead = tr_red.total_bits - tr_orc.total_bits
+            assert overhead <= 4 * (n.bit_length() + q.bit_length())
+
+    def test_trivial_equality(self):
+        q = 3
+        proto = TrivialEquality(q)
+        rng = random.Random(2)
+        x, y = random_instance(30, q, rng)
+        answer, tr = proto.run(x, y)
+        assert answer == strings_equal(x, y)
+        assert tr.total_bits >= 30  # ships the whole string

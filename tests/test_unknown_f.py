@@ -1,0 +1,81 @@
+"""The unknown-f doubling protocol: correctness and early termination."""
+
+import random
+
+import pytest
+
+from repro.adversary import FailureSchedule, random_failures
+from repro.core.caaf import SUM
+from repro.core.correctness import is_correct_result
+from repro.core.unknown_f import DoublingPlan, run_unknown_f
+from repro.core.params import params_for
+from repro.graphs import grid_graph, path_graph
+from tests.conftest import indexed_inputs, unit_inputs
+
+
+class TestPlan:
+    def test_guess_sequence_doubles(self, grid44):
+        plan = DoublingPlan(params=params_for(grid44))
+        assert [plan.guess_for(k) for k in range(4)] == [1, 2, 4, 8]
+
+    def test_max_guesses_reach_n(self, grid44):
+        plan = DoublingPlan(params=params_for(grid44))
+        assert plan.guess_for(plan.max_guesses - 1) >= grid44.n_nodes
+
+    def test_bruteforce_after_all_guesses(self, grid44):
+        plan = DoublingPlan(params=params_for(grid44))
+        assert plan.bruteforce_start == plan.max_guesses * plan.interval_rounds + 1
+        assert plan.total_rounds == plan.bruteforce_start - 1 + 2 * plan.params.cd
+
+
+class TestRuns:
+    def test_failure_free_accepts_first_guess(self, grid44):
+        inputs = indexed_inputs(grid44)
+        out = run_unknown_f(grid44, inputs)
+        assert out.result == sum(inputs.values())
+        assert out.accepted_guess == 1
+        assert out.pairs_run == 1
+        assert not out.used_bruteforce
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_always_correct_under_failures(self, seed):
+        topo = grid_graph(5, 5)
+        rng = random.Random(seed)
+        schedule = random_failures(
+            topo, f=10, rng=rng, first_round=1, last_round=600
+        )
+        inputs = {u: rng.randint(0, 9) for u in topo.nodes()}
+        out = run_unknown_f(topo, inputs, schedule=schedule)
+        assert is_correct_result(out.result, SUM, topo, inputs, schedule, out.rounds)
+
+    def test_early_termination_cost_tracks_actual_failures(self):
+        # The paper's early-termination property: CC grows with the failures
+        # that actually occur, not with any declared bound.
+        topo = grid_graph(6, 6)
+        quiet = run_unknown_f(topo, unit_inputs(topo))
+        rng = random.Random(1)
+        noisy_schedule = random_failures(
+            topo, f=16, rng=rng, first_round=1, last_round=300
+        )
+        noisy = run_unknown_f(topo, unit_inputs(topo), schedule=noisy_schedule)
+        assert quiet.stats.max_bits < noisy.stats.max_bits
+        assert quiet.rounds <= noisy.rounds
+
+    def test_accepted_guess_scales_with_failures(self):
+        topo = grid_graph(6, 6)
+        rng = random.Random(2)
+        schedule = random_failures(
+            topo, f=12, rng=rng, first_round=1, last_round=200
+        )
+        out = run_unknown_f(topo, unit_inputs(topo), schedule=schedule)
+        if out.accepted_guess is not None:
+            # Guesses double, so the accepted guess never overshoots the
+            # actual failure count by more than 2x (plus the t=1 floor).
+            actual = schedule.edge_failures(topo)
+            assert out.accepted_guess <= max(2, 2 * actual)
+
+    def test_no_declared_f_needed(self, path8):
+        # The point of the extension: the call site carries no f parameter.
+        inputs = unit_inputs(path8)
+        out = run_unknown_f(path8, inputs)
+        assert out.result == len(inputs)

@@ -1,0 +1,265 @@
+"""VERI (Algorithm 3): failed-parent/child detection, LFC detection,
+one-sided error — Theorems 6 and 7 and the Table 2 guarantee matrix."""
+
+import random
+
+import pytest
+
+from repro.adversary import (
+    FailureSchedule,
+    chain_failures,
+    predicted_tree,
+    random_failures,
+)
+from repro.core.agg import run_agg
+from repro.core.caaf import SUM
+from repro.core.correctness import is_correct_result, surviving_nodes
+from repro.core.params import params_for
+from repro.core.veri import VeriNode, run_agg_veri_pair
+from repro.graphs import balanced_tree, cycle_graph, grid_graph, path_graph
+from repro.sim.network import Network
+from tests.conftest import indexed_inputs, unit_inputs
+
+
+def run_pair(topo, inputs, t, schedule=None, c=2):
+    return run_agg_veri_pair(topo, inputs, t=t, schedule=schedule, c=c)
+
+
+def has_lfc(topo, schedule, t, c=2):
+    """Ground-truth LFC oracle against the predicted failure-free tree.
+
+    Valid when construction completes before any crash (our chain
+    adversaries guarantee that): an LFC is a root-ward tree path of ``t``
+    crashed nodes whose deepest element keeps a live, root-connected
+    descendant in the same fragment.
+    """
+    parent, children = predicted_tree(topo)
+    failed = schedule.failed_nodes
+    alive_connected = topo.alive_component(failed)
+
+    def live_descendant_exists(node):
+        stack = [node]
+        while stack:
+            u = stack.pop()
+            for ch in children[u]:
+                if ch in failed:
+                    stack.append(ch)
+                elif ch in alive_connected:
+                    return True
+        return False
+
+    for tail in failed:
+        chain = []
+        walker = tail
+        while walker in failed:
+            chain.append(walker)
+            walker = parent[walker]
+            if walker == -1:
+                break
+        if len(chain) >= t and live_descendant_exists(tail):
+            return True
+    return False
+
+
+class TestTheorem6Complexity:
+    def test_terminates_within_5cd_plus_3_rounds(self, grid44):
+        pair = run_pair(grid44, unit_inputs(grid44), t=1)
+        assert pair.veri_stats.rounds_executed == 5 * 2 * grid44.diameter + 3
+
+    def test_cc_within_overflow_budget(self, small_topologies):
+        for topo in small_topologies:
+            pair = run_pair(topo, indexed_inputs(topo), t=2)
+            params = params_for(topo, t=2)
+            assert pair.veri_stats.max_bits <= params.veri_bit_budget + 16
+
+    def test_failure_free_veri_is_cheap(self, grid55):
+        # Without failures only the detect bits and leaf waves circulate.
+        pair = run_pair(grid55, unit_inputs(grid55), t=3)
+        params = params_for(grid55, t=0)
+        assert pair.veri_stats.max_bits <= params.veri_bit_budget
+
+
+class TestTheorem7TrueSide:
+    """At most t edge failures => VERI outputs true."""
+
+    def test_no_failures_true(self, small_topologies):
+        for topo in small_topologies:
+            pair = run_pair(topo, unit_inputs(topo), t=2)
+            assert pair.veri_output is True, topo.name
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_tolerable_failures_true(self, seed):
+        topo = grid_graph(5, 5)
+        rng = random.Random(seed)
+        t = 6
+        horizon = 12 * 2 * topo.diameter + 7
+        schedule = random_failures(
+            topo, f=t, rng=rng, first_round=1, last_round=horizon
+        )
+        pair = run_pair(topo, {u: 1 for u in topo.nodes()}, t=t, schedule=schedule)
+        assert pair.veri_output is True
+        assert not pair.agg_aborted
+
+    def test_accepted_pair_result_is_correct(self):
+        # Line 4 of Algorithm 1 relies on acceptance implying correctness.
+        for seed in range(6):
+            topo = grid_graph(5, 5)
+            rng = random.Random(40 + seed)
+            schedule = random_failures(
+                topo, f=8, rng=rng, first_round=1, last_round=400
+            )
+            inputs = {u: rng.randint(0, 9) for u in topo.nodes()}
+            pair = run_pair(topo, inputs, t=8, schedule=schedule)
+            if pair.accepted:
+                end = 12 * 2 * topo.diameter + 7
+                assert is_correct_result(
+                    pair.agg_result, SUM, topo, inputs, schedule, end
+                )
+
+
+class TestTheorem7FalseSide:
+    """An LFC exists => VERI outputs false."""
+
+    @pytest.mark.parametrize("t", [2, 3, 4])
+    def test_chain_during_aggregation_detected(self, t):
+        topo = grid_graph(6, 6)
+        cd = 2 * topo.diameter
+        schedule = chain_failures(
+            topo, chain_length=t, at_round=2 * cd + 2, rng=random.Random(t)
+        )
+        assert schedule is not None
+        if not has_lfc(topo, schedule, t):
+            pytest.skip("constructed chain's tail lost all live descendants")
+        pair = run_pair(topo, unit_inputs(topo), t=t, schedule=schedule)
+        assert pair.veri_output is False
+
+    def test_chain_during_veri_detected(self):
+        # The chain fails between AGG and VERI: AGG's result misses the
+        # chain's subtree, the subtree is still connected via grid shortcuts,
+        # and VERI must notice.
+        topo = grid_graph(6, 6)
+        t = 3
+        agg_rounds = 7 * 2 * topo.diameter + 4
+        schedule = chain_failures(
+            topo, chain_length=t, at_round=agg_rounds + 1, rng=random.Random(9)
+        )
+        assert schedule is not None
+        if not has_lfc(topo, schedule, t):
+            pytest.skip("constructed chain's tail lost all live descendants")
+        pair = run_pair(topo, unit_inputs(topo), t=t, schedule=schedule)
+        assert pair.veri_output is False
+
+    def test_lfc_oracle_matches_on_no_failure(self):
+        topo = grid_graph(4, 4)
+        assert not has_lfc(topo, FailureSchedule(), 2)
+
+
+class TestTable2Scenarios:
+    """The paper's guarantee matrix, checked over many seeded trials."""
+
+    def test_scenario1_no_more_than_t_failures(self):
+        topo = grid_graph(5, 5)
+        t = 5
+        for seed in range(6):
+            rng = random.Random(seed)
+            schedule = random_failures(
+                topo, f=t, rng=rng, first_round=1, last_round=500
+            )
+            inputs = {u: rng.randint(0, 9) for u in topo.nodes()}
+            pair = run_pair(topo, inputs, t=t, schedule=schedule)
+            end = 12 * 2 * topo.diameter + 7
+            assert not pair.agg_aborted
+            assert pair.veri_output is True
+            assert is_correct_result(
+                pair.agg_result, SUM, topo, inputs, schedule, end
+            )
+
+    def test_scenario2_many_failures_no_lfc(self):
+        # More than t edge failures but scattered: AGG must output correct
+        # or abort (VERI may say anything).
+        topo = grid_graph(6, 6)
+        t = 3
+        for seed in range(6):
+            rng = random.Random(200 + seed)
+            schedule = random_failures(
+                topo, f=10, rng=rng, first_round=1, last_round=500
+            )
+            if has_lfc(topo, schedule, t):
+                continue
+            inputs = {u: rng.randint(0, 9) for u in topo.nodes()}
+            pair = run_pair(topo, inputs, t=t, schedule=schedule)
+            end = 12 * 2 * topo.diameter + 7
+            assert pair.agg_aborted or is_correct_result(
+                pair.agg_result, SUM, topo, inputs, schedule, end
+            )
+
+    def test_scenario3_lfc_exists(self):
+        topo = grid_graph(6, 6)
+        t = 2
+        cd = 2 * topo.diameter
+        found = 0
+        for seed in range(8):
+            schedule = chain_failures(
+                topo, chain_length=t, at_round=2 * cd + 2, rng=random.Random(seed)
+            )
+            if schedule is None or not has_lfc(topo, schedule, t):
+                continue
+            found += 1
+            pair = run_pair(topo, unit_inputs(topo), t=t, schedule=schedule)
+            assert pair.veri_output is False
+        assert found >= 3  # the scenario family must actually materialize
+
+
+class TestDetectionMechanics:
+    def test_failed_parent_claims_reach_root(self):
+        topo = grid_graph(5, 5)
+        agg_rounds = 7 * 2 * topo.diameter + 4
+        # Node 12's death right after AGG makes its children orphans in VERI.
+        schedule = FailureSchedule({12: agg_rounds + 1})
+        agg = run_agg(topo, unit_inputs(topo), t=3, schedule=schedule)
+        params = agg.nodes[0].p
+        veri_nodes = {
+            u: VeriNode(params, u, agg.nodes[u].state) for u in topo.nodes()
+        }
+        shifted = {u: max(1, r - params.agg_rounds) for u, r in schedule.crash_rounds.items()}
+        net = Network(topo.adjacency, veri_nodes, shifted)
+        net.run(params.veri_rounds, stop_on_output=False)
+        claimed = {v for (v, _x, _c) in veri_nodes[0].failed_parent_claims}
+        assert 12 in claimed
+
+    def test_failed_child_claims_reach_root(self):
+        topo = grid_graph(5, 5)
+        agg_rounds = 7 * 2 * topo.diameter + 4
+        schedule = FailureSchedule({12: agg_rounds + 1})
+        agg = run_agg(topo, unit_inputs(topo), t=3, schedule=schedule)
+        params = agg.nodes[0].p
+        veri_nodes = {
+            u: VeriNode(params, u, agg.nodes[u].state) for u in topo.nodes()
+        }
+        shifted = {u: max(1, r - params.agg_rounds) for u, r in schedule.crash_rounds.items()}
+        net = Network(topo.adjacency, veri_nodes, shifted)
+        net.run(params.veri_rounds, stop_on_output=False)
+        assert 12 in veri_nodes[0].failed_children
+
+    def test_no_spurious_claims_without_failures(self, grid55):
+        agg = run_agg(grid55, unit_inputs(grid55), t=2)
+        params = agg.nodes[0].p
+        veri_nodes = {
+            u: VeriNode(params, u, agg.nodes[u].state) for u in grid55.nodes()
+        }
+        net = Network(grid55.adjacency, veri_nodes, {})
+        net.run(params.veri_rounds, stop_on_output=False)
+        root = veri_nodes[grid55.root]
+        assert root.failed_parent_claims == set()
+        assert root.failed_children == set()
+        assert root.output is True
+
+    def test_single_orphan_is_not_an_lfc_tail(self):
+        # One failed parent with live children, chain length 1 < t: VERI
+        # should still answer true (not_lfc_tail determinations arrive).
+        topo = grid_graph(5, 5)
+        t = 3
+        cd = 2 * topo.diameter
+        schedule = FailureSchedule({12: 2 * cd + 2})
+        pair = run_pair(topo, unit_inputs(topo), t=t, schedule=schedule)
+        assert pair.veri_output is True
