@@ -1,0 +1,137 @@
+"""E19 — chaos resilience: injected faults vs. runtime invariant monitors.
+
+The paper's guarantees are proved for *oblivious crash* failures only
+(Section 2).  This bench probes what happens outside that model: the
+:class:`repro.sim.faults.MessageFaults` middleware drops, duplicates and
+delays in-flight messages — faults no theorem covers — while the
+:mod:`repro.sim.monitors` stack watches the Section 2 invariants at
+runtime.  Two claims:
+
+* **Unmonitored, out-of-model faults cause silent wrong answers.**  With
+  message drops the AGG/VERI machinery can be fooled (a lost
+  ``failed_parent`` claim hides an LFC), so some runs return a SUM outside
+  the correctness interval while claiming success — the exact failure mode
+  zero-error protocols exist to exclude.
+* **With strict monitors, every such run is converted into an explicit
+  abort.**  The :class:`repro.sim.monitors.OracleMonitor` grades the
+  root's output on termination and raises
+  :class:`repro.sim.monitors.InvariantViolation`, which the crash-safe
+  runner captures as a structured error row.  No silent-wrong result
+  escapes: each run either produces an oracle-correct SUM or fails loudly.
+
+The same fault sequence (per-seed deterministic RNG) is replayed for both
+arms, so the comparison is exact.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis import format_table
+from repro.analysis.runner import safe_run_protocol, make_inputs
+from repro.graphs import grid_graph
+from repro.sim.faults import MessageFaults
+from repro.sim.monitors import standard_monitors
+
+from _util import emit, once
+
+SEEDS = 8
+DROP, DUP, DELAY = 0.05, 0.02, 0.03
+PROTOCOLS = ("unknown_f", "algorithm1")
+
+
+def run_chaos_study():
+    topo = grid_graph(5, 5)
+    rows = []
+    escapes = {}
+    for protocol in PROTOCOLS:
+        silent_wrong = caught = correct = aborted = 0
+        for strict in (False, True):
+            for seed in range(SEEDS):
+                rng = random.Random(seed)
+                inputs = make_inputs(topo, rng)
+                faults = MessageFaults(
+                    drop=DROP, duplicate=DUP, delay=DELAY, seed=seed
+                )
+                monitors = (
+                    standard_monitors(topo, inputs, mode="strict")
+                    if strict
+                    else None
+                )
+                record = safe_run_protocol(
+                    protocol,
+                    topo,
+                    inputs,
+                    seed=seed,
+                    rng=rng,
+                    f=4,
+                    b=90 if protocol == "algorithm1" else None,
+                    strict=False,
+                    injectors=[faults],
+                    monitors=monitors,
+                )
+                if not strict:
+                    continue  # the unmonitored arm only sets the stage
+                if record.error_kind == "InvariantViolation":
+                    caught += 1
+                elif record.correct:
+                    correct += 1
+                elif record.result is None:
+                    aborted += 1
+                else:
+                    silent_wrong += 1
+        # Unmonitored arm, tallied separately for the table.
+        unmonitored_wrong = 0
+        for seed in range(SEEDS):
+            rng = random.Random(seed)
+            inputs = make_inputs(topo, rng)
+            faults = MessageFaults(
+                drop=DROP, duplicate=DUP, delay=DELAY, seed=seed
+            )
+            record = safe_run_protocol(
+                protocol,
+                topo,
+                inputs,
+                seed=seed,
+                rng=rng,
+                f=4,
+                b=90 if protocol == "algorithm1" else None,
+                strict=False,
+                injectors=[faults],
+            )
+            if record.result is not None and not record.correct:
+                unmonitored_wrong += 1
+        rows.append(
+            {
+                "protocol": protocol,
+                "seeds": SEEDS,
+                "unmonitored silent-wrong": unmonitored_wrong,
+                "strict: correct": correct,
+                "strict: aborted": aborted,
+                "strict: violation caught": caught,
+                "strict: silent-wrong": silent_wrong,
+            }
+        )
+        escapes[protocol] = (unmonitored_wrong, silent_wrong, correct + caught + aborted)
+    return topo, rows, escapes
+
+
+@pytest.mark.benchmark(group="chaos_resilience")
+def test_monitors_close_the_silent_wrong_gap(benchmark):
+    topo, rows, escapes = once(benchmark, run_chaos_study)
+    emit(
+        "chaos_resilience",
+        format_table(
+            rows,
+            title=(
+                f"E19: drop={DROP}/dup={DUP}/delay={DELAY} on {topo.name}: "
+                "strict monitors turn silent-wrong into explicit aborts"
+            ),
+        ),
+    )
+    for protocol, (unmonitored_wrong, silent_wrong, accounted) in escapes.items():
+        # Out-of-model faults do fool the unmonitored protocols...
+        assert unmonitored_wrong > 0, protocol
+        # ...but under strict monitors nothing escapes silently.
+        assert silent_wrong == 0, protocol
+        assert accounted == SEEDS, protocol

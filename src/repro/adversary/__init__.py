@@ -1,5 +1,13 @@
 """Oblivious crash-failure adversaries with edge-failure budgets."""
 
+from .adaptive import (
+    ADAPTIVE_FAMILIES,
+    AdaptiveAdversary,
+    RootIsolationAdversary,
+    TopTalkerAdversary,
+    TriggerAdversary,
+    make_adaptive,
+)
 from .adversaries import (
     articulation_points,
     blocker_failures,
@@ -23,6 +31,12 @@ from .search import (
 )
 
 __all__ = [
+    "ADAPTIVE_FAMILIES",
+    "AdaptiveAdversary",
+    "RootIsolationAdversary",
+    "TopTalkerAdversary",
+    "TriggerAdversary",
+    "make_adaptive",
     "SearchResult",
     "make_algorithm1_evaluator",
     "mutate_schedule",

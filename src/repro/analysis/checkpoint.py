@@ -1,0 +1,187 @@
+"""JSONL checkpointing for crash-safe sweeps.
+
+A sweep over ``coords x seeds`` can run for hours; a crash (or a ``kill``)
+should not discard completed runs.  :class:`SweepCheckpoint` appends each
+finished :class:`repro.analysis.runner.RunRecord` to a JSONL file, one
+self-describing line per run, keyed by ``(protocol, topology, seed,
+coords)``.  On resume the file is replayed: already-completed keys are
+served from the checkpoint and only missing runs execute, so an
+interrupted-and-resumed sweep produces exactly the record set of an
+uninterrupted one.
+
+Crash-safety details:
+
+* every line is flushed (+``fsync``) as it is written, so at most the
+  in-flight run is lost;
+* a truncated trailing line (the process died mid-write) is detected and
+  ignored on load instead of poisoning the resume;
+* keys are canonical JSON (sorted keys, tuples listified), so the same
+  logical run always maps to the same key across processes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+from .runner import RunRecord
+
+#: RunRecord fields restored positionally-by-name on load.
+_RECORD_FIELDS = (
+    "protocol",
+    "topology",
+    "n_nodes",
+    "diameter",
+    "f_budget",
+    "f_actual",
+    "result",
+    "correct",
+    "cc_bits",
+    "rounds",
+    "flooding_rounds",
+    "extra",
+    "error",
+    "error_kind",
+    "attempts",
+    "seed",
+)
+
+
+def _listify(value: Any) -> Any:
+    """Canonicalize for JSON round-trips: tuples become lists, recursively."""
+    if isinstance(value, tuple):
+        return [_listify(v) for v in value]
+    if isinstance(value, list):
+        return [_listify(v) for v in value]
+    if isinstance(value, dict):
+        return {k: _listify(v) for k, v in value.items()}
+    return value
+
+
+def record_to_jsonable(record: RunRecord) -> Dict[str, Any]:
+    """A JSON-serializable dict that round-trips through
+    :func:`record_from_jsonable`."""
+    return {
+        field: _listify(getattr(record, field)) for field in _RECORD_FIELDS
+    }
+
+
+def record_from_jsonable(data: Dict[str, Any]) -> RunRecord:
+    """Rebuild a :class:`RunRecord` saved by :func:`record_to_jsonable`."""
+    kwargs = {field: data.get(field) for field in _RECORD_FIELDS}
+    kwargs["extra"] = dict(kwargs.get("extra") or {})
+    if kwargs.get("attempts") is None:
+        kwargs["attempts"] = 1
+    return RunRecord(**kwargs)
+
+
+def make_key(
+    protocol: str,
+    topology_name: str,
+    seed: Optional[int],
+    coords: Optional[Dict[str, Any]] = None,
+) -> str:
+    """Canonical identity of one run within a sweep.
+
+    Two runs with the same key are the same logical experiment, so a
+    checkpointed record can stand in for re-executing.
+    """
+    return json.dumps(
+        {
+            "protocol": protocol,
+            "topology": topology_name,
+            "seed": seed,
+            "coords": _listify(coords or {}),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+
+
+class SweepCheckpoint:
+    """Append-only JSONL store of completed sweep runs.
+
+    Usage::
+
+        ckpt = SweepCheckpoint(path)           # loads any prior progress
+        if (rec := ckpt.get(key)) is None:
+            rec = safe_run_protocol(...)
+            ckpt.put(key, rec)
+
+    The file stays open in append mode between ``put`` calls; call
+    :meth:`close` (or use as a context manager) when the sweep finishes.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._done: Dict[str, RunRecord] = {}
+        self._fh = None
+        self._load()
+
+    # ------------------------------------------------------------------ #
+    # Loading.
+    # ------------------------------------------------------------------ #
+
+    def _load(self) -> None:
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                    key = entry["key"]
+                    record = record_from_jsonable(entry["record"])
+                except (json.JSONDecodeError, KeyError, TypeError):
+                    # A torn trailing line from a crash mid-write; the run
+                    # it described simply re-executes.
+                    continue
+                self._done[key] = record
+
+    # ------------------------------------------------------------------ #
+    # Queries and writes.
+    # ------------------------------------------------------------------ #
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._done
+
+    def __len__(self) -> int:
+        return len(self._done)
+
+    def get(self, key: str) -> Optional[RunRecord]:
+        """The checkpointed record for ``key``, or None if not yet run."""
+        return self._done.get(key)
+
+    def put(self, key: str, record: RunRecord) -> None:
+        """Persist one completed run; durable once the call returns."""
+        if self._fh is None:
+            directory = os.path.dirname(os.path.abspath(self.path))
+            os.makedirs(directory, exist_ok=True)
+            self._fh = open(self.path, "a", encoding="utf-8")
+        line = json.dumps(
+            {"key": key, "record": record_to_jsonable(record)},
+            sort_keys=True,
+        )
+        self._fh.write(line + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self._done[key] = record
+
+    def records(self) -> Iterator[Tuple[str, RunRecord]]:
+        """All checkpointed ``(key, record)`` pairs (insertion order)."""
+        return iter(self._done.items())
+
+    def close(self) -> None:
+        """Close the append handle (records stay loaded for queries)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "SweepCheckpoint":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

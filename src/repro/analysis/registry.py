@@ -165,6 +165,13 @@ EXPERIMENTS: Tuple[Experiment, ...] = (
         "bench_c_necessity.py",
         ("c_necessity.txt",),
     ),
+    Experiment(
+        "E19",
+        "Section 2's crash-only fault model is load-bearing",
+        "injected message faults -> silent-wrong; strict monitors -> all caught",
+        "bench_chaos_resilience.py",
+        ("chaos_resilience.txt",),
+    ),
 )
 
 

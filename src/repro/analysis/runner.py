@@ -4,13 +4,30 @@ One call = one protocol execution on one (topology, inputs, schedule) tuple,
 returning a flat :class:`RunRecord` with the paper's two costs (CC in bits
 at the bottleneck node, TC in rounds/flooding rounds) plus correctness per
 the Section 2 oracle.
+
+Two layers:
+
+* :func:`run_protocol` — one execution, raising on any problem.  With
+  ``strict=True`` (the default) the configuration is pre-validated against
+  every Section 2 model assumption and fails fast with
+  :class:`repro.sim.validation.Violation` diagnostics instead of a
+  confusing wrong sum.  Fault injectors / runtime monitors plug in via
+  ``injectors`` / ``monitors`` / ``strict_monitors``.
+* :func:`safe_run_protocol` — the crash-safe wrapper sweeps use: per-run
+  wall-clock timeout, bounded retry with reseeding, and structured error
+  capture — a failed run becomes an error *row* (``error`` /
+  ``error_kind`` set) instead of a crashed sweep.
 """
 
 from __future__ import annotations
 
 import random
+import signal
+import threading
+import time
+from contextlib import contextmanager
 from dataclasses import asdict, dataclass, field
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Dict, Optional
 
 from ..adversary.schedule import FailureSchedule
 from ..baselines.bruteforce import run_bruteforce
@@ -21,11 +38,20 @@ from ..core.unknown_f import run_unknown_f
 from ..core.algorithm1 import run_algorithm1
 from ..core.veri import run_agg_veri_pair
 from ..graphs.topology import Topology
+from ..sim.monitors import InvariantViolation, standard_monitors, violations_of
 
 
 @dataclass
 class RunRecord:
-    """Flat result row for tables and benches."""
+    """Flat result row for tables and benches.
+
+    ``error`` / ``error_kind`` are set (and ``result`` is None) when the
+    run was captured by :func:`safe_run_protocol` instead of completing;
+    ``attempts`` counts executions including retries; ``seed`` is the
+    sweep seed that produced the row (when run through a sweep).
+    ``as_dict`` omits these bookkeeping columns while they hold their
+    clean-run defaults, so healthy tables look exactly as before.
+    """
 
     protocol: str
     topology: str
@@ -39,11 +65,27 @@ class RunRecord:
     rounds: int
     flooding_rounds: int
     extra: Dict[str, Any] = field(default_factory=dict)
+    error: Optional[str] = None
+    error_kind: Optional[str] = None
+    attempts: int = 1
+    seed: Optional[int] = None
 
     def as_dict(self) -> Dict[str, Any]:
         row = asdict(self)
         row.update(row.pop("extra"))
+        if row.get("error") is None:
+            row.pop("error", None)
+            row.pop("error_kind", None)
+        if row.get("attempts") == 1:
+            row.pop("attempts", None)
+        if row.get("seed") is None:
+            row.pop("seed", None)
         return row
+
+    @property
+    def failed(self) -> bool:
+        """Whether this row records a captured failure, not a result."""
+        return self.error is not None
 
 
 def make_inputs(
@@ -53,6 +95,28 @@ def make_inputs(
     domain per the model)."""
     hi = topology.n_nodes if max_input is None else max_input
     return {u: rng.randint(0, hi) for u in topology.nodes()}
+
+
+def _effective_schedule(
+    schedule: FailureSchedule, network
+) -> FailureSchedule:
+    """The crash schedule that actually happened.
+
+    Adaptive adversaries (:mod:`repro.adversary.adaptive`) inject crashes
+    online, so the network's final crash map may be a superset of the
+    declared oblivious schedule; correctness must be graded against what
+    actually crashed.
+    """
+    if network is None:
+        return schedule
+    crash = {
+        u: max(1, int(r))
+        for u, r in network.crash_rounds.items()
+        if r != float("inf")
+    }
+    if crash == schedule.crash_rounds:
+        return schedule
+    return FailureSchedule(crash)
 
 
 def run_protocol(
@@ -66,7 +130,10 @@ def run_protocol(
     c: int = 2,
     caaf: CAAF = SUM,
     rng: Optional[random.Random] = None,
-    strict: bool = False,
+    strict: bool = True,
+    injectors=(),
+    monitors=None,
+    strict_monitors: bool = False,
 ) -> RunRecord:
     """Run one named protocol and grade its output.
 
@@ -74,9 +141,21 @@ def run_protocol(
     ``folklore`` (needs ``f``), ``tag``, ``unknown_f``, ``agg_veri``
     (needs ``t``; grades the pair's result only when accepted).
 
-    With ``strict=True`` the configuration is checked against every
-    Section 2 model assumption first (see :mod:`repro.sim.validation`) and
-    a ValueError with full diagnostics is raised on any violation.
+    With ``strict=True`` (default) the configuration is checked against
+    every Section 2 model assumption first (see
+    :mod:`repro.sim.validation`) and a ValueError with full diagnostics is
+    raised on any violation.  Pass ``strict=False`` to deliberately run
+    out-of-model configurations (e.g. when sampling adversaries that may
+    exceed the ``c``-stretch assumption).
+
+    ``injectors`` attach fault-injection middleware to the execution
+    (:mod:`repro.sim.faults`); ``monitors`` attach runtime invariant
+    monitors (:mod:`repro.sim.monitors`).  ``strict_monitors=True``
+    builds the standard monitor stack in strict mode when no explicit
+    ``monitors`` are given, so any invariant break raises
+    :class:`repro.sim.monitors.InvariantViolation` mid-run; additionally
+    a silently-wrong graded result raises after the run.  Recorded
+    monitor violations are surfaced in ``extra["violations"]``.
     """
     schedule = schedule or FailureSchedule()
     rng = rng or random.Random()
@@ -92,14 +171,39 @@ def run_protocol(
             b=b if protocol == "algorithm1" else None,
             c=c,
         )
+    if monitors is None and strict_monitors:
+        monitors = standard_monitors(
+            topology,
+            inputs,
+            f=f,
+            b=b,
+            c=c,
+            caaf=caaf,
+            mode="strict",
+        )
+    monitors = monitors or ()
+    # The AGG-only oracle would mis-grade a pair whose VERI rejects, so
+    # the pair path relies on the post-run grading below instead.
+    pair_monitors = [m for m in monitors if m.rule != "oracle"]
 
+    network = None
     if protocol == "algorithm1":
         if f is None or b is None:
             raise ValueError("algorithm1 needs f and b")
         out = run_algorithm1(
-            topology, inputs, f=f, b=b, schedule=schedule, c=c, caaf=caaf, rng=rng
+            topology,
+            inputs,
+            f=f,
+            b=b,
+            schedule=schedule,
+            c=c,
+            caaf=caaf,
+            rng=rng,
+            injectors=injectors,
+            monitors=monitors,
         )
         result, stats, rounds = out.result, out.stats, out.rounds
+        network = out.network
         extra = {
             "pairs_run": out.pairs_run,
             "used_bruteforce": out.used_bruteforce,
@@ -108,19 +212,56 @@ def run_protocol(
             "t": out.plan.t,
         }
     elif protocol == "bruteforce":
-        out = run_bruteforce(topology, inputs, schedule=schedule, c=c, caaf=caaf)
+        out = run_bruteforce(
+            topology,
+            inputs,
+            schedule=schedule,
+            c=c,
+            caaf=caaf,
+            injectors=injectors,
+            monitors=monitors,
+        )
         result, stats, rounds = out.result, out.stats, out.rounds
+        network = out.network
     elif protocol == "folklore":
         if f is None:
             raise ValueError("folklore needs f")
-        out = run_folklore(topology, inputs, f=f, schedule=schedule, c=c, caaf=caaf)
+        out = run_folklore(
+            topology,
+            inputs,
+            f=f,
+            schedule=schedule,
+            c=c,
+            caaf=caaf,
+            injectors=injectors,
+            monitors=monitors,
+        )
         result, stats, rounds = out.result, out.stats, out.rounds
+        network = out.network
     elif protocol == "tag":
-        out = run_plain_tag(topology, inputs, schedule=schedule, c=c, caaf=caaf)
+        out = run_plain_tag(
+            topology,
+            inputs,
+            schedule=schedule,
+            c=c,
+            caaf=caaf,
+            injectors=injectors,
+            monitors=monitors,
+        )
         result, stats, rounds = out.result, out.stats, out.rounds
+        network = out.network
     elif protocol == "unknown_f":
-        out = run_unknown_f(topology, inputs, schedule=schedule, c=c, caaf=caaf)
+        out = run_unknown_f(
+            topology,
+            inputs,
+            schedule=schedule,
+            c=c,
+            caaf=caaf,
+            injectors=injectors,
+            monitors=monitors,
+        )
         result, stats, rounds = out.result, out.stats, out.rounds
+        network = out.network
         extra = {
             "pairs_run": out.pairs_run,
             "accepted_guess": out.accepted_guess,
@@ -130,7 +271,14 @@ def run_protocol(
         if t is None:
             raise ValueError("agg_veri needs t")
         pair = run_agg_veri_pair(
-            topology, inputs, t=t, schedule=schedule, c=c, caaf=caaf
+            topology,
+            inputs,
+            t=t,
+            schedule=schedule,
+            c=c,
+            caaf=caaf,
+            injectors=injectors,
+            monitors=pair_monitors,
         )
         result = pair.agg_result if pair.accepted else None
         stats = pair.agg_stats
@@ -150,7 +298,7 @@ def run_protocol(
         correct = is_correct_result(
             result, caaf, topology, inputs, schedule, rounds
         )
-        return RunRecord(
+        record = RunRecord(
             protocol=protocol,
             topology=topology.name,
             n_nodes=topology.n_nodes,
@@ -164,10 +312,99 @@ def run_protocol(
             flooding_rounds=-(-rounds // topology.diameter),
             extra=extra,
         )
+        return _finish_record(record, pair_monitors, strict_monitors)
     else:
         raise ValueError(f"unknown protocol {protocol!r}")
 
-    correct = is_correct_result(result, caaf, topology, inputs, schedule, rounds)
+    effective = _effective_schedule(schedule, network)
+    correct = is_correct_result(result, caaf, topology, inputs, effective, rounds)
+    record = RunRecord(
+        protocol=protocol,
+        topology=topology.name,
+        n_nodes=topology.n_nodes,
+        diameter=topology.diameter,
+        f_budget=f,
+        f_actual=effective.edge_failures(topology),
+        result=result,
+        correct=correct,
+        cc_bits=stats.max_bits,
+        rounds=rounds,
+        flooding_rounds=-(-rounds // topology.diameter),
+        extra=extra,
+    )
+    return _finish_record(record, monitors, strict_monitors)
+
+
+def _finish_record(
+    record: RunRecord, monitors, strict_monitors: bool
+) -> RunRecord:
+    """Attach recorded monitor violations; enforce zero-error if strict."""
+    events = violations_of(monitors)
+    if events:
+        record.extra["violations"] = [str(e) for e in events]
+    if strict_monitors and record.result is not None and not record.correct:
+        raise InvariantViolation(
+            "oracle",
+            f"{record.protocol} output {record.result} graded incorrect "
+            f"against the Section 2 oracle",
+        )
+    return record
+
+
+# --------------------------------------------------------------------- #
+# Crash-safe execution: timeout, retry, structured error capture.
+# --------------------------------------------------------------------- #
+
+
+class RunTimeout(Exception):
+    """A protocol run exceeded its wall-clock limit."""
+
+
+@contextmanager
+def wall_clock_limit(seconds: Optional[float]):
+    """Enforce a wall-clock limit via ``SIGALRM`` where possible.
+
+    In the main thread of a Unix process the limit is hard (an in-flight
+    round is interrupted).  Elsewhere (worker threads, platforms without
+    ``setitimer``) the context is a no-op — callers still get error
+    capture for raising runs, just not for hanging ones.
+    """
+    if seconds is None:
+        yield
+        return
+    if seconds <= 0:
+        raise ValueError(f"timeout must be positive, got {seconds}")
+    can_alarm = hasattr(signal, "setitimer") and (
+        threading.current_thread() is threading.main_thread()
+    )
+    if not can_alarm:
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise RunTimeout(f"run exceeded {seconds}s wall clock")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def error_record(
+    protocol: str,
+    topology: Topology,
+    exc: BaseException,
+    schedule: Optional[FailureSchedule] = None,
+    f: Optional[int] = None,
+    attempts: int = 1,
+    seed: Optional[int] = None,
+) -> RunRecord:
+    """A structured row for a run that raised instead of returning."""
+    schedule = schedule or FailureSchedule()
+    message = str(exc) or exc.__class__.__name__
     return RunRecord(
         protocol=protocol,
         topology=topology.name,
@@ -175,10 +412,72 @@ def run_protocol(
         diameter=topology.diameter,
         f_budget=f,
         f_actual=schedule.edge_failures(topology),
-        result=result,
-        correct=correct,
-        cc_bits=stats.max_bits,
-        rounds=rounds,
-        flooding_rounds=-(-rounds // topology.diameter),
-        extra=extra,
+        result=None,
+        correct=False,
+        cc_bits=0,
+        rounds=0,
+        flooding_rounds=0,
+        error=message[:500],
+        error_kind=exc.__class__.__name__,
+        attempts=attempts,
+        seed=seed,
+    )
+
+
+def safe_run_protocol(
+    protocol: str,
+    topology: Topology,
+    inputs: Dict[int, int],
+    schedule: Optional[FailureSchedule] = None,
+    timeout_s: Optional[float] = None,
+    retries: int = 0,
+    seed: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+    **kwargs,
+) -> RunRecord:
+    """Crash-safe :func:`run_protocol`: errors become rows, not exceptions.
+
+    * ``timeout_s`` — per-attempt wall-clock limit (:func:`wall_clock_limit`).
+    * ``retries`` — additional attempts after a failure.  The first
+      attempt uses the caller's ``rng``; retries reseed deterministically
+      from ``seed`` and the attempt number, so a flaky failure is retried
+      with fresh coins while staying reproducible.
+    * On final failure the captured exception is returned as an
+      :func:`error_record` (``correct=False``, ``error`` / ``error_kind``
+      set).  ``KeyboardInterrupt``/``SystemExit`` always propagate, so an
+      interrupted sweep stops instead of recording bogus rows.
+    """
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
+    last_exc: Optional[BaseException] = None
+    attempts = 0
+    for attempt in range(retries + 1):
+        attempts += 1
+        if attempt == 0 and rng is not None:
+            attempt_rng = rng
+        else:
+            attempt_rng = random.Random(((seed or 0) + 1) * 1_000_003 + attempt)
+        try:
+            with wall_clock_limit(timeout_s):
+                record = run_protocol(
+                    protocol,
+                    topology,
+                    inputs,
+                    schedule=schedule,
+                    rng=attempt_rng,
+                    **kwargs,
+                )
+            record.attempts = attempts
+            record.seed = seed
+            return record
+        except Exception as exc:  # structured capture is the point
+            last_exc = exc
+    return error_record(
+        protocol,
+        topology,
+        last_exc,
+        schedule=schedule,
+        f=kwargs.get("f"),
+        attempts=attempts,
+        seed=seed,
     )

@@ -116,8 +116,14 @@ def run_bruteforce(
     schedule: Optional[FailureSchedule] = None,
     c: int = 2,
     caaf: CAAF = SUM,
+    injectors=(),
+    monitors=(),
 ) -> BaselineOutcome:
-    """Run the brute-force protocol once."""
+    """Run the brute-force protocol once.
+
+    ``injectors`` and ``monitors`` are forwarded to the
+    :class:`repro.sim.network.Network`.
+    """
     schedule = schedule or FailureSchedule()
     schedule.validate(topology)
     params = params_for(
@@ -126,7 +132,13 @@ def run_bruteforce(
     nodes = {
         u: BruteForceNode(params, u, inputs[u]) for u in topology.nodes()
     }
-    network = Network(topology.adjacency, nodes, schedule.crash_rounds)
+    network = Network(
+        topology.adjacency,
+        nodes,
+        schedule.crash_rounds,
+        injectors=injectors,
+        monitors=monitors,
+    )
     stats = network.run(2 * params.cd, stop_on_output=False)
     root = nodes[topology.root]
     return BaselineOutcome(

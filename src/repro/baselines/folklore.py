@@ -171,6 +171,8 @@ def run_folklore(
     schedule: Optional[FailureSchedule] = None,
     c: int = 2,
     caaf: CAAF = SUM,
+    injectors=(),
+    monitors=(),
 ) -> BaselineOutcome:
     """Run the folklore protocol: up to ``f + 1`` tree epochs.
 
@@ -187,7 +189,13 @@ def run_folklore(
         u: TreeEpochNode(params, u, inputs[u], max_epochs=f + 1)
         for u in topology.nodes()
     }
-    network = Network(topology.adjacency, nodes, schedule.crash_rounds)
+    network = Network(
+        topology.adjacency,
+        nodes,
+        schedule.crash_rounds,
+        injectors=injectors,
+        monitors=monitors,
+    )
     max_rounds = (f + 1) * (2 * params.cd + 2)
     stats = network.run(max_rounds, stop_on_output=True)
     root = nodes[topology.root]
@@ -205,6 +213,8 @@ def run_plain_tag(
     schedule: Optional[FailureSchedule] = None,
     c: int = 2,
     caaf: CAAF = SUM,
+    injectors=(),
+    monitors=(),
 ) -> BaselineOutcome:
     """Run a single non-fault-tolerant tree aggregation (TAG).
 
@@ -222,7 +232,13 @@ def run_plain_tag(
         )
         for u in topology.nodes()
     }
-    network = Network(topology.adjacency, nodes, schedule.crash_rounds)
+    network = Network(
+        topology.adjacency,
+        nodes,
+        schedule.crash_rounds,
+        injectors=injectors,
+        monitors=monitors,
+    )
     stats = network.run(2 * params.cd + 2, stop_on_output=True)
     root = nodes[topology.root]
     return BaselineOutcome(

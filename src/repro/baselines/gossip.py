@@ -131,8 +131,14 @@ def run_gossip(
     inputs: Dict[int, int],
     rounds: Optional[int] = None,
     schedule: Optional[FailureSchedule] = None,
+    injectors=(),
+    monitors=(),
 ) -> GossipOutcome:
-    """Run broadcast push-sum for ``rounds`` rounds (default ``10 d``)."""
+    """Run broadcast push-sum for ``rounds`` rounds (default ``10 d``).
+
+    ``injectors`` and ``monitors`` are forwarded to the
+    :class:`repro.sim.network.Network`.
+    """
     schedule = schedule or FailureSchedule()
     schedule.validate(topology)
     total_rounds = rounds if rounds is not None else 10 * topology.diameter
@@ -146,7 +152,13 @@ def run_gossip(
         )
         for u in topology.nodes()
     }
-    network = Network(topology.adjacency, nodes, schedule.crash_rounds)
+    network = Network(
+        topology.adjacency,
+        nodes,
+        schedule.crash_rounds,
+        injectors=injectors,
+        monitors=monitors,
+    )
     stats = network.run(total_rounds + 1, stop_on_output=False)
     root = nodes[topology.root]
     return GossipOutcome(

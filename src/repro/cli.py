@@ -4,11 +4,16 @@ Usage (installed as ``repro-agg`` or via ``python -m repro.cli``)::
 
     repro-agg run       --topology grid:6x6 --protocol algorithm1 -f 8 -b 90
     repro-agg sweep-b   --topology grid:6x6 -f 10 --bs 42,84,168 --seeds 3
+    repro-agg chaos     --topology grid:5x5 --protocol unknown_f -f 4 \
+                        --inject drop=0.05,dup=0.02 --seeds 5
     repro-agg figure1   -n 1024 -f 128 --bs 42,84,168,336 [--plot]
     repro-agg select    --topology grid:5x5 -f 4 -b 45 -k 7
     repro-agg topology  --topology geometric:100 --out field.json
 
 Every subcommand prints the same ASCII tables the benchmarks save.
+``run`` accepts ``--inject drop=0.1,dup=0.05,...`` (message-fault
+middleware) and ``--strict-monitors`` (abort on any invariant break);
+``sweep-b`` accepts ``--resume PATH`` for JSONL checkpoint/resume.
 """
 
 from __future__ import annotations
@@ -21,11 +26,13 @@ from typing import List, Optional
 from . import graphs
 from .adversary import no_failures, random_failures
 from .analysis import (
+    SweepCheckpoint,
     figure1_data,
     format_series,
     format_table,
     make_inputs,
     run_protocol,
+    safe_run_protocol,
     sweep_b,
 )
 from .analysis.asciiplot import plot_series
@@ -66,6 +73,15 @@ def _ints(text: str) -> List[int]:
     return [int(v) for v in text.split(",") if v]
 
 
+def _parse_injectors(spec: Optional[str], seed: int):
+    """Build the injector list for an ``--inject drop=0.1,...`` flag."""
+    if not spec:
+        return ()
+    from .sim.faults import MessageFaults
+
+    return (MessageFaults.from_spec(spec, seed=seed),)
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     topology = parse_topology(args.topology, args.seed)
     rng = random.Random(args.seed)
@@ -77,9 +93,11 @@ def cmd_run(args: argparse.Namespace) -> int:
             rng,
             first_round=1,
             last_round=max(2, (args.budget or 42) * topology.diameter),
+            respect_c=2,
         )
     else:
         schedule = no_failures()
+    injectors = _parse_injectors(args.inject, args.seed)
     record = run_protocol(
         args.protocol,
         topology,
@@ -89,6 +107,8 @@ def cmd_run(args: argparse.Namespace) -> int:
         b=args.budget,
         t=args.tolerance,
         rng=rng,
+        injectors=injectors,
+        strict_monitors=args.strict_monitors,
     )
     print(format_table([record.as_dict()], title=f"{args.protocol} on {topology}"))
     return 0 if record.correct else 1
@@ -96,9 +116,22 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 def cmd_sweep_b(args: argparse.Namespace) -> int:
     topology = parse_topology(args.topology, args.seed)
-    points = sweep_b(
-        topology, f=args.failures, bs=_ints(args.bs), seeds=range(args.seeds)
-    )
+    checkpoint = SweepCheckpoint(args.resume) if args.resume else None
+    if checkpoint is not None and len(checkpoint):
+        print(f"resuming: {len(checkpoint)} run(s) loaded from {args.resume}")
+    try:
+        points = sweep_b(
+            topology,
+            f=args.failures,
+            bs=_ints(args.bs),
+            seeds=range(args.seeds),
+            checkpoint=checkpoint,
+            timeout_s=args.timeout,
+            retries=args.retries,
+        )
+    finally:
+        if checkpoint is not None:
+            checkpoint.close()
     print(
         format_table(
             [p.as_dict() for p in points],
@@ -106,6 +139,105 @@ def cmd_sweep_b(args: argparse.Namespace) -> int:
         )
     )
     return 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Chaos harness: protocols under injected message faults + monitors.
+
+    Every seed runs one execution with the requested drop/dup/delay/reorder
+    rates (and, optionally, an adaptive crash adversary) with the standard
+    invariant monitors attached in record mode.  The verdict per run is
+    either *correct* (oracle-satisfying output), *aborted* (no output —
+    honest failure), or *SILENT-WRONG* (output outside the oracle interval)
+    — the exit status is nonzero iff any run was silent-wrong, which is
+    exactly the property the paper's protocols are designed to avoid.
+    """
+    from .sim.faults import MessageFaults
+    from .sim.monitors import standard_monitors, violations_of
+
+    topology = parse_topology(args.topology, args.seed)
+    spec = args.inject or "drop=0.05"
+    rows = []
+    silent_wrong = 0
+    for seed in range(args.seed, args.seed + args.seeds):
+        rng = random.Random(seed)
+        inputs = make_inputs(topology, rng, max_input=args.max_input)
+        schedule = (
+            random_failures(
+                topology,
+                args.failures,
+                rng,
+                first_round=1,
+                last_round=max(2, 60 * topology.diameter),
+                respect_c=2,
+            )
+            if args.failures
+            else no_failures()
+        )
+        faults = MessageFaults.from_spec(spec, seed=seed)
+        injectors = [faults]
+        if args.adaptive:
+            from .adversary.adaptive import make_adaptive
+
+            injectors.append(
+                make_adaptive(args.adaptive, topology, f=args.failures or 1, seed=seed)
+            )
+        mode = "strict" if args.strict else "record"
+        monitors = standard_monitors(
+            topology, inputs, f=args.failures or None, mode=mode
+        )
+        record = safe_run_protocol(
+            args.protocol,
+            topology,
+            inputs,
+            schedule=schedule,
+            seed=seed,
+            rng=rng,
+            f=args.failures or None,
+            b=args.budget,
+            t=args.tolerance,
+            strict=False,
+            injectors=injectors,
+            monitors=monitors,
+        )
+        if record.failed:
+            verdict = f"error:{record.error_kind}"
+        elif record.result is None:
+            verdict = "aborted"
+        elif record.correct:
+            verdict = "correct"
+        else:
+            verdict = "SILENT-WRONG"
+            silent_wrong += 1
+        rows.append(
+            {
+                "seed": seed,
+                "verdict": verdict,
+                "result": record.result,
+                "cc_bits": record.cc_bits,
+                "rounds": record.rounds,
+                "faults": faults.counts.total,
+                "violations": len(violations_of(monitors)),
+            }
+        )
+    print(
+        format_table(
+            rows,
+            title=(
+                f"chaos: {args.protocol} on {topology.name} "
+                f"[{spec}]"
+                + (f" + {args.adaptive}" if args.adaptive else "")
+            ),
+        )
+    )
+    verdicts = [r["verdict"] for r in rows]
+    print(
+        f"{verdicts.count('correct')} correct, "
+        f"{verdicts.count('aborted')} aborted, "
+        f"{sum(1 for v in verdicts if v.startswith('error'))} errored, "
+        f"{silent_wrong} silent-wrong"
+    )
+    return 1 if silent_wrong else 0
 
 
 def cmd_figure1(args: argparse.Namespace) -> int:
@@ -328,6 +460,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("-f", "--failures", type=int, default=0)
     p_run.add_argument("-b", "--budget", type=int, default=None)
     p_run.add_argument("-t", "--tolerance", type=int, default=None)
+    p_run.add_argument(
+        "--inject",
+        default=None,
+        help="message-fault spec, e.g. drop=0.1,dup=0.05,delay=0.1",
+    )
+    p_run.add_argument(
+        "--strict-monitors",
+        action="store_true",
+        dest="strict_monitors",
+        help="attach strict invariant monitors (raise on violation)",
+    )
     p_run.set_defaults(func=cmd_run)
 
     p_sweep = sub.add_parser("sweep-b", help="Algorithm 1 CC vs time budget")
@@ -335,7 +478,50 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("-f", "--failures", type=int, required=True)
     p_sweep.add_argument("--bs", default="42,84,168,336")
     p_sweep.add_argument("--seeds", type=int, default=3)
+    p_sweep.add_argument(
+        "--resume",
+        default=None,
+        help="JSONL checkpoint path: completed runs are loaded, fresh "
+        "runs appended (kill + rerun resumes where it stopped)",
+    )
+    p_sweep.add_argument(
+        "--timeout", type=float, default=None, help="per-run wall-clock limit (s)"
+    )
+    p_sweep.add_argument(
+        "--retries", type=int, default=0, help="retries per failed run"
+    )
     p_sweep.set_defaults(func=cmd_sweep_b)
+
+    p_chaos = sub.add_parser(
+        "chaos", help="protocols under injected message faults + monitors"
+    )
+    common(p_chaos)
+    p_chaos.add_argument(
+        "--protocol",
+        default="unknown_f",
+        choices=["algorithm1", "bruteforce", "folklore", "tag", "unknown_f", "agg_veri"],
+    )
+    p_chaos.add_argument("-f", "--failures", type=int, default=0)
+    p_chaos.add_argument("-b", "--budget", type=int, default=None)
+    p_chaos.add_argument("-t", "--tolerance", type=int, default=None)
+    p_chaos.add_argument(
+        "--inject",
+        default=None,
+        help="fault spec (default drop=0.05), e.g. drop=0.1,dup=0.05,reorder=0.2",
+    )
+    p_chaos.add_argument(
+        "--adaptive",
+        default=None,
+        help="adaptive crash adversary: top-talker[:period], "
+        "trigger:<kind>, root-isolation",
+    )
+    p_chaos.add_argument("--seeds", type=int, default=5)
+    p_chaos.add_argument(
+        "--strict",
+        action="store_true",
+        help="strict monitors: abort the run at the first invariant break",
+    )
+    p_chaos.set_defaults(func=cmd_chaos)
 
     p_fig = sub.add_parser("figure1", help="print the Figure 1 bound curves")
     p_fig.add_argument("-n", type=int, default=1024)

@@ -361,8 +361,14 @@ def run_agg(
     c: int = 2,
     caaf=None,
     max_input: Optional[int] = None,
+    injectors=(),
+    monitors=(),
 ) -> AggOutcome:
-    """Run one AGG execution on ``topology`` with the given failure schedule."""
+    """Run one AGG execution on ``topology`` with the given failure schedule.
+
+    ``injectors`` and ``monitors`` are forwarded to the
+    :class:`repro.sim.network.Network`.
+    """
     from .caaf import SUM
 
     schedule = schedule or FailureSchedule()
@@ -379,7 +385,13 @@ def run_agg(
     nodes = {
         u: AggNode(params, u, inputs[u]) for u in topology.nodes()
     }
-    network = Network(topology.adjacency, nodes, schedule.crash_rounds)
+    network = Network(
+        topology.adjacency,
+        nodes,
+        schedule.crash_rounds,
+        injectors=injectors,
+        monitors=monitors,
+    )
     stats = network.run(params.agg_rounds, stop_on_output=False)
     root = nodes[topology.root]
     return AggOutcome(

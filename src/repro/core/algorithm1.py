@@ -229,6 +229,9 @@ class TradeoffOutcome:
     used_bruteforce: bool
     selected_intervals: List[int]
     plan: TradeoffPlan
+    #: The executed network (exposes the effective crash map, which may
+    #: include crashes injected online by adaptive adversaries).
+    network: Optional[Network] = None
 
 
 def run_algorithm1(
@@ -240,8 +243,15 @@ def run_algorithm1(
     c: int = 2,
     caaf: CAAF = SUM,
     rng: Optional[random.Random] = None,
+    injectors=(),
+    monitors=(),
 ) -> TradeoffOutcome:
-    """Run Algorithm 1 once with TC budget ``b`` and failure budget ``f``."""
+    """Run Algorithm 1 once with TC budget ``b`` and failure budget ``f``.
+
+    ``injectors`` and ``monitors`` are forwarded to the
+    :class:`repro.sim.network.Network` (see :mod:`repro.sim.faults` and
+    :mod:`repro.sim.monitors`).
+    """
     schedule = schedule or FailureSchedule()
     schedule.validate(topology, f=f)
     base = params_for(
@@ -253,7 +263,13 @@ def run_algorithm1(
         u: Algorithm1Node(plan, u, inputs[u], rng=rng if u == topology.root else None)
         for u in topology.nodes()
     }
-    network = Network(topology.adjacency, nodes, schedule.crash_rounds)
+    network = Network(
+        topology.adjacency,
+        nodes,
+        schedule.crash_rounds,
+        injectors=injectors,
+        monitors=monitors,
+    )
     stats = network.run(plan.total_rounds, stop_on_output=True)
     root = nodes[topology.root]
     return TradeoffOutcome(
@@ -266,4 +282,5 @@ def run_algorithm1(
         used_bruteforce=root.used_bruteforce,
         selected_intervals=root.selected,
         plan=plan,
+        network=network,
     )

@@ -164,6 +164,9 @@ class DoublingOutcome:
     accepted_guess: Optional[int]
     used_bruteforce: bool
     plan: DoublingPlan
+    #: The executed network (exposes the effective crash map, which may
+    #: include crashes injected online by adaptive adversaries).
+    network: Optional[Network] = None
 
 
 def run_unknown_f(
@@ -172,8 +175,14 @@ def run_unknown_f(
     schedule: Optional[FailureSchedule] = None,
     c: int = 2,
     caaf: CAAF = SUM,
+    injectors=(),
+    monitors=(),
 ) -> DoublingOutcome:
-    """Run the unknown-``f`` doubling protocol once."""
+    """Run the unknown-``f`` doubling protocol once.
+
+    ``injectors`` and ``monitors`` are forwarded to the
+    :class:`repro.sim.network.Network`.
+    """
     schedule = schedule or FailureSchedule()
     schedule.validate(topology)
     params = params_for(
@@ -183,7 +192,13 @@ def run_unknown_f(
     nodes = {
         u: DoublingNode(plan, u, inputs[u]) for u in topology.nodes()
     }
-    network = Network(topology.adjacency, nodes, schedule.crash_rounds)
+    network = Network(
+        topology.adjacency,
+        nodes,
+        schedule.crash_rounds,
+        injectors=injectors,
+        monitors=monitors,
+    )
     stats = network.run(plan.total_rounds, stop_on_output=True)
     root = nodes[topology.root]
     return DoublingOutcome(
@@ -194,4 +209,5 @@ def run_unknown_f(
         accepted_guess=root.accepted_guess,
         used_bruteforce=root.used_bruteforce,
         plan=plan,
+        network=network,
     )

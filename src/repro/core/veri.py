@@ -303,11 +303,15 @@ def run_agg_veri_pair(
     c: int = 2,
     caaf=None,
     max_input: Optional[int] = None,
+    injectors=(),
+    monitors=(),
 ) -> PairOutcome:
     """Run AGG then VERI back-to-back on one shared failure schedule.
 
     The schedule's crash rounds are interpreted on the combined timeline:
     AGG occupies rounds ``1 .. 7cd+4`` and VERI rounds ``7cd+5 .. 12cd+7``.
+    ``injectors`` and ``monitors`` are shared by both executions (injector
+    fault budgets therefore span the pair).
     """
     schedule = schedule or FailureSchedule()
     schedule.validate(topology)
@@ -319,6 +323,8 @@ def run_agg_veri_pair(
         c=c,
         caaf=caaf,
         max_input=max_input,
+        injectors=injectors,
+        monitors=monitors,
     )
     params = next(iter(agg.nodes.values())).p
     veri_nodes = {
@@ -329,7 +335,13 @@ def run_agg_veri_pair(
         u: max(1, rnd - params.agg_rounds)
         for u, rnd in schedule.crash_rounds.items()
     }
-    veri_network = Network(topology.adjacency, veri_nodes, shifted)
+    veri_network = Network(
+        topology.adjacency,
+        veri_nodes,
+        shifted,
+        injectors=injectors,
+        monitors=monitors,
+    )
     veri_stats = veri_network.run(params.veri_rounds, stop_on_output=False)
     root_veri = veri_nodes[topology.root]
     return PairOutcome(

@@ -1,7 +1,20 @@
 """Synchronous local-broadcast network simulator (the paper's model)."""
 
+from .faults import FaultCounts, FaultInjector, MessageFaults, ScheduledCrashes
 from .flooding import FloodManager
 from .message import TAG_BITS, Envelope, Part, id_bits, total_bits, value_bits
+from .monitors import (
+    CCEnvelopeMonitor,
+    FBudgetMonitor,
+    InvariantViolation,
+    Monitor,
+    MonitorEvent,
+    OracleMonitor,
+    RootSafetyMonitor,
+    standard_monitors,
+    theorem1_cc_envelope,
+    violations_of,
+)
 from .network import NEVER, Network
 from .node import NodeHandler, RelayNode, SilentNode
 from .stats import SimStats
@@ -9,15 +22,26 @@ from .trace import CrashEvent, DeliverEvent, SendEvent, Tracer, attach_tracer
 from .validation import Violation, assert_model, validate_model
 
 __all__ = [
+    "CCEnvelopeMonitor",
     "CrashEvent",
     "DeliverEvent",
     "Envelope",
+    "FBudgetMonitor",
+    "FaultCounts",
+    "FaultInjector",
     "FloodManager",
+    "InvariantViolation",
+    "MessageFaults",
+    "Monitor",
+    "MonitorEvent",
     "NEVER",
     "Network",
     "NodeHandler",
+    "OracleMonitor",
     "Part",
     "RelayNode",
+    "RootSafetyMonitor",
+    "ScheduledCrashes",
     "SendEvent",
     "SilentNode",
     "SimStats",
@@ -27,7 +51,10 @@ __all__ = [
     "assert_model",
     "attach_tracer",
     "id_bits",
+    "standard_monitors",
+    "theorem1_cc_envelope",
     "validate_model",
     "total_bits",
     "value_bits",
+    "violations_of",
 ]

@@ -1,0 +1,283 @@
+"""Fault-injection middleware for the simulator's delivery path.
+
+The paper's model (Section 2) admits only *oblivious crash* failures: a
+schedule fixed before the protocol flips any coins, killing whole nodes.
+Theorems 1, 5 and 7 are stated for exactly that adversary.  This module
+generalizes the simulator so experiments can also probe behaviour *outside*
+the model — message drops, duplications, delays, reorderings, and crashes
+chosen adaptively from observed traffic — without touching protocol code.
+
+A :class:`FaultInjector` is middleware on :class:`repro.sim.network.Network`
+round execution:
+
+* :meth:`FaultInjector.begin_round` / :meth:`FaultInjector.end_round`
+  bracket each round; adaptive adversaries use ``end_round`` to pick
+  crashes online via :meth:`repro.sim.network.Network.schedule_crash`.
+* :meth:`FaultInjector.on_broadcast` observes every physical broadcast.
+* :meth:`FaultInjector.on_transmit` rewrites one scheduled per-link
+  delivery into zero or more ``(due_round, part)`` copies — dropping,
+  duplicating or delaying it.  Only injectors with
+  ``modifies_delivery = True`` are consulted, so crash-only middleware
+  keeps the exact-model delivery path (and its bit-exact determinism).
+* :meth:`FaultInjector.arrange_inbox` may permute one receiver's inbox.
+
+The oblivious crash schedule itself is the :class:`ScheduledCrashes`
+injector — ``Network(..., crash_rounds=...)`` is sugar for prepending one —
+so in-model and out-of-model failures flow through a single interface.
+
+All randomized decisions use a private ``random.Random(seed)`` so fault
+sequences are reproducible per seed, and every fault type takes an
+explicit budget cap.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .message import Part
+
+
+class FaultInjector:
+    """Base middleware: observes everything, changes nothing.
+
+    Subclasses override the hooks they need.  ``modifies_delivery`` must
+    be True for injectors that rewrite transmissions or inbox order; it
+    routes the network onto the scheduled-delivery path.
+    """
+
+    #: Whether this injector rewrites deliveries (drop/dup/delay/reorder).
+    modifies_delivery = False
+
+    def __init__(self) -> None:
+        self.network = None
+
+    def attach(self, network) -> None:
+        """Bind to a network; called once from ``Network.__init__``."""
+        self.network = network
+
+    def begin_round(self, rnd: int) -> None:
+        """Hook: round ``rnd`` is about to deliver and compute."""
+
+    def on_broadcast(self, rnd: int, node: int, parts, bits: int) -> None:
+        """Hook: ``node`` physically broadcast ``parts`` in round ``rnd``."""
+
+    def on_transmit(
+        self, due: int, sender: int, receiver: int, part: Part
+    ) -> List[Tuple[int, Part]]:
+        """Rewrite one scheduled delivery; default passes it through.
+
+        ``due`` is the round the copy is currently scheduled to arrive.
+        Return ``[]`` to drop, multiple tuples to duplicate, or later due
+        rounds to delay.
+        """
+        return [(due, part)]
+
+    def arrange_inbox(self, rnd: int, receiver: int, envelopes: List) -> List:
+        """Hook: final chance to permute one receiver's round inbox."""
+        return envelopes
+
+    def end_round(self, rnd: int) -> None:
+        """Hook: round ``rnd`` finished computing and broadcasting."""
+
+
+class ScheduledCrashes(FaultInjector):
+    """The paper's oblivious crash schedule, as an injector.
+
+    Seeds the network's crash map at attach time — semantically identical
+    to the historical ``Network(crash_rounds=...)`` behaviour (which now
+    delegates here), and composable with chaos injectors.
+    """
+
+    def __init__(self, crash_rounds) -> None:
+        super().__init__()
+        # Accept a plain mapping or a FailureSchedule-like object.
+        rounds = getattr(crash_rounds, "crash_rounds", crash_rounds)
+        self.crash_rounds: Dict[int, float] = dict(rounds or {})
+
+    def attach(self, network) -> None:
+        """Seed the network's crash map (earliest round wins per node)."""
+        super().attach(network)
+        for node, rnd in self.crash_rounds.items():
+            current = network.crash_rounds.get(node)
+            network.crash_rounds[node] = (
+                rnd if current is None else min(current, rnd)
+            )
+
+
+@dataclass
+class FaultCounts:
+    """Tally of injected faults, for reporting alongside run results."""
+
+    drops: int = 0
+    duplicates: int = 0
+    delays: int = 0
+    reorders: int = 0
+
+    @property
+    def total(self) -> int:
+        """All injected faults combined."""
+        return self.drops + self.duplicates + self.delays + self.reorders
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict view for tables and JSON rows."""
+        return {
+            "drops": self.drops,
+            "duplicates": self.duplicates,
+            "delays": self.delays,
+            "reorders": self.reorders,
+        }
+
+
+class MessageFaults(FaultInjector):
+    """Drop / duplicate / delay / reorder in-flight messages.
+
+    Faults are decided independently per scheduled (sender, receiver,
+    part) copy with the given probabilities, using a deterministic
+    per-``seed`` RNG, under explicit budget caps:
+
+    Args:
+        drop: Probability a delivery copy is silently lost.
+        duplicate: Probability a copy is delivered twice (the duplicate
+            arrives 1..``max_delay`` rounds later).
+        delay: Probability a copy is postponed by 1..``max_delay`` rounds.
+        max_delay: Largest injected postponement, in rounds.
+        reorder: Probability a receiver's round inbox is shuffled.
+        seed: Seed of the private fault RNG.
+        max_drops / max_duplicates / max_delays / max_reorders: Hard caps
+            per fault type; ``None`` means unlimited.
+        protect: Node ids whose incident deliveries are never faulted
+            (e.g. the root, to keep the root-safety assumption).
+    """
+
+    modifies_delivery = True
+
+    def __init__(
+        self,
+        drop: float = 0.0,
+        duplicate: float = 0.0,
+        delay: float = 0.0,
+        max_delay: int = 3,
+        reorder: float = 0.0,
+        seed: int = 0,
+        max_drops: Optional[int] = None,
+        max_duplicates: Optional[int] = None,
+        max_delays: Optional[int] = None,
+        max_reorders: Optional[int] = None,
+        protect: Iterable[int] = (),
+    ) -> None:
+        super().__init__()
+        for name, rate in (
+            ("drop", drop),
+            ("duplicate", duplicate),
+            ("delay", delay),
+            ("reorder", reorder),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} rate must be in [0, 1], got {rate}")
+        if max_delay < 1:
+            raise ValueError(f"max_delay must be >= 1, got {max_delay}")
+        self.drop = drop
+        self.duplicate = duplicate
+        self.delay = delay
+        self.max_delay = max_delay
+        self.reorder = reorder
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.max_drops = max_drops
+        self.max_duplicates = max_duplicates
+        self.max_delays = max_delays
+        self.max_reorders = max_reorders
+        self.protect = frozenset(protect)
+        self.counts = FaultCounts()
+
+    @classmethod
+    def from_spec(cls, spec: str, seed: int = 0, **kwargs) -> "MessageFaults":
+        """Build from a CLI spec like ``drop=0.1,dup=0.05,delay=0.1,reorder=0.2``.
+
+        Keys: ``drop``, ``dup``/``duplicate``, ``delay``, ``reorder``
+        (rates) and ``max_delay`` (rounds).
+        """
+        keys = {
+            "drop": "drop",
+            "dup": "duplicate",
+            "duplicate": "duplicate",
+            "delay": "delay",
+            "reorder": "reorder",
+            "max_delay": "max_delay",
+        }
+        values: Dict[str, float] = {}
+        for item in spec.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            key, eq, raw = item.partition("=")
+            key = key.strip().replace("-", "_")
+            if key not in keys:
+                raise ValueError(
+                    f"unknown fault key {key!r} (expected one of "
+                    f"{sorted(set(keys))})"
+                )
+            if not eq:
+                raise ValueError(f"fault spec item {item!r} needs key=value")
+            values[keys[key]] = float(raw)
+        if "max_delay" in values:
+            values["max_delay"] = int(values["max_delay"])
+        values.update(kwargs)
+        return cls(seed=seed, **values)
+
+    def _budget_left(self, used: int, cap: Optional[int]) -> bool:
+        return cap is None or used < cap
+
+    def on_transmit(
+        self, due: int, sender: int, receiver: int, part: Part
+    ) -> List[Tuple[int, Part]]:
+        """Apply drop, then delay, then duplication to one delivery copy."""
+        if sender in self.protect or receiver in self.protect:
+            return [(due, part)]
+        rng = self.rng
+        if (
+            self.drop
+            and self._budget_left(self.counts.drops, self.max_drops)
+            and rng.random() < self.drop
+        ):
+            self.counts.drops += 1
+            return []
+        if (
+            self.delay
+            and self._budget_left(self.counts.delays, self.max_delays)
+            and rng.random() < self.delay
+        ):
+            self.counts.delays += 1
+            due += rng.randint(1, self.max_delay)
+        deliveries = [(due, part)]
+        if (
+            self.duplicate
+            and self._budget_left(self.counts.duplicates, self.max_duplicates)
+            and rng.random() < self.duplicate
+        ):
+            self.counts.duplicates += 1
+            deliveries.append((due + rng.randint(1, self.max_delay), part))
+        return deliveries
+
+    def arrange_inbox(self, rnd: int, receiver: int, envelopes: List) -> List:
+        """Shuffle one receiver's inbox with probability ``reorder``."""
+        if (
+            self.reorder
+            and len(envelopes) > 1
+            and receiver not in self.protect
+            and self._budget_left(self.counts.reorders, self.max_reorders)
+            and self.rng.random() < self.reorder
+        ):
+            self.counts.reorders += 1
+            shuffled = list(envelopes)
+            self.rng.shuffle(shuffled)
+            return shuffled
+        return envelopes
+
+    def __repr__(self) -> str:
+        return (
+            f"MessageFaults(drop={self.drop}, duplicate={self.duplicate}, "
+            f"delay={self.delay}, reorder={self.reorder}, seed={self.seed})"
+        )

@@ -1,0 +1,296 @@
+"""Runtime invariant monitors for simulator executions.
+
+:mod:`repro.sim.validation` checks a configuration *before* a run; the
+monitors here watch invariants *during* and *after* one, which is what
+catches out-of-model behaviour introduced by the chaos layer
+(:mod:`repro.sim.faults`) or by adaptive adversaries:
+
+* :class:`RootSafetyMonitor` — the root is never dead (Section 2).
+* :class:`FBudgetMonitor` — cumulative edge failures stay within ``f``.
+* :class:`CCEnvelopeMonitor` — the bottleneck node's bits stay under a
+  declared envelope (e.g. :func:`theorem1_cc_envelope` for Algorithm 1).
+* :class:`OracleMonitor` — zero-error on termination: if the root handler
+  exposes a ``result``, it must lie in the Section 2 correctness interval
+  ``[agg(s1), agg(s2)]``.
+
+Every monitor runs in one of two modes: ``strict`` raises
+:class:`InvariantViolation` at the moment the invariant breaks, ``record``
+accumulates :class:`MonitorEvent` diagnostics for post-run inspection.
+Attach via ``Network(..., monitors=[...])``; :meth:`Network.run` calls
+``after_round`` each round and ``finalize`` once at the end.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+MODES = ("strict", "record")
+
+
+class InvariantViolation(RuntimeError):
+    """A runtime invariant broke during a simulated execution.
+
+    Attributes:
+        rule: Short invariant name (``"root-safe"``, ``"f-budget"``, ...).
+        round: Round in which the violation was detected (None: at
+            finalization).
+    """
+
+    def __init__(self, rule: str, message: str, rnd: Optional[int] = None):
+        self.rule = rule
+        self.round = rnd
+        at = f" (round {rnd})" if rnd is not None else ""
+        super().__init__(f"[{rule}]{at} {message}")
+
+
+@dataclass(frozen=True)
+class MonitorEvent:
+    """One recorded invariant violation."""
+
+    rule: str
+    round: Optional[int]
+    message: str
+
+    def __str__(self) -> str:
+        at = f"@r{self.round}" if self.round is not None else ""
+        return f"[{self.rule}{at}] {self.message}"
+
+
+class Monitor:
+    """Base runtime monitor.
+
+    Subclasses implement :meth:`after_round` and/or :meth:`finalize` and
+    call :meth:`report` when their invariant breaks.
+    """
+
+    rule = "invariant"
+
+    def __init__(self, mode: str = "strict") -> None:
+        if mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+        self.mode = mode
+        self.violations: List[MonitorEvent] = []
+
+    def attach(self, network) -> None:
+        """Bind to a network; called from ``Network.__init__``."""
+
+    def after_round(self, network) -> None:
+        """Check the invariant after one executed round."""
+
+    def finalize(self, network) -> None:
+        """Check end-of-run invariants; called once by ``Network.run``."""
+
+    def report(self, message: str, rnd: Optional[int] = None) -> None:
+        """Record a violation; raise immediately in strict mode."""
+        self.violations.append(MonitorEvent(self.rule, rnd, message))
+        if self.mode == "strict":
+            raise InvariantViolation(self.rule, message, rnd)
+
+    @property
+    def ok(self) -> bool:
+        """Whether no violation has been observed."""
+        return not self.violations
+
+
+class RootSafetyMonitor(Monitor):
+    """Section 2: all nodes *except the root* may crash."""
+
+    rule = "root-safe"
+
+    def __init__(self, root: int, mode: str = "strict") -> None:
+        super().__init__(mode)
+        self.root = root
+        self._tripped = False
+
+    def after_round(self, network) -> None:
+        """Report once, in the first round the root is dead."""
+        if self._tripped or network.is_alive(self.root):
+            return
+        self._tripped = True
+        self.report(f"the root (node {self.root}) is dead", network.round)
+
+
+class FBudgetMonitor(Monitor):
+    """Edge failures (edges with a crashed endpoint) must stay within ``f``."""
+
+    rule = "f-budget"
+
+    def __init__(self, topology, f: int, mode: str = "strict") -> None:
+        super().__init__(mode)
+        self.topology = topology
+        self.f = f
+        self._known_failed: frozenset = frozenset()
+        self._tripped = False
+
+    def after_round(self, network) -> None:
+        """Recount edge failures whenever the crashed set grows."""
+        if self._tripped:
+            return
+        failed = frozenset(
+            u for u, r in network.crash_rounds.items() if r <= network.round
+        )
+        if failed == self._known_failed:
+            return
+        self._known_failed = failed
+        used = self.topology.edges_incident(set(failed) & set(self.topology.adjacency))
+        if used > self.f:
+            self._tripped = True
+            self.report(
+                f"{used} edge failures exceed the budget f={self.f}",
+                network.round,
+            )
+
+
+class CCEnvelopeMonitor(Monitor):
+    """The bottleneck node's bit count must stay under an envelope."""
+
+    rule = "cc-envelope"
+
+    def __init__(self, bound_bits: float, mode: str = "strict") -> None:
+        super().__init__(mode)
+        if bound_bits <= 0:
+            raise ValueError(f"bound_bits must be positive, got {bound_bits}")
+        self.bound_bits = bound_bits
+        self._tripped = False
+
+    def after_round(self, network) -> None:
+        """Compare the running per-node maximum against the envelope."""
+        if self._tripped:
+            return
+        worst = network.stats.max_bits
+        if worst > self.bound_bits:
+            self._tripped = True
+            node = max(
+                network.stats.bits_sent, key=network.stats.bits_sent.get
+            )
+            self.report(
+                f"node {node} sent {worst} bits, envelope is "
+                f"{self.bound_bits:.0f}",
+                network.round,
+            )
+
+
+class OracleMonitor(Monitor):
+    """Zero-error on termination, per the Section 2 correctness oracle.
+
+    At finalization, if the root's handler exposes a non-``None``
+    ``result`` attribute, it must lie in ``[agg(s1), agg(s2)]`` where
+    ``s1`` are the inputs of nodes still connected to the root through
+    live nodes and ``s2`` all inputs.  A ``None`` result (no output /
+    explicit abort) is *not* a violation — aborting is the honest way for
+    a protocol to fail under out-of-model faults.
+    """
+
+    rule = "oracle"
+
+    def __init__(
+        self,
+        topology,
+        inputs: Dict[int, int],
+        caaf=None,
+        mode: str = "strict",
+    ) -> None:
+        super().__init__(mode)
+        self.topology = topology
+        self.inputs = dict(inputs)
+        self.caaf = caaf
+
+    def finalize(self, network) -> None:
+        """Grade the root's result against the correctness interval."""
+        handler = network.handlers.get(self.topology.root)
+        result = getattr(handler, "result", None)
+        if result is None:
+            return
+        # Imported lazily: repro.core imports repro.sim at package load.
+        from ..core.caaf import SUM
+        from ..core.correctness import correctness_interval
+
+        caaf = self.caaf or SUM
+        failed = {
+            u for u, r in network.crash_rounds.items() if r <= network.round
+        }
+        survivors = self.topology.alive_component(failed)
+        lo, hi = correctness_interval(caaf, self.inputs, survivors)
+        if not lo <= result <= hi:
+            self.report(
+                f"root output {result} outside the correctness interval "
+                f"[{lo}, {hi}] ({len(survivors)}/{self.topology.n_nodes} "
+                f"survivors)",
+                network.round,
+            )
+
+
+def theorem1_cc_envelope(
+    topology,
+    f: int,
+    b: int,
+    c: int = 2,
+    include_fallback: bool = True,
+    max_input: Optional[int] = None,
+) -> float:
+    """A concrete per-node bit envelope for one Algorithm 1 execution.
+
+    Theorem 1 bounds the *expected* CC; a single execution is bounded by
+    the worst realization: at most ``min(x, ceil(logN))`` AGG/VERI pairs,
+    each within its abort thresholds ``(11t+14)(logN+5)`` and
+    ``(5t+7)(3logN+10)``, plus (unless ``include_fallback`` is False) the
+    brute-force fallback's ``N * (tag + id + value)`` bits.  Any execution
+    beyond this envelope broke a Theorem 5/6 guarantee.
+    """
+    # Imported lazily: repro.core imports repro.sim at package load.
+    from ..core.algorithm1 import TradeoffPlan
+    from ..core.params import params_for
+    from .message import TAG_BITS, id_bits, value_bits
+
+    params = params_for(topology, t=0, c=c, max_input=max_input)
+    plan = TradeoffPlan(params=params, b=b, f=f)
+    p = params.with_t(plan.t)
+    pairs = min(plan.x, max(1, math.ceil(math.log2(max(2, params.n_nodes)))))
+    envelope = pairs * (p.agg_bit_budget + p.veri_bit_budget)
+    if include_fallback:
+        n = topology.n_nodes
+        per_entry = (
+            TAG_BITS
+            + 2 * id_bits(n)
+            + value_bits(max_input if max_input is not None else n)
+        )
+        envelope += n * per_entry
+    return float(envelope)
+
+
+def standard_monitors(
+    topology,
+    inputs: Dict[int, int],
+    f: Optional[int] = None,
+    b: Optional[int] = None,
+    c: int = 2,
+    caaf=None,
+    mode: str = "strict",
+    cc_bound: Optional[float] = None,
+) -> List[Monitor]:
+    """The default monitor stack for one protocol execution.
+
+    Always includes root-safety and the termination oracle; adds the
+    ``f``-budget monitor when ``f`` is declared and the CC-envelope
+    monitor when an explicit ``cc_bound`` is given (callers wanting the
+    Theorem 1 envelope compute it with :func:`theorem1_cc_envelope`).
+    """
+    monitors: List[Monitor] = [
+        RootSafetyMonitor(topology.root, mode=mode),
+        OracleMonitor(topology, inputs, caaf=caaf, mode=mode),
+    ]
+    if f is not None:
+        monitors.insert(1, FBudgetMonitor(topology, f, mode=mode))
+    if cc_bound is not None:
+        monitors.append(CCEnvelopeMonitor(cc_bound, mode=mode))
+    return monitors
+
+
+def violations_of(monitors) -> List[MonitorEvent]:
+    """All recorded violations across a monitor stack, in order."""
+    out: List[MonitorEvent] = []
+    for monitor in monitors or ():
+        out.extend(monitor.violations)
+    return out

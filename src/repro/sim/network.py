@@ -12,6 +12,20 @@ This is the paper's model, realized exactly (Section 2):
   schedule is fixed before execution.
 * Per-node bits are accounted in :class:`repro.sim.stats.SimStats`; the max
   over nodes is the paper's communication complexity for the execution.
+
+On top of the exact model the network supports two optional layers:
+
+* **fault injectors** (:mod:`repro.sim.faults`) — middleware on the
+  delivery path that can crash nodes online and drop / duplicate / delay /
+  reorder in-flight messages, for probing behaviour *outside* the paper's
+  oblivious crash model.  The oblivious crash schedule itself is realized
+  as the :class:`repro.sim.faults.ScheduledCrashes` injector.
+* **monitors** (:mod:`repro.sim.monitors`) — runtime invariant checks
+  evaluated after every round and once at the end of :meth:`Network.run`.
+
+When no injector modifies deliveries the original exact delivery path is
+used, so in-model executions are bit- and order-identical to the
+middleware-free simulator.
 """
 
 from __future__ import annotations
@@ -31,10 +45,22 @@ class Network:
 
     Args:
         adjacency: Mapping from node id to its neighbours.  Must describe an
-            undirected graph (``v in adjacency[u]`` iff ``u in adjacency[v]``).
+            undirected graph (``v in adjacency[u]`` iff ``u in adjacency[v]``,
+            no self-loops, every neighbour a known node) — violations raise
+            ``ValueError``.
         handlers: One :class:`NodeHandler` per node id.
         crash_rounds: Optional mapping from node id to the first round in
-            which the node is dead.  Missing nodes never crash.
+            which the node is dead.  Missing nodes never crash.  Internally
+            realized as a :class:`repro.sim.faults.ScheduledCrashes`
+            injector prepended to ``injectors``.
+        tracer: Optional :class:`repro.sim.trace.Tracer` receiving event
+            hooks.
+        injectors: Optional sequence of
+            :class:`repro.sim.faults.FaultInjector` middleware on the
+            crash/delivery path.
+        monitors: Optional sequence of :class:`repro.sim.monitors.Monitor`
+            invariant checks, run after every round and finalized by
+            :meth:`run`.
     """
 
     def __init__(
@@ -43,21 +69,70 @@ class Network:
         handlers: Mapping[int, NodeHandler],
         crash_rounds: Optional[Mapping[int, int]] = None,
         tracer=None,
+        injectors: Sequence = (),
+        monitors: Sequence = (),
     ) -> None:
         self.adjacency: Dict[int, tuple] = {
             u: tuple(vs) for u, vs in adjacency.items()
         }
+        self._check_adjacency()
         missing = set(self.adjacency) - set(handlers)
         if missing:
             raise ValueError(f"no handler for nodes: {sorted(missing)}")
         self.handlers: Dict[int, NodeHandler] = dict(handlers)
-        self.crash_rounds: Dict[int, float] = dict(crash_rounds or {})
         self.stats = SimStats()
         self.round = 0
         #: Optional :class:`repro.sim.trace.Tracer` receiving event hooks.
         self.tracer = tracer
-        # Broadcasts made in the current round, delivered next round.
+        # Broadcasts made in the current round, delivered next round
+        # (exact-model fast path).
         self._in_flight: List[tuple] = []
+        # Scheduled deliveries ``(due_round, sender, receiver, part)``
+        # (fault-injection path; supports delays and duplicates).
+        self._pending: List[tuple] = []
+
+        #: First dead round per node; mutated online by injectors via
+        #: :meth:`schedule_crash`.
+        self.crash_rounds: Dict[int, float] = {}
+        self.injectors: List = list(injectors)
+        if crash_rounds:
+            from .faults import ScheduledCrashes
+
+            self.injectors.insert(0, ScheduledCrashes(crash_rounds))
+        for injector in self.injectors:
+            injector.attach(self)
+        # Delivery-modifying injectors force the scheduled-delivery path;
+        # crash-only injectors keep the exact-model fast path.
+        self._faulty_delivery = any(
+            getattr(i, "modifies_delivery", False) for i in self.injectors
+        )
+        self.monitors: List = list(monitors)
+        for monitor in self.monitors:
+            monitor.attach(self)
+
+    # ------------------------------------------------------------------ #
+    # Construction-time validation.
+    # ------------------------------------------------------------------ #
+
+    def _check_adjacency(self) -> None:
+        nodes = set(self.adjacency)
+        for u, neighbours in self.adjacency.items():
+            for v in neighbours:
+                if v == u:
+                    raise ValueError(f"self-loop at node {u}")
+                if v not in nodes:
+                    raise ValueError(
+                        f"node {u} lists unknown neighbour {v}"
+                    )
+                if u not in self.adjacency[v]:
+                    raise ValueError(
+                        f"adjacency is not symmetric: {u} lists {v} "
+                        f"but {v} does not list {u}"
+                    )
+
+    # ------------------------------------------------------------------ #
+    # Liveness.
+    # ------------------------------------------------------------------ #
 
     def is_alive(self, node: int, rnd: Optional[int] = None) -> bool:
         """Whether ``node`` is alive in round ``rnd`` (default: current)."""
@@ -69,22 +144,40 @@ class Network:
         """All nodes alive in round ``rnd`` (default: current)."""
         return [u for u in self.adjacency if self.is_alive(u, rnd)]
 
+    def schedule_crash(self, node: int, rnd: int) -> None:
+        """Mark ``node`` dead from round ``rnd`` on (injector API).
+
+        Keeps the earliest crash round if the node is already scheduled.
+        Adaptive injectors call this during execution; crashing a node in
+        the current or a past round is rejected because the node has
+        already acted this round (crashes take effect from the *next*
+        round at the earliest).
+        """
+        if node not in self.adjacency:
+            raise ValueError(f"cannot crash unknown node {node}")
+        if rnd <= self.round:
+            raise ValueError(
+                f"cannot crash node {node} at round {rnd}: "
+                f"round {self.round} already executed"
+            )
+        current = self.crash_rounds.get(node, NEVER)
+        self.crash_rounds[node] = min(current, rnd)
+
+    # ------------------------------------------------------------------ #
+    # Round execution.
+    # ------------------------------------------------------------------ #
+
     def step(self) -> None:
         """Execute one round: deliver, compute, broadcast."""
         self.round += 1
         rnd = self.round
+        for injector in self.injectors:
+            injector.begin_round(rnd)
 
-        # Deliver last round's broadcasts to live neighbours.
-        inboxes: Dict[int, List[Envelope]] = {}
-        for sender, parts in self._in_flight:
-            for neighbour in self.adjacency[sender]:
-                if self.is_alive(neighbour, rnd):
-                    box = inboxes.setdefault(neighbour, [])
-                    box.extend(Envelope(sender, p) for p in parts)
-                    if self.tracer is not None:
-                        for p in parts:
-                            self.tracer.on_deliver(rnd, sender, neighbour, p)
-        self._in_flight = []
+        if self._faulty_delivery:
+            inboxes = self._deliver_scheduled(rnd)
+        else:
+            inboxes = self._deliver_exact(rnd)
 
         # Live nodes compute and broadcast.
         for node in self.adjacency:
@@ -97,22 +190,96 @@ class Network:
             if parts:
                 bits = sum(p.bits for p in parts)
                 self.stats.record_broadcast(node, len(parts), bits)
-                self._in_flight.append((node, parts))
                 if self.tracer is not None:
                     self.tracer.on_send(rnd, node, parts, bits)
+                for injector in self.injectors:
+                    injector.on_broadcast(rnd, node, parts, bits)
+                if self._faulty_delivery:
+                    self._transmit(rnd, node, parts)
+                else:
+                    self._in_flight.append((node, parts))
         self.stats.rounds_executed = rnd
+        for injector in self.injectors:
+            injector.end_round(rnd)
+        for monitor in self.monitors:
+            monitor.after_round(self)
+
+    def _deliver_exact(self, rnd: int) -> Dict[int, List[Envelope]]:
+        """Exact-model delivery: last round's broadcasts reach all live
+        neighbours, in broadcast order."""
+        inboxes: Dict[int, List[Envelope]] = {}
+        for sender, parts in self._in_flight:
+            for neighbour in self.adjacency[sender]:
+                if self.is_alive(neighbour, rnd):
+                    box = inboxes.setdefault(neighbour, [])
+                    box.extend(Envelope(sender, p) for p in parts)
+                    if self.tracer is not None:
+                        for p in parts:
+                            self.tracer.on_deliver(rnd, sender, neighbour, p)
+        self._in_flight = []
+        return inboxes
+
+    def _transmit(self, rnd: int, sender: int, parts: Sequence[Part]) -> None:
+        """Schedule a broadcast's per-link deliveries through the injectors.
+
+        Each (neighbour, part) copy nominally arrives at ``rnd + 1``; every
+        delivery-modifying injector may drop it, duplicate it, or move its
+        due round.
+        """
+        for neighbour in self.adjacency[sender]:
+            for part in parts:
+                deliveries = [(rnd + 1, part)]
+                for injector in self.injectors:
+                    if not getattr(injector, "modifies_delivery", False):
+                        continue
+                    rewritten: List[tuple] = []
+                    for due, p in deliveries:
+                        rewritten.extend(
+                            injector.on_transmit(due, sender, neighbour, p)
+                        )
+                    deliveries = rewritten
+                for due, p in deliveries:
+                    self._pending.append((due, sender, neighbour, p))
+
+    def _deliver_scheduled(self, rnd: int) -> Dict[int, List[Envelope]]:
+        """Fault-injection delivery: hand over every pending delivery that
+        is due this round, then let injectors reorder each inbox."""
+        inboxes: Dict[int, List[Envelope]] = {}
+        still_pending: List[tuple] = []
+        for due, sender, receiver, part in self._pending:
+            if due > rnd:
+                still_pending.append((due, sender, receiver, part))
+                continue
+            if not self.is_alive(receiver, rnd):
+                continue
+            inboxes.setdefault(receiver, []).append(Envelope(sender, part))
+            if self.tracer is not None:
+                self.tracer.on_deliver(rnd, sender, receiver, part)
+        self._pending = still_pending
+        for receiver, box in inboxes.items():
+            for injector in self.injectors:
+                if getattr(injector, "modifies_delivery", False):
+                    box = injector.arrange_inbox(rnd, receiver, box)
+            inboxes[receiver] = box
+        return inboxes
 
     def run(self, max_rounds: int, stop_on_output: bool = True) -> SimStats:
         """Run up to ``max_rounds`` rounds.
 
-        Stops early once any handler's :meth:`NodeHandler.wants_to_stop`
-        returns True (the root terminating with its output), unless
-        ``stop_on_output`` is False.
+        ``max_rounds`` must be non-negative (0 executes nothing and returns
+        the untouched stats).  Stops early once any handler's
+        :meth:`NodeHandler.wants_to_stop` returns True (the root
+        terminating with its output), unless ``stop_on_output`` is False.
+        Monitors are finalized exactly once, after the last round.
         """
+        if max_rounds < 0:
+            raise ValueError(f"max_rounds must be >= 0, got {max_rounds}")
         for _ in range(max_rounds):
             self.step()
             if stop_on_output and any(
                 h.wants_to_stop() for h in self.handlers.values()
             ):
                 break
+        for monitor in self.monitors:
+            monitor.finalize(self)
         return self.stats

@@ -123,6 +123,84 @@ class TestCrashSemantics:
         assert net.alive_nodes() == [0, 2]
 
 
+class TestAdjacencyValidation:
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError, match="self-loop at node 1"):
+            Network({0: [1], 1: [0, 1]}, {0: SilentNode(), 1: SilentNode()})
+
+    def test_unknown_neighbour_rejected(self):
+        with pytest.raises(ValueError, match="unknown neighbour 9"):
+            Network({0: [1, 9], 1: [0]}, {0: SilentNode(), 1: SilentNode()})
+
+    def test_asymmetry_rejected(self):
+        with pytest.raises(ValueError, match="not symmetric"):
+            Network(
+                {0: [1], 1: [0, 2], 2: []},
+                {i: SilentNode() for i in range(3)},
+            )
+
+    def test_missing_handler_rejected(self):
+        with pytest.raises(ValueError, match="no handler"):
+            Network(line3(), {0: SilentNode()})
+
+    def test_valid_graph_accepted(self):
+        Network(line3(), {i: SilentNode() for i in range(3)})
+
+
+class TestRunArguments:
+    def test_negative_max_rounds_rejected(self):
+        net = Network(line3(), {i: SilentNode() for i in range(3)})
+        with pytest.raises(ValueError, match="max_rounds"):
+            net.run(-1)
+
+    def test_zero_max_rounds_executes_nothing(self):
+        net = Network(line3(), {i: SilentNode() for i in range(3)})
+        stats = net.run(0, stop_on_output=False)
+        assert stats.rounds_executed == 0
+        assert net.round == 0
+
+    def test_schedule_crash_rejects_unknown_node(self):
+        net = Network(line3(), {i: SilentNode() for i in range(3)})
+        with pytest.raises(ValueError, match="unknown node"):
+            net.schedule_crash(9, 2)
+
+    def test_schedule_crash_rejects_executed_rounds(self):
+        net = Network(line3(), {i: SilentNode() for i in range(3)})
+        net.step()
+        with pytest.raises(ValueError, match="already executed"):
+            net.schedule_crash(1, 1)
+
+    def test_schedule_crash_keeps_earliest_round(self):
+        net = Network(line3(), {i: SilentNode() for i in range(3)})
+        net.schedule_crash(1, 5)
+        net.schedule_crash(1, 8)
+        assert net.crash_rounds[1] == 5
+
+
+class TestFloodingRoundsEdgeCases:
+    def test_zero_rounds_executed_is_zero(self):
+        net = Network(line3(), {i: SilentNode() for i in range(3)})
+        stats = net.run(0, stop_on_output=False)
+        assert stats.flooding_rounds(3) == 0
+
+    def test_diameter_one_counts_every_round(self):
+        adj = {0: [1], 1: [0]}  # complete graph on 2 nodes: d = 1
+        net = Network(adj, {0: SilentNode(), 1: SilentNode()})
+        stats = net.run(5, stop_on_output=False)
+        assert stats.flooding_rounds(1) == 5
+
+    def test_exact_multiple_has_no_remainder(self):
+        net = Network(line3(), {i: SilentNode() for i in range(3)})
+        stats = net.run(6, stop_on_output=False)
+        assert stats.flooding_rounds(3) == 2
+
+    def test_invalid_diameter_rejected(self):
+        net = Network(line3(), {i: SilentNode() for i in range(3)})
+        stats = net.run(1, stop_on_output=False)
+        with pytest.raises(ValueError):
+            stats.flooding_rounds(0)
+
+
 class TestAccounting:
     def test_bits_and_parts_counted(self):
         part = Part("ping", (), 9)

@@ -125,6 +125,85 @@ class TestQueries:
         assert all(e.node == 3 for e in tracer.sends_by(3))
 
 
+class TestHookContracts:
+    """The three tracer hooks fire in the right rounds with the right
+    payloads — on both the exact and the fault-injection delivery paths."""
+
+    def test_on_send_round_node_parts_bits(self):
+        part = Part("ping", ("payload",), 6)
+        tracer = Tracer()
+        net = Network(
+            line3(),
+            {0: Beacon(part, at=2), 1: SilentNode(), 2: SilentNode()},
+            tracer=tracer,
+        )
+        net.run(3, stop_on_output=False)
+        assert len(tracer.sends) == 1
+        event = tracer.sends[0]
+        assert event.round == 2
+        assert event.node == 0
+        assert event.parts == (part,)
+        assert event.bits == 6
+
+    def test_on_deliver_fires_one_round_after_send(self):
+        part = Part("ping", ("payload",), 6)
+        tracer = Tracer()
+        net = Network(
+            line3(),
+            {0: Beacon(part, at=2), 1: SilentNode(), 2: SilentNode()},
+            tracer=tracer,
+        )
+        net.run(3, stop_on_output=False)
+        assert len(tracer.deliveries) == 1
+        event = tracer.deliveries[0]
+        assert event.round == 3  # sent in 2, delivered in 3
+        assert event.sender == 0
+        assert event.receiver == 1
+        assert event.part is part
+
+    def test_on_crash_fires_in_the_crash_round_only(self):
+        tracer = Tracer()
+        net = Network(
+            line3(),
+            {i: SilentNode() for i in range(3)},
+            crash_rounds={2: 3, 1: 5},
+            tracer=tracer,
+        )
+        net.run(6, stop_on_output=False)
+        assert tracer.crashes == [(3, 2), (5, 1)]
+
+    def test_no_delivery_to_dead_receiver(self):
+        part = Part("ping", (), 4)
+        tracer = Tracer()
+        net = Network(
+            line3(),
+            {0: Beacon(part, at=1), 1: SilentNode(), 2: SilentNode()},
+            crash_rounds={1: 2},
+            tracer=tracer,
+        )
+        net.run(2, stop_on_output=False)
+        assert tracer.deliveries == []  # only neighbour died before delivery
+
+    def test_hooks_fire_on_scheduled_delivery_path(self):
+        from repro.sim.faults import MessageFaults
+
+        part = Part("ping", (), 4)
+        tracer = Tracer()
+        # All-zero rates: path switches to scheduled delivery, but events
+        # must match the exact-model run.
+        net = Network(
+            line3(),
+            {0: Beacon(part, at=1), 1: RelayNode(), 2: SilentNode()},
+            tracer=tracer,
+            injectors=[MessageFaults(seed=0)],
+        )
+        net.run(3, stop_on_output=False)
+        assert [(e.round, e.node) for e in tracer.sends] == [(1, 0), (2, 1)]
+        assert (3, 1, 2) in [
+            (e.round, e.sender, e.receiver) for e in tracer.deliveries
+        ]
+
+
 class TestTimeline:
     def test_timeline_renders_and_filters(self):
         part = Part("ping", ("x",), 4)
