@@ -1,0 +1,109 @@
+"""E20 — shrinker effectiveness: ddmin reduction across chaos failures.
+
+A chaos-found failure drags along every fault decision the injector took
+— hundreds of drops/duplicates/delays, nearly all irrelevant.  This bench
+measures how far :func:`repro.adversary.shrink.shrink_bundle` compresses
+them: seeded chaos runs on a 4x4 grid are auto-captured as repro bundles
+(:mod:`repro.sim.recorder`) and each failing bundle is ddmin-minimized.
+
+Reported per failure: events before/after, replay evaluations spent, and
+wall time; plus the median reduction across all failures.  The expectation
+(matching ddmin folklore) is that most silent-wrong failures minimize to a
+*handful* of decisive events — typically a single dropped message whose
+loss unbalances the aggregation — making the minimized corpus bundles
+human-debuggable.  Every minimized bundle is strict-replayed before being
+counted, so the table only contains reductions that reproduce
+bit-identically.
+"""
+
+import random
+import statistics
+import tempfile
+
+import pytest
+
+from repro.adversary import shrink_bundle
+from repro.analysis import format_table
+from repro.analysis.runner import make_inputs, safe_run_protocol
+from repro.graphs import grid_graph
+from repro.sim import ExecutionRecord, MessageFaults, replay_bundle
+from repro.sim.monitors import standard_monitors
+
+from _util import emit, once
+
+SEEDS = 10
+DROP, DUP, DELAY = 0.08, 0.03, 0.05
+PROTOCOL = "unknown_f"
+
+
+def run_shrink_study():
+    topo = grid_graph(4, 4)
+    capture = tempfile.mkdtemp(prefix="shrink-bench-")
+    rows = []
+    reductions = []
+    for seed in range(SEEDS):
+        rng = random.Random(seed)
+        inputs = make_inputs(topo, rng)
+        record = safe_run_protocol(
+            PROTOCOL,
+            topo,
+            inputs,
+            seed=seed,
+            rng=rng,
+            strict=False,
+            injectors=[
+                MessageFaults(drop=DROP, duplicate=DUP, delay=DELAY,
+                              seed=seed)
+            ],
+            monitors=standard_monitors(topo, inputs, mode="record"),
+            capture_dir=capture,
+        )
+        path = record.extra.get("bundle")
+        if path is None:
+            continue  # clean run: nothing to shrink
+        bundle = ExecutionRecord.load(path)
+        result = shrink_bundle(bundle, max_evals=400, max_seconds=60.0)
+        assert replay_bundle(result.minimal).reproduced
+        reductions.append(result.reduction)
+        rows.append(
+            {
+                "seed": seed,
+                "events before": result.original_size,
+                "events after": result.shrunk_size,
+                "reduction": f"{result.reduction:.0%}",
+                "replays": result.evaluations,
+                "wall (s)": round(result.wall_seconds, 2),
+                "1-minimal": result.complete,
+            }
+        )
+    summary = {
+        "failures shrunk": len(rows),
+        "median events after": statistics.median(
+            r["events after"] for r in rows
+        ),
+        "median reduction": f"{statistics.median(reductions):.0%}",
+    }
+    return rows, summary
+
+
+@pytest.mark.benchmark(group="shrink")
+def test_bench_shrink_effectiveness(benchmark):
+    rows, summary = once(benchmark, run_shrink_study)
+    assert rows, "no chaos failures captured: bench is vacuous"
+    # The headline claim: shrinking is dramatic, not cosmetic.
+    assert float(summary["median reduction"].rstrip("%")) >= 90.0
+    text = format_table(
+        rows,
+        title=(
+            f"E20 shrinker effectiveness: {PROTOCOL} on grid(4x4), "
+            f"drop={DROP}/dup={DUP}/delay={DELAY}"
+        ),
+    )
+    text += "\n" + format_table([summary], title="summary")
+    emit("e20_shrink_effectiveness", text)
+
+
+if __name__ == "__main__":
+    rows, summary = run_shrink_study()
+    print(format_table(rows, title="E20 shrinker effectiveness"))
+    print(format_table([summary], title="summary"))

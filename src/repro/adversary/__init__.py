@@ -29,6 +29,14 @@ from .search import (
     random_schedule,
     search_worst_adversary,
 )
+from .shrink import (
+    ShrinkResult,
+    components_of,
+    failure_signature,
+    rerecord_bundle,
+    restrict_bundle,
+    shrink_bundle,
+)
 
 __all__ = [
     "ADAPTIVE_FAMILIES",
@@ -38,6 +46,12 @@ __all__ = [
     "TriggerAdversary",
     "make_adaptive",
     "SearchResult",
+    "ShrinkResult",
+    "components_of",
+    "failure_signature",
+    "rerecord_bundle",
+    "restrict_bundle",
+    "shrink_bundle",
     "make_algorithm1_evaluator",
     "mutate_schedule",
     "random_schedule",

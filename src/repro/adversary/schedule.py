@@ -13,6 +13,7 @@ import math
 from typing import Dict, Iterable, List, Mapping, Optional, Set
 
 from ..graphs.topology import Topology
+from ..sim.network import ROOT_CRASH_ERROR
 
 
 class FailureSchedule:
@@ -76,7 +77,7 @@ class FailureSchedule:
         * if ``f`` is given, the edge-failure budget is respected.
         """
         if topology.root in self.crash_rounds:
-            raise ValueError("the root node may not fail (Section 2)")
+            raise ValueError(ROOT_CRASH_ERROR)
         unknown = self.failed_nodes - set(topology.adjacency)
         if unknown:
             raise ValueError(f"schedule names unknown nodes: {sorted(unknown)}")

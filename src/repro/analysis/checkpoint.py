@@ -13,8 +13,12 @@ Crash-safety details:
 
 * every line is flushed (+``fsync``) as it is written, so at most the
   in-flight run is lost;
-* a truncated trailing line (the process died mid-write) is detected and
-  ignored on load instead of poisoning the resume;
+* a truncated *final* line (the process died mid-write, leaving no
+  trailing newline) is expected damage and is dropped silently on load;
+* a corrupt line anywhere *else* is not a crash artifact — it means the
+  file was edited, merged, or corrupted.  Those lines are counted and
+  reported with their line numbers (a :class:`UserWarning` by default,
+  ``ValueError`` with ``strict=True``) instead of vanishing;
 * keys are canonical JSON (sorted keys, tuples listified), so the same
   logical run always maps to the same key across processes.
 """
@@ -23,7 +27,8 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Any, Dict, Iterator, Optional, Tuple
+import warnings
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from .runner import RunRecord
 
@@ -111,10 +116,19 @@ class SweepCheckpoint:
 
     The file stays open in append mode between ``put`` calls; call
     :meth:`close` (or use as a context manager) when the sweep finishes.
+
+    ``strict=True`` turns corrupt mid-file lines into a ``ValueError``
+    (naming the file and line numbers) instead of a warning; either way
+    the skipped 1-based line numbers are kept in :attr:`skipped_lines`.
+    A torn final line — crash mid-write, recognizable by the missing
+    trailing newline — is dropped silently in both modes: that run simply
+    re-executes.
     """
 
-    def __init__(self, path: str) -> None:
+    def __init__(self, path: str, strict: bool = False) -> None:
         self.path = path
+        self.strict = strict
+        self.skipped_lines: List[int] = []
         self._done: Dict[str, RunRecord] = {}
         self._fh = None
         self._load()
@@ -127,19 +141,36 @@ class SweepCheckpoint:
         if not os.path.exists(self.path):
             return
         with open(self.path, "r", encoding="utf-8") as fh:
-            for line in fh:
-                line = line.strip()
-                if not line:
+            data = fh.read()
+        torn_final = bool(data) and not data.endswith("\n")
+        lines = data.split("\n")
+        if lines and lines[-1] == "":
+            lines.pop()
+        for lineno, line in enumerate(lines, start=1):
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line)
+                key = entry["key"]
+                record = record_from_jsonable(entry["record"])
+            except (json.JSONDecodeError, KeyError, TypeError):
+                if torn_final and lineno == len(lines):
+                    # Crash mid-write: expected damage, the run the line
+                    # described simply re-executes.
                     continue
-                try:
-                    entry = json.loads(line)
-                    key = entry["key"]
-                    record = record_from_jsonable(entry["record"])
-                except (json.JSONDecodeError, KeyError, TypeError):
-                    # A torn trailing line from a crash mid-write; the run
-                    # it described simply re-executes.
-                    continue
-                self._done[key] = record
+                self.skipped_lines.append(lineno)
+                continue
+            self._done[key] = record
+        if self.skipped_lines:
+            detail = (
+                f"{self.path}: {len(self.skipped_lines)} corrupt checkpoint "
+                f"line(s) skipped (line "
+                f"{', '.join(map(str, self.skipped_lines))}); the runs they "
+                "described will re-execute"
+            )
+            if self.strict:
+                raise ValueError(detail)
+            warnings.warn(detail, stacklevel=3)
 
     # ------------------------------------------------------------------ #
     # Queries and writes.

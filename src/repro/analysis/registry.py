@@ -172,6 +172,14 @@ EXPERIMENTS: Tuple[Experiment, ...] = (
         "bench_chaos_resilience.py",
         ("chaos_resilience.txt",),
     ),
+    Experiment(
+        "E20",
+        "Forensics: chaos failures hinge on a handful of fault decisions",
+        "ddmin shrinks 89-714 recorded events to 1-4 decisive ones, "
+        "1-minimal and strict-replayable",
+        "bench_shrink_effectiveness.py",
+        ("e20_shrink_effectiveness.txt",),
+    ),
 )
 
 

@@ -16,7 +16,12 @@ Two layers:
 * :func:`safe_run_protocol` — the crash-safe wrapper sweeps use: per-run
   wall-clock timeout, bounded retry with reseeding, and structured error
   capture — a failed run becomes an error *row* (``error`` /
-  ``error_kind`` set) instead of a crashed sweep.
+  ``error_kind`` set) instead of a crashed sweep.  With ``capture_dir``
+  set, every failing run (error row, incorrect grade, or recorded monitor
+  violation) is additionally captured as a deterministic repro bundle
+  (:mod:`repro.sim.recorder`) for later :mod:`repro.sim.replay` /
+  :mod:`repro.adversary.shrink` forensics; the bundle path lands in
+  ``record.extra["bundle"]``.
 """
 
 from __future__ import annotations
@@ -424,6 +429,69 @@ def error_record(
     )
 
 
+def _capture_bundle(
+    capture_dir: str,
+    recorder,
+    protocol: str,
+    topology: Topology,
+    inputs: Dict[int, int],
+    schedule: FailureSchedule,
+    kwargs: Dict[str, Any],
+    record: RunRecord,
+    seed: Optional[int],
+    rng_state,
+    monitor_mode: Optional[str],
+) -> str:
+    """Serialize one recorded failing run into ``capture_dir``.
+
+    The filename is deterministic (protocol, topology, seed, content
+    hash) so re-running the same sweep overwrites rather than multiplies
+    bundles.
+    """
+    import os
+    import re
+
+    from ..sim.recorder import make_execution_record
+
+    caaf = kwargs.get("caaf")
+    bundle = make_execution_record(
+        recorder,
+        protocol,
+        topology,
+        inputs,
+        schedule,
+        params={
+            "f": kwargs.get("f"),
+            "b": kwargs.get("b"),
+            "t": kwargs.get("t"),
+            "c": kwargs.get("c", 2),
+            "caaf": getattr(caaf, "name", None),
+        },
+        run_record=record,
+        seed=seed,
+        rng_state=rng_state,
+        strict_model=bool(kwargs.get("strict", True)),
+        monitor_mode=monitor_mode,
+    )
+    os.makedirs(capture_dir, exist_ok=True)
+    stem = re.sub(
+        r"[^A-Za-z0-9_.-]+",
+        "-",
+        f"{protocol}-{topology.name}-s{seed}-{bundle.content_hash()}",
+    )
+    return bundle.save(os.path.join(capture_dir, f"{stem}.json"))
+
+
+def _monitor_mode_of(kwargs: Dict[str, Any]) -> Optional[str]:
+    """The monitor configuration a bundle must reproduce on replay."""
+    if kwargs.get("strict_monitors"):
+        return "strict"
+    monitors = kwargs.get("monitors")
+    if monitors:
+        return getattr(monitors[0], "mode", "record")
+    return None
+
+
 def safe_run_protocol(
     protocol: str,
     topology: Topology,
@@ -433,6 +501,7 @@ def safe_run_protocol(
     retries: int = 0,
     seed: Optional[int] = None,
     rng: Optional[random.Random] = None,
+    capture_dir: Optional[str] = None,
     **kwargs,
 ) -> RunRecord:
     """Crash-safe :func:`run_protocol`: errors become rows, not exceptions.
@@ -446,10 +515,18 @@ def safe_run_protocol(
       :func:`error_record` (``correct=False``, ``error`` / ``error_kind``
       set).  ``KeyboardInterrupt``/``SystemExit`` always propagate, so an
       interrupted sweep stops instead of recording bogus rows.
+    * ``capture_dir`` — forensics: wrap the execution in a
+      :class:`repro.sim.recorder.RecordingInjector` and, whenever the
+      final row is a failure (:func:`repro.sim.recorder.is_failure`),
+      write a deterministic repro bundle there and note its path in
+      ``record.extra["bundle"]``.
     """
     if retries < 0:
         raise ValueError(f"retries must be >= 0, got {retries}")
     last_exc: Optional[BaseException] = None
+    last_recorder = None
+    last_rng_state = None
+    schedule = schedule or FailureSchedule()
     attempts = 0
     for attempt in range(retries + 1):
         attempts += 1
@@ -457,6 +534,15 @@ def safe_run_protocol(
             attempt_rng = rng
         else:
             attempt_rng = random.Random(((seed or 0) + 1) * 1_000_003 + attempt)
+        recorder = None
+        rng_state = None
+        run_kwargs = kwargs
+        if capture_dir is not None:
+            from ..sim.recorder import RecordingInjector
+
+            recorder = RecordingInjector(kwargs.get("injectors") or ())
+            rng_state = attempt_rng.getstate()
+            run_kwargs = dict(kwargs, injectors=(recorder,))
         try:
             with wall_clock_limit(timeout_s):
                 record = run_protocol(
@@ -465,14 +551,25 @@ def safe_run_protocol(
                     inputs,
                     schedule=schedule,
                     rng=attempt_rng,
-                    **kwargs,
+                    **run_kwargs,
                 )
             record.attempts = attempts
             record.seed = seed
+            if recorder is not None:
+                from ..sim.recorder import is_failure
+
+                if is_failure(record):
+                    record.extra["bundle"] = _capture_bundle(
+                        capture_dir, recorder, protocol, topology, inputs,
+                        schedule, kwargs, record, seed, rng_state,
+                        _monitor_mode_of(kwargs),
+                    )
             return record
         except Exception as exc:  # structured capture is the point
             last_exc = exc
-    return error_record(
+            last_recorder = recorder
+            last_rng_state = rng_state
+    record = error_record(
         protocol,
         topology,
         last_exc,
@@ -481,3 +578,9 @@ def safe_run_protocol(
         attempts=attempts,
         seed=seed,
     )
+    if last_recorder is not None and not isinstance(last_exc, RunTimeout):
+        record.extra["bundle"] = _capture_bundle(
+            capture_dir, last_recorder, protocol, topology, inputs, schedule,
+            kwargs, record, seed, last_rng_state, _monitor_mode_of(kwargs),
+        )
+    return record

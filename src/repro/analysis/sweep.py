@@ -116,6 +116,7 @@ def run_point(
     timeout_s: Optional[float] = None,
     retries: int = 0,
     injector_factory: Optional[Callable[[int], Sequence]] = None,
+    capture_dir: Optional[str] = None,
 ) -> SweepPoint:
     """Run one sweep coordinate across seeds and aggregate.
 
@@ -127,6 +128,10 @@ def run_point(
     from the JSONL file, and every fresh run is appended to it.
     ``injector_factory(seed)`` attaches per-seed fault-injection
     middleware (e.g. ``lambda s: [MessageFaults(drop=0.05, seed=s)]``).
+    ``capture_dir`` auto-captures a repro bundle for every failing row
+    (see :func:`repro.analysis.runner.safe_run_protocol`); the bundle
+    path is stored in the row's ``extra["bundle"]`` and survives the
+    checkpoint round-trip.
     """
     base = {"protocol": protocol, "topology": topology.name}
     base.update(coords or {})
@@ -162,6 +167,7 @@ def run_point(
             caaf=caaf,
             strict=False,
             injectors=injectors,
+            capture_dir=capture_dir,
         )
         record.seed = seed
         if checkpoint is not None:
@@ -180,6 +186,7 @@ def sweep_b(
     checkpoint: Optional[SweepCheckpoint] = None,
     timeout_s: Optional[float] = None,
     retries: int = 0,
+    capture_dir: Optional[str] = None,
 ) -> List[SweepPoint]:
     """Measured CC of Algorithm 1 across a TC-budget grid (Figure 1's x-axis).
 
@@ -203,6 +210,7 @@ def sweep_b(
                 checkpoint=checkpoint,
                 timeout_s=timeout_s,
                 retries=retries,
+                capture_dir=capture_dir,
             )
         )
     return points
@@ -217,6 +225,7 @@ def sweep_f(
     checkpoint: Optional[SweepCheckpoint] = None,
     timeout_s: Optional[float] = None,
     retries: int = 0,
+    capture_dir: Optional[str] = None,
 ) -> List[SweepPoint]:
     """Measured CC of Algorithm 1 across a failure-budget grid."""
     points = []
@@ -236,6 +245,7 @@ def sweep_f(
                 checkpoint=checkpoint,
                 timeout_s=timeout_s,
                 retries=retries,
+                capture_dir=capture_dir,
             )
         )
     return points

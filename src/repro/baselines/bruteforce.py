@@ -138,6 +138,7 @@ def run_bruteforce(
         schedule.crash_rounds,
         injectors=injectors,
         monitors=monitors,
+        root=topology.root,
     )
     stats = network.run(2 * params.cd, stop_on_output=False)
     root = nodes[topology.root]

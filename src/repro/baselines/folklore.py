@@ -195,6 +195,7 @@ def run_folklore(
         schedule.crash_rounds,
         injectors=injectors,
         monitors=monitors,
+        root=topology.root,
     )
     max_rounds = (f + 1) * (2 * params.cd + 2)
     stats = network.run(max_rounds, stop_on_output=True)
@@ -238,6 +239,7 @@ def run_plain_tag(
         schedule.crash_rounds,
         injectors=injectors,
         monitors=monitors,
+        root=topology.root,
     )
     stats = network.run(2 * params.cd + 2, stop_on_output=True)
     root = nodes[topology.root]

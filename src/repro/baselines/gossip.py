@@ -158,6 +158,7 @@ def run_gossip(
         schedule.crash_rounds,
         injectors=injectors,
         monitors=monitors,
+        root=topology.root,
     )
     stats = network.run(total_rounds + 1, stop_on_output=False)
     root = nodes[topology.root]

@@ -5,7 +5,11 @@ Usage (installed as ``repro-agg`` or via ``python -m repro.cli``)::
     repro-agg run       --topology grid:6x6 --protocol algorithm1 -f 8 -b 90
     repro-agg sweep-b   --topology grid:6x6 -f 10 --bs 42,84,168 --seeds 3
     repro-agg chaos     --topology grid:5x5 --protocol unknown_f -f 4 \
-                        --inject drop=0.05,dup=0.02 --seeds 5
+                        --inject drop=0.05,dup=0.02 --seeds 5 \
+                        --capture-dir bundles/
+    repro-agg replay    bundles/unknown_f-grid-5x5-s3-0a1b2c3d4e.json
+    repro-agg shrink    bundles/unknown_f-grid-5x5-s3-0a1b2c3d4e.json \
+                        --out minimal.json
     repro-agg figure1   -n 1024 -f 128 --bs 42,84,168,336 [--plot]
     repro-agg select    --topology grid:5x5 -f 4 -b 45 -k 7
     repro-agg topology  --topology geometric:100 --out field.json
@@ -128,6 +132,7 @@ def cmd_sweep_b(args: argparse.Namespace) -> int:
             checkpoint=checkpoint,
             timeout_s=args.timeout,
             retries=args.retries,
+            capture_dir=args.capture_dir,
         )
     finally:
         if checkpoint is not None:
@@ -199,6 +204,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             strict=False,
             injectors=injectors,
             monitors=monitors,
+            capture_dir=args.capture_dir,
         )
         if record.failed:
             verdict = f"error:{record.error_kind}"
@@ -220,6 +226,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
                 "violations": len(violations_of(monitors)),
             }
         )
+        if record.extra.get("bundle"):
+            rows[-1]["bundle"] = record.extra["bundle"]
     print(
         format_table(
             rows,
@@ -238,6 +246,78 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         f"{silent_wrong} silent-wrong"
     )
     return 1 if silent_wrong else 0
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    """Re-execute a repro bundle; nonzero exit iff the replay diverges.
+
+    Strict replay (the default) re-applies every recorded fault decision
+    and checks per-round digests plus the final outcome, raising
+    ``ReplayDivergence`` with the first divergent round.  ``--best-effort``
+    replays whatever still matches and reports outcome mismatches instead
+    of failing on them.
+    """
+    from .sim.recorder import ExecutionRecord
+    from .sim.replay import ReplayDivergence, replay_bundle
+
+    bundle = ExecutionRecord.load(args.bundle)
+    print(
+        f"bundle: {bundle.protocol} on {bundle.topology.get('name')} "
+        f"(seed {bundle.seed}, {bundle.n_decisions} recorded event(s), "
+        f"monitors={bundle.monitor_mode or 'none'})"
+    )
+    try:
+        outcome = replay_bundle(bundle, strict=not args.best_effort)
+    except ReplayDivergence as exc:
+        print(f"DIVERGED: {exc}")
+        return 1
+    row = outcome.record.as_dict()
+    row.pop("violations", None)
+    print(format_table([row], title=f"replay of {args.bundle}"))
+    if outcome.reproduced:
+        print("outcome reproduced exactly")
+        return 0
+    print("outcome mismatches:")
+    for line in outcome.mismatches:
+        print(f"  {line}")
+    return 1
+
+
+def cmd_shrink(args: argparse.Namespace) -> int:
+    """ddmin-minimize a failing bundle to a 1-minimal fault schedule."""
+    from .adversary.shrink import shrink_bundle
+    from .sim.recorder import ExecutionRecord
+
+    bundle = ExecutionRecord.load(args.bundle)
+    try:
+        result = shrink_bundle(
+            bundle,
+            max_evals=args.max_evals,
+            max_seconds=args.max_seconds,
+            log=print,
+        )
+    except ValueError as exc:
+        print(f"cannot shrink: {exc}")
+        return 1
+    print(
+        format_table(
+            [
+                {
+                    "events before": result.original_size,
+                    "events after": result.shrunk_size,
+                    "reduction": f"{result.reduction:.0%}",
+                    "replays": result.evaluations,
+                    "wall (s)": round(result.wall_seconds, 1),
+                    "1-minimal": result.complete,
+                }
+            ],
+            title=f"shrink of {args.bundle}",
+        )
+    )
+    out = args.out or (args.bundle.rsplit(".json", 1)[0] + ".min.json")
+    result.minimal.save(out)
+    print(f"minimized bundle written to {out}")
+    return 0
 
 
 def cmd_figure1(args: argparse.Namespace) -> int:
@@ -490,6 +570,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument(
         "--retries", type=int, default=0, help="retries per failed run"
     )
+    p_sweep.add_argument(
+        "--capture-dir",
+        default=None,
+        dest="capture_dir",
+        help="write a repro bundle here for every failing run",
+    )
     p_sweep.set_defaults(func=cmd_sweep_b)
 
     p_chaos = sub.add_parser(
@@ -521,7 +607,39 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="strict monitors: abort the run at the first invariant break",
     )
+    p_chaos.add_argument(
+        "--capture-dir",
+        default=None,
+        dest="capture_dir",
+        help="write a repro bundle here for every failing run "
+        "(replay with `repro-agg replay`, minimize with `repro-agg shrink`)",
+    )
     p_chaos.set_defaults(func=cmd_chaos)
+
+    p_replay = sub.add_parser(
+        "replay", help="re-execute a repro bundle, checking for divergence"
+    )
+    p_replay.add_argument("bundle", help="path to a repro bundle .json")
+    p_replay.add_argument(
+        "--best-effort",
+        action="store_true",
+        dest="best_effort",
+        help="re-apply what matches instead of failing on divergence",
+    )
+    p_replay.set_defaults(func=cmd_replay)
+
+    p_shrink = sub.add_parser(
+        "shrink", help="ddmin-minimize a failing bundle (1-minimal schedule)"
+    )
+    p_shrink.add_argument("bundle", help="path to a repro bundle .json")
+    p_shrink.add_argument(
+        "--out", default=None, help="minimized bundle path (default *.min.json)"
+    )
+    p_shrink.add_argument("--max-evals", type=int, default=500, dest="max_evals")
+    p_shrink.add_argument(
+        "--max-seconds", type=float, default=120.0, dest="max_seconds"
+    )
+    p_shrink.set_defaults(func=cmd_shrink)
 
     p_fig = sub.add_parser("figure1", help="print the Figure 1 bound curves")
     p_fig.add_argument("-n", type=int, default=1024)

@@ -391,6 +391,7 @@ def run_agg(
         schedule.crash_rounds,
         injectors=injectors,
         monitors=monitors,
+        root=topology.root,
     )
     stats = network.run(params.agg_rounds, stop_on_output=False)
     root = nodes[topology.root]

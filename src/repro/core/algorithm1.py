@@ -269,6 +269,7 @@ def run_algorithm1(
         schedule.crash_rounds,
         injectors=injectors,
         monitors=monitors,
+        root=topology.root,
     )
     stats = network.run(plan.total_rounds, stop_on_output=True)
     root = nodes[topology.root]

@@ -341,6 +341,7 @@ def run_agg_veri_pair(
         shifted,
         injectors=injectors,
         monitors=monitors,
+        root=topology.root,
     )
     veri_stats = veri_network.run(params.veri_rounds, stop_on_output=False)
     root_veri = veri_nodes[topology.root]

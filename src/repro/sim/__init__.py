@@ -15,17 +15,41 @@ from .monitors import (
     theorem1_cc_envelope,
     violations_of,
 )
-from .network import NEVER, Network
+from .network import NEVER, ROOT_CRASH_ERROR, Network
 from .node import NodeHandler, RelayNode, SilentNode
+from .recorder import (
+    BUNDLE_FORMAT,
+    BUNDLE_VERSION,
+    ExecutionRecord,
+    RecordingError,
+    RecordingInjector,
+    is_failure,
+    make_execution_record,
+    serialize_topology,
+)
+from .replay import ReplayDivergence, ReplayInjector, ReplayOutcome, replay_bundle
 from .stats import SimStats
 from .trace import CrashEvent, DeliverEvent, SendEvent, Tracer, attach_tracer
 from .validation import Violation, assert_model, validate_model
 
 __all__ = [
+    "BUNDLE_FORMAT",
+    "BUNDLE_VERSION",
     "CCEnvelopeMonitor",
     "CrashEvent",
     "DeliverEvent",
     "Envelope",
+    "ExecutionRecord",
+    "RecordingError",
+    "RecordingInjector",
+    "ReplayDivergence",
+    "ReplayInjector",
+    "ReplayOutcome",
+    "ROOT_CRASH_ERROR",
+    "is_failure",
+    "make_execution_record",
+    "replay_bundle",
+    "serialize_topology",
     "FBudgetMonitor",
     "FaultCounts",
     "FaultInjector",

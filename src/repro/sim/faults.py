@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from .message import Part
+from .network import ROOT_CRASH_ERROR
 
 
 class FaultInjector:
@@ -88,17 +89,27 @@ class ScheduledCrashes(FaultInjector):
     Seeds the network's crash map at attach time — semantically identical
     to the historical ``Network(crash_rounds=...)`` behaviour (which now
     delegates here), and composable with chaos injectors.
+
+    The root may never crash (Section 2): an explicit ``root`` argument is
+    checked at construction, and a network-declared root
+    (``Network(..., root=...)``) at attach time — both reject with the
+    same :data:`repro.sim.network.ROOT_CRASH_ERROR` as
+    :meth:`repro.adversary.schedule.FailureSchedule.validate`.
     """
 
-    def __init__(self, crash_rounds) -> None:
+    def __init__(self, crash_rounds, root: Optional[int] = None) -> None:
         super().__init__()
         # Accept a plain mapping or a FailureSchedule-like object.
         rounds = getattr(crash_rounds, "crash_rounds", crash_rounds)
         self.crash_rounds: Dict[int, float] = dict(rounds or {})
+        if root is not None and root in self.crash_rounds:
+            raise ValueError(ROOT_CRASH_ERROR)
 
     def attach(self, network) -> None:
         """Seed the network's crash map (earliest round wins per node)."""
         super().attach(network)
+        if network.root is not None and network.root in self.crash_rounds:
+            raise ValueError(ROOT_CRASH_ERROR)
         for node, rnd in self.crash_rounds.items():
             current = network.crash_rounds.get(node)
             network.crash_rounds[node] = (
@@ -192,12 +203,21 @@ class MessageFaults(FaultInjector):
         self.protect = frozenset(protect)
         self.counts = FaultCounts()
 
+    #: The accepted ``from_spec`` grammar, quoted verbatim in every
+    #: rejection so a CLI typo comes back with the fix attached.
+    SPEC_GRAMMAR = (
+        "key=value[,key=value...] with keys drop, dup|duplicate, delay, "
+        "reorder (rates in [0, 1]) and max_delay (integer rounds >= 1)"
+    )
+
     @classmethod
     def from_spec(cls, spec: str, seed: int = 0, **kwargs) -> "MessageFaults":
         """Build from a CLI spec like ``drop=0.1,dup=0.05,delay=0.1,reorder=0.2``.
 
         Keys: ``drop``, ``dup``/``duplicate``, ``delay``, ``reorder``
-        (rates) and ``max_delay`` (rounds).
+        (rates) and ``max_delay`` (rounds).  Unknown keys, missing ``=``,
+        non-numeric values, and repeated keys all raise ``ValueError``
+        naming the offending token and :data:`SPEC_GRAMMAR`.
         """
         keys = {
             "drop": "drop",
@@ -207,6 +227,13 @@ class MessageFaults(FaultInjector):
             "reorder": "reorder",
             "max_delay": "max_delay",
         }
+
+        def reject(token: str, why: str) -> ValueError:
+            return ValueError(
+                f"bad fault spec fragment {token!r}: {why} "
+                f"(accepted grammar: {cls.SPEC_GRAMMAR})"
+            )
+
         values: Dict[str, float] = {}
         for item in spec.split(","):
             item = item.strip()
@@ -214,16 +241,23 @@ class MessageFaults(FaultInjector):
                 continue
             key, eq, raw = item.partition("=")
             key = key.strip().replace("-", "_")
-            if key not in keys:
-                raise ValueError(
-                    f"unknown fault key {key!r} (expected one of "
-                    f"{sorted(set(keys))})"
-                )
             if not eq:
-                raise ValueError(f"fault spec item {item!r} needs key=value")
-            values[keys[key]] = float(raw)
-        if "max_delay" in values:
-            values["max_delay"] = int(values["max_delay"])
+                raise reject(item, "needs key=value")
+            if key not in keys:
+                raise reject(item, f"unknown fault key {key!r}")
+            canonical = keys[key]
+            if canonical in values:
+                raise reject(item, f"key {canonical!r} given more than once")
+            raw = raw.strip()
+            try:
+                values[canonical] = (
+                    int(raw) if canonical == "max_delay" else float(raw)
+                )
+            except ValueError:
+                expected = (
+                    "an integer" if canonical == "max_delay" else "a number"
+                )
+                raise reject(item, f"value {raw!r} is not {expected}") from None
         values.update(kwargs)
         return cls(seed=seed, **values)
 

@@ -39,6 +39,11 @@ from .stats import SimStats
 #: Crash round assigned to nodes that never fail.
 NEVER = float("inf")
 
+#: The one sentence every root-crash rejection uses, regardless of which
+#: layer catches it (schedule validation, the ScheduledCrashes injector,
+#: or an online ``schedule_crash`` call).
+ROOT_CRASH_ERROR = "the root node may not fail (Section 2)"
+
 
 class Network:
     """Synchronous round executor over an undirected topology.
@@ -61,6 +66,11 @@ class Network:
         monitors: Optional sequence of :class:`repro.sim.monitors.Monitor`
             invariant checks, run after every round and finalized by
             :meth:`run`.
+        root: Optional id of the designated root node.  When given, every
+            path that can kill a node — the ``crash_rounds`` schedule, a
+            :class:`repro.sim.faults.ScheduledCrashes` injector, and
+            online :meth:`schedule_crash` calls — rejects the root with
+            ``ValueError(ROOT_CRASH_ERROR)``.
     """
 
     def __init__(
@@ -71,11 +81,16 @@ class Network:
         tracer=None,
         injectors: Sequence = (),
         monitors: Sequence = (),
+        root: Optional[int] = None,
     ) -> None:
         self.adjacency: Dict[int, tuple] = {
             u: tuple(vs) for u, vs in adjacency.items()
         }
         self._check_adjacency()
+        if root is not None and root not in self.adjacency:
+            raise ValueError(f"root {root} is not a node of the graph")
+        #: Protected root node id (None: no node is protected).
+        self.root = root
         missing = set(self.adjacency) - set(handlers)
         if missing:
             raise ValueError(f"no handler for nodes: {sorted(missing)}")
@@ -155,6 +170,8 @@ class Network:
         """
         if node not in self.adjacency:
             raise ValueError(f"cannot crash unknown node {node}")
+        if self.root is not None and node == self.root:
+            raise ValueError(ROOT_CRASH_ERROR)
         if rnd <= self.round:
             raise ValueError(
                 f"cannot crash node {node} at round {rnd}: "

@@ -1,0 +1,426 @@
+"""Deterministic failure forensics: recording executions into repro bundles.
+
+The chaos layer (:mod:`repro.sim.faults`, :mod:`repro.adversary.adaptive`)
+can *find* executions where a protocol misbehaves outside the paper's
+oblivious crash model, but a finding is only useful if it can be re-run.
+This module captures everything needed to make one execution a permanent,
+deterministic artifact:
+
+* the **configuration** — protocol, parameters, topology, inputs, declared
+  oblivious crash schedule, and the exact protocol-RNG state at run start;
+* the **fault decisions actually taken** — every drop / duplicate / delay
+  keyed by ``(epoch, due_round, sender, receiver, part, occurrence)``,
+  every inbox reordering, and every online (adaptive) crash, so replay
+  re-applies outcomes instead of re-rolling injector RNG;
+* per-round **digests** (broadcast count/bits, and — under delivery
+  faults — delivered-envelope count/bits) used by :mod:`repro.sim.replay`
+  to detect the first round a replay diverges;
+* the **expected outcome** (result, correctness, CC, rounds, recorded
+  monitor violations) the replay must reproduce.
+
+Executions that build several :class:`repro.sim.network.Network` instances
+per logical run (``agg_veri`` runs AGG then VERI) are handled by an
+*epoch* counter: every ``attach`` starts a new epoch, and all decision
+keys carry it.
+
+The serialized form is a versioned JSON "repro bundle"
+(:meth:`ExecutionRecord.to_json` / :meth:`ExecutionRecord.from_json`);
+:mod:`repro.sim.replay` re-executes bundles and
+:mod:`repro.adversary.shrink` minimizes them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .faults import FaultInjector
+from .message import Part
+
+#: Bundle file magic + schema version; bump on incompatible change.
+BUNDLE_FORMAT = "repro-bundle"
+BUNDLE_VERSION = 1
+
+
+class RecordingError(RuntimeError):
+    """An execution did something the recorder cannot capture faithfully."""
+
+
+def part_key(part: Part) -> List[Any]:
+    """JSON-stable identity of a message part: ``[kind, payload_repr, bits]``.
+
+    ``repr`` of the payload is used because payloads are arbitrary hashable
+    tuples; for the int/str/tuple payloads the protocols use, ``repr`` is
+    deterministic across processes (unlike ``hash``).
+    """
+    return [part.kind, repr(part.payload), part.bits]
+
+
+@dataclass
+class ExecutionRecord:
+    """One complete, replayable execution — the in-memory form of a bundle.
+
+    Attributes mirror the bundle JSON one-to-one; see the module docstring
+    for semantics.  ``transmits`` entries are dicts with keys ``e`` (epoch),
+    ``due`` (original due round), ``s``/``r`` (sender/receiver), ``part``
+    (:func:`part_key`), ``occ`` (occurrence index among identical keys) and
+    ``out`` (the due rounds actually delivered — ``[]`` is a drop, two
+    entries a duplication, a shifted round a delay).  ``reorders`` carry a
+    permutation ``perm`` such that ``new[i] = old[perm[i]]``; ``crashes``
+    are online ``schedule_crash`` decisions ``{e, at, node, round}``
+    re-applied at the end of round ``at``.
+    """
+
+    protocol: str
+    topology: Dict[str, Any]
+    inputs: Dict[str, int]
+    schedule: Dict[str, int]
+    params: Dict[str, Any]
+    seed: Optional[int] = None
+    rng_state: Optional[List[Any]] = None
+    strict_model: bool = False
+    monitor_mode: Optional[str] = None
+    injector_specs: List[str] = field(default_factory=list)
+    faulty_delivery: bool = False
+    transmits: List[Dict[str, Any]] = field(default_factory=list)
+    reorders: List[Dict[str, Any]] = field(default_factory=list)
+    crashes: List[Dict[str, Any]] = field(default_factory=list)
+    digests: Dict[str, List[List[int]]] = field(default_factory=dict)
+    expected: Dict[str, Any] = field(default_factory=dict)
+    version: int = BUNDLE_VERSION
+    format: str = BUNDLE_FORMAT
+
+    # ------------------------------------------------------------------ #
+    # Serialization.
+    # ------------------------------------------------------------------ #
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        """Plain-dict form, stable under ``json`` round-trips."""
+        return _listify(asdict(self))
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """The versioned JSON bundle text (sorted keys: diff-friendly)."""
+        return json.dumps(self.to_jsonable(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_jsonable(cls, data: Dict[str, Any]) -> "ExecutionRecord":
+        """Rebuild from :meth:`to_jsonable` output, validating the header."""
+        if data.get("format") != BUNDLE_FORMAT:
+            raise ValueError(
+                f"not a {BUNDLE_FORMAT} file (format={data.get('format')!r})"
+            )
+        if data.get("version") != BUNDLE_VERSION:
+            raise ValueError(
+                f"unsupported bundle version {data.get('version')!r} "
+                f"(this build reads version {BUNDLE_VERSION})"
+            )
+        fields = {f for f in cls.__dataclass_fields__}
+        unknown = set(data) - fields
+        if unknown:
+            raise ValueError(f"bundle has unknown fields: {sorted(unknown)}")
+        return cls(**{k: v for k, v in data.items() if k in fields})
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExecutionRecord":
+        """Parse a bundle produced by :meth:`to_json`."""
+        return cls.from_jsonable(json.loads(text))
+
+    def save(self, path: str) -> str:
+        """Write the bundle to ``path`` and return the path."""
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json() + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: str) -> "ExecutionRecord":
+        """Read a bundle file written by :meth:`save`."""
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_json(fh.read())
+
+    # ------------------------------------------------------------------ #
+    # Derived views.
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_decisions(self) -> int:
+        """All shrinkable events: fault decisions + scheduled crashes."""
+        return (
+            len(self.transmits)
+            + len(self.reorders)
+            + len(self.crashes)
+            + len(self.schedule)
+        )
+
+    def content_hash(self, length: int = 10) -> str:
+        """A short stable digest of the bundle (used in corpus filenames)."""
+        body = json.dumps(
+            {
+                k: v
+                for k, v in self.to_jsonable().items()
+                if k not in ("expected",)
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(body.encode("utf-8")).hexdigest()[:length]
+
+    def build_topology(self):
+        """Reconstruct the :class:`repro.graphs.topology.Topology`."""
+        # Imported lazily: repro.graphs is a sibling package of repro.sim.
+        from ..graphs.topology import Topology
+
+        return Topology(
+            {int(u): list(vs) for u, vs in self.topology["adjacency"].items()},
+            name=self.topology.get("name", "bundle"),
+            root=int(self.topology["root"]),
+        )
+
+    def build_inputs(self) -> Dict[int, int]:
+        """Reconstruct the per-node input map with int keys."""
+        return {int(u): int(v) for u, v in self.inputs.items()}
+
+    def build_schedule(self):
+        """Reconstruct the declared oblivious crash schedule."""
+        from ..adversary.schedule import FailureSchedule
+
+        return FailureSchedule({int(u): int(r) for u, r in self.schedule.items()})
+
+
+def _listify(value: Any) -> Any:
+    """Tuples become lists recursively, so JSON round-trips are identity."""
+    if isinstance(value, tuple):
+        return [_listify(v) for v in value]
+    if isinstance(value, list):
+        return [_listify(v) for v in value]
+    if isinstance(value, dict):
+        return {k: _listify(v) for k, v in value.items()}
+    return value
+
+
+def serialize_topology(topology) -> Dict[str, Any]:
+    """The bundle's inline topology form (adjacency + root + name)."""
+    return {
+        "name": topology.name,
+        "root": topology.root,
+        "adjacency": {
+            str(u): list(vs) for u, vs in topology.adjacency.items()
+        },
+    }
+
+
+class RecordingInjector(FaultInjector):
+    """Middleware that runs an inner injector chain and records its decisions.
+
+    Replaces the caller's injector list on the network: the recorder itself
+    drives the inner chain for delivery rewrites and inbox arrangement, so
+    each *original* transmission maps cleanly to its *final* outcome (the
+    network would otherwise present rewritten copies to later injectors
+    individually).  Crash-only chains keep the exact-model delivery path
+    because :attr:`modifies_delivery` mirrors the inner chain.
+
+    Online crashes (adaptive adversaries calling ``schedule_crash``) are
+    captured by diffing the network's crash map at every round end against
+    the epoch's baseline snapshot.
+    """
+
+    def __init__(self, inner: Sequence[FaultInjector] = ()) -> None:
+        super().__init__()
+        self.inner: List[FaultInjector] = list(inner)
+        self.modifies_delivery = any(
+            getattr(i, "modifies_delivery", False) for i in self.inner
+        )
+        self.epoch = -1
+        self.transmits: List[Dict[str, Any]] = []
+        self.reorders: List[Dict[str, Any]] = []
+        self.crashes: List[Dict[str, Any]] = []
+        # epoch -> round -> [broadcasts, broadcast bits, deliveries,
+        # delivered bits].  Deliveries are tallied in arrange_inbox, which
+        # the scheduled-delivery path runs for every non-empty inbox — so
+        # a tampered drop/duplicate decision shows up even when the
+        # broadcast pattern is unchanged (e.g. a removed duplicate of a
+        # flooded part that receivers would de-duplicate anyway).
+        self._digests: Dict[int, Dict[int, List[int]]] = {}
+        self._occ: Dict[Tuple, int] = {}
+        self._crash_snapshot: Dict[int, float] = {}
+
+    # -- lifecycle ------------------------------------------------------ #
+
+    def attach(self, network) -> None:
+        """Start a new epoch: forward attach, snapshot baseline crashes."""
+        super().attach(network)
+        self.epoch += 1
+        self._occ = {}
+        for injector in self.inner:
+            injector.attach(network)
+        self._crash_snapshot = dict(network.crash_rounds)
+        self._digests[self.epoch] = {}
+
+    def begin_round(self, rnd: int) -> None:
+        for injector in self.inner:
+            injector.begin_round(rnd)
+
+    def on_broadcast(self, rnd: int, node: int, parts, bits: int) -> None:
+        """Tally the per-round digest, then forward the observation."""
+        digest = self._digests[self.epoch].setdefault(rnd, [0, 0, 0, 0])
+        digest[0] += 1
+        digest[1] += bits
+        for injector in self.inner:
+            injector.on_broadcast(rnd, node, parts, bits)
+
+    def end_round(self, rnd: int) -> None:
+        """Forward (inner adversaries crash here), then diff the crash map."""
+        for injector in self.inner:
+            injector.end_round(rnd)
+        for node, crash_round in self.network.crash_rounds.items():
+            if self._crash_snapshot.get(node) != crash_round:
+                self.crashes.append(
+                    {
+                        "e": self.epoch,
+                        "at": rnd,
+                        "node": node,
+                        "round": int(crash_round),
+                    }
+                )
+        self._crash_snapshot = dict(self.network.crash_rounds)
+
+    # -- delivery rewrites ---------------------------------------------- #
+
+    def on_transmit(
+        self, due: int, sender: int, receiver: int, part: Part
+    ) -> List[Tuple[int, Part]]:
+        """Run the inner chain on one delivery copy; record any deviation."""
+        deliveries: List[Tuple[int, Part]] = [(due, part)]
+        for injector in self.inner:
+            if not getattr(injector, "modifies_delivery", False):
+                continue
+            rewritten: List[Tuple[int, Part]] = []
+            for d, p in deliveries:
+                rewritten.extend(injector.on_transmit(d, sender, receiver, p))
+            deliveries = rewritten
+        key = (self.epoch, due, sender, receiver, part.kind,
+               repr(part.payload), part.bits)
+        occ = self._occ.get(key, 0)
+        self._occ[key] = occ + 1
+        if deliveries != [(due, part)]:
+            if any(p != part for _, p in deliveries):
+                raise RecordingError(
+                    "an injector rewrote a part's content; only drop / "
+                    "duplicate / delay decisions are replayable"
+                )
+            self.transmits.append(
+                {
+                    "e": self.epoch,
+                    "due": due,
+                    "s": sender,
+                    "r": receiver,
+                    "part": part_key(part),
+                    "occ": occ,
+                    "out": [d for d, _ in deliveries],
+                }
+            )
+        return deliveries
+
+    def arrange_inbox(self, rnd: int, receiver: int, envelopes: List) -> List:
+        """Run the inner chain on one inbox; record the final permutation."""
+        digest = self._digests[self.epoch].setdefault(rnd, [0, 0, 0, 0])
+        digest[2] += len(envelopes)
+        digest[3] += sum(e.part.bits for e in envelopes)
+        arranged = list(envelopes)
+        for injector in self.inner:
+            if getattr(injector, "modifies_delivery", False):
+                arranged = injector.arrange_inbox(rnd, receiver, arranged)
+        if arranged != list(envelopes):
+            if sorted(map(repr, arranged)) != sorted(map(repr, envelopes)):
+                raise RecordingError(
+                    "an injector added or removed envelopes in "
+                    "arrange_inbox; only permutations are replayable"
+                )
+            remaining = list(range(len(envelopes)))
+            perm: List[int] = []
+            for envelope in arranged:
+                for pos, idx in enumerate(remaining):
+                    if envelopes[idx] == envelope:
+                        perm.append(idx)
+                        del remaining[pos]
+                        break
+            self.reorders.append(
+                {"e": self.epoch, "round": rnd, "r": receiver, "perm": perm}
+            )
+        return arranged
+
+    # -- export --------------------------------------------------------- #
+
+    def digests_jsonable(self) -> Dict[str, List[List[int]]]:
+        """Digests as ``{epoch: [[round, broadcasts, bcast_bits,
+        deliveries, delivered_bits], ...]}``."""
+        return {
+            str(epoch): [
+                [rnd, *d] for rnd, d in sorted(rounds.items())
+            ]
+            for epoch, rounds in self._digests.items()
+        }
+
+
+def expected_outcome(record) -> Dict[str, Any]:
+    """The outcome slice of a bundle, from a finished ``RunRecord``."""
+    return {
+        "result": record.result,
+        "correct": record.correct,
+        "cc_bits": record.cc_bits,
+        "rounds": record.rounds,
+        "error": record.error,
+        "error_kind": record.error_kind,
+        "violations": list(record.extra.get("violations", [])),
+    }
+
+
+def is_failure(record) -> bool:
+    """Whether a ``RunRecord`` is worth capturing as a repro bundle.
+
+    A row is a *failure* when it errored, graded incorrect, or carries
+    recorded monitor violations — exactly the rows the sweep/chaos
+    harnesses flag.
+    """
+    return bool(
+        record.failed
+        or not record.correct
+        or record.extra.get("violations")
+    )
+
+
+def make_execution_record(
+    recorder: RecordingInjector,
+    protocol: str,
+    topology,
+    inputs: Dict[int, int],
+    schedule,
+    params: Dict[str, Any],
+    run_record=None,
+    seed: Optional[int] = None,
+    rng_state=None,
+    strict_model: bool = False,
+    monitor_mode: Optional[str] = None,
+) -> ExecutionRecord:
+    """Assemble the bundle for one recorded execution."""
+    crash_rounds = getattr(schedule, "crash_rounds", schedule) or {}
+    record = ExecutionRecord(
+        protocol=protocol,
+        topology=serialize_topology(topology),
+        inputs={str(u): int(v) for u, v in inputs.items()},
+        schedule={str(u): int(r) for u, r in crash_rounds.items()},
+        params={k: v for k, v in params.items() if v is not None},
+        seed=seed,
+        rng_state=_listify(rng_state) if rng_state is not None else None,
+        strict_model=strict_model,
+        monitor_mode=monitor_mode,
+        injector_specs=[repr(i) for i in recorder.inner],
+        faulty_delivery=recorder.modifies_delivery,
+        transmits=list(recorder.transmits),
+        reorders=list(recorder.reorders),
+        crashes=list(recorder.crashes),
+        digests=recorder.digests_jsonable(),
+        expected=expected_outcome(run_record) if run_record else {},
+    )
+    return record

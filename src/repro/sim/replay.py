@@ -1,0 +1,339 @@
+"""Deterministic replay of recorded repro bundles, with divergence detection.
+
+A bundle (:class:`repro.sim.recorder.ExecutionRecord`) pins down one
+execution completely: configuration, protocol-RNG state, and every fault
+decision the chaos layer actually took.  :class:`ReplayInjector` re-applies
+those decisions *positionally* — no injector RNG is re-rolled — so a replay
+is bit- and stats-identical to the recording, or loudly not:
+
+* per-round **digest checks** (broadcast and delivered-envelope counts
+  and bits) raise
+  :class:`ReplayDivergence` naming the first round where the live
+  execution departs from the recording;
+* a recorded decision whose transmission never shows up (or an inbox whose
+  size changed) is likewise a divergence, pinned to its round;
+* after the run, :func:`replay_bundle` compares the final outcome (result,
+  correctness grade, CC bits, rounds, monitor violations) against the
+  bundle's ``expected`` block.
+
+``strict=False`` turns the injector into a best-effort re-applier with no
+divergence checks — the mode :mod:`repro.adversary.shrink` uses to probe
+deliberately modified bundles.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from .faults import FaultInjector
+from .message import Part
+from .recorder import ExecutionRecord
+
+
+class ReplayDivergence(RuntimeError):
+    """A replayed execution departed from its recording.
+
+    Attributes:
+        epoch: Network epoch (0-based; ``agg_veri`` has two) of the first
+            divergent event.
+        round: Round of the first divergent event (None: final outcome).
+        detail: Human-readable description of the mismatch.
+    """
+
+    def __init__(
+        self, detail: str, epoch: Optional[int] = None, rnd: Optional[int] = None
+    ) -> None:
+        self.epoch = epoch
+        self.round = rnd
+        at = ""
+        if rnd is not None:
+            at = f" at round {rnd}" + (
+                f" (epoch {epoch})" if epoch is not None else ""
+            )
+        super().__init__(f"replay diverged{at}: {detail}")
+
+
+class ReplayInjector(FaultInjector):
+    """Re-apply a recording's fault decisions instead of rolling RNG.
+
+    Decisions are keyed by ``(epoch, due/round, sender, receiver, part,
+    occurrence)``; anything without a recorded decision passes through
+    untouched, mirroring the recorder (which only stores deviations from
+    passthrough).  With ``strict=True`` every recorded decision must be
+    consumed in its round and every round's digest must match.
+    """
+
+    def __init__(self, record: ExecutionRecord, strict: bool = True) -> None:
+        super().__init__()
+        self.record = record
+        self.strict = strict
+        #: The first divergence raised (the runner converts in-run
+        #: exceptions into error rows; replay_bundle re-raises this).
+        self.divergence: Optional[ReplayDivergence] = None
+        self.modifies_delivery = record.faulty_delivery
+        self.epoch = -1
+        # Static per-epoch indices over the recording.
+        self._transmits: Dict[int, Dict[Tuple, List[int]]] = {}
+        self._transmit_due: Dict[int, Dict[int, int]] = {}
+        self._reorders: Dict[int, Dict[Tuple[int, int], List[int]]] = {}
+        self._reorder_rounds: Dict[int, Dict[int, int]] = {}
+        self._crashes: Dict[int, Dict[int, List[Tuple[int, int]]]] = {}
+        self._digests: Dict[int, Dict[int, Tuple[int, int]]] = {}
+        for t in record.transmits:
+            key = (t["due"], t["s"], t["r"], t["part"][0], t["part"][1],
+                   t["part"][2], t["occ"])
+            self._transmits.setdefault(t["e"], {})[key] = list(t["out"])
+            dues = self._transmit_due.setdefault(t["e"], {})
+            dues[t["due"]] = dues.get(t["due"], 0) + 1
+        for r in record.reorders:
+            self._reorders.setdefault(r["e"], {})[(r["round"], r["r"])] = list(
+                r["perm"]
+            )
+            rounds = self._reorder_rounds.setdefault(r["e"], {})
+            rounds[r["round"]] = rounds.get(r["round"], 0) + 1
+        for c in record.crashes:
+            self._crashes.setdefault(c["e"], {}).setdefault(c["at"], []).append(
+                (c["node"], c["round"])
+            )
+        for epoch, rows in record.digests.items():
+            self._digests[int(epoch)] = {
+                row[0]: tuple(row[1:]) for row in rows
+            }
+        # Live per-epoch state.
+        self._occ: Dict[Tuple, int] = {}
+        self._consumed_due: Dict[int, int] = {}
+        self._consumed_reorders: Dict[int, int] = {}
+        self._live_digest: Dict[int, List[int]] = {}
+
+    # -- lifecycle ------------------------------------------------------ #
+
+    def attach(self, network) -> None:
+        """Advance to the next recorded epoch and reset live tallies."""
+        super().attach(network)
+        self.epoch += 1
+        self._occ = {}
+        self._consumed_due = {}
+        self._consumed_reorders = {}
+        self._live_digest = {}
+
+    def on_broadcast(self, rnd: int, node: int, parts, bits: int) -> None:
+        digest = self._live_digest.setdefault(rnd, [0, 0, 0, 0])
+        digest[0] += 1
+        digest[1] += bits
+
+    def on_transmit(
+        self, due: int, sender: int, receiver: int, part: Part
+    ) -> List[Tuple[int, Part]]:
+        """Apply the recorded decision for this copy, if one exists."""
+        base = (due, sender, receiver, part.kind, repr(part.payload), part.bits)
+        occ = self._occ.get(base, 0)
+        self._occ[base] = occ + 1
+        out = self._transmits.get(self.epoch, {}).get(base + (occ,))
+        if out is None:
+            return [(due, part)]
+        self._consumed_due[due] = self._consumed_due.get(due, 0) + 1
+        return [(d, part) for d in out]
+
+    def arrange_inbox(self, rnd: int, receiver: int, envelopes: List) -> List:
+        """Apply the recorded permutation for this inbox, if one exists."""
+        digest = self._live_digest.setdefault(rnd, [0, 0, 0, 0])
+        digest[2] += len(envelopes)
+        digest[3] += sum(e.part.bits for e in envelopes)
+        perm = self._reorders.get(self.epoch, {}).get((rnd, receiver))
+        if perm is None:
+            return envelopes
+        if len(perm) != len(envelopes):
+            if self.strict:
+                self._diverge(
+                    f"recorded reorder for node {receiver} permutes "
+                    f"{len(perm)} envelopes but the live inbox has "
+                    f"{len(envelopes)}",
+                    rnd,
+                )
+            return envelopes
+        self._consumed_reorders[rnd] = self._consumed_reorders.get(rnd, 0) + 1
+        return [envelopes[i] for i in perm]
+
+    def end_round(self, rnd: int) -> None:
+        """Re-apply online crashes, then verify this round against the record."""
+        for node, crash_round in self._crashes.get(self.epoch, {}).get(rnd, ()):
+            try:
+                self.network.schedule_crash(node, crash_round)
+            except ValueError as exc:
+                if self.strict:
+                    self._diverge(
+                        f"recorded crash of node {node} (round {crash_round}) "
+                        f"cannot be re-applied: {exc}",
+                        rnd,
+                        cause=exc,
+                    )
+        if not self.strict:
+            return
+        expected = self._digests.get(self.epoch, {}).get(rnd, (0, 0, 0, 0))
+        live = tuple(self._live_digest.get(rnd, (0, 0, 0, 0)))
+        if live != expected:
+            self._diverge(
+                f"expected {expected[0]} broadcast(s) / {expected[1]} bits "
+                f"and {expected[2]} delivered envelope(s) / {expected[3]} "
+                f"bits, saw {live[0]} / {live[1]} and {live[2]} / {live[3]}",
+                rnd,
+            )
+        recorded = self._transmit_due.get(self.epoch, {}).get(rnd + 1, 0)
+        consumed = self._consumed_due.get(rnd + 1, 0)
+        if consumed != recorded:
+            self._diverge(
+                f"{recorded - consumed} recorded fault decision(s) for "
+                f"deliveries due round {rnd + 1} never matched a live "
+                f"transmission",
+                rnd,
+            )
+        recorded = self._reorder_rounds.get(self.epoch, {}).get(rnd, 0)
+        consumed = self._consumed_reorders.get(rnd, 0)
+        if consumed != recorded:
+            self._diverge(
+                f"{recorded - consumed} recorded inbox reorder(s) never "
+                f"matched a live inbox",
+                rnd,
+            )
+
+    def _diverge(
+        self, detail: str, rnd: Optional[int], cause: Optional[Exception] = None
+    ) -> None:
+        """Record and raise the first divergence (later ones keep the first)."""
+        exc = ReplayDivergence(detail, self.epoch, rnd)
+        if self.divergence is None:
+            self.divergence = exc
+        raise exc from cause
+
+
+@dataclass
+class ReplayOutcome:
+    """Result of replaying one bundle.
+
+    ``mismatches`` lists human-readable ``field: expected vs got`` lines
+    for every divergence between the bundle's ``expected`` block and the
+    replayed run; empty means the replay reproduced the recording exactly.
+    """
+
+    record: Any
+    expected: Dict[str, Any]
+    mismatches: List[str] = field(default_factory=list)
+
+    @property
+    def reproduced(self) -> bool:
+        """Whether the replay matched the recorded outcome exactly."""
+        return not self.mismatches
+
+
+def _compare_outcome(expected: Dict[str, Any], record) -> List[str]:
+    """Field-by-field outcome comparison, bundle-expected vs replayed."""
+    from .recorder import expected_outcome
+
+    got = expected_outcome(record)
+    mismatches = []
+    for key in sorted(set(expected) | set(got)):
+        if expected.get(key) != got.get(key):
+            mismatches.append(
+                f"{key}: recorded {expected.get(key)!r}, replayed "
+                f"{got.get(key)!r}"
+            )
+    return mismatches
+
+
+def replay_bundle(
+    bundle,
+    strict: bool = True,
+    check_outcome: bool = True,
+) -> ReplayOutcome:
+    """Re-execute a repro bundle and verify it reproduces the recording.
+
+    ``bundle`` is an :class:`ExecutionRecord` or a path to a bundle file.
+    The protocol RNG is restored from the recorded state (falling back to
+    ``random.Random(seed)`` for hand-written bundles), the declared crash
+    schedule is re-applied, and a :class:`ReplayInjector` re-applies every
+    recorded fault decision.
+
+    With ``strict=True`` any departure — per-round digest, unmatched
+    decision, or (when ``check_outcome``) final-outcome field — raises
+    :class:`ReplayDivergence`.  With ``strict=False`` the injector is
+    best-effort and the outcome comparison is returned, not raised (the
+    shrinker's probing mode).
+    """
+    if isinstance(bundle, str):
+        bundle = ExecutionRecord.load(bundle)
+    topology = bundle.build_topology()
+    inputs = bundle.build_inputs()
+    schedule = bundle.build_schedule()
+    rng = random.Random(bundle.seed or 0)
+    if bundle.rng_state is not None:
+        rng.setstate(_rng_state_from_jsonable(bundle.rng_state))
+    injector = ReplayInjector(bundle, strict=strict)
+
+    # Imported lazily: repro.analysis imports repro.sim at package load.
+    from ..analysis.runner import safe_run_protocol
+    from ..core.caaf import SUM, by_name
+    from .monitors import standard_monitors, violations_of
+
+    params = bundle.params
+    caaf = by_name(params["caaf"]) if params.get("caaf") else SUM
+    # Mirror the capture-time monitor configuration: "strict" reproduces
+    # the run_protocol strict-monitors path (including its post-run oracle
+    # raise); "record" re-attaches the standard stack in record mode.
+    monitors = None
+    if bundle.monitor_mode == "record":
+        monitors = standard_monitors(
+            topology,
+            inputs,
+            f=params.get("f"),
+            mode="record",
+        )
+    record = safe_run_protocol(
+        bundle.protocol,
+        topology,
+        inputs,
+        schedule=schedule,
+        seed=bundle.seed,
+        rng=rng,
+        f=params.get("f"),
+        b=params.get("b"),
+        t=params.get("t"),
+        c=params.get("c", 2),
+        caaf=caaf,
+        strict=bundle.strict_model,
+        injectors=(injector,),
+        monitors=monitors,
+        strict_monitors=bundle.monitor_mode == "strict",
+    )
+    if strict and injector.divergence is not None:
+        # The runner converted the in-run divergence into an error row;
+        # surface the original exception (it names the first divergent
+        # round) instead of a generic outcome mismatch.
+        raise injector.divergence
+    if monitors and not record.failed:
+        events = violations_of(monitors)
+        if events:
+            record.extra.setdefault("violations", [str(e) for e in events])
+    mismatches = (
+        _compare_outcome(bundle.expected, record)
+        if check_outcome and bundle.expected
+        else []
+    )
+    if strict and mismatches:
+        raise ReplayDivergence(
+            "final outcome mismatch: " + "; ".join(mismatches)
+        )
+    return ReplayOutcome(record=record, expected=dict(bundle.expected),
+                         mismatches=mismatches)
+
+
+def _rng_state_from_jsonable(state) -> tuple:
+    """Rebuild the nested-tuple form ``random.setstate`` expects."""
+
+    def tupleize(value):
+        if isinstance(value, list):
+            return tuple(tupleize(v) for v in value)
+        return value
+
+    return tupleize(state)

@@ -1,8 +1,28 @@
 """Shared fixtures for the test suite."""
 
+import os
 import random
 
 import pytest
+
+try:
+    from hypothesis import HealthCheck, settings
+
+    # Pinned profiles so property tests behave identically across runs and
+    # machines.  CI selects "ci" via HYPOTHESIS_PROFILE: derandomized (the
+    # same examples every run — no flaky-only-on-main surprises) with a
+    # bounded example budget and no deadline (shared runners are slow).
+    settings.register_profile(
+        "ci",
+        derandomize=True,
+        max_examples=50,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    settings.register_profile("dev", max_examples=50, deadline=None)
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
+except ImportError:  # property tests simply skip without hypothesis
+    pass
 
 from repro.graphs import (
     balanced_tree,

@@ -1,0 +1,46 @@
+"""Replayable regression corpus: every checked-in bundle must reproduce.
+
+``tests/corpus/`` holds ddmin-minimized repro bundles of historical chaos
+failures (see ``repro-agg shrink``).  Each test strict-replays one bundle:
+any divergence — a changed delivery order, a drifted bit count, a failure
+that no longer happens — fails loudly with the first divergent round, so a
+behavior change in the simulator or protocols cannot silently invalidate
+past forensics.
+"""
+
+import glob
+import os
+
+import pytest
+
+from repro.sim import ExecutionRecord, is_failure, replay_bundle
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+BUNDLES = sorted(glob.glob(os.path.join(CORPUS_DIR, "*.json")))
+
+
+def test_corpus_is_not_empty():
+    assert BUNDLES, f"no bundles in {CORPUS_DIR}"
+
+
+@pytest.mark.parametrize(
+    "path", BUNDLES, ids=[os.path.basename(p) for p in BUNDLES]
+)
+def test_corpus_bundle_replays_exactly(path):
+    outcome = replay_bundle(path)  # strict: raises ReplayDivergence on drift
+    assert outcome.reproduced
+    # Every corpus entry documents a *failure*; a bundle that replays to a
+    # clean run means the recording no longer demonstrates anything.
+    assert is_failure(outcome.record) or outcome.record.failed
+
+
+@pytest.mark.parametrize(
+    "path", BUNDLES, ids=[os.path.basename(p) for p in BUNDLES]
+)
+def test_corpus_bundle_is_small(path):
+    """Corpus entries are minimized — a fat bundle was checked in raw."""
+    bundle = ExecutionRecord.load(path)
+    assert bundle.n_decisions <= 10, (
+        f"{os.path.basename(path)} has {bundle.n_decisions} events; "
+        "run `repro-agg shrink` before checking bundles in"
+    )

@@ -7,6 +7,7 @@ wrapper either produce an oracle-correct SUM or fail with an explicit
 """
 
 import random
+import re
 
 import pytest
 
@@ -87,6 +88,99 @@ class TestMessageFaultsSpec:
             MessageFaults(drop=1.5)
         with pytest.raises(ValueError, match="max_delay"):
             MessageFaults(max_delay=0)
+
+    def test_bad_fragment_names_token_and_grammar(self):
+        """Every malformed fragment is named verbatim, with the grammar."""
+        for spec, bad_token in [
+            ("drop=0.1,corrupt=0.5", "corrupt=0.5"),
+            ("drop", "drop"),
+            ("drop=fast", "drop=fast"),
+            ("max_delay=2.5", "max_delay=2.5"),
+            ("drop=0.1,drop=0.2", "drop=0.2"),
+            ("dup=0.1,duplicate=0.2", "duplicate=0.2"),  # alias collision
+        ]:
+            with pytest.raises(ValueError) as exc_info:
+                MessageFaults.from_spec(spec)
+            message = str(exc_info.value)
+            assert repr(bad_token) in message, (spec, message)
+            assert MessageFaults.SPEC_GRAMMAR in message
+
+    def test_good_fragments_before_bad_do_not_mask_the_error(self):
+        with pytest.raises(ValueError, match="not a number"):
+            MessageFaults.from_spec("drop=0.1,delay=lots")
+
+    def test_empty_fragments_are_tolerated(self):
+        mf = MessageFaults.from_spec("drop=0.1,,")
+        assert mf.drop == 0.1
+
+    def test_dash_alias_for_max_delay(self):
+        assert MessageFaults.from_spec("max-delay=3").max_delay == 3
+
+
+class TestRootCrashRejection:
+    """All three scheduling paths refuse to crash the root, identically.
+
+    The Section 2 model says the root never fails; a crash schedule that
+    touches it is a configuration bug, and every entry point must say so
+    with the same message: ``FailureSchedule.validate``,
+    ``ScheduledCrashes``, and ``Network.schedule_crash``.
+    """
+
+    def _topology(self):
+        from repro.graphs import path_graph
+
+        return path_graph(4)  # root 0
+
+    def test_failure_schedule_validate_rejects_root(self):
+        from repro.sim.network import ROOT_CRASH_ERROR
+
+        topology = self._topology()
+        with pytest.raises(ValueError, match=re.escape(ROOT_CRASH_ERROR)):
+            FailureSchedule({topology.root: 3}).validate(topology)
+
+    def test_scheduled_crashes_reject_root_at_construction(self):
+        from repro.sim.network import ROOT_CRASH_ERROR
+
+        topology = self._topology()
+        with pytest.raises(ValueError, match=re.escape(ROOT_CRASH_ERROR)):
+            ScheduledCrashes({topology.root: 3}, root=topology.root)
+
+    def test_scheduled_crashes_reject_root_at_attach(self):
+        from repro.sim.network import ROOT_CRASH_ERROR
+
+        net = Network(line3(), {u: SilentNode() for u in range(3)}, root=0)
+        crashes = ScheduledCrashes({0: 3})  # root unknown until attach
+        with pytest.raises(ValueError, match=re.escape(ROOT_CRASH_ERROR)):
+            crashes.attach(net)
+
+    def test_network_schedule_crash_rejects_root(self):
+        from repro.sim.network import ROOT_CRASH_ERROR
+
+        net = Network(line3(), {u: SilentNode() for u in range(3)}, root=0)
+        with pytest.raises(ValueError, match=re.escape(ROOT_CRASH_ERROR)):
+            net.schedule_crash(0, 5)
+
+    def test_all_three_paths_raise_the_same_message(self):
+        from repro.sim.network import ROOT_CRASH_ERROR
+
+        topology = self._topology()
+        messages = set()
+        for trigger in (
+            lambda: FailureSchedule({0: 3}).validate(topology),
+            lambda: ScheduledCrashes({0: 3}, root=0),
+            lambda: Network(
+                line3(), {u: SilentNode() for u in range(3)}, root=0
+            ).schedule_crash(0, 5),
+        ):
+            with pytest.raises(ValueError) as exc_info:
+                trigger()
+            messages.add(str(exc_info.value))
+        assert messages == {ROOT_CRASH_ERROR}
+
+    def test_non_root_crashes_still_accepted(self):
+        net = Network(line3(), {u: SilentNode() for u in range(3)}, root=0)
+        net.schedule_crash(2, 5)
+        assert net.crash_rounds[2] == 5
 
 
 class TestFaultKinds:

@@ -1,0 +1,299 @@
+"""Deterministic failure forensics: record -> replay -> divergence.
+
+The headline loop: a chaos run that misbehaves is auto-captured as a repro
+bundle, the bundle replays to the bit-identical outcome, and any tampering
+with the bundle (or drift in the code path) raises
+:class:`repro.sim.replay.ReplayDivergence` naming the first divergent
+round.
+"""
+
+import copy
+import glob
+import json
+import os
+
+import pytest
+
+from repro.analysis.runner import RunTimeout, make_inputs, safe_run_protocol
+from repro.graphs import grid_graph
+from repro.sim import (
+    BUNDLE_FORMAT,
+    BUNDLE_VERSION,
+    ExecutionRecord,
+    MessageFaults,
+    RecordingInjector,
+    ReplayDivergence,
+    is_failure,
+    replay_bundle,
+)
+from repro.sim.faults import FaultInjector
+from repro.sim.monitors import standard_monitors
+
+import random
+
+
+def chaos_capture(tmp_path, seed=2, protocol="unknown_f", spec=None,
+                  monitor_mode="record", **extra):
+    """One seeded chaos run with auto-capture; returns (record, bundle)."""
+    topo = grid_graph(4, 4)
+    rng = random.Random(seed)
+    inputs = make_inputs(topo, rng)
+    faults = spec or MessageFaults(drop=0.08, duplicate=0.03, delay=0.05,
+                                   seed=seed)
+    kwargs = dict(extra)
+    if monitor_mode == "record":
+        kwargs["monitors"] = standard_monitors(topo, inputs, mode="record")
+    elif monitor_mode == "strict":
+        kwargs["strict_monitors"] = True
+    record = safe_run_protocol(
+        protocol,
+        topo,
+        inputs,
+        seed=seed,
+        rng=rng,
+        strict=False,
+        injectors=[faults],
+        capture_dir=str(tmp_path),
+        **kwargs,
+    )
+    path = record.extra.get("bundle")
+    bundle = ExecutionRecord.load(path) if path else None
+    return record, bundle
+
+
+class TestCapture:
+    def test_failing_chaos_run_is_auto_captured(self, tmp_path):
+        record, bundle = chaos_capture(tmp_path)
+        assert not record.correct
+        assert bundle is not None
+        assert bundle.protocol == "unknown_f"
+        assert bundle.faulty_delivery
+        assert bundle.transmits  # at least one drop/dup/delay fired
+        assert bundle.expected["result"] == record.result
+        assert bundle.expected["cc_bits"] == record.cc_bits
+
+    def test_clean_run_is_not_captured(self, tmp_path):
+        record, bundle = chaos_capture(tmp_path, seed=0)
+        assert record.correct
+        assert bundle is None
+        assert not glob.glob(str(tmp_path / "*.json"))
+
+    def test_strict_monitor_violation_is_captured_as_error_row(self, tmp_path):
+        record, bundle = chaos_capture(tmp_path, monitor_mode="strict")
+        assert record.failed
+        assert record.error_kind == "InvariantViolation"
+        assert bundle is not None
+        assert bundle.monitor_mode == "strict"
+        assert bundle.expected["error_kind"] == "InvariantViolation"
+
+    def test_capture_filename_is_deterministic(self, tmp_path):
+        chaos_capture(tmp_path)
+        first = set(glob.glob(str(tmp_path / "*.json")))
+        chaos_capture(tmp_path)
+        assert set(glob.glob(str(tmp_path / "*.json"))) == first
+
+    def test_timeout_rows_are_not_captured(self, tmp_path):
+        class Stall(FaultInjector):
+            def begin_round(self, rnd):
+                import time
+
+                time.sleep(0.05)
+
+        topo = grid_graph(4, 4)
+        rng = random.Random(0)
+        inputs = make_inputs(topo, rng)
+        record = safe_run_protocol(
+            "tag",
+            topo,
+            inputs,
+            seed=0,
+            rng=rng,
+            strict=False,
+            timeout_s=0.1,
+            injectors=[Stall()],
+            capture_dir=str(tmp_path),
+        )
+        assert record.error_kind == "RunTimeout"
+        assert "bundle" not in record.extra
+        assert not glob.glob(str(tmp_path / "*.json"))
+
+
+class TestBundleFormat:
+    def test_json_roundtrip_is_identity(self, tmp_path):
+        _, bundle = chaos_capture(tmp_path)
+        again = ExecutionRecord.from_json(bundle.to_json())
+        assert again == bundle
+        assert again.content_hash() == bundle.content_hash()
+
+    def test_header_is_validated(self, tmp_path):
+        _, bundle = chaos_capture(tmp_path)
+        data = bundle.to_jsonable()
+        with pytest.raises(ValueError, match="not a repro-bundle"):
+            ExecutionRecord.from_jsonable(dict(data, format="zip"))
+        with pytest.raises(ValueError, match="version"):
+            ExecutionRecord.from_jsonable(
+                dict(data, version=BUNDLE_VERSION + 1)
+            )
+        with pytest.raises(ValueError, match="unknown fields"):
+            ExecutionRecord.from_jsonable(dict(data, surprise=1))
+        assert data["format"] == BUNDLE_FORMAT
+
+    def test_bundle_is_plain_sorted_json_on_disk(self, tmp_path):
+        record, bundle = chaos_capture(tmp_path)
+        with open(record.extra["bundle"], encoding="utf-8") as fh:
+            on_disk = json.load(fh)
+        assert on_disk == bundle.to_jsonable()
+
+
+class TestReplay:
+    def test_replay_reproduces_the_recording_exactly(self, tmp_path):
+        record, bundle = chaos_capture(tmp_path)
+        outcome = replay_bundle(record.extra["bundle"])
+        assert outcome.reproduced
+        assert outcome.record.result == record.result
+        assert outcome.record.cc_bits == record.cc_bits
+        assert outcome.record.rounds == record.rounds
+        assert outcome.record.extra.get("violations") == record.extra.get(
+            "violations"
+        )
+
+    def test_replay_reproduces_strict_monitor_abort(self, tmp_path):
+        record, bundle = chaos_capture(tmp_path, monitor_mode="strict")
+        outcome = replay_bundle(bundle)
+        assert outcome.reproduced
+        assert outcome.record.error_kind == "InvariantViolation"
+        assert outcome.record.error == record.error
+
+    def test_removed_fault_decision_raises_divergence_with_round(
+        self, tmp_path
+    ):
+        _, bundle = chaos_capture(tmp_path)
+        tampered = copy.deepcopy(bundle)
+        del tampered.transmits[0]
+        with pytest.raises(ReplayDivergence) as exc_info:
+            replay_bundle(tampered)
+        assert exc_info.value.round is not None
+        assert exc_info.value.epoch == 0
+        assert "round" in str(exc_info.value)
+
+    def test_tampered_input_raises_divergence(self, tmp_path):
+        _, bundle = chaos_capture(tmp_path)
+        tampered = copy.deepcopy(bundle)
+        node = next(iter(tampered.inputs))
+        tampered.inputs[node] += 7
+        with pytest.raises(ReplayDivergence):
+            replay_bundle(tampered)
+
+    def test_tampered_expected_outcome_raises_divergence(self, tmp_path):
+        _, bundle = chaos_capture(tmp_path)
+        tampered = copy.deepcopy(bundle)
+        tampered.expected["result"] = (tampered.expected["result"] or 0) + 1
+        with pytest.raises(ReplayDivergence, match="outcome mismatch"):
+            replay_bundle(tampered)
+
+    def test_best_effort_replay_reports_instead_of_raising(self, tmp_path):
+        _, bundle = chaos_capture(tmp_path)
+        tampered = copy.deepcopy(bundle)
+        tampered.transmits = []
+        outcome = replay_bundle(tampered, strict=False)
+        assert isinstance(outcome.mismatches, list)  # no raise
+
+    def test_replay_is_idempotent(self, tmp_path):
+        record, _ = chaos_capture(tmp_path)
+        first = replay_bundle(record.extra["bundle"])
+        second = replay_bundle(record.extra["bundle"])
+        assert first.record.result == second.record.result
+        assert first.record.cc_bits == second.record.cc_bits
+
+
+class TestAdaptiveReplay:
+    def test_online_crashes_are_recorded_and_reapplied(self, tmp_path):
+        from repro.adversary.adaptive import make_adaptive
+
+        topo = grid_graph(4, 4)
+        found = None
+        for seed in range(12):
+            rng = random.Random(seed)
+            inputs = make_inputs(topo, rng)
+            record = safe_run_protocol(
+                "unknown_f",
+                topo,
+                inputs,
+                seed=seed,
+                rng=rng,
+                strict=False,
+                injectors=[
+                    MessageFaults(drop=0.08, seed=seed),
+                    make_adaptive("top-talker", topo, f=2, seed=seed),
+                ],
+                monitors=standard_monitors(topo, inputs, mode="record"),
+                capture_dir=str(tmp_path),
+            )
+            if record.extra.get("bundle"):
+                bundle = ExecutionRecord.load(record.extra["bundle"])
+                if bundle.crashes:
+                    found = (record, bundle)
+                    break
+        assert found, "no adaptive-crash failure found in 12 seeds"
+        record, bundle = found
+        outcome = replay_bundle(bundle)
+        assert outcome.reproduced
+        assert outcome.record.result == record.result
+
+    def test_agg_veri_bundles_span_epochs(self, tmp_path):
+        for seed in range(12):
+            record, bundle = chaos_capture(
+                tmp_path, seed=seed, protocol="agg_veri", t=2
+            )
+            if bundle is None:
+                continue
+            epochs = {t["e"] for t in bundle.transmits}
+            if len(epochs) > 1:
+                outcome = replay_bundle(bundle)
+                assert outcome.reproduced
+                return
+        pytest.skip("no two-epoch agg_veri failure found in 12 seeds")
+
+
+class TestRecordingInjector:
+    def test_recorder_is_transparent(self):
+        """A recorded run behaves exactly like the unrecorded one."""
+        topo = grid_graph(4, 4)
+
+        def run(injectors):
+            rng = random.Random(3)
+            return safe_run_protocol(
+                "unknown_f",
+                topo,
+                make_inputs(topo, random.Random(3)),
+                seed=3,
+                rng=rng,
+                strict=False,
+                injectors=injectors,
+            )
+
+        plain = run([MessageFaults(drop=0.08, duplicate=0.03, seed=3)])
+        recorded = run(
+            [RecordingInjector([MessageFaults(drop=0.08, duplicate=0.03,
+                                              seed=3)])]
+        )
+        assert recorded.result == plain.result
+        assert recorded.cc_bits == plain.cc_bits
+        assert recorded.rounds == plain.rounds
+
+    def test_is_failure_matches_sweep_semantics(self):
+        from repro.analysis.runner import RunRecord
+
+        def row(**kw):
+            base = dict(
+                protocol="tag", topology="g", n_nodes=1, diameter=1,
+                f_budget=None, f_actual=0, result=1, correct=True,
+                cc_bits=0, rounds=1, flooding_rounds=1,
+            )
+            base.update(kw)
+            return RunRecord(**base)
+
+        assert not is_failure(row())
+        assert is_failure(row(correct=False))
+        assert is_failure(row(error="boom", error_kind="ValueError"))
+        assert is_failure(row(extra={"violations": ["[oracle@r3] bad"]}))

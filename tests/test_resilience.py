@@ -244,6 +244,96 @@ class TestCheckpointStore:
             fh.write('{"key": "torn", "record": {"proto')  # crash mid-write
         recovered = SweepCheckpoint(path)
         assert len(recovered) == 2  # both intact rows, torn line dropped
+        assert recovered.skipped_lines == []  # torn final line is expected
+
+    def test_corrupt_midfile_lines_warn_with_line_numbers(self, tmp_path):
+        path = str(tmp_path / "ckpt.jsonl")
+        with SweepCheckpoint(path) as ckpt:
+            for seed in range(3):
+                ckpt.put(make_key("bruteforce", "g", seed),
+                         self._record(seed=seed))
+        lines = open(path, encoding="utf-8").read().splitlines()
+        lines[1] = lines[1][: len(lines[1]) // 2]  # corrupt the middle line
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write("\n".join(lines) + "\n")  # note: intact trailing \n
+        with pytest.warns(UserWarning, match=r"line 2"):
+            recovered = SweepCheckpoint(path)
+        assert recovered.skipped_lines == [2]
+        assert len(recovered) == 2  # the two intact rows survive
+
+    def test_corrupt_final_line_with_newline_is_not_torn(self, tmp_path):
+        """A complete-but-invalid last line is corruption, not a crash."""
+        path = str(tmp_path / "ckpt.jsonl")
+        with SweepCheckpoint(path) as ckpt:
+            ckpt.put(make_key("bruteforce", "g", 0), self._record(seed=0))
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write("not json at all\n")  # newline: a finished write
+        with pytest.warns(UserWarning, match="1 corrupt"):
+            recovered = SweepCheckpoint(path)
+        assert recovered.skipped_lines == [2]
+
+    def test_strict_mode_raises_on_corruption(self, tmp_path):
+        path = str(tmp_path / "ckpt.jsonl")
+        with SweepCheckpoint(path) as ckpt:
+            ckpt.put(make_key("bruteforce", "g", 0), self._record(seed=0))
+            ckpt.put(make_key("bruteforce", "g", 1), self._record(seed=1))
+        lines = open(path, encoding="utf-8").read().splitlines()
+        lines[0] = "garbage"
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match=r"line 1"):
+            SweepCheckpoint(path, strict=True)
+        # Non-strict still loads the survivors.
+        with pytest.warns(UserWarning):
+            assert len(SweepCheckpoint(path)) == 1
+
+    def test_strict_mode_still_tolerates_torn_final_line(self, tmp_path):
+        path = str(tmp_path / "ckpt.jsonl")
+        with SweepCheckpoint(path) as ckpt:
+            ckpt.put(make_key("bruteforce", "g", 0), self._record(seed=0))
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"key": "torn"')  # crash mid-write: no newline
+        recovered = SweepCheckpoint(path, strict=True)  # no raise
+        assert len(recovered) == 1
+
+
+class TestCheckpointCrashRecovery:
+    """End-to-end: die mid-write, reload, re-run only what was lost."""
+
+    def test_truncated_checkpoint_resumes_only_lost_seeds(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        topo = path_graph(4)
+        seeds = [0, 1, 2, 3]
+
+        baseline = run_point(
+            "bruteforce", topo, seeds,
+            checkpoint=SweepCheckpoint(path),
+        )
+        # Simulate a crash mid-write of the final record: chop the file at
+        # an arbitrary byte inside the last line.
+        size = os.path.getsize(path)
+        with open(path, "r+b") as fh:
+            fh.truncate(size - 37)
+
+        recovered = SweepCheckpoint(path)
+        survivors = {rec.seed for _key, rec in recovered.records()}
+        assert survivors == {0, 1, 2}  # the torn seed-3 row is gone
+        assert recovered.skipped_lines == []  # ...and not "corruption"
+
+        executed = []
+        original_put = recovered.put
+
+        def tracking_put(key, record):
+            executed.append(record.seed)
+            original_put(key, record)
+
+        recovered.put = tracking_put
+        resumed = run_point("bruteforce", topo, seeds, checkpoint=recovered)
+        recovered.close()
+        assert executed == [3]  # only the lost run re-executed
+        assert [record_to_jsonable(r) for r in resumed.records] == [
+            record_to_jsonable(r) for r in baseline.records
+        ]
 
 
 class InterruptAfter:

@@ -1,0 +1,172 @@
+"""ddmin fault-schedule shrinking: 1-minimality and budget behavior."""
+
+import random
+
+import pytest
+
+from repro.adversary import (
+    components_of,
+    failure_signature,
+    restrict_bundle,
+    shrink_bundle,
+)
+from repro.adversary.shrink import signature_matches
+from repro.analysis.runner import make_inputs, safe_run_protocol
+from repro.graphs import grid_graph
+from repro.sim import ExecutionRecord, MessageFaults, replay_bundle
+from repro.sim.monitors import standard_monitors
+
+
+@pytest.fixture(scope="module")
+def failing_bundle(tmp_path_factory):
+    """One captured silent-wrong chaos bundle on a 4x4 grid (fast)."""
+    capture = tmp_path_factory.mktemp("bundles")
+    topo = grid_graph(4, 4)
+    rng = random.Random(2)
+    inputs = make_inputs(topo, rng)
+    record = safe_run_protocol(
+        "unknown_f",
+        topo,
+        inputs,
+        seed=2,
+        rng=rng,
+        strict=False,
+        injectors=[MessageFaults(drop=0.08, duplicate=0.03, delay=0.05,
+                                 seed=2)],
+        monitors=standard_monitors(topo, inputs, mode="record"),
+        capture_dir=str(capture),
+    )
+    assert not record.correct
+    return ExecutionRecord.load(record.extra["bundle"])
+
+
+class TestComponents:
+    def test_components_cover_every_event(self, failing_bundle):
+        comps = components_of(failing_bundle)
+        assert len(comps) == failing_bundle.n_decisions
+        kinds = {kind for kind, _ in comps}
+        assert "transmit" in kinds
+
+    def test_restrict_to_all_is_identity_on_events(self, failing_bundle):
+        kept = restrict_bundle(
+            failing_bundle, components_of(failing_bundle)
+        )
+        assert kept.transmits == failing_bundle.transmits
+        assert kept.schedule == failing_bundle.schedule
+        assert kept.digests == {}  # probes carry no stale digests
+        assert kept.expected == {}
+
+    def test_restrict_to_nothing_drops_every_event(self, failing_bundle):
+        empty = restrict_bundle(failing_bundle, [])
+        assert empty.transmits == []
+        assert empty.schedule == {}
+        assert empty.crashes == []
+
+
+class TestSignatures:
+    def test_violation_subset_matches(self):
+        assert signature_matches(("violation", "oracle"),
+                                 ("violation", "cc_envelope", "oracle"))
+        assert not signature_matches(("violation", "oracle"),
+                                     ("violation", "cc_envelope"))
+
+    def test_other_signatures_match_exactly(self):
+        assert signature_matches(("error", "ValueError"),
+                                 ("error", "ValueError"))
+        assert not signature_matches(("error", "ValueError"),
+                                     ("error", "KeyError"))
+        assert not signature_matches(("silent-wrong",), None)
+        assert signature_matches(None, None)
+
+
+class TestShrink:
+    def test_shrunk_bundle_is_1_minimal(self, failing_bundle):
+        result = shrink_bundle(failing_bundle, max_evals=300,
+                               max_seconds=60.0)
+        assert result.complete
+        assert result.shrunk_size <= result.original_size
+        assert result.shrunk_size == len(result.kept)
+        target = failure_signature(
+            replay_bundle(failing_bundle, strict=False,
+                          check_outcome=False).record
+        )
+        # The minimal bundle still fails the same way...
+        still = failure_signature(
+            replay_bundle(
+                restrict_bundle(failing_bundle, result.kept),
+                strict=False,
+                check_outcome=False,
+            ).record
+        )
+        assert signature_matches(target, still)
+        # ...and removing any single surviving event loses the failure.
+        for dropped in result.kept:
+            probe = restrict_bundle(
+                failing_bundle,
+                [c for c in result.kept if c != dropped],
+            )
+            got = failure_signature(
+                replay_bundle(probe, strict=False,
+                              check_outcome=False).record
+            )
+            assert not signature_matches(target, got), (
+                f"dropping {dropped} still fails: not 1-minimal"
+            )
+
+    def test_minimal_bundle_replays_strictly(self, failing_bundle):
+        result = shrink_bundle(failing_bundle, max_evals=300,
+                               max_seconds=60.0)
+        outcome = replay_bundle(result.minimal)  # strict: raises on drift
+        assert outcome.reproduced
+        assert failure_signature(outcome.record) is not None
+
+    def test_eval_budget_is_respected(self, failing_bundle):
+        result = shrink_bundle(failing_bundle, max_evals=3,
+                               rerecord=False)
+        assert result.evaluations <= 3
+        assert not result.complete
+
+    def test_progress_log_receives_lines(self, failing_bundle):
+        lines = []
+        shrink_bundle(failing_bundle, max_evals=50, max_seconds=30.0,
+                      log=lines.append, rerecord=False)
+        assert any("shrink" in line for line in lines)
+
+    def test_non_failing_bundle_is_rejected(self, tmp_path):
+        topo = grid_graph(4, 4)
+        rng = random.Random(0)
+        inputs = make_inputs(topo, rng)
+        record = safe_run_protocol(
+            "tag", topo, inputs, seed=0, rng=rng, strict=False,
+            capture_dir=str(tmp_path),
+        )
+        assert record.correct  # fault-free tag run succeeds
+        # Hand-build a "bundle" of the clean run via the recorder path:
+        # force a capture by marking it a failure is not possible, so
+        # build one directly.
+        from repro.adversary.schedule import FailureSchedule
+        from repro.sim import RecordingInjector, make_execution_record
+
+        recorder = RecordingInjector([])
+        clean = safe_run_protocol(
+            "tag", topo, inputs, seed=0, rng=random.Random(0),
+            strict=False, injectors=[recorder],
+        )
+        bundle = make_execution_record(
+            recorder, "tag", topo, inputs, FailureSchedule(), {},
+            run_record=clean, seed=0,
+        )
+        with pytest.raises(ValueError, match="does not fail"):
+            shrink_bundle(bundle, max_evals=10)
+
+    def test_custom_predicate_drives_the_search(self, failing_bundle):
+        calls = []
+
+        def predicate(record):
+            calls.append(record)
+            return failure_signature(record) is not None
+
+        result = shrink_bundle(failing_bundle, predicate=predicate,
+                               max_evals=100, rerecord=False)
+        assert calls
+        assert result.shrunk_size <= result.original_size
