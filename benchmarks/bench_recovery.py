@@ -1,0 +1,157 @@
+"""E21 — the self-healing runtime buys back exactness outside the model.
+
+E19 established that out-of-model message faults make the paper's
+protocols silently wrong (unmonitored) or honestly abortive (strict
+monitors).  This bench measures what the :mod:`repro.resilience` layer
+recovers, and what it costs:
+
+* **Exactness vs drop rate.**  The same per-seed fault sequences run with
+  and without the reliable-transport shim.  The raw arm's exact-result
+  rate collapses as drops rise; the transport arm stays exact until the
+  retransmit budget is genuinely exhausted, and every budget exhaustion
+  is *visible* (live gaps void certification — nothing silent).
+* **Separated overhead.**  The transport books frame headers, NACKs and
+  retransmitted payloads as ``overhead_bits``, never as protocol CC, so
+  the per-node bottleneck cost the paper bounds is unchanged; the bench
+  reports both columns side by side.
+* **Root failover.**  A third arm crashes the root mid-run and lets the
+  recovery runtime elect a new epoch root: runs end certified-partial
+  with coverage exactly the surviving component — the model's only
+  unprotected node no longer takes the whole computation down with it.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis import format_table
+from repro.analysis.runner import make_inputs, safe_run_protocol
+from repro.adversary.schedule import FailureSchedule
+from repro.graphs import grid_graph
+from repro.resilience import RecoveryPolicy, TransportConfig
+from repro.sim.faults import MessageFaults
+
+from _util import emit, once
+
+SEEDS = 6
+DROPS = (0.02, 0.05, 0.10)
+TRANSPORT = TransportConfig(retransmits=5, backoff_cap=2)
+
+
+def _arm(topo, drop, seed, **kwargs):
+    rng = random.Random(seed)
+    inputs = make_inputs(topo, rng)
+    record = safe_run_protocol(
+        "unknown_f",
+        topo,
+        inputs,
+        seed=seed,
+        rng=rng,
+        strict=False,
+        injectors=[MessageFaults(drop=drop, seed=seed)],
+        **kwargs,
+    )
+    exact = record.result == sum(inputs.values())
+    return record, exact
+
+
+def run_recovery_study():
+    topo = grid_graph(5, 5)
+    rows = []
+    for drop in DROPS:
+        raw_exact = xport_exact = 0
+        raw_cc = xport_cc = xport_overhead = 0
+        uncertified = 0
+        for seed in range(SEEDS):
+            record, exact = _arm(topo, drop, seed)
+            raw_exact += exact
+            raw_cc += record.cc_bits
+            record, exact = _arm(topo, drop, seed, transport=TRANSPORT)
+            xport_exact += exact
+            xport_cc += record.cc_bits
+            xport_overhead += record.extra.get("overhead_bits", 0)
+            uncertified += record.extra.get("live_gaps", 0) > 0
+        rows.append(
+            {
+                "drop": drop,
+                "seeds": SEEDS,
+                "raw exact": raw_exact,
+                "transport exact": xport_exact,
+                "uncertifiable": uncertified,
+                "raw CC": raw_cc // SEEDS,
+                "transport CC": xport_cc // SEEDS,
+                "overhead": xport_overhead // SEEDS,
+            }
+        )
+    return topo, rows
+
+
+def run_failover_study():
+    topo = grid_graph(5, 5)
+    rows = []
+    for seed in range(SEEDS):
+        rng = random.Random(seed)
+        inputs = make_inputs(topo, rng)
+        record = safe_run_protocol(
+            "unknown_f",
+            topo,
+            inputs,
+            schedule=FailureSchedule({topo.root: 25}),
+            seed=seed,
+            rng=rng,
+            strict=False,
+            injectors=[MessageFaults(drop=0.05, seed=seed)],
+            recovery=RecoveryPolicy.default(),
+        )
+        rows.append(
+            {
+                "seed": seed,
+                "status": record.extra.get("status"),
+                "certified": record.extra.get("certified"),
+                "coverage": record.extra.get("coverage"),
+                "elected root": record.extra.get("elected_root"),
+                "epochs": record.extra.get("epochs"),
+                "in bounds": record.correct,
+            }
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="recovery")
+def test_transport_buys_back_exactness(benchmark):
+    topo, rows = once(benchmark, run_recovery_study)
+    emit(
+        "e21_recovery_tradeoff",
+        format_table(
+            rows,
+            title=(
+                f"E21: exactness and overhead vs drop rate on {topo.name} "
+                f"(unknown_f, retransmits={TRANSPORT.retransmits})"
+            ),
+        ),
+    )
+    by_drop = {r["drop"]: r for r in rows}
+    # At the reference rate the transport arm is fully exact while the
+    # raw arm loses runs; overhead stays separated from protocol CC.
+    assert by_drop[0.05]["transport exact"] == SEEDS
+    assert by_drop[0.05]["raw exact"] < SEEDS
+    for row in rows:
+        assert row["overhead"] > 0
+        # Exhausted budgets are visible, never silent: each inexact
+        # transport run must be flagged uncertifiable.
+        assert SEEDS - row["transport exact"] <= row["uncertifiable"]
+
+
+@pytest.mark.benchmark(group="recovery")
+def test_root_failover_certifies_survivors(benchmark):
+    rows = once(benchmark, run_failover_study)
+    emit(
+        "e21_root_failover",
+        format_table(
+            rows,
+            title="E21: root crash at round 25 + --recover (grid 5x5)",
+        ),
+    )
+    assert all(r["certified"] for r in rows)
+    assert all(r["in bounds"] for r in rows)
+    assert all(r["elected root"] is not None for r in rows)

@@ -69,14 +69,20 @@ class FailureSchedule:
                 count += 1
         return count
 
-    def validate(self, topology: Topology, f: Optional[int] = None) -> None:
+    def validate(
+        self,
+        topology: Topology,
+        f: Optional[int] = None,
+        allow_root_crash: bool = False,
+    ) -> None:
         """Check the schedule against the paper's model constraints.
 
-        * the root never fails;
+        * the root never fails (skipped under ``allow_root_crash``, the
+          opt-in used by the :mod:`repro.resilience` failover layer);
         * all failing nodes exist in the topology;
         * if ``f`` is given, the edge-failure budget is respected.
         """
-        if topology.root in self.crash_rounds:
+        if topology.root in self.crash_rounds and not allow_root_crash:
             raise ValueError(ROOT_CRASH_ERROR)
         unknown = self.failed_nodes - set(topology.adjacency)
         if unknown:

@@ -180,6 +180,14 @@ EXPERIMENTS: Tuple[Experiment, ...] = (
         "bench_shrink_effectiveness.py",
         ("e20_shrink_effectiveness.txt",),
     ),
+    Experiment(
+        "E21",
+        "Self-healing runtime: recovery outside the model, priced separately",
+        "reliable transport restores exactness at unchanged protocol CC; "
+        "root failover yields certified partials covering the surviving component",
+        "bench_recovery.py",
+        ("e21_recovery_tradeoff.txt", "e21_root_failover.txt"),
+    ),
 )
 
 

@@ -139,12 +139,24 @@ def run_protocol(
     injectors=(),
     monitors=None,
     strict_monitors: bool = False,
+    transport=None,
+    recovery=None,
+    allow_root_crash: bool = False,
 ) -> RunRecord:
     """Run one named protocol and grade its output.
 
     Protocols: ``algorithm1`` (needs ``f`` and ``b``), ``bruteforce``,
     ``folklore`` (needs ``f``), ``tag``, ``unknown_f``, ``agg_veri``
     (needs ``t``; grades the pair's result only when accepted).
+
+    ``transport`` (a :class:`repro.resilience.transport.TransportConfig`)
+    runs ``algorithm1`` / ``unknown_f`` over the reliable local-broadcast
+    shim; ``recovery`` (a :class:`repro.resilience.failover.RecoveryPolicy`)
+    runs them under the full self-healing runtime — transport plus root
+    failover plus graceful degradation; the row then carries the partial
+    result's status / certification / coverage columns.
+    ``allow_root_crash`` relaxes strict validation for root-crashing
+    schedules (implied by ``recovery``).
 
     With ``strict=True`` (default) the configuration is checked against
     every Section 2 model assumption first (see
@@ -165,6 +177,25 @@ def run_protocol(
     schedule = schedule or FailureSchedule()
     rng = rng or random.Random()
     extra: Dict[str, Any] = {}
+    if transport is not None and recovery is not None:
+        raise ValueError(
+            "pass transport via the RecoveryPolicy when recovery is set"
+        )
+    if transport is not None or recovery is not None:
+        from ..resilience.failover import RECOVERABLE_PROTOCOLS
+
+        if protocol not in RECOVERABLE_PROTOCOLS:
+            raise ValueError(
+                f"transport/recovery support {RECOVERABLE_PROTOCOLS}, "
+                f"not {protocol!r}"
+            )
+    if transport is not None:
+        # Coerce once here so the same coordinator feeds the run, the
+        # retransmit-budget monitor, and the row's overhead columns.
+        from ..resilience.transport import as_transport
+
+        transport = as_transport(transport)
+    allow_root_crash = allow_root_crash or recovery is not None
     if strict:
         from ..sim.validation import assert_model
 
@@ -175,6 +206,7 @@ def run_protocol(
             f=f,
             b=b if protocol == "algorithm1" else None,
             c=c,
+            allow_root_crash=allow_root_crash,
         )
     if monitors is None and strict_monitors:
         monitors = standard_monitors(
@@ -185,8 +217,16 @@ def run_protocol(
             c=c,
             caaf=caaf,
             mode="strict",
+            recovery=allow_root_crash,
+            transport=transport,
         )
     monitors = monitors or ()
+    if recovery is not None:
+        return _run_with_recovery_record(
+            protocol, topology, inputs, schedule, f=f, b=b, c=c, caaf=caaf,
+            rng=rng, injectors=injectors, monitors=monitors,
+            strict_monitors=strict_monitors, policy=recovery,
+        )
     # The AGG-only oracle would mis-grade a pair whose VERI rejects, so
     # the pair path relies on the post-run grading below instead.
     pair_monitors = [m for m in monitors if m.rule != "oracle"]
@@ -206,6 +246,8 @@ def run_protocol(
             rng=rng,
             injectors=injectors,
             monitors=monitors,
+            transport=transport,
+            allow_root_crash=allow_root_crash,
         )
         result, stats, rounds = out.result, out.stats, out.rounds
         network = out.network
@@ -264,6 +306,8 @@ def run_protocol(
             caaf=caaf,
             injectors=injectors,
             monitors=monitors,
+            transport=transport,
+            allow_root_crash=allow_root_crash,
         )
         result, stats, rounds = out.result, out.stats, out.rounds
         network = out.network
@@ -322,6 +366,14 @@ def run_protocol(
         raise ValueError(f"unknown protocol {protocol!r}")
 
     effective = _effective_schedule(schedule, network)
+    if transport is not None:
+        counters = transport.counters()
+        extra["overhead_bits"] = stats.max_overhead_bits
+        extra["retransmissions"] = counters["retransmissions"]
+        extra["nacks"] = counters["nacks"]
+        extra["live_gaps"] = len(
+            transport.live_gaps(network.crash_rounds if network else {})
+        )
     correct = is_correct_result(result, caaf, topology, inputs, effective, rounds)
     record = RunRecord(
         protocol=protocol,
@@ -335,6 +387,73 @@ def run_protocol(
         cc_bits=stats.max_bits,
         rounds=rounds,
         flooding_rounds=-(-rounds // topology.diameter),
+        extra=extra,
+    )
+    return _finish_record(record, monitors, strict_monitors)
+
+
+def _run_with_recovery_record(
+    protocol: str,
+    topology: Topology,
+    inputs: Dict[int, int],
+    schedule: FailureSchedule,
+    *,
+    f: Optional[int],
+    b: Optional[int],
+    c: int,
+    caaf: CAAF,
+    rng: Optional[random.Random],
+    injectors,
+    monitors,
+    strict_monitors: bool,
+    policy,
+) -> RunRecord:
+    """Recovery path of :func:`run_protocol`.
+
+    Correctness for a recovered run means: the partial result is
+    certified and its value sits inside its own deterministic bounds
+    (coverage aggregate <= value <= all-nodes aggregate); for a run with
+    no live gaps and no root loss this collapses to exactness against
+    the Section 2 oracle, because coverage is then every node.
+    """
+    from ..resilience.failover import run_with_recovery
+
+    out = run_with_recovery(
+        protocol,
+        topology,
+        inputs,
+        schedule=schedule,
+        f=f,
+        b=b,
+        c=c,
+        caaf=caaf,
+        rng=rng,
+        injectors=injectors,
+        monitors=monitors,
+        policy=policy,
+    )
+    partial = out.partial
+    correct = bool(
+        partial.certified
+        and partial.value is not None
+        and partial.lower_bound is not None
+        and partial.upper_bound is not None
+        and partial.lower_bound <= partial.value <= partial.upper_bound
+    )
+    extra = {k: v for k, v in partial.as_dict().items() if k != "value"}
+    extra["elections"] = len(out.elections)
+    record = RunRecord(
+        protocol=protocol,
+        topology=topology.name,
+        n_nodes=topology.n_nodes,
+        diameter=topology.diameter,
+        f_budget=f,
+        f_actual=schedule.edge_failures(topology),
+        result=partial.value,
+        correct=correct,
+        cc_bits=out.stats.max_bits,
+        rounds=out.rounds,
+        flooding_rounds=-(-out.rounds // topology.diameter),
         extra=extra,
     )
     return _finish_record(record, monitors, strict_monitors)
@@ -454,6 +573,8 @@ def _capture_bundle(
     from ..sim.recorder import make_execution_record
 
     caaf = kwargs.get("caaf")
+    transport = kwargs.get("transport")
+    recovery = kwargs.get("recovery")
     bundle = make_execution_record(
         recorder,
         protocol,
@@ -466,6 +587,17 @@ def _capture_bundle(
             "t": kwargs.get("t"),
             "c": kwargs.get("c", 2),
             "caaf": getattr(caaf, "name", None),
+            "transport": (
+                getattr(transport, "config", transport).as_jsonable()
+                if transport is not None
+                else None
+            ),
+            "recovery": (
+                recovery.as_jsonable() if recovery is not None else None
+            ),
+            "allow_root_crash": (
+                True if kwargs.get("allow_root_crash") else None
+            ),
         },
         run_record=record,
         seed=seed,
@@ -499,6 +631,7 @@ def safe_run_protocol(
     schedule: Optional[FailureSchedule] = None,
     timeout_s: Optional[float] = None,
     retries: int = 0,
+    backoff_s: float = 0.0,
     seed: Optional[int] = None,
     rng: Optional[random.Random] = None,
     capture_dir: Optional[str] = None,
@@ -511,6 +644,12 @@ def safe_run_protocol(
       attempt uses the caller's ``rng``; retries reseed deterministically
       from ``seed`` and the attempt number, so a flaky failure is retried
       with fresh coins while staying reproducible.
+    * ``backoff_s`` — base sleep before each retry, doubling per attempt
+      with deterministic seeded jitter (+0..50%), so parallel sweep
+      workers hitting a shared flaky resource don't retry in lockstep.
+      Per-attempt wall-clock latencies (excluding the sleeps) land in
+      ``extra["attempt_latencies"]`` on every error row, and on success
+      rows whenever a retry was needed.
     * On final failure the captured exception is returned as an
       :func:`error_record` (``correct=False``, ``error`` / ``error_kind``
       set).  ``KeyboardInterrupt``/``SystemExit`` always propagate, so an
@@ -523,13 +662,23 @@ def safe_run_protocol(
     """
     if retries < 0:
         raise ValueError(f"retries must be >= 0, got {retries}")
+    if backoff_s < 0:
+        raise ValueError(f"backoff_s must be >= 0, got {backoff_s}")
     last_exc: Optional[BaseException] = None
     last_recorder = None
     last_rng_state = None
     schedule = schedule or FailureSchedule()
     attempts = 0
+    # Jitter coins are independent of the retry rngs (different multiplier)
+    # so adding backoff never changes which coins a retry runs with.
+    jitter_rng = random.Random(((seed or 0) + 1) * 7_477_777)
+    latencies: list = []
     for attempt in range(retries + 1):
         attempts += 1
+        if attempt > 0 and backoff_s > 0:
+            time.sleep(
+                backoff_s * 2 ** (attempt - 1) * (1 + 0.5 * jitter_rng.random())
+            )
         if attempt == 0 and rng is not None:
             attempt_rng = rng
         else:
@@ -543,6 +692,7 @@ def safe_run_protocol(
             recorder = RecordingInjector(kwargs.get("injectors") or ())
             rng_state = attempt_rng.getstate()
             run_kwargs = dict(kwargs, injectors=(recorder,))
+        started = time.perf_counter()
         try:
             with wall_clock_limit(timeout_s):
                 record = run_protocol(
@@ -553,8 +703,11 @@ def safe_run_protocol(
                     rng=attempt_rng,
                     **run_kwargs,
                 )
+            latencies.append(round(time.perf_counter() - started, 6))
             record.attempts = attempts
             record.seed = seed
+            if attempts > 1:
+                record.extra["attempt_latencies"] = list(latencies)
             if recorder is not None:
                 from ..sim.recorder import is_failure
 
@@ -566,6 +719,7 @@ def safe_run_protocol(
                     )
             return record
         except Exception as exc:  # structured capture is the point
+            latencies.append(round(time.perf_counter() - started, 6))
             last_exc = exc
             last_recorder = recorder
             last_rng_state = rng_state
@@ -578,6 +732,7 @@ def safe_run_protocol(
         attempts=attempts,
         seed=seed,
     )
+    record.extra["attempt_latencies"] = list(latencies)
     if last_recorder is not None and not isinstance(last_exc, RunTimeout):
         record.extra["bundle"] = _capture_bundle(
             capture_dir, last_recorder, protocol, topology, inputs, schedule,

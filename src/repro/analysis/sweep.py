@@ -41,6 +41,11 @@ class SweepPoint:
     correct_rate: float
     records: List[RunRecord] = field(default_factory=list)
     errors: int = 0
+    #: Recovery-semantics columns (populated only when some record ran
+    #: under transport/recovery): partial-status rows and certified rows.
+    partial_rows: int = 0
+    certified_rows: int = 0
+    overhead_mean: float = 0.0
 
     def as_dict(self) -> Dict[str, Any]:
         row = dict(self.coords)
@@ -54,6 +59,11 @@ class SweepPoint:
         )
         if self.errors:
             row["errors"] = self.errors
+        if self.partial_rows or self.certified_rows:
+            row["partial_rows"] = self.partial_rows
+            row["certified_rows"] = self.certified_rows
+        if self.overhead_mean:
+            row["overhead_mean"] = round(self.overhead_mean, 1)
         return row
 
 
@@ -68,6 +78,9 @@ def aggregate(coords: Dict[str, Any], records: Sequence[RunRecord]) -> SweepPoin
         raise ValueError("no records to aggregate")
     clean = [r for r in records if not r.failed]
     cost = clean or records
+    overheads = [
+        r.extra["overhead_bits"] for r in clean if "overhead_bits" in r.extra
+    ]
     return SweepPoint(
         coords=dict(coords),
         runs=len(records),
@@ -80,6 +93,11 @@ def aggregate(coords: Dict[str, Any], records: Sequence[RunRecord]) -> SweepPoin
         correct_rate=sum(1 for r in records if r.correct) / len(records),
         records=list(records),
         errors=len(records) - len(clean),
+        partial_rows=sum(
+            1 for r in clean if r.extra.get("status") == "partial"
+        ),
+        certified_rows=sum(1 for r in clean if r.extra.get("certified")),
+        overhead_mean=statistics.fmean(overheads) if overheads else 0.0,
     )
 
 
@@ -115,8 +133,12 @@ def run_point(
     checkpoint: Optional[SweepCheckpoint] = None,
     timeout_s: Optional[float] = None,
     retries: int = 0,
+    backoff_s: float = 0.0,
     injector_factory: Optional[Callable[[int], Sequence]] = None,
     capture_dir: Optional[str] = None,
+    transport=None,
+    recovery=None,
+    allow_root_crash: bool = False,
 ) -> SweepPoint:
     """Run one sweep coordinate across seeds and aggregate.
 
@@ -158,6 +180,7 @@ def run_point(
             schedule=schedule,
             timeout_s=timeout_s,
             retries=retries,
+            backoff_s=backoff_s,
             seed=seed,
             rng=rng,
             f=f,
@@ -168,6 +191,9 @@ def run_point(
             strict=False,
             injectors=injectors,
             capture_dir=capture_dir,
+            transport=transport,
+            recovery=recovery,
+            allow_root_crash=allow_root_crash,
         )
         record.seed = seed
         if checkpoint is not None:
@@ -186,12 +212,19 @@ def sweep_b(
     checkpoint: Optional[SweepCheckpoint] = None,
     timeout_s: Optional[float] = None,
     retries: int = 0,
+    backoff_s: float = 0.0,
     capture_dir: Optional[str] = None,
+    transport=None,
+    recovery=None,
+    allow_root_crash: bool = False,
 ) -> List[SweepPoint]:
     """Measured CC of Algorithm 1 across a TC-budget grid (Figure 1's x-axis).
 
     The adversary re-samples random failures inside each run's full time
     horizon so longer budgets face proportionally spread failures.
+    ``transport`` / ``recovery`` run every point under the resilience
+    runtime (see :func:`repro.analysis.runner.run_protocol`); the points
+    then carry partial/certified counts and mean retransmit overhead.
     """
     points = []
     seeds = list(seeds)
@@ -210,7 +243,11 @@ def sweep_b(
                 checkpoint=checkpoint,
                 timeout_s=timeout_s,
                 retries=retries,
+                backoff_s=backoff_s,
                 capture_dir=capture_dir,
+                transport=transport,
+                recovery=recovery,
+                allow_root_crash=allow_root_crash,
             )
         )
     return points

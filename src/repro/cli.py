@@ -7,6 +7,8 @@ Usage (installed as ``repro-agg`` or via ``python -m repro.cli``)::
     repro-agg chaos     --topology grid:5x5 --protocol unknown_f -f 4 \
                         --inject drop=0.05,dup=0.02 --seeds 5 \
                         --capture-dir bundles/
+    repro-agg chaos     --topology grid:5x5 --protocol unknown_f \
+                        --inject drop=0.05 --recover --allow-root-crash
     repro-agg replay    bundles/unknown_f-grid-5x5-s3-0a1b2c3d4e.json
     repro-agg shrink    bundles/unknown_f-grid-5x5-s3-0a1b2c3d4e.json \
                         --out minimal.json
@@ -63,6 +65,9 @@ def parse_topology(spec: str, seed: int = 0) -> graphs.Topology:
         return graphs.balanced_tree(int(branching), int(n))
     if kind == "geometric":
         return graphs.random_geometric(int(arg), rng=rng)
+    if kind == "regular":
+        n, _, degree = arg.partition(",")
+        return graphs.random_regular(int(n), int(degree or 3), rng=rng)
     if kind == "gnp":
         return graphs.gnp_connected(int(arg), rng=rng)
     if kind == "clustered":
@@ -86,6 +91,41 @@ def _parse_injectors(spec: Optional[str], seed: int):
     return (MessageFaults.from_spec(spec, seed=seed),)
 
 
+def _resilience_config(args):
+    """``(transport, recovery)`` from the ``--recover`` /
+    ``--retransmit-budget`` flags.
+
+    ``--recover`` gets the full self-healing stack (reliable transport +
+    root failover + certified partial results); ``--retransmit-budget``
+    alone gets just the transport shim.
+    """
+    budget = args.retransmit_budget
+    if args.recover:
+        from .resilience import RecoveryPolicy
+
+        if budget is None:
+            return None, RecoveryPolicy.default()
+        return None, RecoveryPolicy.default(retransmit_budget=budget)
+    if budget is not None:
+        from .resilience import TransportConfig
+
+        return TransportConfig(retransmits=budget), None
+    return None, None
+
+
+def _maybe_crash_root(schedule, topology, args, rng: random.Random):
+    """With ``--allow-root-crash``, schedule a root crash mid-run.
+
+    The crash round is drawn from the run's seeded rng, so the same seed
+    always kills the root at the same point.
+    """
+    if not args.allow_root_crash:
+        return schedule
+    horizon = max(2, (args.budget or 42) * topology.diameter)
+    schedule.add(topology.root, rng.randint(2, max(2, horizon // 2)))
+    return schedule
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     topology = parse_topology(args.topology, args.seed)
     rng = random.Random(args.seed)
@@ -101,7 +141,9 @@ def cmd_run(args: argparse.Namespace) -> int:
         )
     else:
         schedule = no_failures()
+    schedule = _maybe_crash_root(schedule, topology, args, rng)
     injectors = _parse_injectors(args.inject, args.seed)
+    transport, recovery = _resilience_config(args)
     record = run_protocol(
         args.protocol,
         topology,
@@ -113,6 +155,9 @@ def cmd_run(args: argparse.Namespace) -> int:
         rng=rng,
         injectors=injectors,
         strict_monitors=args.strict_monitors,
+        transport=transport,
+        recovery=recovery,
+        allow_root_crash=args.allow_root_crash,
     )
     print(format_table([record.as_dict()], title=f"{args.protocol} on {topology}"))
     return 0 if record.correct else 1
@@ -123,6 +168,7 @@ def cmd_sweep_b(args: argparse.Namespace) -> int:
     checkpoint = SweepCheckpoint(args.resume) if args.resume else None
     if checkpoint is not None and len(checkpoint):
         print(f"resuming: {len(checkpoint)} run(s) loaded from {args.resume}")
+    transport, recovery = _resilience_config(args)
     try:
         points = sweep_b(
             topology,
@@ -132,7 +178,11 @@ def cmd_sweep_b(args: argparse.Namespace) -> int:
             checkpoint=checkpoint,
             timeout_s=args.timeout,
             retries=args.retries,
+            backoff_s=args.backoff,
             capture_dir=args.capture_dir,
+            transport=transport,
+            recovery=recovery,
+            allow_root_crash=args.allow_root_crash,
         )
     finally:
         if checkpoint is not None:
@@ -156,14 +206,24 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     honest failure), or *SILENT-WRONG* (output outside the oracle interval)
     — the exit status is nonzero iff any run was silent-wrong, which is
     exactly the property the paper's protocols are designed to avoid.
+
+    With ``--recover`` (or ``--retransmit-budget``) the run goes through
+    the :mod:`repro.resilience` runtime and the verdicts refine to
+    *exact* (full coverage), *partial-certified* (certified subset
+    coverage, value inside its bounds), and *PARTIAL-UNCERTIFIED* (a
+    best-effort value nothing vouches for).  The exit status is then
+    nonzero iff any run was silent-wrong **or** uncertified — the CI
+    gate for the self-healing stack.
     """
     from .sim.faults import MessageFaults
     from .sim.monitors import standard_monitors, violations_of
 
     topology = parse_topology(args.topology, args.seed)
     spec = args.inject or "drop=0.05"
+    transport, recovery = _resilience_config(args)
     rows = []
     silent_wrong = 0
+    uncertified = 0
     for seed in range(args.seed, args.seed + args.seeds):
         rng = random.Random(seed)
         inputs = make_inputs(topology, rng, max_input=args.max_input)
@@ -179,6 +239,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             if args.failures
             else no_failures()
         )
+        schedule = _maybe_crash_root(schedule, topology, args, rng)
         faults = MessageFaults.from_spec(spec, seed=seed)
         injectors = [faults]
         if args.adaptive:
@@ -189,7 +250,11 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             )
         mode = "strict" if args.strict else "record"
         monitors = standard_monitors(
-            topology, inputs, f=args.failures or None, mode=mode
+            topology,
+            inputs,
+            f=args.failures or None,
+            mode=mode,
+            recovery=recovery is not None or args.allow_root_crash,
         )
         record = safe_run_protocol(
             args.protocol,
@@ -205,13 +270,22 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             injectors=injectors,
             monitors=monitors,
             capture_dir=args.capture_dir,
+            transport=transport,
+            recovery=recovery,
+            allow_root_crash=args.allow_root_crash,
         )
+        status = record.extra.get("status")
         if record.failed:
             verdict = f"error:{record.error_kind}"
         elif record.result is None:
             verdict = "aborted"
+        elif status is not None and not record.extra.get("certified"):
+            verdict = "PARTIAL-UNCERTIFIED"
+            uncertified += 1
+        elif status == "partial":
+            verdict = "partial-certified"
         elif record.correct:
-            verdict = "correct"
+            verdict = "exact" if status == "exact" else "correct"
         else:
             verdict = "SILENT-WRONG"
             silent_wrong += 1
@@ -226,6 +300,12 @@ def cmd_chaos(args: argparse.Namespace) -> int:
                 "violations": len(violations_of(monitors)),
             }
         )
+        if "overhead_bits" in record.extra:
+            rows[-1]["overhead"] = record.extra["overhead_bits"]
+        if record.extra.get("coverage") is not None and status is not None:
+            rows[-1]["coverage"] = (
+                f"{record.extra['coverage']}/{topology.n_nodes}"
+            )
         if record.extra.get("bundle"):
             rows[-1]["bundle"] = record.extra["bundle"]
     print(
@@ -240,12 +320,13 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     )
     verdicts = [r["verdict"] for r in rows]
     print(
-        f"{verdicts.count('correct')} correct, "
+        f"{verdicts.count('correct') + verdicts.count('exact')} correct, "
+        f"{verdicts.count('partial-certified')} partial-certified, "
         f"{verdicts.count('aborted')} aborted, "
         f"{sum(1 for v in verdicts if v.startswith('error'))} errored, "
-        f"{silent_wrong} silent-wrong"
+        f"{uncertified} uncertified, {silent_wrong} silent-wrong"
     )
-    return 1 if silent_wrong else 0
+    return 1 if silent_wrong or uncertified else 0
 
 
 def cmd_replay(args: argparse.Namespace) -> int:
@@ -530,6 +611,29 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--max-input", type=int, default=None, dest="max_input")
 
+    def resilience(p):
+        p.add_argument(
+            "--recover",
+            action="store_true",
+            help="self-healing runtime: reliable transport, root failover, "
+            "certified partial results (algorithm1 / unknown_f)",
+        )
+        p.add_argument(
+            "--retransmit-budget",
+            type=int,
+            default=None,
+            dest="retransmit_budget",
+            help="reliable-transport retransmissions per frame "
+            "(alone: transport only; with --recover: sets its budget)",
+        )
+        p.add_argument(
+            "--allow-root-crash",
+            action="store_true",
+            dest="allow_root_crash",
+            help="opt out of the Section 2 root protection and schedule a "
+            "seeded root crash (pair with --recover to survive it)",
+        )
+
     p_run = sub.add_parser("run", help="run one protocol execution")
     common(p_run)
     p_run.add_argument(
@@ -551,6 +655,7 @@ def build_parser() -> argparse.ArgumentParser:
         dest="strict_monitors",
         help="attach strict invariant monitors (raise on violation)",
     )
+    resilience(p_run)
     p_run.set_defaults(func=cmd_run)
 
     p_sweep = sub.add_parser("sweep-b", help="Algorithm 1 CC vs time budget")
@@ -576,6 +681,14 @@ def build_parser() -> argparse.ArgumentParser:
         dest="capture_dir",
         help="write a repro bundle here for every failing run",
     )
+    p_sweep.add_argument(
+        "--backoff",
+        type=float,
+        default=0.0,
+        help="base retry backoff in seconds (doubles per attempt, "
+        "seeded jitter)",
+    )
+    resilience(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep_b)
 
     p_chaos = sub.add_parser(
@@ -614,6 +727,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a repro bundle here for every failing run "
         "(replay with `repro-agg replay`, minimize with `repro-agg shrink`)",
     )
+    resilience(p_chaos)
     p_chaos.set_defaults(func=cmd_chaos)
 
     p_replay = sub.add_parser(

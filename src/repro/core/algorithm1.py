@@ -232,6 +232,9 @@ class TradeoffOutcome:
     #: The executed network (exposes the effective crash map, which may
     #: include crashes injected online by adaptive adversaries).
     network: Optional[Network] = None
+    #: The reliable-transport coordinator, when the run used one
+    #: (:class:`repro.resilience.transport.ReliableTransport`).
+    transport: Optional[object] = None
 
 
 def run_algorithm1(
@@ -245,15 +248,26 @@ def run_algorithm1(
     rng: Optional[random.Random] = None,
     injectors=(),
     monitors=(),
+    transport=None,
+    allow_root_crash: bool = False,
 ) -> TradeoffOutcome:
     """Run Algorithm 1 once with TC budget ``b`` and failure budget ``f``.
 
     ``injectors`` and ``monitors`` are forwarded to the
     :class:`repro.sim.network.Network` (see :mod:`repro.sim.faults` and
-    :mod:`repro.sim.monitors`).
+    :mod:`repro.sim.monitors`).  ``transport`` (a
+    :class:`repro.resilience.transport.TransportConfig` or
+    ``ReliableTransport``) runs every protocol round over the reliable
+    local-broadcast shim — each logical round then spans the transport's
+    window of physical rounds.  ``allow_root_crash`` opts out of the
+    Section-2 root protection (used by the failover layer).
     """
+    # Lazy import: resilience builds on core, so core must not import it
+    # at module scope (same idiom as the BruteForceNode import above).
+    from ..resilience.transport import as_transport, wrap_network_args
+
     schedule = schedule or FailureSchedule()
-    schedule.validate(topology, f=f)
+    schedule.validate(topology, f=f, allow_root_crash=allow_root_crash)
     base = params_for(
         topology, t=0, c=c, caaf=caaf, max_input=max(list(inputs.values()) + [1])
     )
@@ -263,15 +277,24 @@ def run_algorithm1(
         u: Algorithm1Node(plan, u, inputs[u], rng=rng if u == topology.root else None)
         for u in topology.nodes()
     }
+    transport = as_transport(transport)
+    handlers, overhead_fn, window = wrap_network_args(
+        transport, nodes, topology.adjacency
+    )
     network = Network(
         topology.adjacency,
-        nodes,
+        handlers,
         schedule.crash_rounds,
         injectors=injectors,
         monitors=monitors,
         root=topology.root,
+        allow_root_crash=allow_root_crash,
+        overhead_fn=overhead_fn,
     )
-    stats = network.run(plan.total_rounds, stop_on_output=True)
+    # Logical round K is computed at physical round (K-1)*window + 1, so
+    # this cap lets the inner protocol reach exactly its last round.
+    max_rounds = (plan.total_rounds - 1) * window + 1
+    stats = network.run(max_rounds, stop_on_output=True)
     root = nodes[topology.root]
     return TradeoffOutcome(
         result=root.result,
@@ -284,4 +307,5 @@ def run_algorithm1(
         selected_intervals=root.selected,
         plan=plan,
         network=network,
+        transport=transport,
     )

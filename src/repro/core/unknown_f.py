@@ -167,6 +167,9 @@ class DoublingOutcome:
     #: The executed network (exposes the effective crash map, which may
     #: include crashes injected online by adaptive adversaries).
     network: Optional[Network] = None
+    #: The reliable-transport coordinator, when the run used one
+    #: (:class:`repro.resilience.transport.ReliableTransport`).
+    transport: Optional[object] = None
 
 
 def run_unknown_f(
@@ -177,14 +180,22 @@ def run_unknown_f(
     caaf: CAAF = SUM,
     injectors=(),
     monitors=(),
+    transport=None,
+    allow_root_crash: bool = False,
 ) -> DoublingOutcome:
     """Run the unknown-``f`` doubling protocol once.
 
     ``injectors`` and ``monitors`` are forwarded to the
-    :class:`repro.sim.network.Network`.
+    :class:`repro.sim.network.Network`.  ``transport`` runs the protocol
+    over the reliable local-broadcast shim (one logical round per
+    transport window); ``allow_root_crash`` opts out of the Section-2
+    root protection (used by the failover layer).
     """
+    # Lazy import: core must not depend on resilience at module scope.
+    from ..resilience.transport import as_transport, wrap_network_args
+
     schedule = schedule or FailureSchedule()
-    schedule.validate(topology)
+    schedule.validate(topology, allow_root_crash=allow_root_crash)
     params = params_for(
         topology, t=0, c=c, caaf=caaf, max_input=max(list(inputs.values()) + [1])
     )
@@ -192,15 +203,24 @@ def run_unknown_f(
     nodes = {
         u: DoublingNode(plan, u, inputs[u]) for u in topology.nodes()
     }
+    transport = as_transport(transport)
+    handlers, overhead_fn, window = wrap_network_args(
+        transport, nodes, topology.adjacency
+    )
     network = Network(
         topology.adjacency,
-        nodes,
+        handlers,
         schedule.crash_rounds,
         injectors=injectors,
         monitors=monitors,
         root=topology.root,
+        allow_root_crash=allow_root_crash,
+        overhead_fn=overhead_fn,
     )
-    stats = network.run(plan.total_rounds, stop_on_output=True)
+    # Logical round K is computed at physical round (K-1)*window + 1, so
+    # this cap lets the inner protocol reach exactly its last round.
+    max_rounds = (plan.total_rounds - 1) * window + 1
+    stats = network.run(max_rounds, stop_on_output=True)
     root = nodes[topology.root]
     return DoublingOutcome(
         result=root.result,
@@ -211,4 +231,5 @@ def run_unknown_f(
         used_bruteforce=root.used_bruteforce,
         plan=plan,
         network=network,
+        transport=transport,
     )

@@ -1,0 +1,70 @@
+"""Self-healing runtime: reliable transport, root failover, degradation.
+
+Everything in this package runs *beyond* the paper's Section-2 model —
+message loss and root crashes — and is strictly opt-in.  The in-model
+simulator stays bit-exact when nothing here is enabled.
+
+* :mod:`repro.resilience.transport` — windowed reliable local-broadcast
+  shim (dedup, reorder buffering, NACK-driven retransmission with bounded
+  exponential backoff); overhead booked separately from protocol CC.
+* :mod:`repro.resilience.failover` — deterministic root failover: bounded
+  min-id flood elects the lowest-id live neighbour of a dead root and the
+  protocol restarts in a new epoch on the surviving component.
+* :mod:`repro.resilience.partial` — graceful degradation to
+  :class:`PartialAggregateResult`: certified coverage sets, deterministic
+  error bounds, machine-readable health status.
+"""
+
+from .partial import (
+    PartialAggregateResult,
+    STATUS_EXACT,
+    STATUS_FAILED,
+    STATUS_PARTIAL,
+    certify,
+)
+from .transport import (
+    FRAME_KIND,
+    NACK_KIND,
+    TRANSPORT_KINDS,
+    ReliableTransport,
+    TransportConfig,
+    TransportGap,
+    TransportNode,
+    as_transport,
+    wrap_network_args,
+)
+from .failover import (
+    ELECT_KIND,
+    ElectionNode,
+    ElectionReport,
+    EpochReport,
+    RECOVERABLE_PROTOCOLS,
+    RecoveryOutcome,
+    RecoveryPolicy,
+    run_with_recovery,
+)
+
+__all__ = [
+    "ELECT_KIND",
+    "ElectionNode",
+    "ElectionReport",
+    "EpochReport",
+    "FRAME_KIND",
+    "NACK_KIND",
+    "PartialAggregateResult",
+    "RECOVERABLE_PROTOCOLS",
+    "RecoveryOutcome",
+    "RecoveryPolicy",
+    "ReliableTransport",
+    "STATUS_EXACT",
+    "STATUS_FAILED",
+    "STATUS_PARTIAL",
+    "TRANSPORT_KINDS",
+    "TransportConfig",
+    "TransportGap",
+    "TransportNode",
+    "as_transport",
+    "certify",
+    "run_with_recovery",
+    "wrap_network_args",
+]

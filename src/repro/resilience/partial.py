@@ -1,0 +1,131 @@
+"""Graceful degradation: certified partial aggregates instead of raising.
+
+When recovery budgets are exhausted — the transport gave up on a live
+sender, failover ran out of epochs, or no live neighbour of the dead root
+existed — runners built on :mod:`repro.resilience` return a
+:class:`PartialAggregateResult` instead of raising or silently returning a
+wrong value.  The result carries:
+
+* a **certified coverage set**: node ids provably included in the
+  aggregate.  Coverage is conservative — it is only non-empty when every
+  transport gap is excused by a real crash (the model's own silence) and
+  the final epoch's root terminated with an output;
+* **deterministic error bounds** on the true all-nodes aggregate, computed
+  from the actual inputs: the aggregate over the coverage set is a lower
+  bound and the aggregate over all nodes an upper bound (exact for
+  monotone CAAFs such as SUM with non-negative inputs);
+* a machine-readable **status** (``exact`` / ``partial`` / ``failed``) for
+  harnesses and CI gates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Tuple
+
+#: The run produced the aggregate over *all* nodes.
+STATUS_EXACT = "exact"
+#: The run produced a value certified only for a subset of nodes.
+STATUS_PARTIAL = "partial"
+#: The run produced no usable value (or certification failed).
+STATUS_FAILED = "failed"
+
+
+@dataclass(frozen=True)
+class PartialAggregateResult:
+    """Outcome of a run under recovery semantics.
+
+    ``value`` is the aggregate the (possibly re-elected) root reported;
+    ``coverage`` the certified included node ids; bounds bracket the true
+    all-nodes aggregate.  ``certified`` is False whenever any recovery
+    budget was exhausted against a live peer, in which case ``coverage``
+    is empty and the value must be treated as best-effort.
+    """
+
+    value: Optional[int]
+    coverage: Tuple[int, ...]
+    missing: Tuple[int, ...]
+    lower_bound: Optional[int]
+    upper_bound: Optional[int]
+    status: str
+    certified: bool
+    reason: str
+    epochs: int = 1
+    elected_root: Optional[int] = None
+    overhead_bits: int = 0
+    live_gaps: int = 0
+    extra: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def exact(self) -> bool:
+        """Whether the result covers every node."""
+        return self.status == STATUS_EXACT
+
+    def as_dict(self) -> Dict[str, object]:
+        """Row-friendly view (coverage reported as a count, not a list)."""
+        return {
+            "status": self.status,
+            "certified": self.certified,
+            "value": self.value,
+            "coverage": len(self.coverage),
+            "missing": len(self.missing),
+            "lower_bound": self.lower_bound,
+            "upper_bound": self.upper_bound,
+            "reason": self.reason,
+            "epochs": self.epochs,
+            "elected_root": self.elected_root,
+            "overhead_bits": self.overhead_bits,
+            "live_gaps": self.live_gaps,
+        }
+
+
+def certify(
+    value: Optional[int],
+    all_nodes: Iterable[int],
+    covered: Iterable[int],
+    inputs: Dict[int, int],
+    caaf,
+    *,
+    certified: bool,
+    reason: str,
+    epochs: int = 1,
+    elected_root: Optional[int] = None,
+    overhead_bits: int = 0,
+    live_gaps: int = 0,
+    extra: Optional[Dict[str, int]] = None,
+) -> PartialAggregateResult:
+    """Build a :class:`PartialAggregateResult` with derived bounds/status.
+
+    ``covered`` is the candidate coverage (e.g. the surviving component of
+    the final epoch); it is only honoured when ``certified`` is True —
+    otherwise coverage collapses to the empty set and the status is
+    ``failed`` unless a best-effort value is still reported.
+    """
+    all_sorted = tuple(sorted(all_nodes))
+    coverage = tuple(sorted(covered)) if certified and value is not None else ()
+    missing = tuple(u for u in all_sorted if u not in set(coverage))
+    lower = (
+        caaf.aggregate_inputs([inputs[u] for u in coverage]) if coverage else None
+    )
+    upper = caaf.aggregate_inputs([inputs[u] for u in all_sorted])
+    if value is None or not certified:
+        status = STATUS_FAILED if value is None else STATUS_PARTIAL
+    elif len(coverage) == len(all_sorted):
+        status = STATUS_EXACT
+    else:
+        status = STATUS_PARTIAL
+    return PartialAggregateResult(
+        value=value,
+        coverage=coverage,
+        missing=missing,
+        lower_bound=lower,
+        upper_bound=upper,
+        status=status,
+        certified=bool(certified and value is not None),
+        reason=reason,
+        epochs=epochs,
+        elected_root=elected_root,
+        overhead_bits=overhead_bits,
+        live_gaps=live_gaps,
+        extra=dict(extra or {}),
+    )

@@ -1,0 +1,410 @@
+"""Reliable local-broadcast transport over a lossy network.
+
+The paper's model (Section 2) promises that a broadcast made in round ``r``
+reaches every live neighbour in round ``r + 1``, exactly once, in sender
+order.  :class:`repro.sim.faults.MessageFaults` breaks all three promises.
+This module restores them *underneath* an unmodified protocol handler, so
+AGG/VERI and the composed protocols run bit-identically to the in-model
+execution as long as the retransmit budget holds out.
+
+Mechanism — windowed logical rounds:
+
+* Every **logical** protocol round spans a fixed **window** of ``W``
+  physical network rounds.  At slot 1 of window ``r`` each live node hands
+  its inner handler the (recovered) logical inbox of round ``r`` and wraps
+  whatever the handler broadcasts into a single *frame* carrying the
+  logical round number, an attempt counter, and the inner parts.  An empty
+  broadcast still produces a heartbeat frame, so a missing frame is
+  distinguishable from a silent node.
+* Frames are deduplicated per ``(sender, logical round)`` — duplicate
+  copies injected by the network are suppressed — and buffered per logical
+  round, so arbitrary within-window reordering and delays are absorbed.
+  The delivered inbox is sorted by sender id with per-frame part order
+  preserved, which reproduces the exact-model delivery order.
+* At fixed **NACK slots** inside the window a receiver that is still
+  missing a frame broadcasts a NACK naming the missing senders; the named
+  senders rebroadcast their frame (attempt > 0).  NACK slots follow a
+  bounded exponential backoff: consecutive gaps start at 2 physical rounds
+  (the minimum feasible NACK->retransmit cycle) and double up to
+  ``backoff_cap``.  Each frame is retransmitted at most
+  ``retransmits`` times.
+* If a frame is still missing when its window closes, the receiver records
+  a **gap** with the :class:`ReliableTransport` coordinator and presumes
+  the sender dead (it stops NACKing it; any later frame revives it).  Gaps
+  whose sender really had crashed by the deadline are the model's own
+  silence and are *excused*; a gap from a live sender means delivery
+  semantics were violated despite the budget, and poisons certification
+  (see :mod:`repro.resilience.partial`).
+
+All transport bits — frame headers, NACKs, and entire retransmitted
+frames — are classified by :meth:`ReliableTransport.overhead_bits` and
+booked under :attr:`repro.sim.stats.SimStats.overhead_bits`, so
+``SimStats.max_bits`` keeps meaning the *protocol* CC and the paper's
+envelope checks stay honest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, NamedTuple, Optional, Tuple
+
+from ..sim.message import Envelope, Part, TAG_BITS, id_bits
+from ..sim.node import NodeHandler
+
+#: Wire kinds used by the transport shim.
+FRAME_KIND = "xport_frame"
+NACK_KIND = "xport_nack"
+TRANSPORT_KINDS = frozenset({FRAME_KIND, NACK_KIND})
+
+#: Bits for a logical-round sequence number on the wire.
+SEQ_BITS = 16
+#: Bits for a frame's attempt counter.
+ATTEMPT_BITS = 3
+#: Header cost of every frame: tag + sequence number + attempt counter.
+FRAME_HEADER_BITS = TAG_BITS + SEQ_BITS + ATTEMPT_BITS
+
+
+@dataclass(frozen=True)
+class TransportConfig:
+    """Tuning knobs for the reliable transport.
+
+    Attributes:
+        retransmits: Maximum retransmissions of any single frame (the
+            per-frame recovery budget).  0 disables recovery and leaves
+            only framing + dedup + reorder buffering.
+        backoff_cap: Upper bound, in physical rounds, on the gap between
+            consecutive NACK slots.  The gap sequence is 2, 4, 8, ...
+            capped here; ``backoff_cap=2`` forces linear (every other
+            slot) NACKing.
+    """
+
+    retransmits: int = 2
+    backoff_cap: int = 8
+
+    def __post_init__(self) -> None:
+        if self.retransmits < 0:
+            raise ValueError(
+                f"retransmits must be >= 0, got {self.retransmits}"
+            )
+        if self.backoff_cap < 2:
+            raise ValueError(
+                f"backoff_cap must be >= 2, got {self.backoff_cap}"
+            )
+
+    @property
+    def nack_slots(self) -> Tuple[int, ...]:
+        """Window slots at which receivers NACK missing frames."""
+        slots: List[int] = []
+        slot, gap = 2, 2
+        for _ in range(self.retransmits):
+            slots.append(slot)
+            gap = min(gap, self.backoff_cap)
+            slot += gap
+            gap *= 2
+        return tuple(slots)
+
+    @property
+    def window(self) -> int:
+        """Physical rounds per logical round.
+
+        Sized so the retransmission triggered by the last NACK slot still
+        arrives before the logical round is finalized (frames arriving at
+        slot 1 of the next window are absorbed before delivery).
+        """
+        slots = self.nack_slots
+        return (slots[-1] + 1) if slots else 2
+
+    def as_jsonable(self) -> Dict[str, int]:
+        return {"retransmits": self.retransmits, "backoff_cap": self.backoff_cap}
+
+    @classmethod
+    def from_jsonable(cls, data: Dict[str, int]) -> "TransportConfig":
+        return cls(
+            retransmits=int(data["retransmits"]),
+            backoff_cap=int(data.get("backoff_cap", 8)),
+        )
+
+
+class TransportGap(NamedTuple):
+    """A frame that never arrived: receiver gave up on sender for a round."""
+
+    logical_round: int
+    sender: int
+    receiver: int
+    #: Last physical round at which the frame could still have arrived.
+    deadline: int
+
+
+class ReliableTransport:
+    """Shared coordinator for one network's worth of :class:`TransportNode`.
+
+    Holds the config, the retransmit-budget ledger, fault-recovery counters
+    and the gap log; also serves as the network's overhead classifier via
+    :meth:`overhead_bits`.
+    """
+
+    def __init__(self, config: Optional[TransportConfig] = None) -> None:
+        self.config = config or TransportConfig()
+        self.n_nodes = 0
+        #: Retransmissions used, per ``(sender, logical_round)``.
+        self.retx_used: Dict[Tuple[int, int], int] = {}
+        self.frames = 0
+        self.retransmissions = 0
+        self.nacks = 0
+        self.duplicates_suppressed = 0
+        self.stale_frames = 0
+        self.revivals = 0
+        self.gaps: List[TransportGap] = []
+
+    @property
+    def window(self) -> int:
+        return self.config.window
+
+    def wrap(self, handlers: Dict[int, NodeHandler], adjacency) -> Dict[int, "TransportNode"]:
+        """Wrap every handler in a :class:`TransportNode` bound to this coordinator."""
+        self.n_nodes = max(self.n_nodes, len(adjacency))
+        return {
+            u: TransportNode(self, u, handlers[u], adjacency[u])
+            for u in handlers
+        }
+
+    # ------------------------------------------------------------------ #
+    # Bit accounting.
+    # ------------------------------------------------------------------ #
+
+    def nack_bits(self, n_missing: int) -> int:
+        """Wire cost of a NACK naming ``n_missing`` senders."""
+        return TAG_BITS + SEQ_BITS + n_missing * id_bits(max(self.n_nodes, 2))
+
+    def overhead_bits(self, part: Part) -> int:
+        """How many of ``part``'s bits are transport overhead.
+
+        First-attempt frames cost their header (the wrapped protocol parts
+        inside are protocol bits); retransmitted frames and NACKs are
+        overhead in full; protocol parts cost nothing here.
+        """
+        if part.kind == FRAME_KIND:
+            attempt = part.payload[1]
+            return part.bits if attempt > 0 else FRAME_HEADER_BITS
+        if part.kind == NACK_KIND:
+            return part.bits
+        return 0
+
+    # ------------------------------------------------------------------ #
+    # Budget ledger and gap log.
+    # ------------------------------------------------------------------ #
+
+    def try_consume_retransmit(self, sender: int, logical_round: int) -> Optional[int]:
+        """Reserve one retransmission; returns the attempt number or None."""
+        used = self.retx_used.get((sender, logical_round), 0)
+        if used >= self.config.retransmits:
+            return None
+        self.retx_used[(sender, logical_round)] = used + 1
+        self.retransmissions += 1
+        return used + 1
+
+    def record_gap(
+        self, logical_round: int, sender: int, receiver: int, deadline: int
+    ) -> None:
+        self.gaps.append(TransportGap(logical_round, sender, receiver, deadline))
+
+    def budget_overruns(self) -> List[Tuple[int, int, int]]:
+        """``(sender, logical_round, used)`` entries exceeding the budget.
+
+        The transport enforces the budget itself, so a non-empty result
+        means the ledger was corrupted — watched by
+        :class:`repro.sim.monitors.RetransmitBudgetMonitor`.
+        """
+        return [
+            (sender, lr, used)
+            for (sender, lr), used in sorted(self.retx_used.items())
+            if used > self.config.retransmits
+        ]
+
+    def live_gaps(self, crash_rounds: Dict[int, float]) -> List[TransportGap]:
+        """Gaps whose sender was still alive at the recovery deadline.
+
+        These are unexcused delivery failures (the retransmit budget was
+        exhausted against a live sender) and void result certification.
+        A gap from a sender that had crashed by the deadline is the
+        model's own silence, not a transport failure.
+        """
+        return [
+            g
+            for g in self.gaps
+            if crash_rounds.get(g.sender, float("inf")) > g.deadline
+        ]
+
+    def counters(self) -> Dict[str, int]:
+        """Plain-dict counter snapshot for reports and run rows."""
+        return {
+            "frames": self.frames,
+            "retransmissions": self.retransmissions,
+            "nacks": self.nacks,
+            "duplicates_suppressed": self.duplicates_suppressed,
+            "stale_frames": self.stale_frames,
+            "revivals": self.revivals,
+            "gaps": len(self.gaps),
+        }
+
+
+class TransportNode(NodeHandler):
+    """Per-node transport shim wrapping an inner protocol handler.
+
+    Unknown attributes (``result``, ``done``, ``state``, ...) delegate to
+    the inner handler, so monitors and outcome extraction that read the
+    handler directly keep working on wrapped nodes.
+    """
+
+    def __init__(
+        self,
+        transport: ReliableTransport,
+        node_id: int,
+        inner: NodeHandler,
+        neighbours,
+    ) -> None:
+        self.transport = transport
+        self.node_id = node_id
+        self.inner = inner
+        self.neighbours = tuple(neighbours)
+        #: Neighbours presumed alive (still expected to send frames).
+        self._expected = set(self.neighbours)
+        #: Buffered frame contents: logical round -> sender -> parts tuple.
+        self._buf: Dict[int, Dict[int, tuple]] = {}
+        #: Highest logical round already delivered to the inner handler.
+        self._delivered = 0
+        #: Contents of my own current frame, kept for retransmission.
+        self._outbox: tuple = ()
+        self._outbox_round = 0
+
+    # -- delegation ---------------------------------------------------- #
+
+    def __getattr__(self, name):
+        # Only called when normal lookup fails; never for our own fields.
+        inner = object.__getattribute__(self, "inner")
+        return getattr(inner, name)
+
+    def wants_to_stop(self) -> bool:
+        return self.inner.wants_to_stop()
+
+    # -- round machinery ----------------------------------------------- #
+
+    def on_round(self, rnd: int, inbox) -> List[Part]:
+        cfg = self.transport.config
+        window = cfg.window
+        lr = (rnd - 1) // window + 1
+        slot = (rnd - 1) % window + 1
+
+        retransmit_requested = self._absorb(lr, slot, inbox)
+        out: List[Part] = []
+
+        if slot == 1:
+            out.append(self._advance_logical_round(lr, rnd))
+        elif retransmit_requested and self._outbox_round == lr:
+            attempt = self.transport.try_consume_retransmit(self.node_id, lr)
+            if attempt is not None:
+                out.append(self._frame(lr, attempt))
+
+        if slot in cfg.nack_slots:
+            missing = sorted(self._expected - set(self._buf.get(lr, {})))
+            if missing:
+                self.transport.nacks += 1
+                out.append(
+                    Part(
+                        NACK_KIND,
+                        (lr, tuple(missing)),
+                        self.transport.nack_bits(len(missing)),
+                    )
+                )
+        return out
+
+    def _absorb(self, lr: int, slot: int, inbox) -> bool:
+        """File incoming frames and NACKs; returns whether I was NACKed."""
+        transport = self.transport
+        retransmit_requested = False
+        for envelope in inbox:
+            sender, part = envelope.sender, envelope.part
+            if part.kind == FRAME_KIND:
+                frame_lr = part.payload[0]
+                if frame_lr <= self._delivered:
+                    transport.stale_frames += 1
+                    continue
+                buf = self._buf.setdefault(frame_lr, {})
+                if sender in buf:
+                    transport.duplicates_suppressed += 1
+                    continue
+                buf[sender] = part.payload[2]
+                if sender not in self._expected and sender in self.neighbours:
+                    self._expected.add(sender)
+                    transport.revivals += 1
+            elif part.kind == NACK_KIND:
+                nack_lr, missing = part.payload
+                if nack_lr == lr and slot > 1 and self.node_id in missing:
+                    retransmit_requested = True
+            else:  # non-transport part: a mixed network; pass through.
+                buf = self._buf.setdefault(lr, {})
+                existing = buf.get(sender, ())
+                buf[sender] = existing + ((part.kind, part.payload, part.bits),)
+        return retransmit_requested
+
+    def _advance_logical_round(self, lr: int, rnd: int) -> Part:
+        """Finalize round ``lr - 1``, feed the inner handler, emit frame ``lr``."""
+        transport = self.transport
+        if lr > 1:
+            arrived = self._buf.pop(lr - 1, {})
+            for sender in sorted(self._expected - set(arrived)):
+                transport.record_gap(lr - 1, sender, self.node_id, rnd)
+                self._expected.discard(sender)
+            logical_inbox = [
+                Envelope(sender, Part(kind, payload, bits))
+                for sender in sorted(arrived)
+                for kind, payload, bits in arrived[sender]
+            ]
+        else:
+            logical_inbox = []
+        self._delivered = lr - 1
+        inner_parts = tuple(self.inner.on_round(lr, logical_inbox))
+        self._outbox = tuple((p.kind, p.payload, p.bits) for p in inner_parts)
+        self._outbox_round = lr
+        transport.frames += 1
+        return self._frame(lr, attempt=0)
+
+    def _frame(self, lr: int, attempt: int) -> Part:
+        payload_bits = sum(bits for _, _, bits in self._outbox)
+        return Part(
+            FRAME_KIND,
+            (lr, attempt, self._outbox),
+            FRAME_HEADER_BITS + payload_bits,
+        )
+
+
+def wrap_network_args(
+    transport: Optional[ReliableTransport],
+    handlers: Dict[int, NodeHandler],
+    adjacency,
+) -> Tuple[Dict[int, NodeHandler], Optional[object], int]:
+    """Helper for protocol runners: wrap handlers if a transport is given.
+
+    Returns ``(handlers, overhead_fn, window)`` — with no transport the
+    originals come back with ``window == 1``.
+    """
+    if transport is None:
+        return handlers, None, 1
+    return (
+        transport.wrap(handlers, adjacency),
+        transport.overhead_bits,
+        transport.window,
+    )
+
+
+def as_transport(spec) -> Optional[ReliableTransport]:
+    """Coerce ``None`` / :class:`TransportConfig` / :class:`ReliableTransport`."""
+    if spec is None:
+        return None
+    if isinstance(spec, ReliableTransport):
+        return spec
+    if isinstance(spec, TransportConfig):
+        return ReliableTransport(spec)
+    raise TypeError(
+        f"expected TransportConfig or ReliableTransport, got {type(spec).__name__}"
+    )

@@ -94,21 +94,39 @@ class ScheduledCrashes(FaultInjector):
     checked at construction, and a network-declared root
     (``Network(..., root=...)``) at attach time — both reject with the
     same :data:`repro.sim.network.ROOT_CRASH_ERROR` as
-    :meth:`repro.adversary.schedule.FailureSchedule.validate`.
+    :meth:`repro.adversary.schedule.FailureSchedule.validate`.  The
+    :mod:`repro.resilience` failover layer opts out of this strict mode
+    with ``allow_root_crash=True`` (a network that sets its own
+    ``allow_root_crash`` flag opts out at attach time as well).
     """
 
-    def __init__(self, crash_rounds, root: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        crash_rounds,
+        root: Optional[int] = None,
+        allow_root_crash: bool = False,
+    ) -> None:
         super().__init__()
         # Accept a plain mapping or a FailureSchedule-like object.
         rounds = getattr(crash_rounds, "crash_rounds", crash_rounds)
         self.crash_rounds: Dict[int, float] = dict(rounds or {})
-        if root is not None and root in self.crash_rounds:
+        self.allow_root_crash = allow_root_crash
+        if (
+            root is not None
+            and root in self.crash_rounds
+            and not allow_root_crash
+        ):
             raise ValueError(ROOT_CRASH_ERROR)
 
     def attach(self, network) -> None:
         """Seed the network's crash map (earliest round wins per node)."""
         super().attach(network)
-        if network.root is not None and network.root in self.crash_rounds:
+        if (
+            network.root is not None
+            and network.root in self.crash_rounds
+            and not self.allow_root_crash
+            and not getattr(network, "allow_root_crash", False)
+        ):
             raise ValueError(ROOT_CRASH_ERROR)
         for node, rnd in self.crash_rounds.items():
             current = network.crash_rounds.get(node)

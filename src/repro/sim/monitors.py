@@ -222,6 +222,87 @@ class OracleMonitor(Monitor):
             )
 
 
+class RecoverySafetyMonitor(Monitor):
+    """Root-crash discipline for recovery-enabled runs.
+
+    Replaces :class:`RootSafetyMonitor` when ``allow_root_crash`` is on:
+    the root dying is then a *sanctioned* out-of-model event, so it is
+    recorded as a diagnostic in every mode (never raised — that is the
+    point of enabling failover), keeping recovered runs flagged for
+    forensic capture.  What does still :meth:`report` is a dead root that
+    exposes an output: a crashed node must stay silent, so a non-``None``
+    ``result`` on the dead root's handler means the recovery layer leaked
+    state across the crash.
+    """
+
+    rule = "recovery-safe"
+
+    def __init__(self, root: int, mode: str = "strict") -> None:
+        super().__init__(mode)
+        self.root = root
+        self.crash_round: Optional[int] = None
+
+    def after_round(self, network) -> None:
+        """Note (once) the round the root died; never raises for it."""
+        if self.crash_round is not None or network.is_alive(self.root):
+            return
+        self.crash_round = network.round
+        self.violations.append(
+            MonitorEvent(
+                self.rule,
+                network.round,
+                f"the root (node {self.root}) crashed; failover engaged",
+            )
+        )
+
+    def finalize(self, network) -> None:
+        """A dead root must have stayed silent: no output may survive it."""
+        if self.crash_round is None:
+            return
+        handler = network.handlers.get(self.root)
+        result = getattr(handler, "result", None)
+        if result is not None:
+            self.report(
+                f"dead root (node {self.root}) still exposes output "
+                f"{result}",
+            )
+
+
+class RetransmitBudgetMonitor(Monitor):
+    """The transport's per-frame retransmit budget must never be exceeded.
+
+    The :class:`repro.resilience.transport.ReliableTransport` ledger is
+    the ground truth; the transport enforces the budget itself, so any
+    overrun means the ledger (or a shim) is corrupted.
+    """
+
+    rule = "retransmit-budget"
+
+    def __init__(self, transport, mode: str = "strict") -> None:
+        super().__init__(mode)
+        self.transport = transport
+        self._reported: set = set()
+
+    def _check(self, network) -> None:
+        for sender, logical_round, used in self.transport.budget_overruns():
+            key = (sender, logical_round)
+            if key in self._reported:
+                continue
+            self._reported.add(key)
+            self.report(
+                f"node {sender} used {used} retransmissions for logical "
+                f"round {logical_round}, budget is "
+                f"{self.transport.config.retransmits}",
+                network.round,
+            )
+
+    def after_round(self, network) -> None:
+        self._check(network)
+
+    def finalize(self, network) -> None:
+        self._check(network)
+
+
 def theorem1_cc_envelope(
     topology,
     f: int,
@@ -269,6 +350,8 @@ def standard_monitors(
     caaf=None,
     mode: str = "strict",
     cc_bound: Optional[float] = None,
+    recovery: bool = False,
+    transport=None,
 ) -> List[Monitor]:
     """The default monitor stack for one protocol execution.
 
@@ -276,15 +359,23 @@ def standard_monitors(
     ``f``-budget monitor when ``f`` is declared and the CC-envelope
     monitor when an explicit ``cc_bound`` is given (callers wanting the
     Theorem 1 envelope compute it with :func:`theorem1_cc_envelope`).
+    With ``recovery`` the hard root-safety check is replaced by
+    :class:`RecoverySafetyMonitor` (root crashes are then sanctioned but
+    still recorded); a ``transport`` coordinator adds the
+    retransmit-budget watchdog.
     """
     monitors: List[Monitor] = [
-        RootSafetyMonitor(topology.root, mode=mode),
+        RecoverySafetyMonitor(topology.root, mode=mode)
+        if recovery
+        else RootSafetyMonitor(topology.root, mode=mode),
         OracleMonitor(topology, inputs, caaf=caaf, mode=mode),
     ]
     if f is not None:
         monitors.insert(1, FBudgetMonitor(topology, f, mode=mode))
     if cc_bound is not None:
         monitors.append(CCEnvelopeMonitor(cc_bound, mode=mode))
+    if transport is not None:
+        monitors.append(RetransmitBudgetMonitor(transport, mode=mode))
     return monitors
 
 

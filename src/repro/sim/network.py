@@ -71,6 +71,15 @@ class Network:
             :class:`repro.sim.faults.ScheduledCrashes` injector, and
             online :meth:`schedule_crash` calls — rejects the root with
             ``ValueError(ROOT_CRASH_ERROR)``.
+        allow_root_crash: Opt out of the Section-2 root protection (used by
+            the :mod:`repro.resilience` failover layer, which survives root
+            crashes by electing a replacement).  The in-model strict
+            rejection stays the default.
+        overhead_fn: Optional ``Part -> int`` classifier; for each broadcast
+            part it returns how many of the part's bits are recovery-layer
+            overhead.  Overhead is booked separately in
+            :attr:`SimStats.overhead_bits` so :attr:`SimStats.max_bits`
+            keeps meaning the protocol CC.
     """
 
     def __init__(
@@ -82,6 +91,8 @@ class Network:
         injectors: Sequence = (),
         monitors: Sequence = (),
         root: Optional[int] = None,
+        allow_root_crash: bool = False,
+        overhead_fn=None,
     ) -> None:
         self.adjacency: Dict[int, tuple] = {
             u: tuple(vs) for u, vs in adjacency.items()
@@ -91,6 +102,11 @@ class Network:
             raise ValueError(f"root {root} is not a node of the graph")
         #: Protected root node id (None: no node is protected).
         self.root = root
+        #: When True the root may crash (resilience/failover mode); the
+        #: Section-2 rejection is skipped everywhere it consults this flag.
+        self.allow_root_crash = allow_root_crash
+        #: Optional ``Part -> int`` recovery-overhead classifier.
+        self.overhead_fn = overhead_fn
         missing = set(self.adjacency) - set(handlers)
         if missing:
             raise ValueError(f"no handler for nodes: {sorted(missing)}")
@@ -170,7 +186,7 @@ class Network:
         """
         if node not in self.adjacency:
             raise ValueError(f"cannot crash unknown node {node}")
-        if self.root is not None and node == self.root:
+        if self.root is not None and node == self.root and not self.allow_root_crash:
             raise ValueError(ROOT_CRASH_ERROR)
         if rnd <= self.round:
             raise ValueError(
@@ -206,7 +222,12 @@ class Network:
             parts = list(self.handlers[node].on_round(rnd, inbox))
             if parts:
                 bits = sum(p.bits for p in parts)
-                self.stats.record_broadcast(node, len(parts), bits)
+                overhead = (
+                    sum(self.overhead_fn(p) for p in parts)
+                    if self.overhead_fn is not None
+                    else 0
+                )
+                self.stats.record_broadcast(node, len(parts), bits, overhead)
                 if self.tracer is not None:
                     self.tracer.on_send(rnd, node, parts, bits)
                 for injector in self.injectors:
@@ -269,6 +290,14 @@ class Network:
                 continue
             if not self.is_alive(receiver, rnd):
                 continue
+            # A delivery at round ``rnd`` requires a broadcast at round
+            # ``rnd - 1`` in the model; a sender dead by then cannot have
+            # made it.  This drops delayed/duplicated ghost copies landing
+            # after the sender's crash round (delivery exactly *at* the
+            # crash round stays, matching the model's "the round r-1
+            # broadcast is still delivered").
+            if not self.is_alive(sender, rnd - 1):
+                continue
             inboxes.setdefault(receiver, []).append(Envelope(sender, part))
             if self.tracer is not None:
                 self.tracer.on_deliver(rnd, sender, receiver, part)
@@ -287,6 +316,9 @@ class Network:
         the untouched stats).  Stops early once any handler's
         :meth:`NodeHandler.wants_to_stop` returns True (the root
         terminating with its output), unless ``stop_on_output`` is False.
+        Also stops once the designated root is dead — impossible in the
+        strict model, but under ``allow_root_crash`` the remaining rounds
+        cannot produce an output and the failover layer takes over.
         Monitors are finalized exactly once, after the last round.
         """
         if max_rounds < 0:
@@ -296,6 +328,8 @@ class Network:
             if stop_on_output and any(
                 h.wants_to_stop() for h in self.handlers.values()
             ):
+                break
+            if self.root is not None and not self.is_alive(self.root):
                 break
         for monitor in self.monitors:
             monitor.finalize(self)

@@ -278,9 +278,25 @@ def replay_bundle(
 
     params = bundle.params
     caaf = by_name(params["caaf"]) if params.get("caaf") else SUM
+    # Resilience configuration, when the capture ran under it: rebuild the
+    # transport / recovery objects so the replay takes the same code path
+    # (window size, failover epochs) as the recording.
+    transport = None
+    recovery = None
+    allow_root_crash = bool(params.get("allow_root_crash"))
+    if params.get("transport"):
+        from ..resilience.transport import TransportConfig
+
+        transport = TransportConfig.from_jsonable(params["transport"])
+    if params.get("recovery"):
+        from ..resilience.failover import RecoveryPolicy
+
+        recovery = RecoveryPolicy.from_jsonable(params["recovery"])
     # Mirror the capture-time monitor configuration: "strict" reproduces
     # the run_protocol strict-monitors path (including its post-run oracle
-    # raise); "record" re-attaches the standard stack in record mode.
+    # raise); "record" re-attaches the standard stack in record mode —
+    # recovery-aware when the capture allowed a root crash, so recorded
+    # ``recovery-safe`` violations match on replay.
     monitors = None
     if bundle.monitor_mode == "record":
         monitors = standard_monitors(
@@ -288,6 +304,7 @@ def replay_bundle(
             inputs,
             f=params.get("f"),
             mode="record",
+            recovery=allow_root_crash or recovery is not None,
         )
     record = safe_run_protocol(
         bundle.protocol,
@@ -305,6 +322,9 @@ def replay_bundle(
         injectors=(injector,),
         monitors=monitors,
         strict_monitors=bundle.monitor_mode == "strict",
+        transport=transport,
+        recovery=recovery,
+        allow_root_crash=allow_root_crash,
     )
     if strict and injector.divergence is not None:
         # The runner converted the in-run divergence into an error row;

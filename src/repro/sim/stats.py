@@ -20,13 +20,50 @@ class SimStats:
     bits_sent: Dict[int, int] = field(default_factory=dict)
     parts_sent: Dict[int, int] = field(default_factory=dict)
     broadcasts: Dict[int, int] = field(default_factory=dict)
+    #: Bits spent on recovery machinery (transport framing, NACKs,
+    #: retransmissions, elections) — accounted separately so ``max_bits``
+    #: keeps meaning the *protocol* CC and envelope checks stay honest.
+    overhead_bits: Dict[int, int] = field(default_factory=dict)
     rounds_executed: int = 0
 
-    def record_broadcast(self, node: int, n_parts: int, bits: int) -> None:
-        """Record one physical broadcast of ``n_parts`` parts totalling ``bits``."""
-        self.bits_sent[node] = self.bits_sent.get(node, 0) + bits
+    def record_broadcast(
+        self, node: int, n_parts: int, bits: int, overhead: int = 0
+    ) -> None:
+        """Record one physical broadcast of ``n_parts`` parts totalling ``bits``.
+
+        ``overhead`` names the portion of ``bits`` that is recovery-layer
+        overhead rather than protocol payload; it is booked under
+        :attr:`overhead_bits` and excluded from :attr:`bits_sent`.
+        """
+        if overhead:
+            if not 0 <= overhead <= bits:
+                raise ValueError(
+                    f"overhead {overhead} outside [0, {bits}] for node {node}"
+                )
+            self.overhead_bits[node] = self.overhead_bits.get(node, 0) + overhead
+        self.bits_sent[node] = self.bits_sent.get(node, 0) + bits - overhead
         self.parts_sent[node] = self.parts_sent.get(node, 0) + n_parts
         self.broadcasts[node] = self.broadcasts.get(node, 0) + 1
+
+    def absorb(self, other: "SimStats", as_overhead: bool = False) -> None:
+        """Merge counters from ``other`` (a later epoch / auxiliary phase).
+
+        Rounds add up; per-node counters add up.  With ``as_overhead`` the
+        other execution's protocol bits are booked as overhead here — used
+        for election rounds, which are recovery cost, not protocol CC.
+        """
+        for node, bits in other.bits_sent.items():
+            if as_overhead:
+                self.overhead_bits[node] = self.overhead_bits.get(node, 0) + bits
+            else:
+                self.bits_sent[node] = self.bits_sent.get(node, 0) + bits
+        for node, bits in other.overhead_bits.items():
+            self.overhead_bits[node] = self.overhead_bits.get(node, 0) + bits
+        for node, n in other.parts_sent.items():
+            self.parts_sent[node] = self.parts_sent.get(node, 0) + n
+        for node, n in other.broadcasts.items():
+            self.broadcasts[node] = self.broadcasts.get(node, 0) + n
+        self.rounds_executed += other.rounds_executed
 
     @property
     def max_bits(self) -> int:
@@ -37,6 +74,16 @@ class SimStats:
     def total_bits(self) -> int:
         """Bits sent by all nodes combined (not the paper's CC; informational)."""
         return sum(self.bits_sent.values())
+
+    @property
+    def max_overhead_bits(self) -> int:
+        """The bottleneck-node recovery overhead (same max-over-nodes shape as CC)."""
+        return max(self.overhead_bits.values(), default=0)
+
+    @property
+    def total_overhead_bits(self) -> int:
+        """Recovery overhead summed over all nodes."""
+        return sum(self.overhead_bits.values())
 
     def bits_of(self, node: int) -> int:
         """Bits sent by one node."""

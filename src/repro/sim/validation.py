@@ -44,11 +44,13 @@ def validate_model(
     b: Optional[int] = None,
     c: int = 2,
     input_degree: int = 3,
+    allow_root_crash: bool = False,
 ) -> List[Violation]:
     """Check a configuration against the Section 2 assumptions.
 
     ``input_degree`` bounds the polynomial input domain: inputs must stay
-    within ``N ** input_degree``.
+    within ``N ** input_degree``.  ``allow_root_crash`` skips the
+    root-safety check (the :mod:`repro.resilience` failover opt-in).
     """
     violations: List[Violation] = []
 
@@ -62,7 +64,7 @@ def validate_model(
         )
 
     if schedule is not None:
-        if topology.root in schedule.failed_nodes:
+        if topology.root in schedule.failed_nodes and not allow_root_crash:
             violations.append(
                 Violation(
                     "root-safe",
@@ -146,10 +148,17 @@ def assert_model(
     f: Optional[int] = None,
     b: Optional[int] = None,
     c: int = 2,
+    allow_root_crash: bool = False,
 ) -> None:
     """Raise ValueError with all diagnostics if any assumption is broken."""
     violations = validate_model(
-        topology, inputs=inputs, schedule=schedule, f=f, b=b, c=c
+        topology,
+        inputs=inputs,
+        schedule=schedule,
+        f=f,
+        b=b,
+        c=c,
+        allow_root_crash=allow_root_crash,
     )
     if violations:
         details = "\n  ".join(str(v) for v in violations)

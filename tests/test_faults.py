@@ -234,6 +234,73 @@ class TestFaultKinds:
         assert mf.counts.total == 2
 
 
+class FixedDelay(FaultInjector):
+    """Delay every copy from ``sender`` by exactly ``by`` rounds."""
+
+    modifies_delivery = True
+
+    def __init__(self, sender, by):
+        super().__init__()
+        self.sender = sender
+        self.by = by
+
+    def on_transmit(self, due, sender, receiver, part):
+        if sender == self.sender:
+            return [(due + self.by, part)]
+        return [(due, part)]
+
+
+class TestDelayedCopiesFromCrashedSenders:
+    """Regression: a delayed copy must die with its sender.
+
+    In the model a delivery at round ``r`` corresponds to a broadcast at
+    ``r - 1``; a sender dead by then cannot have produced it.  The delay
+    fault used to resurrect such ghost copies, letting a crashed node
+    keep talking past its crash round.
+    """
+
+    def crashed_chatty(self, injector, crash_round):
+        class Chatty(SilentNode):
+            def on_round(self, rnd, inbox):
+                return [Part("ping", (rnd,), 8)]
+
+        recorder = Recorder()
+        net = Network(
+            line3(),
+            {0: Chatty(), 1: recorder, 2: SilentNode()},
+            crash_rounds={0: crash_round},
+            injectors=[injector] if injector else (),
+        )
+        net.run(12, stop_on_output=False)
+        return recorder.received
+
+    def test_ghost_copy_past_crash_round_is_dropped(self):
+        # Sender 0 crashes at round 5: its last broadcast is round 4,
+        # normally delivered at round 5.  A +4 delay would land copies at
+        # rounds 6..9 — all after the crash; none may arrive.
+        received = self.crashed_chatty(FixedDelay(0, by=4), crash_round=5)
+        assert all(rnd <= 5 for rnd, s, _k in received if s == 0)
+        assert not any(rnd > 5 for rnd, s, _k in received if s == 0)
+
+    def test_delivery_exactly_at_crash_round_survives(self):
+        # A +1 delay moves the round-3 broadcast (due 4) to round 5 — the
+        # crash round itself, i.e. the last in-model delivery; it stays.
+        received = self.crashed_chatty(FixedDelay(0, by=1), crash_round=5)
+        rounds = [rnd for rnd, s, _k in received if s == 0]
+        assert 5 in rounds
+        assert all(rnd <= 5 for rnd in rounds)
+
+    def test_random_delays_never_resurrect_a_crashed_sender(self):
+        for seed in range(6):
+            received = self.crashed_chatty(
+                MessageFaults(delay=1.0, max_delay=3, seed=seed),
+                crash_round=4,
+            )
+            assert all(rnd <= 4 for rnd, s, _k in received if s == 0), (
+                f"seed {seed}: ghost delivery after the sender's crash"
+            )
+
+
 class TestScheduledCrashes:
     def test_equivalent_to_crash_rounds_argument(self):
         def run_with(**kwargs):
