@@ -25,3 +25,21 @@ def emit(name: str, text: str) -> None:
 def once(benchmark, fn, *args, **kwargs):
     """Run ``fn`` exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def engine_from_env():
+    """An :class:`repro.exec.ExecutionEngine` configured from the
+    environment: ``REPRO_JOBS`` (worker processes, default 1) and
+    ``REPRO_CACHE_DIR`` (content-addressed result cache, default off).
+
+    Benches route their sweeps through this so ``REPRO_JOBS=4 pytest
+    benchmarks/...`` parallelizes — and ``REPRO_CACHE_DIR=...`` makes
+    re-runs warm-start — without changing a single result (the engine's
+    determinism contract).
+    """
+    from repro.exec import ExecutionEngine, ResultCache
+
+    jobs = int(os.environ.get("REPRO_JOBS") or 1)
+    cache_dir = os.environ.get("REPRO_CACHE_DIR")
+    cache = ResultCache(cache_dir) if cache_dir else None
+    return ExecutionEngine(jobs=jobs, cache=cache)

@@ -1,0 +1,178 @@
+"""E22 — the execution engine: parallel speedup without result drift.
+
+The engine's contract is *determinism first*: any ``jobs`` value, any
+completion order, and any cache state must produce bit-identical sweep
+output.  This bench measures what that contract costs and buys:
+
+* **Compute arm.**  A fixed sweep grid (8x8 grid, 8 units) runs at
+  ``jobs`` in {1, 2, 4, 8}; every arm's aggregated points must be
+  byte-identical, and on multi-core hosts (``os.cpu_count() >= 4``) the
+  4-worker arm must be at least 2x faster than serial.  On single-core
+  CI the identity assertions still run — determinism is hardware-
+  independent even when speedup is not.
+* **Orchestration arm.**  ``pooled_map`` over I/O-bound units (sleeps)
+  isolates the scheduling machinery from CPU contention: 4 workers must
+  beat 1 by >= 2x on *any* host, because sleeping workers overlap even
+  on one core.
+* **Warm-cache arm.**  The same grid re-run against a populated
+  content-addressed cache must be >= 10x faster than the cold run and
+  return byte-identical points — the replay path that makes iterating
+  on analysis code free.
+
+The trajectory point lands in ``BENCH_e22_exec_speedup.json`` at the
+repo root (compute/orchestration/cache wall clocks and speedups).
+"""
+
+import json
+import os
+import shutil
+import tempfile
+import time
+
+import pytest
+
+from repro.analysis import format_table
+from repro.analysis.sweep import sweep_b
+from repro.exec import ExecutionEngine, ResultCache
+from repro.exec.pool import pooled_map
+from repro.graphs import grid_graph
+
+from _util import emit, once
+
+JOBS_GRID = (1, 2, 4, 8)
+GRID_SIDE = 8
+F = 8
+BS = (90, 180)
+SEEDS = 4
+SLEEP_S = 0.2
+N_SLEEPERS = 8
+TRAJECTORY_PATH = os.path.join(
+    os.path.dirname(__file__), "..", "BENCH_e22_exec_speedup.json"
+)
+
+
+def _fingerprint(points):
+    return [json.dumps(p.as_dict(), sort_keys=True) for p in points]
+
+
+def _sweep(engine):
+    topo = grid_graph(GRID_SIDE, GRID_SIDE)
+    t0 = time.perf_counter()
+    points = sweep_b(
+        topo, f=F, bs=list(BS), seeds=range(SEEDS), engine=engine
+    )
+    return time.perf_counter() - t0, _fingerprint(points)
+
+
+def _sleeper(delay):
+    time.sleep(delay)
+    return delay
+
+
+def run_speedup_study():
+    study = {"compute": [], "orchestration": [], "cache": {}}
+
+    fingerprints = {}
+    for jobs in JOBS_GRID:
+        wall, fingerprint = _sweep(ExecutionEngine(jobs=jobs))
+        fingerprints[jobs] = fingerprint
+        study["compute"].append({"jobs": jobs, "wall_s": round(wall, 3)})
+    base = study["compute"][0]["wall_s"]
+    for row in study["compute"]:
+        row["speedup"] = round(base / max(row["wall_s"], 1e-9), 2)
+    study["compute_identical"] = all(
+        fingerprints[jobs] == fingerprints[1] for jobs in JOBS_GRID
+    )
+
+    for jobs in (1, 4):
+        t0 = time.perf_counter()
+        returned = pooled_map(_sleeper, [SLEEP_S] * N_SLEEPERS, jobs=jobs)
+        wall = time.perf_counter() - t0
+        assert returned == [SLEEP_S] * N_SLEEPERS
+        study["orchestration"].append(
+            {"jobs": jobs, "wall_s": round(wall, 3)}
+        )
+    orch_base = study["orchestration"][0]["wall_s"]
+    for row in study["orchestration"]:
+        row["speedup"] = round(orch_base / max(row["wall_s"], 1e-9), 2)
+
+    cache_dir = tempfile.mkdtemp(prefix="e22-cache-")
+    try:
+        cache = ResultCache(cache_dir)
+        cold_wall, cold_fp = _sweep(ExecutionEngine(jobs=1, cache=cache))
+        warm_cache = ResultCache(cache_dir)
+        warm_wall, warm_fp = _sweep(ExecutionEngine(jobs=1, cache=warm_cache))
+        study["cache"] = {
+            "cold_s": round(cold_wall, 3),
+            "warm_s": round(warm_wall, 4),
+            "speedup": round(cold_wall / max(warm_wall, 1e-9), 1),
+            "identical": warm_fp == cold_fp,
+            "warm_hits": warm_cache.hits,
+        }
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+    return study
+
+
+def _write_trajectory(study):
+    point = {
+        "experiment": "E22",
+        "units": len(BS) * SEEDS,
+        "topology": f"grid({GRID_SIDE}x{GRID_SIDE})",
+        "cpu_count": os.cpu_count(),
+        "compute": study["compute"],
+        "compute_identical": study["compute_identical"],
+        "orchestration": study["orchestration"],
+        "cache": study["cache"],
+    }
+    with open(os.path.abspath(TRAJECTORY_PATH), "w") as fh:
+        json.dump(point, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+@pytest.mark.benchmark(group="exec")
+def test_engine_speedup_and_determinism(benchmark):
+    study = once(benchmark, run_speedup_study)
+    rows = (
+        [{"arm": "compute", **row} for row in study["compute"]]
+        + [{"arm": "orchestration", **row} for row in study["orchestration"]]
+        + [
+            {
+                "arm": "warm-cache",
+                "jobs": 1,
+                "wall_s": study["cache"]["warm_s"],
+                "speedup": study["cache"]["speedup"],
+            }
+        ]
+    )
+    emit(
+        "e22_exec_speedup",
+        format_table(
+            rows,
+            title=(
+                f"E22: engine wall clock, grid {GRID_SIDE}x{GRID_SIDE}, "
+                f"{len(BS) * SEEDS} units (host cpus={os.cpu_count()})"
+            ),
+        ),
+    )
+    _write_trajectory(study)
+
+    # Determinism is unconditional: every jobs value, and the cached
+    # replay, must reproduce the serial points byte-for-byte.
+    assert study["compute_identical"]
+    assert study["cache"]["identical"]
+    assert study["cache"]["warm_hits"] == len(BS) * SEEDS
+
+    # The warm cache replays instead of recomputing on any hardware.
+    assert study["cache"]["speedup"] >= 10
+
+    # Sleeping workers overlap even on one core, so the orchestration
+    # machinery itself must show real parallelism everywhere.
+    orch = {row["jobs"]: row for row in study["orchestration"]}
+    assert orch[4]["speedup"] >= 2
+
+    # CPU-bound speedup needs actual cores; single-core CI still proved
+    # the identity contract above.
+    if (os.cpu_count() or 1) >= 4:
+        compute = {row["jobs"]: row for row in study["compute"]}
+        assert compute[4]["speedup"] >= 2

@@ -8,6 +8,15 @@ whatever maximizes the protocol's measured bottleneck bits (or rounds).
 It doubles as a falsification harness: every candidate run also checks
 result correctness, so a search that ever surfaces an incorrect result has
 found a protocol bug (the zero-error claim says it cannot).
+
+Restarts are independent hill climbs, so the search parallelizes over
+them: each restart derives its own ``random.Random`` from a seed drawn
+upfront, runs to completion (serially within the restart), and a
+deterministic reduction — best score, earliest restart wins ties —
+makes the result identical for every ``jobs`` value.  Parallel workers
+need a picklable evaluator, which closures are not; pass an
+:class:`EvaluatorSpec` (built worker-side) instead of a callable when
+``jobs > 1``.
 """
 
 from __future__ import annotations
@@ -36,6 +45,36 @@ class SearchResult:
 
 Evaluator = Callable[[FailureSchedule, random.Random], Tuple[int, int, bool]]
 """Maps (schedule, rng) -> (cc_bits, rounds, correct)."""
+
+
+@dataclass(frozen=True)
+class EvaluatorSpec:
+    """Declarative, picklable recipe for a worker-side evaluator.
+
+    The closure :func:`make_algorithm1_evaluator` returns cannot cross a
+    process boundary; this spec can, and ``make()`` rebuilds the same
+    closure inside the worker.
+    """
+
+    topology: Topology
+    inputs: Dict[int, int]
+    f: int
+    b: int
+    c: int = 2
+    protocol: str = "algorithm1"
+
+    def make(self) -> Evaluator:
+        if self.protocol != "algorithm1":
+            raise ValueError(
+                f"no evaluator recipe for protocol {self.protocol!r}"
+            )
+        return make_algorithm1_evaluator(
+            self.topology, self.inputs, f=self.f, b=self.b, c=self.c
+        )
+
+
+def _resolve_evaluator(evaluator) -> Evaluator:
+    return evaluator.make() if isinstance(evaluator, EvaluatorSpec) else evaluator
 
 
 def make_algorithm1_evaluator(
@@ -104,6 +143,38 @@ def mutate_schedule(
     return FailureSchedule(crash_rounds)
 
 
+def _climb_restart(task: tuple) -> Dict[str, object]:
+    """One full hill climb from a fresh random schedule (worker entry).
+
+    Deterministic in its task tuple alone: the restart owns a private
+    ``Random(seed)``, so restarts can run in any process, in any order.
+    """
+    evaluator, topology, f, horizon, seed, steps, objective = task
+    evaluate = _resolve_evaluator(evaluator)
+    rng = random.Random(seed)
+    current = random_schedule(topology, f, horizon, rng)
+    cc, rounds, correct = evaluate(current, random.Random(rng.random()))
+    trials, incorrect = 1, int(not correct)
+    score = cc if objective == "cc" else rounds
+    for _ in range(steps):
+        candidate = mutate_schedule(topology, current, f, horizon, rng)
+        c_cc, c_rounds, c_ok = evaluate(candidate, random.Random(rng.random()))
+        trials += 1
+        incorrect += not c_ok
+        c_score = c_cc if objective == "cc" else c_rounds
+        if c_score >= score:
+            current, score = candidate, c_score
+            cc, rounds = c_cc, c_rounds
+    return {
+        "crash_rounds": dict(current.crash_rounds),
+        "cc": cc,
+        "rounds": rounds,
+        "score": score,
+        "trials": trials,
+        "incorrect": incorrect,
+    }
+
+
 def search_worst_adversary(
     evaluator: Evaluator,
     topology: Topology,
@@ -113,41 +184,48 @@ def search_worst_adversary(
     restarts: int = 4,
     steps_per_restart: int = 8,
     objective: str = "cc",
+    jobs: int = 1,
 ) -> SearchResult:
     """Random-restart hill climbing toward the costliest schedule.
 
     ``objective`` is ``"cc"`` (bottleneck bits) or ``"rounds"``.  Every
     evaluation also verifies zero-error correctness; violations are
     counted in ``incorrect_runs`` (and should always be zero).
+
+    ``jobs > 1`` distributes restarts over worker processes; the result
+    is identical for every ``jobs`` value (restart seeds are drawn
+    upfront from ``rng``, and the reduction prefers the earliest restart
+    on score ties).  Parallel mode requires ``evaluator`` to be an
+    :class:`EvaluatorSpec`.
     """
     if objective not in ("cc", "rounds"):
         raise ValueError("objective must be 'cc' or 'rounds'")
+    if jobs > 1 and not isinstance(evaluator, EvaluatorSpec):
+        raise TypeError(
+            "jobs > 1 needs a picklable EvaluatorSpec, not a callable "
+            "evaluator (closures cannot cross process boundaries)"
+        )
     rng = rng or random.Random()
+    evaluate = _resolve_evaluator(evaluator)
     best_schedule = FailureSchedule()
-    best_cc, best_rounds = evaluator(best_schedule, random.Random(rng.random()))[:2]
+    best_cc, best_rounds = evaluate(best_schedule, random.Random(rng.random()))[:2]
     best_score = best_cc if objective == "cc" else best_rounds
     trials, incorrect = 1, 0
 
-    for _ in range(restarts):
-        current = random_schedule(topology, f, horizon, rng)
-        cc, rounds, correct = evaluator(current, random.Random(rng.random()))
-        trials += 1
-        incorrect += not correct
-        score = cc if objective == "cc" else rounds
-        for _ in range(steps_per_restart):
-            candidate = mutate_schedule(topology, current, f, horizon, rng)
-            c_cc, c_rounds, c_ok = evaluator(
-                candidate, random.Random(rng.random())
-            )
-            trials += 1
-            incorrect += not c_ok
-            c_score = c_cc if objective == "cc" else c_rounds
-            if c_score >= score:
-                current, score = candidate, c_score
-                cc, rounds = c_cc, c_rounds
-        if score > best_score:
-            best_schedule, best_score = current, score
-            best_cc, best_rounds = cc, rounds
+    restart_seeds = [rng.randrange(1 << 62) for _ in range(restarts)]
+    tasks = [
+        (evaluator, topology, f, horizon, seed, steps_per_restart, objective)
+        for seed in restart_seeds
+    ]
+    from ..exec.pool import pooled_map
+
+    for outcome in pooled_map(_climb_restart, tasks, jobs=jobs):
+        trials += outcome["trials"]
+        incorrect += outcome["incorrect"]
+        if outcome["score"] > best_score:
+            best_schedule = FailureSchedule(dict(outcome["crash_rounds"]))
+            best_score = outcome["score"]
+            best_cc, best_rounds = outcome["cc"], outcome["rounds"]
 
     return SearchResult(
         schedule=best_schedule,

@@ -188,6 +188,14 @@ EXPERIMENTS: Tuple[Experiment, ...] = (
         "bench_recovery.py",
         ("e21_recovery_tradeoff.txt", "e21_root_failover.txt"),
     ),
+    Experiment(
+        "E22",
+        "Reproduction infrastructure: parallel execution engine",
+        "jobs in {1,2,4,8} and warm-cache replay are byte-identical; "
+        "orchestration >= 2x at 4 workers, warm cache >= 10x",
+        "bench_exec_speedup.py",
+        ("e22_exec_speedup.txt",),
+    ),
 )
 
 

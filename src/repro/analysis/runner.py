@@ -624,6 +624,25 @@ def _monitor_mode_of(kwargs: Dict[str, Any]) -> Optional[str]:
     return None
 
 
+def _attach_attempt_telemetry(
+    record: RunRecord, latencies: list, backoffs: list
+) -> RunRecord:
+    """Attach per-attempt wall-clock telemetry to a finished row.
+
+    The single shared exit path for success, error, *and* timeout rows —
+    pool workers go through it too, so worker-side timeouts carry the
+    same columns as serial ones.  Healthy single-attempt rows stay
+    unannotated (tables look exactly as before); any retried or failed
+    row records every attempt's latency and every retry's actual
+    (jittered) backoff sleep.
+    """
+    if record.failed or record.attempts > 1:
+        record.extra["attempt_latencies"] = list(latencies)
+    if backoffs:
+        record.extra["retry_backoffs"] = list(backoffs)
+    return record
+
+
 def safe_run_protocol(
     protocol: str,
     topology: Topology,
@@ -648,8 +667,11 @@ def safe_run_protocol(
       with deterministic seeded jitter (+0..50%), so parallel sweep
       workers hitting a shared flaky resource don't retry in lockstep.
       Per-attempt wall-clock latencies (excluding the sleeps) land in
-      ``extra["attempt_latencies"]`` on every error row, and on success
-      rows whenever a retry was needed.
+      ``extra["attempt_latencies"]`` on every failure row — timeouts
+      included — and on success rows whenever a retry was needed; the
+      actual jittered sleeps land in ``extra["retry_backoffs"]``
+      whenever a backoff was taken (see :func:`_attach_attempt_telemetry`,
+      the shared exit path serial runs and pool workers both use).
     * On final failure the captured exception is returned as an
       :func:`error_record` (``correct=False``, ``error`` / ``error_kind``
       set).  ``KeyboardInterrupt``/``SystemExit`` always propagate, so an
@@ -673,12 +695,15 @@ def safe_run_protocol(
     # so adding backoff never changes which coins a retry runs with.
     jitter_rng = random.Random(((seed or 0) + 1) * 7_477_777)
     latencies: list = []
+    backoffs: list = []
     for attempt in range(retries + 1):
         attempts += 1
         if attempt > 0 and backoff_s > 0:
-            time.sleep(
+            pause = (
                 backoff_s * 2 ** (attempt - 1) * (1 + 0.5 * jitter_rng.random())
             )
+            backoffs.append(round(pause, 6))
+            time.sleep(pause)
         if attempt == 0 and rng is not None:
             attempt_rng = rng
         else:
@@ -706,8 +731,7 @@ def safe_run_protocol(
             latencies.append(round(time.perf_counter() - started, 6))
             record.attempts = attempts
             record.seed = seed
-            if attempts > 1:
-                record.extra["attempt_latencies"] = list(latencies)
+            _attach_attempt_telemetry(record, latencies, backoffs)
             if recorder is not None:
                 from ..sim.recorder import is_failure
 
@@ -732,7 +756,7 @@ def safe_run_protocol(
         attempts=attempts,
         seed=seed,
     )
-    record.extra["attempt_latencies"] = list(latencies)
+    _attach_attempt_telemetry(record, latencies, backoffs)
     if last_recorder is not None and not isinstance(last_exc, RunTimeout):
         record.extra["bundle"] = _capture_bundle(
             capture_dir, last_recorder, protocol, topology, inputs, schedule,

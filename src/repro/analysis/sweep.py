@@ -11,6 +11,15 @@ retried with fresh coins.  Passing a :class:`repro.analysis.checkpoint.
 SweepCheckpoint` makes progress durable: each completed run is appended to
 a JSONL file and a resumed sweep re-executes only the missing runs,
 yielding the identical record set as an uninterrupted sweep.
+
+Passing an ``engine`` (:class:`repro.exec.ExecutionEngine`) fans the
+whole grid's *(coordinate, seed)* work units out over a process pool
+with content-addressed result caching; every unit is self-seeded, so the
+aggregated points — and the checkpoint file — are bit-identical to the
+serial path for any worker count.  The engine path requires declarative
+specs (it cannot ship ``schedule_factory``/``injector_factory`` closures
+to worker processes); the named sweeps below build those specs
+themselves.
 """
 
 from __future__ import annotations
@@ -119,6 +128,73 @@ def random_schedule_factory(
     return factory
 
 
+def random_schedule_spec(
+    f: int, horizon: int, respect_c: Optional[int] = None
+) -> Dict[str, Any]:
+    """The declarative twin of :func:`random_schedule_factory`.
+
+    Work units carry this spec across process boundaries;
+    :func:`repro.exec.scheduler.build_schedule` materializes it with the
+    identical rng consumption, so factory and spec produce the same
+    schedule from the same seed.
+    """
+    return {
+        "kind": "random",
+        "f": f,
+        "first_round": 1,
+        "last_round": horizon,
+        "respect_c": respect_c,
+    }
+
+
+def point_units(
+    protocol: str,
+    topology: Topology,
+    seeds: Iterable[int],
+    schedule_spec: Optional[Dict[str, Any]] = None,
+    f: Optional[int] = None,
+    b: Optional[int] = None,
+    t: Optional[int] = None,
+    c: int = 2,
+    caaf: CAAF = SUM,
+    coords: Optional[Dict[str, Any]] = None,
+    timeout_s: Optional[float] = None,
+    retries: int = 0,
+    backoff_s: float = 0.0,
+    inject: Optional[str] = None,
+    capture_dir: Optional[str] = None,
+    transport=None,
+    recovery=None,
+    allow_root_crash: bool = False,
+) -> List:
+    """Build the per-seed work units of one sweep coordinate."""
+    from ..exec.scheduler import WorkUnit
+
+    return [
+        WorkUnit(
+            protocol=protocol,
+            topology=topology,
+            seed=seed,
+            f=f,
+            b=b,
+            t=t,
+            c=c,
+            caaf=caaf.name,
+            schedule=dict(schedule_spec) if schedule_spec else {"kind": "none"},
+            inject=inject,
+            timeout_s=timeout_s,
+            retries=retries,
+            backoff_s=backoff_s,
+            capture_dir=capture_dir,
+            transport=transport,
+            recovery=recovery,
+            allow_root_crash=allow_root_crash,
+            coords=dict(coords or {}),
+        )
+        for seed in seeds
+    ]
+
+
 def run_point(
     protocol: str,
     topology: Topology,
@@ -139,6 +215,9 @@ def run_point(
     transport=None,
     recovery=None,
     allow_root_crash: bool = False,
+    engine=None,
+    schedule_spec: Optional[Dict[str, Any]] = None,
+    inject: Optional[str] = None,
 ) -> SweepPoint:
     """Run one sweep coordinate across seeds and aggregate.
 
@@ -154,9 +233,40 @@ def run_point(
     (see :func:`repro.analysis.runner.safe_run_protocol`); the bundle
     path is stored in the row's ``extra["bundle"]`` and survives the
     checkpoint round-trip.
+
+    ``engine`` switches to the parallel execution engine; the schedule
+    and injectors must then be declarative (``schedule_spec`` /
+    ``inject``) rather than factory closures.
     """
     base = {"protocol": protocol, "topology": topology.name}
     base.update(coords or {})
+    if engine is not None:
+        if schedule_factory is not None or injector_factory is not None:
+            raise ValueError(
+                "the engine path needs declarative schedule_spec/inject, "
+                "not factory callables (closures cannot cross processes)"
+            )
+        units = point_units(
+            protocol,
+            topology,
+            seeds,
+            schedule_spec=schedule_spec,
+            f=f,
+            b=b,
+            t=t,
+            c=c,
+            caaf=caaf,
+            coords=coords,
+            timeout_s=timeout_s,
+            retries=retries,
+            backoff_s=backoff_s,
+            inject=inject,
+            capture_dir=capture_dir,
+            transport=transport,
+            recovery=recovery,
+            allow_root_crash=allow_root_crash,
+        )
+        return aggregate(base, engine.run(units, checkpoint=checkpoint))
     records = []
     for seed in seeds:
         key = make_key(protocol, topology.name, seed, coords)
@@ -217,6 +327,7 @@ def sweep_b(
     transport=None,
     recovery=None,
     allow_root_crash: bool = False,
+    engine=None,
 ) -> List[SweepPoint]:
     """Measured CC of Algorithm 1 across a TC-budget grid (Figure 1's x-axis).
 
@@ -225,9 +336,30 @@ def sweep_b(
     ``transport`` / ``recovery`` run every point under the resilience
     runtime (see :func:`repro.analysis.runner.run_protocol`); the points
     then carry partial/certified counts and mean retransmit overhead.
+
+    With an ``engine``, the whole ``bs x seeds`` grid fans out as one
+    batch of work units (pool-wide longest-first scheduling), and the
+    aggregated points — and any checkpoint file — are bit-identical to
+    the serial path.
     """
-    points = []
     seeds = list(seeds)
+    if engine is not None:
+        return _sweep_grid(
+            topology,
+            [(b, f) for b in bs],
+            seeds,
+            c=c,
+            checkpoint=checkpoint,
+            timeout_s=timeout_s,
+            retries=retries,
+            backoff_s=backoff_s,
+            capture_dir=capture_dir,
+            transport=transport,
+            recovery=recovery,
+            allow_root_crash=allow_root_crash,
+            engine=engine,
+        )
+    points = []
     for b in bs:
         factory = random_schedule_factory(f, horizon=b * topology.diameter)
         points.append(
@@ -253,6 +385,70 @@ def sweep_b(
     return points
 
 
+def _sweep_grid(
+    topology: Topology,
+    bf_pairs: Sequence,
+    seeds: Sequence[int],
+    *,
+    c: int,
+    checkpoint: Optional[SweepCheckpoint],
+    timeout_s: Optional[float],
+    retries: int,
+    backoff_s: float = 0.0,
+    capture_dir: Optional[str] = None,
+    transport=None,
+    recovery=None,
+    allow_root_crash: bool = False,
+    engine=None,
+) -> List[SweepPoint]:
+    """Engine path shared by :func:`sweep_b` and :func:`sweep_f`.
+
+    Builds one work unit per *(coordinate, seed)* — unit order matches
+    the serial iteration order exactly, which keeps checkpoint files
+    byte-identical — runs them all through the engine, then aggregates
+    per coordinate.
+    """
+    units = []
+    for b, f in bf_pairs:
+        coords = {"b": b, "f": f, "n": topology.n_nodes}
+        units.extend(
+            point_units(
+                "algorithm1",
+                topology,
+                seeds,
+                schedule_spec=random_schedule_spec(
+                    f, horizon=b * topology.diameter
+                ),
+                f=f,
+                b=b,
+                c=c,
+                coords=coords,
+                timeout_s=timeout_s,
+                retries=retries,
+                backoff_s=backoff_s,
+                capture_dir=capture_dir,
+                transport=transport,
+                recovery=recovery,
+                allow_root_crash=allow_root_crash,
+            )
+        )
+    records = engine.run(units, checkpoint=checkpoint)
+    points = []
+    per_point = len(seeds)
+    for i, (b, f) in enumerate(bf_pairs):
+        base = {
+            "protocol": "algorithm1",
+            "topology": topology.name,
+            "b": b,
+            "f": f,
+            "n": topology.n_nodes,
+        }
+        points.append(
+            aggregate(base, records[i * per_point : (i + 1) * per_point])
+        )
+    return points
+
+
 def sweep_f(
     topology: Topology,
     fs: Sequence[int],
@@ -263,10 +459,26 @@ def sweep_f(
     timeout_s: Optional[float] = None,
     retries: int = 0,
     capture_dir: Optional[str] = None,
+    engine=None,
 ) -> List[SweepPoint]:
-    """Measured CC of Algorithm 1 across a failure-budget grid."""
-    points = []
+    """Measured CC of Algorithm 1 across a failure-budget grid.
+
+    Accepts an ``engine`` exactly like :func:`sweep_b`.
+    """
     seeds = list(seeds)
+    if engine is not None:
+        return _sweep_grid(
+            topology,
+            [(b, f) for f in fs],
+            seeds,
+            c=c,
+            checkpoint=checkpoint,
+            timeout_s=timeout_s,
+            retries=retries,
+            capture_dir=capture_dir,
+            engine=engine,
+        )
+    points = []
     for f in fs:
         factory = random_schedule_factory(f, horizon=b * topology.diameter)
         points.append(

@@ -3,7 +3,11 @@
 Usage (installed as ``repro-agg`` or via ``python -m repro.cli``)::
 
     repro-agg run       --topology grid:6x6 --protocol algorithm1 -f 8 -b 90
-    repro-agg sweep-b   --topology grid:6x6 -f 10 --bs 42,84,168 --seeds 3
+    repro-agg sweep-b   --topology grid:6x6 -f 10 --bs 42,84,168 --seeds 3 \
+                        --jobs 4 --cache-dir .repro-cache
+    repro-agg sweep-f   --topology grid:6x6 --fs 2,4,8,16 -b 60 --seeds 3
+    repro-agg cache     stats --cache-dir .repro-cache
+    repro-agg cache     gc --older-than 7d
     repro-agg chaos     --topology grid:5x5 --protocol unknown_f -f 4 \
                         --inject drop=0.05,dup=0.02 --seeds 5 \
                         --capture-dir bundles/
@@ -20,6 +24,13 @@ Every subcommand prints the same ASCII tables the benchmarks save.
 ``run`` accepts ``--inject drop=0.1,dup=0.05,...`` (message-fault
 middleware) and ``--strict-monitors`` (abort on any invariant break);
 ``sweep-b`` accepts ``--resume PATH`` for JSONL checkpoint/resume.
+
+The execution-engine verbs (``run``, ``sweep-b``, ``sweep-f``,
+``chaos``, ``worst-case``/``search``) accept ``--jobs N`` (process-pool
+fan-out; results are bit-identical to ``--jobs 1``), ``--cache-dir``
+(content-addressed result cache; ``--force`` recomputes), and
+``--progress-log`` (structured JSONL telemetry).  ``cache`` inspects and
+maintains a cache directory.
 """
 
 from __future__ import annotations
@@ -38,8 +49,8 @@ from .analysis import (
     format_table,
     make_inputs,
     run_protocol,
-    safe_run_protocol,
     sweep_b,
+    sweep_f,
 )
 from .analysis.asciiplot import plot_series
 from .extensions.quantiles import distributed_select
@@ -126,8 +137,46 @@ def _maybe_crash_root(schedule, topology, args, rng: random.Random):
     return schedule
 
 
+def _engine_from_args(args):
+    """Build an :class:`repro.exec.ExecutionEngine` from the shared
+    ``--jobs`` / ``--cache-dir`` / ``--force`` / ``--progress-log`` flags.
+
+    A live status line is painted on stderr when it is a TTY; structured
+    JSONL events additionally go to ``--progress-log`` when given.  Close
+    ``engine.emitter`` when the verb is done.
+    """
+    from .exec import (
+        ExecutionEngine,
+        ProgressEmitter,
+        ProgressTracker,
+        ResultCache,
+        live_renderer,
+    )
+
+    cache = ResultCache(args.cache_dir) if getattr(args, "cache_dir", None) else None
+    tracker = ProgressTracker()
+    listeners = [tracker]
+    try:
+        interactive = sys.stderr.isatty()
+    except (AttributeError, ValueError):
+        interactive = False
+    if interactive:
+        listeners.append(live_renderer(sys.stderr, tracker))
+    emitter = ProgressEmitter(
+        jsonl_path=getattr(args, "progress_log", None), listeners=listeners
+    )
+    return ExecutionEngine(
+        jobs=getattr(args, "jobs", 1),
+        cache=cache,
+        force=getattr(args, "force", False),
+        emitter=emitter,
+    )
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     topology = parse_topology(args.topology, args.seed)
+    if args.jobs > 1 or args.cache_dir or args.force:
+        return _cmd_run_engine(args, topology)
     rng = random.Random(args.seed)
     inputs = make_inputs(topology, rng, max_input=args.max_input)
     if args.failures > 0:
@@ -163,12 +212,70 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0 if record.correct else 1
 
 
+def _cmd_run_engine(args: argparse.Namespace, topology) -> int:
+    """``run`` through the execution engine (``--jobs``/``--cache-dir``).
+
+    The work unit replays the serial derivation (same rng consumption
+    order), so the record is identical to the in-process path; the only
+    behavioral difference is that strict-model violations surface as an
+    error *row* (nonzero exit) instead of a raised exception.
+    """
+    from .exec import WorkUnit
+
+    horizon = max(2, (args.budget or 42) * topology.diameter)
+    schedule = (
+        {
+            "kind": "random",
+            "f": args.failures,
+            "first_round": 1,
+            "last_round": horizon,
+            "respect_c": 2,
+        }
+        if args.failures > 0
+        else {"kind": "none"}
+    )
+    transport, recovery = _resilience_config(args)
+    unit = WorkUnit(
+        protocol=args.protocol,
+        topology=topology,
+        seed=args.seed,
+        f=args.failures or None,
+        b=args.budget,
+        t=args.tolerance,
+        max_input=args.max_input,
+        schedule=schedule,
+        crash_root=(
+            {"lo": 2, "hi": max(2, horizon // 2)}
+            if args.allow_root_crash
+            else None
+        ),
+        inject=args.inject,
+        strict=True,
+        strict_monitors=args.strict_monitors,
+        transport=transport,
+        recovery=recovery,
+        allow_root_crash=args.allow_root_crash,
+    )
+    engine = _engine_from_args(args)
+    try:
+        record = engine.run([unit])[0]
+    finally:
+        engine.emitter.close()
+    # The serial `run` table has no seed column (the seed is a flag, not
+    # a sweep coordinate); drop the engine's stamp so both paths print
+    # the identical table.
+    record.seed = None
+    print(format_table([record.as_dict()], title=f"{args.protocol} on {topology}"))
+    return 0 if record.correct else 1
+
+
 def cmd_sweep_b(args: argparse.Namespace) -> int:
     topology = parse_topology(args.topology, args.seed)
     checkpoint = SweepCheckpoint(args.resume) if args.resume else None
     if checkpoint is not None and len(checkpoint):
         print(f"resuming: {len(checkpoint)} run(s) loaded from {args.resume}")
     transport, recovery = _resilience_config(args)
+    engine = _engine_from_args(args)
     try:
         points = sweep_b(
             topology,
@@ -183,14 +290,47 @@ def cmd_sweep_b(args: argparse.Namespace) -> int:
             transport=transport,
             recovery=recovery,
             allow_root_crash=args.allow_root_crash,
+            engine=engine,
         )
     finally:
+        engine.emitter.close()
         if checkpoint is not None:
             checkpoint.close()
     print(
         format_table(
             [p.as_dict() for p in points],
             title=f"Algorithm 1 CC vs b on {topology.name} (f={args.failures})",
+        )
+    )
+    return 0
+
+
+def cmd_sweep_f(args: argparse.Namespace) -> int:
+    topology = parse_topology(args.topology, args.seed)
+    checkpoint = SweepCheckpoint(args.resume) if args.resume else None
+    if checkpoint is not None and len(checkpoint):
+        print(f"resuming: {len(checkpoint)} run(s) loaded from {args.resume}")
+    engine = _engine_from_args(args)
+    try:
+        points = sweep_f(
+            topology,
+            fs=_ints(args.fs),
+            b=args.budget,
+            seeds=range(args.seeds),
+            checkpoint=checkpoint,
+            timeout_s=args.timeout,
+            retries=args.retries,
+            capture_dir=args.capture_dir,
+            engine=engine,
+        )
+    finally:
+        engine.emitter.close()
+        if checkpoint is not None:
+            checkpoint.close()
+    print(
+        format_table(
+            [p.as_dict() for p in points],
+            title=f"Algorithm 1 CC vs f on {topology.name} (b={args.budget})",
         )
     )
     return 0
@@ -215,65 +355,63 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     nonzero iff any run was silent-wrong **or** uncertified — the CI
     gate for the self-healing stack.
     """
-    from .sim.faults import MessageFaults
-    from .sim.monitors import standard_monitors, violations_of
+    from .exec import WorkUnit
 
     topology = parse_topology(args.topology, args.seed)
     spec = args.inject or "drop=0.05"
     transport, recovery = _resilience_config(args)
-    rows = []
-    silent_wrong = 0
-    uncertified = 0
-    for seed in range(args.seed, args.seed + args.seeds):
-        rng = random.Random(seed)
-        inputs = make_inputs(topology, rng, max_input=args.max_input)
-        schedule = (
-            random_failures(
-                topology,
-                args.failures,
-                rng,
-                first_round=1,
-                last_round=max(2, 60 * topology.diameter),
-                respect_c=2,
-            )
-            if args.failures
-            else no_failures()
-        )
-        schedule = _maybe_crash_root(schedule, topology, args, rng)
-        faults = MessageFaults.from_spec(spec, seed=seed)
-        injectors = [faults]
-        if args.adaptive:
-            from .adversary.adaptive import make_adaptive
-
-            injectors.append(
-                make_adaptive(args.adaptive, topology, f=args.failures or 1, seed=seed)
-            )
-        mode = "strict" if args.strict else "record"
-        monitors = standard_monitors(
-            topology,
-            inputs,
-            f=args.failures or None,
-            mode=mode,
-            recovery=recovery is not None or args.allow_root_crash,
-        )
-        record = safe_run_protocol(
-            args.protocol,
-            topology,
-            inputs,
-            schedule=schedule,
+    crash_horizon = max(2, (args.budget or 42) * topology.diameter)
+    schedule_spec = (
+        {
+            "kind": "random",
+            "f": args.failures,
+            "first_round": 1,
+            "last_round": max(2, 60 * topology.diameter),
+            "respect_c": 2,
+        }
+        if args.failures
+        else {"kind": "none"}
+    )
+    monitor_spec = {
+        "mode": "strict" if args.strict else "record",
+        "recovery": recovery is not None or args.allow_root_crash,
+    }
+    seeds = range(args.seed, args.seed + args.seeds)
+    units = [
+        WorkUnit(
+            protocol=args.protocol,
+            topology=topology,
             seed=seed,
-            rng=rng,
             f=args.failures or None,
             b=args.budget,
             t=args.tolerance,
-            strict=False,
-            injectors=injectors,
-            monitors=monitors,
+            max_input=args.max_input,
+            schedule=schedule_spec,
+            crash_root=(
+                {"lo": 2, "hi": max(2, crash_horizon // 2)}
+                if args.allow_root_crash
+                else None
+            ),
+            inject=spec,
+            adaptive=args.adaptive,
+            monitors=monitor_spec,
             capture_dir=args.capture_dir,
             transport=transport,
             recovery=recovery,
             allow_root_crash=args.allow_root_crash,
+            coords={"inject": spec},
         )
+        for seed in seeds
+    ]
+    engine = _engine_from_args(args)
+    try:
+        records = engine.run(units)
+    finally:
+        engine.emitter.close()
+    rows = []
+    silent_wrong = 0
+    uncertified = 0
+    for seed, record in zip(seeds, records):
         status = record.extra.get("status")
         if record.failed:
             verdict = f"error:{record.error_kind}"
@@ -296,8 +434,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
                 "result": record.result,
                 "cc_bits": record.cc_bits,
                 "rounds": record.rounds,
-                "faults": faults.counts.total,
-                "violations": len(violations_of(monitors)),
+                "faults": record.extra.get("injected_faults", 0),
+                "violations": len(record.extra.get("violations", ())),
             }
         )
         if "overhead_bits" in record.extra:
@@ -456,15 +594,12 @@ def cmd_select(args: argparse.Namespace) -> int:
 
 
 def cmd_worst_case(args: argparse.Namespace) -> int:
-    from .adversary.search import (
-        make_algorithm1_evaluator,
-        search_worst_adversary,
-    )
+    from .adversary.search import EvaluatorSpec, search_worst_adversary
 
     topology = parse_topology(args.topology, args.seed)
     rng = random.Random(args.seed)
     inputs = make_inputs(topology, rng, max_input=args.max_input)
-    evaluator = make_algorithm1_evaluator(
+    evaluator = EvaluatorSpec(
         topology, inputs, f=args.failures, b=args.budget
     )
     result = search_worst_adversary(
@@ -475,6 +610,7 @@ def cmd_worst_case(args: argparse.Namespace) -> int:
         rng=rng,
         restarts=args.restarts,
         steps_per_restart=args.steps,
+        jobs=args.jobs,
     )
     print(
         format_table(
@@ -577,6 +713,43 @@ def cmd_baseline(args: argparse.Namespace) -> int:
     return 1
 
 
+def cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect / maintain a content-addressed result cache directory."""
+    from .exec import ResultCache
+    from .exec.cache import parse_age
+
+    cache = ResultCache(args.cache_dir)
+    if args.action == "stats":
+        stats = cache.stats()
+        by_protocol = stats.pop("by_protocol", {})
+        rows = [stats]
+        print(format_table(rows, title=f"result cache at {args.cache_dir}"))
+        if by_protocol:
+            print(
+                format_table(
+                    [
+                        {"protocol": name, "entries": count}
+                        for name, count in by_protocol.items()
+                    ],
+                    title="entries by protocol",
+                )
+            )
+        return 0
+    if args.action == "gc":
+        if not args.older_than:
+            raise SystemExit("cache gc requires --older-than (e.g. 7d, 12h, 90s)")
+        try:
+            age = parse_age(args.older_than)
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+        removed = cache.gc(age)
+        print(f"removed {removed} entr{'y' if removed == 1 else 'ies'}")
+        return 0
+    removed = cache.clear()
+    print(f"cleared {removed} entr{'y' if removed == 1 else 'ies'}")
+    return 0
+
+
 def cmd_topology(args: argparse.Namespace) -> int:
     topology = parse_topology(args.topology, args.seed)
     print(
@@ -610,6 +783,34 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--topology", default="grid:6x6", help="kind[:args] spec")
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--max-input", type=int, default=None, dest="max_input")
+
+    def parallel(p, cache: bool = True):
+        p.add_argument(
+            "--jobs",
+            type=int,
+            default=1,
+            help="worker processes (1 = serial in-process; results are "
+            "bit-identical for every value)",
+        )
+        if cache:
+            p.add_argument(
+                "--cache-dir",
+                default=None,
+                dest="cache_dir",
+                help="content-addressed result cache directory "
+                "(hits skip recomputation)",
+            )
+            p.add_argument(
+                "--force",
+                action="store_true",
+                help="recompute cached results (fresh runs refresh the cache)",
+            )
+            p.add_argument(
+                "--progress-log",
+                default=None,
+                dest="progress_log",
+                help="append structured JSONL progress events here",
+            )
 
     def resilience(p):
         p.add_argument(
@@ -656,6 +857,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="attach strict invariant monitors (raise on violation)",
     )
     resilience(p_run)
+    parallel(p_run)
     p_run.set_defaults(func=cmd_run)
 
     p_sweep = sub.add_parser("sweep-b", help="Algorithm 1 CC vs time budget")
@@ -689,7 +891,35 @@ def build_parser() -> argparse.ArgumentParser:
         "seeded jitter)",
     )
     resilience(p_sweep)
+    parallel(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep_b)
+
+    p_sweep_f = sub.add_parser(
+        "sweep-f", help="Algorithm 1 CC vs failure budget"
+    )
+    common(p_sweep_f)
+    p_sweep_f.add_argument("--fs", default="2,4,8,16", help="failure budgets")
+    p_sweep_f.add_argument("-b", "--budget", type=int, default=60)
+    p_sweep_f.add_argument("--seeds", type=int, default=3)
+    p_sweep_f.add_argument(
+        "--resume",
+        default=None,
+        help="JSONL checkpoint path (same semantics as sweep-b)",
+    )
+    p_sweep_f.add_argument(
+        "--timeout", type=float, default=None, help="per-run wall-clock limit (s)"
+    )
+    p_sweep_f.add_argument(
+        "--retries", type=int, default=0, help="retries per failed run"
+    )
+    p_sweep_f.add_argument(
+        "--capture-dir",
+        default=None,
+        dest="capture_dir",
+        help="write a repro bundle here for every failing run",
+    )
+    parallel(p_sweep_f)
+    p_sweep_f.set_defaults(func=cmd_sweep_f)
 
     p_chaos = sub.add_parser(
         "chaos", help="protocols under injected message faults + monitors"
@@ -728,6 +958,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(replay with `repro-agg replay`, minimize with `repro-agg shrink`)",
     )
     resilience(p_chaos)
+    parallel(p_chaos)
     p_chaos.set_defaults(func=cmd_chaos)
 
     p_replay = sub.add_parser(
@@ -770,14 +1001,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_sel.set_defaults(func=cmd_select)
 
     p_worst = sub.add_parser(
-        "worst-case", help="hill-climb for a costly failure schedule"
+        "worst-case",
+        aliases=["search"],
+        help="hill-climb for a costly failure schedule",
     )
     common(p_worst)
     p_worst.add_argument("-f", "--failures", type=int, required=True)
     p_worst.add_argument("-b", "--budget", type=int, default=60)
     p_worst.add_argument("--restarts", type=int, default=3)
     p_worst.add_argument("--steps", type=int, default=5)
+    parallel(p_worst, cache=False)
     p_worst.set_defaults(func=cmd_worst_case)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect / maintain a result cache directory"
+    )
+    p_cache.add_argument("action", choices=["stats", "gc", "clear"])
+    p_cache.add_argument(
+        "--cache-dir", default=".repro-cache", dest="cache_dir"
+    )
+    p_cache.add_argument(
+        "--older-than",
+        default=None,
+        dest="older_than",
+        help="gc cutoff age: 3600, 90s, 15m, 12h, or 7d",
+    )
+    p_cache.set_defaults(func=cmd_cache)
 
     p_mon = sub.add_parser("monitor", help="periodic aggregation epochs")
     common(p_mon)
@@ -811,7 +1060,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except KeyboardInterrupt:
+        # Sweeps flush completed rows to --resume checkpoints before the
+        # interrupt propagates here; rerunning the same command resumes.
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":

@@ -1,0 +1,55 @@
+"""Parallel execution engine for independent protocol runs.
+
+Every workload in the repository — ``sweep_b``/``sweep_f`` grids, chaos
+campaigns, adversary searches, and the benchmark suite — decomposes into
+independent *(topology, params, seed)* work units.  This package fans
+those units out over a process pool while keeping the results bit-identical
+to a serial run:
+
+* :mod:`repro.exec.scheduler` — the declarative :class:`WorkUnit` spec,
+  its worker-side executor (:func:`execute_unit`), and the deterministic
+  longest-expected-first submission plan;
+* :mod:`repro.exec.cache` — a content-addressed result store keyed by a
+  canonical hash of topology + protocol params + seed + code-relevant
+  config, so re-running a sweep skips already-computed points;
+* :mod:`repro.exec.progress` — structured JSONL telemetry (unit
+  started/finished/cached/failed, worker utilization, ETA) plus the live
+  CLI progress renderer that consumes it;
+* :mod:`repro.exec.pool` — worker lifecycle (crashed-worker replacement,
+  hung-worker reaping, graceful Ctrl-C draining) and the
+  :class:`ExecutionEngine` front door.
+
+Determinism contract: a unit's result depends only on the unit itself
+(fresh ``random.Random(seed)`` per unit, no shared state), results are
+assembled in unit-list order, and checkpoint writes go through an
+in-order buffer — so any worker count and any completion order produce
+byte-identical sweep output and checkpoint files.
+"""
+
+from .cache import ResultCache, unit_cache_hash, unit_cache_token
+from .pool import (
+    ExecutionEngine,
+    ProcessBackend,
+    SerialBackend,
+    ShuffledBackend,
+    pooled_map,
+)
+from .progress import ProgressEmitter, ProgressTracker, live_renderer
+from .scheduler import WorkUnit, execute_unit, plan_order
+
+__all__ = [
+    "ExecutionEngine",
+    "ProcessBackend",
+    "ProgressEmitter",
+    "ProgressTracker",
+    "ResultCache",
+    "SerialBackend",
+    "ShuffledBackend",
+    "WorkUnit",
+    "execute_unit",
+    "live_renderer",
+    "plan_order",
+    "pooled_map",
+    "unit_cache_hash",
+    "unit_cache_token",
+]

@@ -1,0 +1,265 @@
+"""Content-addressed result cache for work units.
+
+Each completed :class:`repro.exec.scheduler.WorkUnit` is stored under a
+canonical SHA-256 of everything that determines its result: the topology
+(structure, root, and name), protocol and parameters, seed, and the
+code-relevant execution config (schedule / injector / monitor specs,
+transport and recovery settings, strictness, retries, timeout).  Two
+invocations that would compute the same record hash to the same entry,
+so re-running a sweep or benchmark skips already-computed points;
+anything that could change the record changes the hash.
+
+Entries are one JSON file each, sharded by the first two hash characters
+(``<root>/ab/abcdef....json``), holding the token (for paranoia-level
+verification on read — a hash match with a token mismatch is treated as
+a miss), the record, and a creation timestamp for ``gc --older-than``.
+
+The store is safe under concurrent writers: entries are written to a
+unique temp file and atomically renamed into place, and a cached record
+round-trips through the same JSON canonicalization the sweep checkpoint
+uses, so serving a hit is byte-equivalent to re-running the unit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import time
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+from ..analysis.checkpoint import record_from_jsonable, record_to_jsonable
+from ..analysis.runner import RunRecord
+from .scheduler import WorkUnit
+
+#: Bump when the execution semantics change in a way that invalidates
+#: previously cached records.
+CACHE_VERSION = 1
+
+
+def _topology_token(topology) -> Dict[str, Any]:
+    return {
+        "name": topology.name,
+        "root": topology.root,
+        "adjacency": {
+            str(u): list(vs) for u, vs in sorted(topology.adjacency.items())
+        },
+    }
+
+
+def _config_token(value) -> Any:
+    """Transport/recovery configs serialize via their ``as_jsonable``."""
+    if value is None:
+        return None
+    as_jsonable = getattr(value, "as_jsonable", None)
+    if as_jsonable is not None:
+        return as_jsonable()
+    return repr(value)
+
+
+def unit_cache_token(unit: WorkUnit) -> Dict[str, Any]:
+    """The canonical jsonable identity of a unit's result.
+
+    Round-tripped through JSON so non-string dict keys (e.g. an explicit
+    schedule's node ids) canonicalize exactly as they will when an entry
+    is read back — token equality is then a plain ``==``.
+    """
+    token = {
+        "version": CACHE_VERSION,
+        "protocol": unit.protocol,
+        "topology": _topology_token(unit.topology),
+        "seed": unit.seed,
+        "params": {
+            "f": unit.f,
+            "b": unit.b,
+            "t": unit.t,
+            "c": unit.c,
+            "caaf": unit.caaf,
+            "max_input": unit.max_input,
+        },
+        "schedule": unit.schedule,
+        "crash_root": unit.crash_root,
+        "inject": unit.inject,
+        "adaptive": unit.adaptive,
+        "monitors": unit.monitors,
+        "strict": unit.strict,
+        "strict_monitors": unit.strict_monitors,
+        "transport": _config_token(unit.transport),
+        "recovery": _config_token(unit.recovery),
+        "allow_root_crash": unit.allow_root_crash,
+        "timeout_s": unit.timeout_s,
+        "retries": unit.retries,
+        "capture_dir": unit.capture_dir,
+    }
+    return json.loads(json.dumps(token, sort_keys=True))
+
+
+def unit_cache_hash(unit: WorkUnit) -> str:
+    """SHA-256 (hex) of the canonical token."""
+    blob = json.dumps(
+        unit_cache_token(unit), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Content-addressed store of completed run records on disk."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, digest: str) -> str:
+        return os.path.join(self.root, digest[:2], f"{digest}.json")
+
+    # ------------------------------------------------------------------ #
+    # Get / put.
+    # ------------------------------------------------------------------ #
+
+    def get(self, unit: WorkUnit) -> Optional[RunRecord]:
+        """The cached record for ``unit``, or None (corrupt entry = miss)."""
+        digest = unit_cache_hash(unit)
+        path = self._path(digest)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                entry = json.load(fh)
+            if entry.get("token") != unit_cache_token(unit):
+                self.misses += 1
+                return None
+            record = record_from_jsonable(entry["record"])
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record
+
+    def put(self, unit: WorkUnit, record: RunRecord) -> str:
+        """Store one completed record; atomic against concurrent writers."""
+        digest = unit_cache_hash(unit)
+        path = self._path(digest)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        entry = {
+            "hash": digest,
+            "saved_at": time.time(),
+            "token": unit_cache_token(unit),
+            "record": record_to_jsonable(record),
+        }
+        fd, tmp = tempfile.mkstemp(
+            dir=os.path.dirname(path), prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(entry, fh, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        return path
+
+    # ------------------------------------------------------------------ #
+    # Inspection and maintenance (the `repro-agg cache` verb).
+    # ------------------------------------------------------------------ #
+
+    def _entries(self) -> Iterator[Tuple[str, os.stat_result]]:
+        if not os.path.isdir(self.root):
+            return
+        for shard in sorted(os.listdir(self.root)):
+            shard_dir = os.path.join(self.root, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if not name.endswith(".json") or name.startswith(".tmp-"):
+                    continue
+                path = os.path.join(shard_dir, name)
+                try:
+                    yield path, os.stat(path)
+                except OSError:
+                    continue
+
+    def stats(self) -> Dict[str, Any]:
+        """Entry count, total bytes, age span, and per-protocol counts."""
+        entries = 0
+        total_bytes = 0
+        oldest: Optional[float] = None
+        newest: Optional[float] = None
+        by_protocol: Dict[str, int] = {}
+        for path, stat in self._entries():
+            entries += 1
+            total_bytes += stat.st_size
+            oldest = stat.st_mtime if oldest is None else min(oldest, stat.st_mtime)
+            newest = stat.st_mtime if newest is None else max(newest, stat.st_mtime)
+            try:
+                with open(path, "r", encoding="utf-8") as fh:
+                    protocol = json.load(fh)["token"]["protocol"]
+            except (OSError, ValueError, KeyError, TypeError):
+                protocol = "<corrupt>"
+            by_protocol[protocol] = by_protocol.get(protocol, 0) + 1
+        now = time.time()
+        return {
+            "root": self.root,
+            "entries": entries,
+            "bytes": total_bytes,
+            "oldest_age_s": round(now - oldest, 1) if oldest is not None else None,
+            "newest_age_s": round(now - newest, 1) if newest is not None else None,
+            "by_protocol": dict(sorted(by_protocol.items())),
+        }
+
+    def gc(self, older_than_s: float) -> int:
+        """Delete entries older than ``older_than_s`` seconds; returns count."""
+        cutoff = time.time() - older_than_s
+        removed = 0
+        for path, stat in list(self._entries()):
+            if stat.st_mtime < cutoff:
+                try:
+                    os.unlink(path)
+                    removed += 1
+                except OSError:
+                    continue
+        self._prune_empty_shards()
+        return removed
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for path, _ in list(self._entries()):
+            try:
+                os.unlink(path)
+                removed += 1
+            except OSError:
+                continue
+        self._prune_empty_shards()
+        return removed
+
+    def _prune_empty_shards(self) -> None:
+        if not os.path.isdir(self.root):
+            return
+        for shard in os.listdir(self.root):
+            shard_dir = os.path.join(self.root, shard)
+            if os.path.isdir(shard_dir) and not os.listdir(shard_dir):
+                try:
+                    os.rmdir(shard_dir)
+                except OSError:
+                    pass
+
+
+def parse_age(text: str) -> float:
+    """Parse ``gc --older-than`` durations: ``90``/``90s``, ``15m``,
+    ``12h``, ``7d``."""
+    text = text.strip().lower()
+    units = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0}
+    factor = 1.0
+    if text and text[-1] in units:
+        factor = units[text[-1]]
+        text = text[:-1]
+    try:
+        value = float(text)
+    except ValueError:
+        raise ValueError(
+            f"bad duration {text!r}: use e.g. 3600, 90s, 15m, 12h, 7d"
+        ) from None
+    if value < 0:
+        raise ValueError("duration must be >= 0")
+    return value * factor

@@ -1,0 +1,247 @@
+"""Work units: the declarative, picklable spec of one protocol run.
+
+A :class:`WorkUnit` captures *everything* a worker process needs to
+reproduce one run of the serial sweep/chaos code paths bit-for-bit: the
+topology, the seed, the protocol parameters, and declarative specs for
+the derived pieces (failure schedule, fault injectors, monitors) that the
+serial paths build from the seed's ``random.Random``.  The executor,
+:func:`execute_unit`, replays the exact derivation order the serial code
+uses — ``rng = Random(seed)``, then inputs, then schedule, then the
+optional root crash — so a unit executed in a worker process returns the
+identical :class:`repro.analysis.runner.RunRecord` the serial loop would
+have produced in-process.
+
+Closures (``schedule_factory`` / ``injector_factory``) cannot cross a
+process boundary, which is why the specs here are data, not callables:
+
+* schedule spec — ``{"kind": "none"}``, ``{"kind": "explicit",
+  "crash_rounds": {node: round}}``, or ``{"kind": "random", "f": int,
+  "first_round": int, "last_round": int, "respect_c": int | None}``
+  (mirroring :func:`repro.analysis.sweep.random_schedule_factory`);
+* ``crash_root`` — ``{"lo": int, "hi": int}``, appending a seeded root
+  crash exactly like the CLI's ``--allow-root-crash`` path;
+* ``inject`` / ``adaptive`` — the CLI spec strings fed to
+  :meth:`repro.sim.faults.MessageFaults.from_spec` /
+  :func:`repro.adversary.adaptive.make_adaptive`;
+* ``monitors`` — ``{"mode": "record" | "strict", "recovery": bool}`` for
+  :func:`repro.sim.monitors.standard_monitors`.
+
+:func:`plan_order` gives the deterministic longest-expected-first
+submission order; because results are keyed by unit index, submission
+order never affects output, only wall clock.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..adversary.schedule import FailureSchedule
+from ..graphs.topology import Topology
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One independent protocol run, fully specified by value.
+
+    ``coords`` is the sweep coordinate the run belongs to (it feeds the
+    checkpoint key, exactly like the serial path's
+    :func:`repro.analysis.checkpoint.make_key`); ``strict`` /
+    ``strict_monitors`` / ``transport`` / ``recovery`` mirror the
+    corresponding :func:`repro.analysis.runner.run_protocol` arguments.
+    """
+
+    protocol: str
+    topology: Topology
+    seed: int
+    f: Optional[int] = None
+    b: Optional[int] = None
+    t: Optional[int] = None
+    c: int = 2
+    caaf: str = "SUM"
+    max_input: Optional[int] = None
+    schedule: Dict[str, Any] = field(default_factory=lambda: {"kind": "none"})
+    crash_root: Optional[Dict[str, int]] = None
+    inject: Optional[str] = None
+    adaptive: Optional[str] = None
+    monitors: Optional[Dict[str, Any]] = None
+    strict: bool = False
+    strict_monitors: bool = False
+    transport: Any = None
+    recovery: Any = None
+    allow_root_crash: bool = False
+    timeout_s: Optional[float] = None
+    retries: int = 0
+    backoff_s: float = 0.0
+    capture_dir: Optional[str] = None
+    coords: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def checkpoint_key(self) -> str:
+        """The serial sweep's checkpoint key for this run."""
+        from ..analysis.checkpoint import make_key
+
+        return make_key(self.protocol, self.topology.name, self.seed, self.coords)
+
+    @property
+    def cost_hint(self) -> float:
+        """Expected relative wall clock (for longest-first submission).
+
+        Protocol runs scale with the node count times the round horizon;
+        the exact constant is irrelevant because only the *ordering* of
+        hints matters.
+        """
+        horizon = self.b if self.b is not None else None
+        if horizon is None:
+            horizon = self.schedule.get("last_round") if self.schedule else None
+        if horizon is None:
+            horizon = self.topology.diameter
+        return float(self.topology.n_nodes) * max(1, int(horizon))
+
+    def label(self) -> str:
+        """Short human-readable identity for telemetry."""
+        bits = [self.protocol, self.topology.name, f"s{self.seed}"]
+        for key in ("b", "f"):
+            value = self.coords.get(key)
+            if value is not None:
+                bits.append(f"{key}{value}")
+        return "-".join(str(b) for b in bits)
+
+
+def build_schedule(
+    unit: WorkUnit, topology: Topology, rng: random.Random
+) -> FailureSchedule:
+    """Materialize the unit's schedule spec, consuming ``rng`` exactly as
+    the serial code paths do."""
+    spec = unit.schedule or {"kind": "none"}
+    kind = spec.get("kind", "none")
+    if kind == "none":
+        schedule = FailureSchedule()
+    elif kind == "explicit":
+        schedule = FailureSchedule(
+            {int(u): int(r) for u, r in spec["crash_rounds"].items()}
+        )
+    elif kind == "random":
+        from ..adversary.adversaries import no_failures, random_failures
+
+        f = spec["f"]
+        if f <= 0:
+            schedule = no_failures()
+        else:
+            schedule = random_failures(
+                topology,
+                f,
+                rng,
+                first_round=spec.get("first_round", 1),
+                last_round=spec["last_round"],
+                respect_c=spec.get("respect_c"),
+            )
+    else:
+        raise ValueError(f"unknown schedule spec kind {kind!r}")
+    if unit.crash_root is not None:
+        lo = unit.crash_root["lo"]
+        hi = unit.crash_root["hi"]
+        schedule.add(topology.root, rng.randint(lo, hi))
+    return schedule
+
+
+def build_injectors(unit: WorkUnit, topology: Topology) -> List[Any]:
+    """Materialize the unit's injector specs (order: faults, adaptive)."""
+    injectors: List[Any] = []
+    if unit.inject:
+        from ..sim.faults import MessageFaults
+
+        injectors.append(MessageFaults.from_spec(unit.inject, seed=unit.seed))
+    if unit.adaptive:
+        from ..adversary.adaptive import make_adaptive
+
+        injectors.append(
+            make_adaptive(
+                unit.adaptive, topology, f=unit.f or 1, seed=unit.seed
+            )
+        )
+    return injectors
+
+
+def execute_unit(unit: WorkUnit):
+    """Run one work unit; the worker-process entry point.
+
+    Reproduces the serial derivation exactly: ``rng = Random(seed)`` →
+    inputs → schedule (→ optional root crash) → injectors → monitors →
+    :func:`repro.analysis.runner.safe_run_protocol`.  Per-unit timeouts
+    go through ``safe_run_protocol``'s own ``timeout_s`` path — workers
+    execute in their process's main thread, so the ``SIGALRM`` wall-clock
+    limit is exactly as hard there as in a serial run.
+
+    Never raises (other than ``KeyboardInterrupt``/``SystemExit``): any
+    unexpected error becomes a structured error record, matching
+    ``safe_run_protocol``'s contract.
+    """
+    from ..analysis.runner import error_record, make_inputs, safe_run_protocol
+    from ..core.caaf import by_name
+
+    topology = unit.topology
+    try:
+        rng = random.Random(unit.seed)
+        inputs = make_inputs(topology, rng, max_input=unit.max_input)
+        schedule = build_schedule(unit, topology, rng)
+        injectors = build_injectors(unit, topology)
+        monitors = None
+        if unit.monitors is not None:
+            from ..sim.monitors import standard_monitors
+
+            monitors = standard_monitors(
+                topology,
+                inputs,
+                f=unit.f,
+                mode=unit.monitors.get("mode", "record"),
+                recovery=bool(unit.monitors.get("recovery")),
+            )
+        record = safe_run_protocol(
+            unit.protocol,
+            topology,
+            inputs,
+            schedule=schedule,
+            timeout_s=unit.timeout_s,
+            retries=unit.retries,
+            backoff_s=unit.backoff_s,
+            seed=unit.seed,
+            rng=rng,
+            f=unit.f,
+            b=unit.b,
+            t=unit.t,
+            c=unit.c,
+            caaf=by_name(unit.caaf),
+            strict=unit.strict,
+            strict_monitors=unit.strict_monitors,
+            injectors=tuple(injectors),
+            monitors=monitors,
+            capture_dir=unit.capture_dir,
+            transport=unit.transport,
+            recovery=unit.recovery,
+            allow_root_crash=unit.allow_root_crash,
+        )
+        record.seed = unit.seed
+        if unit.inject and injectors:
+            record.extra["injected_faults"] = injectors[0].counts.total
+        return record
+    except (KeyboardInterrupt, SystemExit):
+        raise
+    except BaseException as exc:  # defensive: a unit must yield a row
+        return error_record(
+            unit.protocol, topology, exc, f=unit.f, seed=unit.seed
+        )
+
+
+def plan_order(
+    units: Sequence[WorkUnit], indices: Optional[Sequence[int]] = None
+) -> List[int]:
+    """Deterministic submission order: longest expected first.
+
+    Ties break on the unit index, so the plan is a pure function of the
+    unit list.  Output assembly is index-keyed, so this ordering can only
+    change wall clock, never results.
+    """
+    pool = range(len(units)) if indices is None else indices
+    return sorted(pool, key=lambda i: (-units[i].cost_hint, i))

@@ -1,0 +1,340 @@
+"""The engine's determinism contract: parallel == serial, byte for byte.
+
+The execution engine promises that worker count, completion order, and
+cache state are *invisible* in the results: any ``--jobs`` value must
+produce byte-identical aggregated sweep output and byte-identical
+checkpoint files.  These tests pin that contract — first against the
+legacy serial code paths (the engine is a refactor, not a semantics
+change), then across process fan-out, then property-based over random
+completion orders.
+"""
+
+import io
+import json
+import random
+
+import pytest
+
+from repro.analysis import SweepCheckpoint, run_point, sweep_b, sweep_f
+from repro.analysis.sweep import random_schedule_factory, random_schedule_spec
+from repro.adversary.search import (
+    EvaluatorSpec,
+    make_algorithm1_evaluator,
+    search_worst_adversary,
+)
+from repro.analysis.runner import make_inputs
+from repro.exec import ExecutionEngine, ResultCache, ShuffledBackend
+from repro.graphs import grid_graph
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover
+    HAVE_HYPOTHESIS = False
+
+BS = [42, 84]
+F = 2
+SEEDS = range(3)
+
+
+def _fingerprint(points):
+    return [json.dumps(p.as_dict(), sort_keys=True) for p in points]
+
+
+def _serial_sweep(topology, checkpoint=None):
+    return sweep_b(topology, f=F, bs=BS, seeds=SEEDS, checkpoint=checkpoint)
+
+
+def _engine_sweep(topology, engine, checkpoint=None):
+    return sweep_b(
+        topology, f=F, bs=BS, seeds=SEEDS, checkpoint=checkpoint, engine=engine
+    )
+
+
+class TestLegacyEquivalence:
+    def test_run_point_engine_matches_serial(self, grid44):
+        horizon = 42 * grid44.diameter
+        serial = run_point(
+            "algorithm1",
+            grid44,
+            SEEDS,
+            schedule_factory=random_schedule_factory(F, horizon),
+            f=F,
+            b=42,
+            coords={"b": 42, "f": F, "n": grid44.n_nodes},
+        )
+        engine = run_point(
+            "algorithm1",
+            grid44,
+            SEEDS,
+            f=F,
+            b=42,
+            coords={"b": 42, "f": F, "n": grid44.n_nodes},
+            engine=ExecutionEngine(jobs=1),
+            schedule_spec=random_schedule_spec(F, horizon),
+        )
+        assert engine.as_dict() == serial.as_dict()
+        assert _fingerprint([engine]) == _fingerprint([serial])
+
+    def test_run_point_engine_rejects_closures(self, grid44):
+        with pytest.raises(ValueError, match="declarative"):
+            run_point(
+                "algorithm1",
+                grid44,
+                SEEDS,
+                schedule_factory=random_schedule_factory(F, 42),
+                engine=ExecutionEngine(jobs=1),
+            )
+
+    def test_sweep_b_engine_matches_serial_including_checkpoint(
+        self, grid44, tmp_path
+    ):
+        serial_path = str(tmp_path / "serial.jsonl")
+        cp = SweepCheckpoint(serial_path)
+        serial = _serial_sweep(grid44, checkpoint=cp)
+        cp.close()
+
+        engine_path = str(tmp_path / "engine.jsonl")
+        cp = SweepCheckpoint(engine_path)
+        engine = _engine_sweep(grid44, ExecutionEngine(jobs=1), checkpoint=cp)
+        cp.close()
+
+        assert _fingerprint(engine) == _fingerprint(serial)
+        assert (
+            open(engine_path, "rb").read() == open(serial_path, "rb").read()
+        )
+
+    def test_sweep_f_engine_matches_serial(self, grid44):
+        serial = sweep_f(grid44, fs=[1, 2], b=60, seeds=SEEDS)
+        engine = sweep_f(
+            grid44, fs=[1, 2], b=60, seeds=SEEDS, engine=ExecutionEngine(jobs=1)
+        )
+        assert _fingerprint(engine) == _fingerprint(serial)
+
+    def test_serial_resume_reads_parallel_checkpoint(self, grid44, tmp_path):
+        # Cross-compatibility: a checkpoint written by the engine resumes
+        # a legacy serial sweep (and vice versa, same file format).
+        path = str(tmp_path / "cross.jsonl")
+        cp = SweepCheckpoint(path)
+        engine = _engine_sweep(grid44, ExecutionEngine(jobs=1), checkpoint=cp)
+        cp.close()
+        cp = SweepCheckpoint(path)
+        serial = _serial_sweep(grid44, checkpoint=cp)
+        cp.close()
+        assert _fingerprint(serial) == _fingerprint(engine)
+
+
+class TestProcessEquivalence:
+    def test_jobs4_matches_jobs1_byte_for_byte(self, grid44, tmp_path):
+        p1 = str(tmp_path / "j1.jsonl")
+        cp = SweepCheckpoint(p1)
+        one = _engine_sweep(grid44, ExecutionEngine(jobs=1), checkpoint=cp)
+        cp.close()
+
+        p4 = str(tmp_path / "j4.jsonl")
+        cp = SweepCheckpoint(p4)
+        four = _engine_sweep(grid44, ExecutionEngine(jobs=4), checkpoint=cp)
+        cp.close()
+
+        assert _fingerprint(four) == _fingerprint(one)
+        assert open(p4, "rb").read() == open(p1, "rb").read()
+
+    def test_warm_cache_replay_is_identical(self, grid44, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        cold = _engine_sweep(
+            grid44, ExecutionEngine(jobs=1, cache=ResultCache(cache_dir))
+        )
+        warm_cache = ResultCache(cache_dir)
+        warm = _engine_sweep(grid44, ExecutionEngine(jobs=1, cache=warm_cache))
+        assert _fingerprint(warm) == _fingerprint(cold)
+        assert warm_cache.hits == len(BS) * len(list(SEEDS))
+
+    def test_force_recomputes_to_the_same_answer(self, grid44, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        cold = _engine_sweep(
+            grid44, ExecutionEngine(jobs=1, cache=ResultCache(cache_dir))
+        )
+        forced_cache = ResultCache(cache_dir)
+        forced = _engine_sweep(
+            grid44, ExecutionEngine(jobs=1, cache=forced_cache, force=True)
+        )
+        assert _fingerprint(forced) == _fingerprint(cold)
+        assert forced_cache.hits == 0
+
+
+# --------------------------------------------------------------------- #
+# Property: ANY completion order and ANY jobs value -> identical bytes.
+# --------------------------------------------------------------------- #
+
+_BASELINE = {}
+
+
+def _baseline(tmp_base):
+    """Serial fingerprint + checkpoint bytes, computed once per session."""
+    if "points" not in _BASELINE:
+        topology = grid_graph(3, 3)
+        path = str(tmp_base / "baseline.jsonl")
+        cp = SweepCheckpoint(path)
+        points = sweep_b(
+            topology, f=1, bs=[42, 63], seeds=range(2), checkpoint=cp,
+            engine=ExecutionEngine(jobs=1),
+        )
+        cp.close()
+        _BASELINE["points"] = _fingerprint(points)
+        _BASELINE["bytes"] = open(path, "rb").read()
+        _BASELINE["topology"] = topology
+    return _BASELINE
+
+
+@pytest.mark.skipif(not HAVE_HYPOTHESIS, reason="hypothesis not installed")
+class TestCompletionOrderProperty:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        order_seed=st.integers(min_value=0, max_value=2**32 - 1),
+        jobs=st.integers(min_value=1, max_value=8),
+    )
+    def test_any_completion_order_and_jobs_is_byte_identical(
+        self, tmp_path_factory, order_seed, jobs
+    ):
+        base = _baseline(tmp_path_factory.getbasetemp())
+        topology = base["topology"]
+        path = str(
+            tmp_path_factory.mktemp("perm") / f"s{order_seed}-j{jobs}.jsonl"
+        )
+        cp = SweepCheckpoint(path)
+        # ShuffledBackend releases completions in an rng-chosen order;
+        # `jobs` still drives the engine's submission windowing, so the
+        # two axes of nondeterminism vary independently here.
+        engine = ExecutionEngine(
+            jobs=jobs, backend=ShuffledBackend(random.Random(order_seed))
+        )
+        points = sweep_b(
+            topology, f=1, bs=[42, 63], seeds=range(2), checkpoint=cp,
+            engine=engine,
+        )
+        cp.close()
+        assert _fingerprint(points) == base["points"]
+        assert open(path, "rb").read() == base["bytes"]
+
+
+# --------------------------------------------------------------------- #
+# Parallel adversary search.
+# --------------------------------------------------------------------- #
+
+
+class TestSearchEquivalence:
+    def _spec(self, topology):
+        rng = random.Random(0)
+        inputs = make_inputs(topology, rng)
+        return EvaluatorSpec(topology, inputs, f=2, b=45)
+
+    def test_jobs2_matches_jobs1(self, grid44):
+        spec = self._spec(grid44)
+        results = [
+            search_worst_adversary(
+                spec, grid44, f=2, horizon=45 * grid44.diameter,
+                rng=random.Random(7), restarts=3, steps_per_restart=2,
+                jobs=jobs,
+            )
+            for jobs in (1, 2)
+        ]
+        one, two = results
+        assert two.cc_bits == one.cc_bits
+        assert two.rounds == one.rounds
+        assert two.trials == one.trials
+        assert two.schedule.crash_rounds == one.schedule.crash_rounds
+
+    def test_spec_matches_closure_evaluator_serially(self, grid44):
+        rng = random.Random(0)
+        inputs = make_inputs(grid44, rng)
+        closure = make_algorithm1_evaluator(grid44, inputs, f=2, b=45)
+        spec = EvaluatorSpec(grid44, inputs, f=2, b=45)
+        a = search_worst_adversary(
+            closure, grid44, f=2, horizon=45 * grid44.diameter,
+            rng=random.Random(3), restarts=2, steps_per_restart=2,
+        )
+        b = search_worst_adversary(
+            spec, grid44, f=2, horizon=45 * grid44.diameter,
+            rng=random.Random(3), restarts=2, steps_per_restart=2,
+        )
+        assert (a.cc_bits, a.rounds, a.trials) == (b.cc_bits, b.rounds, b.trials)
+        assert a.schedule.crash_rounds == b.schedule.crash_rounds
+
+    def test_parallel_requires_picklable_spec(self, grid44):
+        rng = random.Random(0)
+        inputs = make_inputs(grid44, rng)
+        closure = make_algorithm1_evaluator(grid44, inputs, f=2, b=45)
+        with pytest.raises(TypeError, match="EvaluatorSpec"):
+            search_worst_adversary(
+                closure, grid44, f=2, horizon=45, jobs=2
+            )
+
+    def test_trial_count_invariant_holds(self, grid44):
+        spec = self._spec(grid44)
+        result = search_worst_adversary(
+            spec, grid44, f=2, horizon=45 * grid44.diameter,
+            rng=random.Random(1), restarts=3, steps_per_restart=4,
+        )
+        assert result.trials == 1 + 3 * (1 + 4)
+
+
+# --------------------------------------------------------------------- #
+# End-to-end through the CLI.
+# --------------------------------------------------------------------- #
+
+
+class TestCliEquivalence:
+    def _main(self, argv):
+        import contextlib
+
+        from repro.cli import main
+
+        buf = io.StringIO()
+        with contextlib.redirect_stdout(buf):
+            code = main(argv)
+        return code, buf.getvalue()
+
+    def test_sweep_b_jobs2_prints_identical_table(self):
+        base = ["sweep-b", "--topology", "grid:4x4", "-f", "2",
+                "--bs", "42,84", "--seeds", "2"]
+        code1, out1 = self._main(base)
+        code2, out2 = self._main(base + ["--jobs", "2"])
+        assert (code1, out1) == (code2, out2)
+
+    def test_chaos_jobs2_prints_identical_table(self):
+        base = ["chaos", "--topology", "grid:4x4", "--protocol", "unknown_f",
+                "-f", "2", "--seeds", "3"]
+        code1, out1 = self._main(base)
+        code2, out2 = self._main(base + ["--jobs", "2"])
+        assert (code1, out1) == (code2, out2)
+
+    def test_run_jobs2_prints_identical_table(self):
+        base = ["run", "--topology", "grid:4x4", "-f", "2", "-b", "60"]
+        code1, out1 = self._main(base)
+        code2, out2 = self._main(base + ["--jobs", "2"])
+        assert (code1, out1) == (code2, out2)
+
+    def test_sweep_f_verb_works(self):
+        code, out = self._main(
+            ["sweep-f", "--topology", "grid:4x4", "--fs", "1,2", "-b", "60",
+             "--seeds", "2"]
+        )
+        assert code == 0
+        assert "CC vs f" in out
+
+    def test_cache_verb_stats_gc_clear(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        self._main(
+            ["sweep-b", "--topology", "grid:4x4", "-f", "2", "--bs", "42",
+             "--seeds", "2", "--cache-dir", cache_dir]
+        )
+        code, out = self._main(["cache", "stats", "--cache-dir", cache_dir])
+        assert code == 0 and "entries" in out
+        code, out = self._main(
+            ["cache", "gc", "--cache-dir", cache_dir, "--older-than", "1d"]
+        )
+        assert code == 0 and "removed 0" in out
+        code, out = self._main(["cache", "clear", "--cache-dir", cache_dir])
+        assert code == 0 and "cleared 2" in out
