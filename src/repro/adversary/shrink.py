@@ -329,12 +329,46 @@ def rerecord_bundle(bundle: ExecutionRecord) -> ExecutionRecord:
     rng_state = rng.getstate()
     params = bundle.params
     caaf = by_name(params["caaf"]) if params.get("caaf") else SUM
+    # Mirror replay_bundle's resilience reconstruction: the re-recorded
+    # expected outcome must come from the same code path (transport
+    # windows, failover epochs, integrity verification, corruption
+    # oracle) that strict replay will later take, or the fresh bundle
+    # diverges on its own first replay.
+    transport = None
+    recovery = None
+    integrity = None
+    allow_root_crash = bool(params.get("allow_root_crash"))
+    if params.get("transport"):
+        from ..resilience.transport import TransportConfig
+
+        transport = TransportConfig.from_jsonable(params["transport"])
+    if params.get("recovery"):
+        from ..resilience.failover import RecoveryPolicy
+
+        recovery = RecoveryPolicy.from_jsonable(params["recovery"])
+    if params.get("integrity"):
+        from ..integrity.frames import IntegrityConfig, as_integrity
+
+        integrity = as_integrity(
+            IntegrityConfig.from_jsonable(params["integrity"])
+        )
+    if integrity is None and recovery is not None:
+        from ..integrity.frames import as_integrity
+
+        integrity = as_integrity(recovery.integrity)
+    replayer = ReplayInjector(bundle, strict=False)
     monitors = None
     if bundle.monitor_mode == "record":
         monitors = standard_monitors(
-            topology, inputs, f=params.get("f"), mode="record"
+            topology,
+            inputs,
+            f=params.get("f"),
+            mode="record",
+            recovery=allow_root_crash or recovery is not None,
+            corruption=[replayer] if replayer.has_rewrites else (),
+            integrity=integrity,
         )
-    recorder = RecordingInjector([ReplayInjector(bundle, strict=False)])
+    recorder = RecordingInjector([replayer])
     record = safe_run_protocol(
         bundle.protocol,
         topology,
@@ -351,6 +385,10 @@ def rerecord_bundle(bundle: ExecutionRecord) -> ExecutionRecord:
         injectors=(recorder,),
         monitors=monitors,
         strict_monitors=bundle.monitor_mode == "strict",
+        transport=transport,
+        recovery=recovery,
+        integrity=integrity,
+        allow_root_crash=allow_root_crash,
     )
     if monitors and not record.failed and not record.extra.get("violations"):
         events = violations_of(monitors)

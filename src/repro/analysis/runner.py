@@ -141,6 +141,7 @@ def run_protocol(
     strict_monitors: bool = False,
     transport=None,
     recovery=None,
+    integrity=None,
     allow_root_crash: bool = False,
 ) -> RunRecord:
     """Run one named protocol and grade its output.
@@ -155,6 +156,11 @@ def run_protocol(
     runs them under the full self-healing runtime — transport plus root
     failover plus graceful degradation; the row then carries the partial
     result's status / certification / coverage columns.
+    ``integrity`` (an :class:`repro.integrity.frames.IntegrityConfig`, a
+    mode string, or a coordinator) wraps every broadcast in an
+    authenticated frame so corrupted deliveries are detected and dropped;
+    it composes with both ``transport`` and ``recovery`` (overriding
+    ``recovery.integrity`` when both are given).
     ``allow_root_crash`` relaxes strict validation for root-crashing
     schedules (implied by ``recovery``).
 
@@ -181,13 +187,17 @@ def run_protocol(
         raise ValueError(
             "pass transport via the RecoveryPolicy when recovery is set"
         )
-    if transport is not None or recovery is not None:
+    if (
+        transport is not None
+        or recovery is not None
+        or integrity is not None
+    ):
         from ..resilience.failover import RECOVERABLE_PROTOCOLS
 
         if protocol not in RECOVERABLE_PROTOCOLS:
             raise ValueError(
-                f"transport/recovery support {RECOVERABLE_PROTOCOLS}, "
-                f"not {protocol!r}"
+                f"transport/recovery/integrity support "
+                f"{RECOVERABLE_PROTOCOLS}, not {protocol!r}"
             )
     if transport is not None:
         # Coerce once here so the same coordinator feeds the run, the
@@ -195,6 +205,16 @@ def run_protocol(
         from ..resilience.transport import as_transport
 
         transport = as_transport(transport)
+    # Same idea for integrity: one coordinator feeds the run, the
+    # silent-corruption oracle, and the row's rejection columns.  With
+    # recovery, an explicit argument overrides the policy's config.
+    from ..integrity.frames import as_integrity
+
+    integrity = as_integrity(
+        integrity
+        if integrity is not None
+        else getattr(recovery, "integrity", None)
+    )
     allow_root_crash = allow_root_crash or recovery is not None
     if strict:
         from ..sim.validation import assert_model
@@ -208,6 +228,9 @@ def run_protocol(
             c=c,
             allow_root_crash=allow_root_crash,
         )
+    from ..sim.faults import corruption_sources
+
+    corruption = corruption_sources(injectors)
     if monitors is None and strict_monitors:
         monitors = standard_monitors(
             topology,
@@ -219,6 +242,8 @@ def run_protocol(
             mode="strict",
             recovery=allow_root_crash,
             transport=transport,
+            corruption=corruption,
+            integrity=integrity,
         )
     monitors = monitors or ()
     if recovery is not None:
@@ -226,6 +251,7 @@ def run_protocol(
             protocol, topology, inputs, schedule, f=f, b=b, c=c, caaf=caaf,
             rng=rng, injectors=injectors, monitors=monitors,
             strict_monitors=strict_monitors, policy=recovery,
+            integrity=integrity,
         )
     # The AGG-only oracle would mis-grade a pair whose VERI rejects, so
     # the pair path relies on the post-run grading below instead.
@@ -247,6 +273,7 @@ def run_protocol(
             injectors=injectors,
             monitors=monitors,
             transport=transport,
+            integrity=integrity,
             allow_root_crash=allow_root_crash,
         )
         result, stats, rounds = out.result, out.stats, out.rounds
@@ -307,6 +334,7 @@ def run_protocol(
             injectors=injectors,
             monitors=monitors,
             transport=transport,
+            integrity=integrity,
             allow_root_crash=allow_root_crash,
         )
         result, stats, rounds = out.result, out.stats, out.rounds
@@ -371,8 +399,25 @@ def run_protocol(
         extra["overhead_bits"] = stats.max_overhead_bits
         extra["retransmissions"] = counters["retransmissions"]
         extra["nacks"] = counters["nacks"]
+        # Quarantined links count as live gaps on purpose — starved
+        # frames are real data loss and must decertify (same rule as the
+        # failover layer's certification).
         extra["live_gaps"] = len(
             transport.live_gaps(network.crash_rounds if network else {})
+        )
+    if integrity is not None:
+        counters = integrity.counters()
+        extra.setdefault("overhead_bits", stats.max_overhead_bits)
+        extra["integrity_rejected"] = counters["rejected"]
+        extra["quarantined_links"] = sorted(integrity.quarantined_links)
+    if corruption:
+        from ..integrity.frames import unresolved_corruptions
+
+        extra["delivered_corruptions"] = sum(
+            len(s.delivered_corruptions) for s in corruption
+        )
+        extra["unresolved_corruptions"] = len(
+            unresolved_corruptions(corruption, integrity)
         )
     correct = is_correct_result(result, caaf, topology, inputs, effective, rounds)
     record = RunRecord(
@@ -407,6 +452,7 @@ def _run_with_recovery_record(
     monitors,
     strict_monitors: bool,
     policy,
+    integrity=None,
 ) -> RunRecord:
     """Recovery path of :func:`run_protocol`.
 
@@ -431,6 +477,7 @@ def _run_with_recovery_record(
         injectors=injectors,
         monitors=monitors,
         policy=policy,
+        integrity=integrity,
     )
     partial = out.partial
     correct = bool(
@@ -441,6 +488,7 @@ def _run_with_recovery_record(
         and partial.lower_bound <= partial.value <= partial.upper_bound
     )
     extra = {k: v for k, v in partial.as_dict().items() if k != "value"}
+    extra.update(partial.extra)
     extra["elections"] = len(out.elections)
     record = RunRecord(
         protocol=protocol,
@@ -570,11 +618,13 @@ def _capture_bundle(
     import os
     import re
 
+    from ..integrity.frames import as_integrity
     from ..sim.recorder import make_execution_record
 
     caaf = kwargs.get("caaf")
     transport = kwargs.get("transport")
     recovery = kwargs.get("recovery")
+    integrity = as_integrity(kwargs.get("integrity"))
     bundle = make_execution_record(
         recorder,
         protocol,
@@ -594,6 +644,11 @@ def _capture_bundle(
             ),
             "recovery": (
                 recovery.as_jsonable() if recovery is not None else None
+            ),
+            "integrity": (
+                integrity.config.as_jsonable()
+                if integrity is not None
+                else None
             ),
             "allow_root_crash": (
                 True if kwargs.get("allow_root_crash") else None

@@ -162,9 +162,11 @@ def point_units(
     retries: int = 0,
     backoff_s: float = 0.0,
     inject: Optional[str] = None,
+    corrupt: Optional[str] = None,
     capture_dir: Optional[str] = None,
     transport=None,
     recovery=None,
+    integrity=None,
     allow_root_crash: bool = False,
 ) -> List:
     """Build the per-seed work units of one sweep coordinate."""
@@ -182,12 +184,14 @@ def point_units(
             caaf=caaf.name,
             schedule=dict(schedule_spec) if schedule_spec else {"kind": "none"},
             inject=inject,
+            corrupt=corrupt,
             timeout_s=timeout_s,
             retries=retries,
             backoff_s=backoff_s,
             capture_dir=capture_dir,
             transport=transport,
             recovery=recovery,
+            integrity=integrity,
             allow_root_crash=allow_root_crash,
             coords=dict(coords or {}),
         )
@@ -214,10 +218,12 @@ def run_point(
     capture_dir: Optional[str] = None,
     transport=None,
     recovery=None,
+    integrity=None,
     allow_root_crash: bool = False,
     engine=None,
     schedule_spec: Optional[Dict[str, Any]] = None,
     inject: Optional[str] = None,
+    corrupt: Optional[str] = None,
 ) -> SweepPoint:
     """Run one sweep coordinate across seeds and aggregate.
 
@@ -261,9 +267,11 @@ def run_point(
             retries=retries,
             backoff_s=backoff_s,
             inject=inject,
+            corrupt=corrupt,
             capture_dir=capture_dir,
             transport=transport,
             recovery=recovery,
+            integrity=integrity,
             allow_root_crash=allow_root_crash,
         )
         return aggregate(base, engine.run(units, checkpoint=checkpoint))
@@ -282,7 +290,11 @@ def run_point(
             if schedule_factory
             else FailureSchedule()
         )
-        injectors = injector_factory(seed) if injector_factory else ()
+        injectors = list(injector_factory(seed)) if injector_factory else []
+        if corrupt:
+            from ..sim.faults import MessageCorruption
+
+            injectors.append(MessageCorruption.from_spec(corrupt, seed=seed))
         record = safe_run_protocol(
             protocol,
             topology,
@@ -303,6 +315,7 @@ def run_point(
             capture_dir=capture_dir,
             transport=transport,
             recovery=recovery,
+            integrity=integrity,
             allow_root_crash=allow_root_crash,
         )
         record.seed = seed
@@ -326,6 +339,8 @@ def sweep_b(
     capture_dir: Optional[str] = None,
     transport=None,
     recovery=None,
+    integrity=None,
+    corrupt: Optional[str] = None,
     allow_root_crash: bool = False,
     engine=None,
 ) -> List[SweepPoint]:
@@ -356,6 +371,8 @@ def sweep_b(
             capture_dir=capture_dir,
             transport=transport,
             recovery=recovery,
+            integrity=integrity,
+            corrupt=corrupt,
             allow_root_crash=allow_root_crash,
             engine=engine,
         )
@@ -379,6 +396,8 @@ def sweep_b(
                 capture_dir=capture_dir,
                 transport=transport,
                 recovery=recovery,
+                integrity=integrity,
+                corrupt=corrupt,
                 allow_root_crash=allow_root_crash,
             )
         )
@@ -398,6 +417,8 @@ def _sweep_grid(
     capture_dir: Optional[str] = None,
     transport=None,
     recovery=None,
+    integrity=None,
+    corrupt: Optional[str] = None,
     allow_root_crash: bool = False,
     engine=None,
 ) -> List[SweepPoint]:
@@ -429,6 +450,8 @@ def _sweep_grid(
                 capture_dir=capture_dir,
                 transport=transport,
                 recovery=recovery,
+                integrity=integrity,
+                corrupt=corrupt,
                 allow_root_crash=allow_root_crash,
             )
         )

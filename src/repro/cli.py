@@ -93,35 +93,48 @@ def _ints(text: str) -> List[int]:
     return [int(v) for v in text.split(",") if v]
 
 
-def _parse_injectors(spec: Optional[str], seed: int):
-    """Build the injector list for an ``--inject drop=0.1,...`` flag."""
-    if not spec:
-        return ()
-    from .sim.faults import MessageFaults
+def _parse_injectors(spec: Optional[str], seed: int, corrupt: Optional[str] = None):
+    """Build the injector list for the ``--inject drop=0.1,...`` and
+    ``--corrupt bitflip:0.02,...`` flags."""
+    injectors = []
+    if spec:
+        from .sim.faults import MessageFaults
 
-    return (MessageFaults.from_spec(spec, seed=seed),)
+        injectors.append(MessageFaults.from_spec(spec, seed=seed))
+    if corrupt:
+        from .sim.faults import MessageCorruption
+
+        injectors.append(MessageCorruption.from_spec(corrupt, seed=seed))
+    return tuple(injectors)
 
 
 def _resilience_config(args):
-    """``(transport, recovery)`` from the ``--recover`` /
-    ``--retransmit-budget`` flags.
+    """``(transport, recovery, integrity)`` from the ``--recover`` /
+    ``--retransmit-budget`` / ``--integrity`` flags.
 
     ``--recover`` gets the full self-healing stack (reliable transport +
     root failover + certified partial results); ``--retransmit-budget``
-    alone gets just the transport shim.
+    alone gets just the transport shim.  ``--integrity checksum|mac``
+    adds authenticated wire frames on top of either (or standalone);
+    the MAC key is derived from ``--seed`` so runs stay deterministic.
     """
+    integrity = None
+    if getattr(args, "integrity", "off") != "off":
+        from .integrity import IntegrityConfig
+
+        integrity = IntegrityConfig(mode=args.integrity, key_seed=args.seed)
     budget = args.retransmit_budget
     if args.recover:
         from .resilience import RecoveryPolicy
 
         if budget is None:
-            return None, RecoveryPolicy.default()
-        return None, RecoveryPolicy.default(retransmit_budget=budget)
+            return None, RecoveryPolicy.default(), integrity
+        return None, RecoveryPolicy.default(retransmit_budget=budget), integrity
     if budget is not None:
         from .resilience import TransportConfig
 
-        return TransportConfig(retransmits=budget), None
-    return None, None
+        return TransportConfig(retransmits=budget), None, integrity
+    return None, None, integrity
 
 
 def _maybe_crash_root(schedule, topology, args, rng: random.Random):
@@ -191,8 +204,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     else:
         schedule = no_failures()
     schedule = _maybe_crash_root(schedule, topology, args, rng)
-    injectors = _parse_injectors(args.inject, args.seed)
-    transport, recovery = _resilience_config(args)
+    injectors = _parse_injectors(args.inject, args.seed, corrupt=args.corrupt)
+    transport, recovery, integrity = _resilience_config(args)
     record = run_protocol(
         args.protocol,
         topology,
@@ -206,6 +219,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         strict_monitors=args.strict_monitors,
         transport=transport,
         recovery=recovery,
+        integrity=integrity,
         allow_root_crash=args.allow_root_crash,
     )
     print(format_table([record.as_dict()], title=f"{args.protocol} on {topology}"))
@@ -234,7 +248,7 @@ def _cmd_run_engine(args: argparse.Namespace, topology) -> int:
         if args.failures > 0
         else {"kind": "none"}
     )
-    transport, recovery = _resilience_config(args)
+    transport, recovery, integrity = _resilience_config(args)
     unit = WorkUnit(
         protocol=args.protocol,
         topology=topology,
@@ -250,10 +264,12 @@ def _cmd_run_engine(args: argparse.Namespace, topology) -> int:
             else None
         ),
         inject=args.inject,
+        corrupt=args.corrupt,
         strict=True,
         strict_monitors=args.strict_monitors,
         transport=transport,
         recovery=recovery,
+        integrity=integrity,
         allow_root_crash=args.allow_root_crash,
     )
     engine = _engine_from_args(args)
@@ -274,7 +290,7 @@ def cmd_sweep_b(args: argparse.Namespace) -> int:
     checkpoint = SweepCheckpoint(args.resume) if args.resume else None
     if checkpoint is not None and len(checkpoint):
         print(f"resuming: {len(checkpoint)} run(s) loaded from {args.resume}")
-    transport, recovery = _resilience_config(args)
+    transport, recovery, integrity = _resilience_config(args)
     engine = _engine_from_args(args)
     try:
         points = sweep_b(
@@ -289,6 +305,8 @@ def cmd_sweep_b(args: argparse.Namespace) -> int:
             capture_dir=args.capture_dir,
             transport=transport,
             recovery=recovery,
+            integrity=integrity,
+            corrupt=args.corrupt,
             allow_root_crash=args.allow_root_crash,
             engine=engine,
         )
@@ -354,12 +372,19 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     best-effort value nothing vouches for).  The exit status is then
     nonzero iff any run was silent-wrong **or** uncertified — the CI
     gate for the self-healing stack.
+
+    With ``--corrupt`` the injected faults include payload corruption;
+    a run whose output stands on corrupted bits no integrity layer
+    rejected is *CORRUPT-ACCEPTED* and counted with the silent-wrong
+    gate (pair with ``--integrity mac`` — and ``--recover`` to turn
+    detected-and-dropped frames into retransmissions instead of
+    losses).
     """
     from .exec import WorkUnit
 
     topology = parse_topology(args.topology, args.seed)
     spec = args.inject or "drop=0.05"
-    transport, recovery = _resilience_config(args)
+    transport, recovery, integrity = _resilience_config(args)
     crash_horizon = max(2, (args.budget or 42) * topology.diameter)
     schedule_spec = (
         {
@@ -393,11 +418,13 @@ def cmd_chaos(args: argparse.Namespace) -> int:
                 else None
             ),
             inject=spec,
+            corrupt=args.corrupt,
             adaptive=args.adaptive,
             monitors=monitor_spec,
             capture_dir=args.capture_dir,
             transport=transport,
             recovery=recovery,
+            integrity=integrity,
             allow_root_crash=args.allow_root_crash,
             coords={"inject": spec},
         )
@@ -417,6 +444,11 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             verdict = f"error:{record.error_kind}"
         elif record.result is None:
             verdict = "aborted"
+        elif record.extra.get("unresolved_corruptions", 0) > 0:
+            # Corrupted bits reached a handler and no layer rejected
+            # them: the value is untrustworthy whatever the oracle says.
+            verdict = "CORRUPT-ACCEPTED"
+            silent_wrong += 1
         elif status is not None and not record.extra.get("certified"):
             verdict = "PARTIAL-UNCERTIFIED"
             uncertified += 1
@@ -438,6 +470,11 @@ def cmd_chaos(args: argparse.Namespace) -> int:
                 "violations": len(record.extra.get("violations", ())),
             }
         )
+        if args.corrupt:
+            rows[-1]["corruptions"] = record.extra.get(
+                "injected_corruptions", 0
+            )
+            rows[-1]["rejected"] = record.extra.get("integrity_rejected", 0)
         if "overhead_bits" in record.extra:
             rows[-1]["overhead"] = record.extra["overhead_bits"]
         if record.extra.get("coverage") is not None and status is not None:
@@ -462,7 +499,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         f"{verdicts.count('partial-certified')} partial-certified, "
         f"{verdicts.count('aborted')} aborted, "
         f"{sum(1 for v in verdicts if v.startswith('error'))} errored, "
-        f"{uncertified} uncertified, {silent_wrong} silent-wrong"
+        f"{uncertified} uncertified, {silent_wrong} silent-wrong "
+        f"(incl. {verdicts.count('CORRUPT-ACCEPTED')} corrupt-accepted)"
     )
     return 1 if silent_wrong or uncertified else 0
 
@@ -833,6 +871,21 @@ def build_parser() -> argparse.ArgumentParser:
             dest="allow_root_crash",
             help="opt out of the Section 2 root protection and schedule a "
             "seeded root crash (pair with --recover to survive it)",
+        )
+        p.add_argument(
+            "--corrupt",
+            default=None,
+            help="message-corruption spec, e.g. bitflip:0.02,stale:0.01 "
+            "(modes: bitflip, truncate, stale)",
+        )
+        p.add_argument(
+            "--integrity",
+            default="off",
+            choices=["off", "checksum", "mac"],
+            help="authenticated wire frames: detect, drop, and quarantine "
+            "corrupted deliveries (checksum: CRC-32; mac: seeded-key "
+            "HMAC-SHA256); framing cost is booked as overhead, never "
+            "protocol CC",
         )
 
     p_run = sub.add_parser("run", help="run one protocol execution")

@@ -235,6 +235,9 @@ class TradeoffOutcome:
     #: The reliable-transport coordinator, when the run used one
     #: (:class:`repro.resilience.transport.ReliableTransport`).
     transport: Optional[object] = None
+    #: The integrity coordinator, when the run used authenticated frames
+    #: (:class:`repro.integrity.frames.IntegrityCoordinator`).
+    integrity: Optional[object] = None
 
 
 def run_algorithm1(
@@ -249,6 +252,7 @@ def run_algorithm1(
     injectors=(),
     monitors=(),
     transport=None,
+    integrity=None,
     allow_root_crash: bool = False,
 ) -> TradeoffOutcome:
     """Run Algorithm 1 once with TC budget ``b`` and failure budget ``f``.
@@ -259,11 +263,17 @@ def run_algorithm1(
     :class:`repro.resilience.transport.TransportConfig` or
     ``ReliableTransport``) runs every protocol round over the reliable
     local-broadcast shim — each logical round then spans the transport's
-    window of physical rounds.  ``allow_root_crash`` opts out of the
-    Section-2 root protection (used by the failover layer).
+    window of physical rounds.  ``integrity`` (an
+    :class:`repro.integrity.frames.IntegrityConfig` or coordinator)
+    additionally wraps every broadcast in an authenticated frame,
+    outermost, so corrupted deliveries are detected and dropped (and, with
+    a transport underneath, recovered via its NACK path).
+    ``allow_root_crash`` opts out of the Section-2 root protection (used
+    by the failover layer).
     """
     # Lazy import: resilience builds on core, so core must not import it
     # at module scope (same idiom as the BruteForceNode import above).
+    from ..integrity.frames import as_integrity
     from ..resilience.transport import as_transport, wrap_network_args
 
     schedule = schedule or FailureSchedule()
@@ -281,6 +291,12 @@ def run_algorithm1(
     handlers, overhead_fn, window = wrap_network_args(
         transport, nodes, topology.adjacency
     )
+    integrity = as_integrity(integrity)
+    if integrity is not None:
+        # Integrity wraps outermost: what travels on the wire is always an
+        # authenticated frame, whatever is inside (transport or protocol).
+        handlers = integrity.wrap(handlers)
+        overhead_fn = integrity.overhead_fn(overhead_fn)
     network = Network(
         topology.adjacency,
         handlers,
@@ -308,4 +324,5 @@ def run_algorithm1(
         plan=plan,
         network=network,
         transport=transport,
+        integrity=integrity,
     )

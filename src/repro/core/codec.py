@@ -19,6 +19,30 @@ from typing import List, Optional, Tuple
 from ..sim.message import Part
 from .params import ProtocolParams
 
+#: Structured decode-failure reasons (the :class:`CodecError` taxonomy).
+CODEC_BAD_TAG = "bad-tag"
+CODEC_TRUNCATED = "truncated"
+CODEC_BAD_BITSTRING = "bad-bitstring"
+CODEC_TRAILING = "trailing-bits"
+CODEC_BAD_VALUE = "bad-value"
+
+
+class CodecError(ValueError):
+    """A bitstring failed structured decoding.
+
+    Decoders never crash with a raw ``KeyError``/``IndexError`` on
+    garbage input and never silently accept it: every failure mode maps
+    to one ``reason`` (:data:`CODEC_BAD_TAG`, :data:`CODEC_TRUNCATED`,
+    :data:`CODEC_BAD_BITSTRING`, :data:`CODEC_TRAILING`,
+    :data:`CODEC_BAD_VALUE`) so the integrity layer and tests can branch
+    on *why* a decode failed.
+    """
+
+    def __init__(self, reason: str, detail: str) -> None:
+        self.reason = reason
+        self.detail = detail
+        super().__init__(f"[{reason}] {detail}")
+
 #: Tag values for each wire kind (5 bits: up to 32 kinds).
 KIND_TAGS = {
     "tree_construct": 0,
@@ -73,10 +97,23 @@ class BitReader:
 
     def read(self, width: int) -> int:
         if self.pos + width > len(self.bits):
-            raise ValueError("bitstring exhausted")
+            raise CodecError(
+                CODEC_TRUNCATED,
+                f"needed {width} bit(s) at offset {self.pos}, only "
+                f"{len(self.bits) - self.pos} left",
+            )
         chunk = self.bits[self.pos : self.pos + width]
         self.pos += width
-        return int(chunk, 2) if width else 0
+        if width == 0:
+            return 0
+        try:
+            return int(chunk, 2)
+        except ValueError:
+            raise CodecError(
+                CODEC_BAD_BITSTRING,
+                f"non-binary character in chunk {chunk!r} at offset "
+                f"{self.pos - width}",
+            ) from None
 
     @property
     def remaining(self) -> int:
@@ -137,11 +174,28 @@ def encode_part(p: ProtocolParams, sender: int, part: Part) -> str:
     return w.as_string()
 
 
-def decode_part(p: ProtocolParams, bits: str) -> Tuple[int, str, tuple]:
-    """Decode a bitstring into ``(sender, kind, payload)``."""
+def decode_part(
+    p: ProtocolParams, bits: str, strict: bool = False
+) -> Tuple[int, str, tuple]:
+    """Decode a bitstring into ``(sender, kind, payload)``.
+
+    Any malformed input raises a structured :class:`CodecError` — never a
+    raw ``KeyError`` or unhandled exception.  With ``strict=True``,
+    leftover bits after the decoded part also raise
+    (:data:`CODEC_TRAILING`), so a truncation/extension attack cannot
+    hide in the padding.
+    """
     r = BitReader(bits)
-    kind = TAGS_TO_KIND[r.read(5)]
+    tag = r.read(5)
+    kind = TAGS_TO_KIND.get(tag)
+    if kind is None:
+        raise CodecError(CODEC_BAD_TAG, f"unknown kind tag {tag}")
     sender = r.read(p.id_bits)
+    if sender >= p.n_nodes:
+        raise CodecError(
+            CODEC_BAD_VALUE,
+            f"sender id {sender} out of range [0, {p.n_nodes})",
+        )
     if kind == "tree_construct":
         level = r.read(p.level_bits)
         anc_w = _anc_width(p)
@@ -161,7 +215,7 @@ def decode_part(p: ProtocolParams, bits: str) -> Tuple[int, str, tuple]:
     elif kind == "flooded_psum":
         payload = (r.read(p.id_bits), r.read(p.psum_bits))
     elif kind == "determination":
-        payload = (BITS_LABEL[r.read(1)], r.read(p.id_bits))
+        payload = (BITS_LABEL[r.read(1)], r.read(p.id_bits))  # 1 bit: total
     elif kind == "failed_parent":
         payload = (r.read(p.id_bits), r.read(p.level_bits), r.read(p.id_bits))
     elif kind in ("agg_abort", "veri_overflow", "detect_failed_parent"):
@@ -169,7 +223,13 @@ def decode_part(p: ProtocolParams, bits: str) -> Tuple[int, str, tuple]:
     elif kind == "detect_failed_child":
         payload = (r.read(p.id_bits),)
     else:  # pragma: no cover - TAGS_TO_KIND is exhaustive
-        raise ValueError(kind)
+        raise CodecError(CODEC_BAD_TAG, f"unhandled kind {kind!r}")
+    if strict and r.remaining:
+        raise CodecError(
+            CODEC_TRAILING,
+            f"{r.remaining} unconsumed bit(s) after a complete "
+            f"{kind!r} part",
+        )
     return sender, kind, payload
 
 

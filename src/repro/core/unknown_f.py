@@ -170,6 +170,9 @@ class DoublingOutcome:
     #: The reliable-transport coordinator, when the run used one
     #: (:class:`repro.resilience.transport.ReliableTransport`).
     transport: Optional[object] = None
+    #: The integrity coordinator, when the run used authenticated frames
+    #: (:class:`repro.integrity.frames.IntegrityCoordinator`).
+    integrity: Optional[object] = None
 
 
 def run_unknown_f(
@@ -181,6 +184,7 @@ def run_unknown_f(
     injectors=(),
     monitors=(),
     transport=None,
+    integrity=None,
     allow_root_crash: bool = False,
 ) -> DoublingOutcome:
     """Run the unknown-``f`` doubling protocol once.
@@ -188,10 +192,13 @@ def run_unknown_f(
     ``injectors`` and ``monitors`` are forwarded to the
     :class:`repro.sim.network.Network`.  ``transport`` runs the protocol
     over the reliable local-broadcast shim (one logical round per
-    transport window); ``allow_root_crash`` opts out of the Section-2
-    root protection (used by the failover layer).
+    transport window); ``integrity`` wraps every broadcast in an
+    authenticated frame, outermost, so corrupted deliveries are detected
+    and dropped; ``allow_root_crash`` opts out of the Section-2 root
+    protection (used by the failover layer).
     """
     # Lazy import: core must not depend on resilience at module scope.
+    from ..integrity.frames import as_integrity
     from ..resilience.transport import as_transport, wrap_network_args
 
     schedule = schedule or FailureSchedule()
@@ -207,6 +214,12 @@ def run_unknown_f(
     handlers, overhead_fn, window = wrap_network_args(
         transport, nodes, topology.adjacency
     )
+    integrity = as_integrity(integrity)
+    if integrity is not None:
+        # Integrity wraps outermost: what travels on the wire is always an
+        # authenticated frame, whatever is inside (transport or protocol).
+        handlers = integrity.wrap(handlers)
+        overhead_fn = integrity.overhead_fn(overhead_fn)
     network = Network(
         topology.adjacency,
         handlers,
@@ -232,4 +245,5 @@ def run_unknown_f(
         plan=plan,
         network=network,
         transport=transport,
+        integrity=integrity,
     )

@@ -34,8 +34,18 @@ from ..analysis.runner import RunRecord
 from .scheduler import WorkUnit
 
 #: Bump when the execution semantics change in a way that invalidates
-#: previously cached records.
-CACHE_VERSION = 1
+#: previously cached records.  v2: the token auto-enumerates every
+#: :class:`WorkUnit` field (minus :data:`EXCLUDED_FIELDS`) instead of a
+#: hand-maintained list — v1 silently omitted fields added after it was
+#: written, so two units differing only in a new field (e.g. a corruption
+#: spec) collided on one cache entry.
+CACHE_VERSION = 2
+
+#: WorkUnit fields that provably cannot affect the resulting record:
+#: ``backoff_s`` only changes retry sleep timing, ``coords`` only the
+#: checkpoint key.  Everything else is part of the cache identity —
+#: including fields that don't exist yet.
+EXCLUDED_FIELDS = frozenset({"backoff_s", "coords"})
 
 
 def _topology_token(topology) -> Dict[str, Any]:
@@ -49,49 +59,57 @@ def _topology_token(topology) -> Dict[str, Any]:
 
 
 def _config_token(value) -> Any:
-    """Transport/recovery configs serialize via their ``as_jsonable``."""
+    """Transport/recovery/integrity configs serialize via ``as_jsonable``;
+    coordinator objects expose their config first."""
     if value is None:
         return None
+    config = getattr(value, "config", None)
+    if config is not None and hasattr(config, "as_jsonable"):
+        return config.as_jsonable()
     as_jsonable = getattr(value, "as_jsonable", None)
     if as_jsonable is not None:
         return as_jsonable()
     return repr(value)
 
 
+def _field_token(name: str, value) -> Any:
+    """One WorkUnit field's contribution to the cache token."""
+    if name == "topology":
+        return _topology_token(value)
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    if isinstance(value, (dict, list, tuple)):
+        return value
+    return _config_token(value)
+
+
 def unit_cache_token(unit: WorkUnit) -> Dict[str, Any]:
     """The canonical jsonable identity of a unit's result.
+
+    Every :class:`WorkUnit` dataclass field outside
+    :data:`EXCLUDED_FIELDS` is enumerated automatically, so a field added
+    to the unit can never be silently missing from the cache identity;
+    the ``schema`` entry records which fields the token covers, so
+    entries written before a field existed mismatch on read instead of
+    serving a stale record.
 
     Round-tripped through JSON so non-string dict keys (e.g. an explicit
     schedule's node ids) canonicalize exactly as they will when an entry
     is read back — token equality is then a plain ``==``.
     """
-    token = {
+    import dataclasses
+
+    names = sorted(
+        f.name
+        for f in dataclasses.fields(WorkUnit)
+        if f.name not in EXCLUDED_FIELDS
+    )
+    token: Dict[str, Any] = {
         "version": CACHE_VERSION,
-        "protocol": unit.protocol,
-        "topology": _topology_token(unit.topology),
-        "seed": unit.seed,
-        "params": {
-            "f": unit.f,
-            "b": unit.b,
-            "t": unit.t,
-            "c": unit.c,
-            "caaf": unit.caaf,
-            "max_input": unit.max_input,
-        },
-        "schedule": unit.schedule,
-        "crash_root": unit.crash_root,
-        "inject": unit.inject,
-        "adaptive": unit.adaptive,
-        "monitors": unit.monitors,
-        "strict": unit.strict,
-        "strict_monitors": unit.strict_monitors,
-        "transport": _config_token(unit.transport),
-        "recovery": _config_token(unit.recovery),
-        "allow_root_crash": unit.allow_root_crash,
-        "timeout_s": unit.timeout_s,
-        "retries": unit.retries,
-        "capture_dir": unit.capture_dir,
+        "schema": names,
     }
+    for name in names:
+        token[name] = _field_token(name, getattr(unit, name))
     return json.loads(json.dumps(token, sort_keys=True))
 
 

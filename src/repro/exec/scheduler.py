@@ -48,8 +48,11 @@ class WorkUnit:
     ``coords`` is the sweep coordinate the run belongs to (it feeds the
     checkpoint key, exactly like the serial path's
     :func:`repro.analysis.checkpoint.make_key`); ``strict`` /
-    ``strict_monitors`` / ``transport`` / ``recovery`` mirror the
-    corresponding :func:`repro.analysis.runner.run_protocol` arguments.
+    ``strict_monitors`` / ``transport`` / ``recovery`` / ``integrity``
+    mirror the corresponding
+    :func:`repro.analysis.runner.run_protocol` arguments; ``corrupt`` is
+    the CLI spec string fed to
+    :meth:`repro.sim.faults.MessageCorruption.from_spec`.
     """
 
     protocol: str
@@ -64,12 +67,14 @@ class WorkUnit:
     schedule: Dict[str, Any] = field(default_factory=lambda: {"kind": "none"})
     crash_root: Optional[Dict[str, int]] = None
     inject: Optional[str] = None
+    corrupt: Optional[str] = None
     adaptive: Optional[str] = None
     monitors: Optional[Dict[str, Any]] = None
     strict: bool = False
     strict_monitors: bool = False
     transport: Any = None
     recovery: Any = None
+    integrity: Any = None
     allow_root_crash: bool = False
     timeout_s: Optional[float] = None
     retries: int = 0
@@ -147,12 +152,19 @@ def build_schedule(
 
 
 def build_injectors(unit: WorkUnit, topology: Topology) -> List[Any]:
-    """Materialize the unit's injector specs (order: faults, adaptive)."""
+    """Materialize the unit's injector specs (order: faults, corruption,
+    adaptive) — the same order the CLI builds them in-process."""
     injectors: List[Any] = []
     if unit.inject:
         from ..sim.faults import MessageFaults
 
         injectors.append(MessageFaults.from_spec(unit.inject, seed=unit.seed))
+    if unit.corrupt:
+        from ..sim.faults import MessageCorruption
+
+        injectors.append(
+            MessageCorruption.from_spec(unit.corrupt, seed=unit.seed)
+        )
     if unit.adaptive:
         from ..adversary.adaptive import make_adaptive
 
@@ -187,8 +199,18 @@ def execute_unit(unit: WorkUnit):
         inputs = make_inputs(topology, rng, max_input=unit.max_input)
         schedule = build_schedule(unit, topology, rng)
         injectors = build_injectors(unit, topology)
+        # Coerce integrity once so the monitor stack below shares the
+        # coordinator with the run (same rule as run_protocol).
+        from ..integrity.frames import as_integrity
+
+        integrity = as_integrity(
+            unit.integrity
+            if unit.integrity is not None
+            else getattr(unit.recovery, "integrity", None)
+        )
         monitors = None
         if unit.monitors is not None:
+            from ..sim.faults import corruption_sources
             from ..sim.monitors import standard_monitors
 
             monitors = standard_monitors(
@@ -197,6 +219,8 @@ def execute_unit(unit: WorkUnit):
                 f=unit.f,
                 mode=unit.monitors.get("mode", "record"),
                 recovery=bool(unit.monitors.get("recovery")),
+                corruption=corruption_sources(injectors),
+                integrity=integrity,
             )
         record = safe_run_protocol(
             unit.protocol,
@@ -220,11 +244,19 @@ def execute_unit(unit: WorkUnit):
             capture_dir=unit.capture_dir,
             transport=unit.transport,
             recovery=unit.recovery,
+            integrity=integrity,
             allow_root_crash=unit.allow_root_crash,
         )
         record.seed = unit.seed
         if unit.inject and injectors:
             record.extra["injected_faults"] = injectors[0].counts.total
+        if unit.corrupt:
+            from ..sim.faults import MessageCorruption
+
+            corrupter = next(
+                i for i in injectors if isinstance(i, MessageCorruption)
+            )
+            record.extra["injected_corruptions"] = corrupter.counts.total
         return record
     except (KeyboardInterrupt, SystemExit):
         raise

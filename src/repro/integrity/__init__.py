@@ -1,0 +1,58 @@
+"""End-to-end message integrity: authenticated frames, detection, quarantine.
+
+See :mod:`repro.integrity.frames` for the frame format and verification
+taxonomy, and :mod:`repro.integrity.quarantine` for per-link corruption
+scoring.
+"""
+
+from .frames import (
+    BLAMED_REASONS,
+    CHECKSUM_BITS,
+    FrameIntegrityError,
+    INTEG_HEADER_BITS,
+    INTEG_KIND,
+    INTEGRITY_MODES,
+    IntegrityConfig,
+    IntegrityCoordinator,
+    IntegrityNode,
+    MAC_BITS,
+    REASON_DIGEST,
+    REASON_QUARANTINED,
+    REASON_SENDER,
+    REASON_STALE,
+    REASON_STRUCTURE,
+    REASON_UNFRAMED,
+    SEQ_BITS,
+    as_integrity,
+    compute_tag,
+    unresolved_corruptions,
+)
+from .quarantine import Link, LinkQuarantine, QuarantineEvent
+
+__all__ = sorted(
+    [
+        "BLAMED_REASONS",
+        "CHECKSUM_BITS",
+        "FrameIntegrityError",
+        "INTEG_HEADER_BITS",
+        "INTEG_KIND",
+        "INTEGRITY_MODES",
+        "IntegrityConfig",
+        "IntegrityCoordinator",
+        "IntegrityNode",
+        "Link",
+        "LinkQuarantine",
+        "MAC_BITS",
+        "QuarantineEvent",
+        "REASON_DIGEST",
+        "REASON_QUARANTINED",
+        "REASON_SENDER",
+        "REASON_STALE",
+        "REASON_STRUCTURE",
+        "REASON_UNFRAMED",
+        "SEQ_BITS",
+        "as_integrity",
+        "compute_tag",
+        "unresolved_corruptions",
+    ]
+)

@@ -1,0 +1,93 @@
+"""Per-link corruption scoring and quarantine.
+
+Detection alone (:mod:`repro.integrity.frames`) makes a corrupted frame
+look like a *lost* frame — recoverable by the transport's NACK path, but
+only while the retransmit budget holds out.  A link that corrupts
+persistently would bleed the budget forever, so receivers keep a per-link
+corruption score and, past a threshold, **quarantine** the link: all
+further frames from that sender are dropped unverified, and the link is
+reported as a failed edge — the paper's own edge-failure class, to be
+budgeted within ``f`` like any other failure (Section 2 counts a failed
+node as its incident edges failing; a quarantined link is one such edge).
+
+Only *provable* corruption is blamed: a digest or structure failure cannot
+be produced by an honest network, while a stale (replayed) frame is
+authentic content at the wrong time — indistinguishable from an honestly
+delayed copy — so stale rejections drop the frame but never move the
+score.
+
+The score counts **consecutive** blamed rejections: a verified frame from
+the same sender clears it.  A merely-noisy link (per-copy corruption rate
+``p``) reaches a threshold of ``k`` only with probability ``p**k`` per
+window, while a persistently corrupt link — the adversary the quarantine
+exists for — crosses it almost immediately.  Long low-rate runs therefore
+never quarantine by accumulation alone.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Set, Tuple
+
+#: A directed link, as ``(sender, receiver)``.
+Link = Tuple[int, int]
+
+
+class QuarantineEvent(NamedTuple):
+    """One link crossing the quarantine threshold."""
+
+    sender: int
+    receiver: int
+    round: int
+    score: int
+
+
+class LinkQuarantine:
+    """Score ledger: per-link *consecutive* blamed-rejection counts and
+    quarantined links."""
+
+    def __init__(self, threshold: int) -> None:
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        self.threshold = threshold
+        self.scores: Dict[Link, int] = {}
+        self.quarantined: Set[Link] = set()
+        self.events: List[QuarantineEvent] = []
+
+    def is_quarantined(self, link: Link) -> bool:
+        """Whether frames on ``link`` are dropped without verification."""
+        return link in self.quarantined
+
+    def clear(self, link: Link) -> None:
+        """A frame on ``link`` verified: reset its consecutive-blame score
+        (quarantine itself is permanent — a quarantined link stays out)."""
+        if link not in self.quarantined:
+            self.scores.pop(link, None)
+
+    def record(self, link: Link, rnd: int, blamed: bool) -> bool:
+        """Book one rejection on ``link``; returns True when this rejection
+        newly quarantines the link.  Unblamed rejections (stale replays)
+        leave the score untouched."""
+        if not blamed or link in self.quarantined:
+            return False
+        score = self.scores.get(link, 0) + 1
+        self.scores[link] = score
+        if score >= self.threshold:
+            self.quarantined.add(link)
+            self.events.append(QuarantineEvent(link[0], link[1], rnd, score))
+            return True
+        return False
+
+    def quarantined_links(self) -> List[Link]:
+        """Quarantined ``(sender, receiver)`` links, sorted for stable output."""
+        return sorted(self.quarantined)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict view for reports and run rows."""
+        return {
+            "threshold": self.threshold,
+            "quarantined": [list(link) for link in self.quarantined_links()],
+            "scores": {
+                f"{s}->{r}": score
+                for (s, r), score in sorted(self.scores.items())
+            },
+        }

@@ -32,6 +32,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..adversary.schedule import FailureSchedule
 from ..graphs.topology import Topology
+from ..integrity.frames import (
+    IntegrityConfig,
+    IntegrityCoordinator,
+    as_integrity,
+    unresolved_corruptions,
+)
+from ..sim.faults import corruption_sources
 from ..sim.message import Part, TAG_BITS, id_bits
 from ..sim.network import Network
 from ..sim.node import NodeHandler
@@ -60,12 +67,16 @@ class RecoveryPolicy:
         max_epochs: Total protocol epochs (first run included).
         election_stretch: Election flood horizon in units of the
             topology diameter (the bounded-flood budget).
+        integrity: Authenticated-frame config for every epoch (and the
+            elections); ``None`` (or mode ``"off"``) runs without
+            integrity verification.
     """
 
     transport: Optional[TransportConfig] = None
     failover: bool = True
     max_epochs: int = 3
     election_stretch: int = 2
+    integrity: Optional[IntegrityConfig] = None
 
     def __post_init__(self) -> None:
         if self.max_epochs < 1:
@@ -93,11 +104,13 @@ class RecoveryPolicy:
             "failover": self.failover,
             "max_epochs": self.max_epochs,
             "election_stretch": self.election_stretch,
+            "integrity": self.integrity.as_jsonable() if self.integrity else None,
         }
 
     @classmethod
     def from_jsonable(cls, data: Dict[str, object]) -> "RecoveryPolicy":
         transport = data.get("transport")
+        integrity = data.get("integrity")
         return cls(
             transport=TransportConfig.from_jsonable(transport)
             if transport
@@ -105,6 +118,9 @@ class RecoveryPolicy:
             failover=bool(data.get("failover", True)),
             max_epochs=int(data.get("max_epochs", 3)),
             election_stretch=int(data.get("election_stretch", 2)),
+            integrity=IntegrityConfig.from_jsonable(integrity)
+            if integrity
+            else None,
         )
 
 
@@ -200,6 +216,7 @@ def _run_election(
     candidates: Sequence[int],
     injectors: Sequence,
     policy: RecoveryPolicy,
+    integrity: Optional[IntegrityCoordinator] = None,
 ) -> Tuple[ElectionReport, SimStats]:
     """Flood candidate ids for a bounded horizon; lowest id wins."""
     bits_per_id = id_bits(max(topology.nodes()) + 1)
@@ -214,6 +231,11 @@ def _run_election(
     wrapped, overhead_fn, window = wrap_network_args(
         transport, handlers, topology.adjacency
     )
+    if integrity is not None:
+        # Elections carry min-id floods: a flipped candidate id would
+        # silently elect the wrong root, so they are authenticated too.
+        wrapped = integrity.wrap(wrapped)
+        overhead_fn = integrity.overhead_fn(overhead_fn)
     horizon = (policy.election_stretch * topology.diameter + 2) * window + (
         1 if transport else 0
     )
@@ -258,6 +280,7 @@ def _run_epoch(
     injectors: Sequence,
     monitors: Sequence,
     transport: Optional[ReliableTransport],
+    integrity: Optional[IntegrityCoordinator] = None,
 ):
     from ..core.algorithm1 import run_algorithm1
     from ..core.unknown_f import run_unknown_f
@@ -275,6 +298,7 @@ def _run_epoch(
             injectors=injectors,
             monitors=monitors,
             transport=transport,
+            integrity=integrity,
             allow_root_crash=True,
         )
     if protocol == "unknown_f":
@@ -287,6 +311,7 @@ def _run_epoch(
             injectors=injectors,
             monitors=monitors,
             transport=transport,
+            integrity=integrity,
             allow_root_crash=True,
         )
     raise ValueError(
@@ -308,6 +333,7 @@ def run_with_recovery(
     injectors: Sequence = (),
     monitors: Sequence = (),
     policy: Optional[RecoveryPolicy] = None,
+    integrity=None,
 ) -> RecoveryOutcome:
     """Run ``protocol`` under the self-healing runtime.
 
@@ -323,6 +349,11 @@ def run_with_recovery(
     caaf = caaf or SUM
     policy = policy or RecoveryPolicy.default()
     schedule = schedule or FailureSchedule()
+    # One coordinator spans every epoch and election, so rejection
+    # records accumulate against the (likewise run-long) corruption
+    # injector ground truth.  An explicit coordinator argument (from a
+    # caller that also wired it into monitors) wins over the policy's.
+    integrity = as_integrity(integrity if integrity is not None else policy.integrity)
 
     combined = SimStats()
     epochs: List[EpochReport] = []
@@ -353,11 +384,17 @@ def run_with_recovery(
             injectors=injectors,
             monitors=monitors,
             transport=transport,
+            integrity=integrity,
         )
         network = outcome.network
         combined.absorb(outcome.stats)
         if transport is not None:
             transports.append(transport)
+            # Quarantined links count as live gaps on purpose: the
+            # receiver stopped listening, so any protocol frame starved
+            # by the quarantine is real data loss and must decertify the
+            # result (a quarantine never excuses a wrong answer into a
+            # certified one).
             live_gap_count += len(transport.live_gaps(network.crash_rounds))
         root_crashed = not network.is_alive(topo.root)
         epochs.append(
@@ -396,7 +433,7 @@ def run_with_recovery(
             network.crash_rounds, outcome.rounds, topo.nodes()
         )
         report, election_stats = _run_election(
-            topo, election_crashes, candidates, injectors, policy
+            topo, election_crashes, candidates, injectors, policy, integrity
         )
         combined.absorb(election_stats, as_overhead=True)
         elections.append(report)
@@ -435,6 +472,22 @@ def run_with_recovery(
         reason += "; election diverged"
     if value is not None and live_gap_count:
         reason += f"; {live_gap_count} unexcused transport gap(s)"
+    # Integrity ladder: any delivered corruption the integrity layer never
+    # rejected clears the integrity-verified bit (certify() decertifies).
+    corruption = corruption_sources(injectors)
+    unresolved = (
+        len(unresolved_corruptions(corruption, integrity)) if corruption else 0
+    )
+    extra = {"elections": len(elections)}
+    if corruption:
+        extra["delivered_corruptions"] = sum(
+            len(s.delivered_corruptions) for s in corruption
+        )
+        extra["unresolved_corruptions"] = unresolved
+    if integrity is not None:
+        counters = integrity.counters()
+        extra["integrity_rejected"] = counters["rejected"]
+        extra["quarantined_links"] = sorted(integrity.quarantined_links)
 
     if final_network is not None and final_network.is_alive(final_topo.root):
         failed = {
@@ -455,7 +508,8 @@ def run_with_recovery(
         elected_root=elected_root,
         overhead_bits=combined.max_overhead_bits,
         live_gaps=live_gap_count,
-        extra={"elections": len(elections)},
+        unresolved_corruptions=unresolved,
+        extra=extra,
     )
     return RecoveryOutcome(
         partial=partial,

@@ -54,6 +54,11 @@ class PartialAggregateResult:
     elected_root: Optional[int] = None
     overhead_bits: int = 0
     live_gaps: int = 0
+    #: The integrity-verified bit of the certification ladder: False when
+    #: any delivered corruption went unrejected by the integrity layer
+    #: (or no layer was active to reject it).  ``certified`` — and hence
+    #: ``exact`` — requires it.
+    integrity_verified: bool = True
     extra: Dict[str, int] = field(default_factory=dict)
 
     @property
@@ -76,6 +81,7 @@ class PartialAggregateResult:
             "elected_root": self.elected_root,
             "overhead_bits": self.overhead_bits,
             "live_gaps": self.live_gaps,
+            "integrity_verified": self.integrity_verified,
         }
 
 
@@ -92,6 +98,7 @@ def certify(
     elected_root: Optional[int] = None,
     overhead_bits: int = 0,
     live_gaps: int = 0,
+    unresolved_corruptions: int = 0,
     extra: Optional[Dict[str, int]] = None,
 ) -> PartialAggregateResult:
     """Build a :class:`PartialAggregateResult` with derived bounds/status.
@@ -100,7 +107,20 @@ def certify(
     the final epoch); it is only honoured when ``certified`` is True —
     otherwise coverage collapses to the empty set and the status is
     ``failed`` unless a best-effort value is still reported.
+
+    ``unresolved_corruptions`` is the count of delivered corruptions the
+    integrity layer never rejected: any non-zero count clears the
+    ``integrity_verified`` bit and forces decertification — an ``exact``
+    claim requires zero unresolved corruption.
     """
+    integrity_verified = unresolved_corruptions == 0
+    if not integrity_verified:
+        certified = False
+        reason = (
+            f"{reason}; {unresolved_corruptions} unresolved corruption(s)"
+            if reason
+            else f"{unresolved_corruptions} unresolved corruption(s)"
+        )
     all_sorted = tuple(sorted(all_nodes))
     coverage = tuple(sorted(covered)) if certified and value is not None else ()
     missing = tuple(u for u in all_sorted if u not in set(coverage))
@@ -127,5 +147,6 @@ def certify(
         elected_root=elected_root,
         overhead_bits=overhead_bits,
         live_gaps=live_gaps,
+        integrity_verified=integrity_verified,
         extra=dict(extra or {}),
     )

@@ -154,6 +154,10 @@ class ReliableTransport:
         self.duplicates_suppressed = 0
         self.stale_frames = 0
         self.revivals = 0
+        #: Frames/NACKs whose payload did not have the expected shape
+        #: (possible under corruption injection without an integrity
+        #: layer); dropped rather than crashing the decoder.
+        self.malformed = 0
         self.gaps: List[TransportGap] = []
 
     @property
@@ -244,6 +248,7 @@ class ReliableTransport:
             "duplicates_suppressed": self.duplicates_suppressed,
             "stale_frames": self.stale_frames,
             "revivals": self.revivals,
+            "malformed": self.malformed,
             "gaps": len(self.gaps),
         }
 
@@ -325,7 +330,20 @@ class TransportNode(NodeHandler):
         for envelope in inbox:
             sender, part = envelope.sender, envelope.part
             if part.kind == FRAME_KIND:
-                frame_lr = part.payload[0]
+                # Defensive decode: under corruption injection with no
+                # integrity layer a frame payload can be truncated or
+                # have a flipped field — drop it instead of crashing
+                # (the NACK path then recovers the logical frame).
+                payload = part.payload
+                if (
+                    not isinstance(payload, tuple)
+                    or len(payload) != 3
+                    or not isinstance(payload[0], int)
+                    or not isinstance(payload[2], tuple)
+                ):
+                    transport.malformed += 1
+                    continue
+                frame_lr = payload[0]
                 if frame_lr <= self._delivered:
                     transport.stale_frames += 1
                     continue
@@ -333,12 +351,21 @@ class TransportNode(NodeHandler):
                 if sender in buf:
                     transport.duplicates_suppressed += 1
                     continue
-                buf[sender] = part.payload[2]
+                buf[sender] = payload[2]
                 if sender not in self._expected and sender in self.neighbours:
                     self._expected.add(sender)
                     transport.revivals += 1
             elif part.kind == NACK_KIND:
-                nack_lr, missing = part.payload
+                payload = part.payload
+                if (
+                    not isinstance(payload, tuple)
+                    or len(payload) != 2
+                    or not isinstance(payload[0], int)
+                    or not isinstance(payload[1], tuple)
+                ):
+                    transport.malformed += 1
+                    continue
+                nack_lr, missing = payload
                 if nack_lr == lr and slot > 1 and self.node_id in missing:
                     retransmit_requested = True
             else:  # non-transport part: a mixed network; pass through.

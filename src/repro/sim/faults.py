@@ -333,3 +333,303 @@ class MessageFaults(FaultInjector):
             f"MessageFaults(drop={self.drop}, duplicate={self.duplicate}, "
             f"delay={self.delay}, reorder={self.reorder}, seed={self.seed})"
         )
+
+
+@dataclass
+class CorruptionCounts:
+    """Tally of injected corruptions, for reporting alongside run results."""
+
+    bitflips: int = 0
+    truncations: int = 0
+    stale_replays: int = 0
+
+    @property
+    def total(self) -> int:
+        """All injected corruptions combined."""
+        return self.bitflips + self.truncations + self.stale_replays
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict view for tables and JSON rows."""
+        return {
+            "bitflips": self.bitflips,
+            "truncations": self.truncations,
+            "stale_replays": self.stale_replays,
+        }
+
+
+def flip_int_leaf(payload, rng: random.Random):
+    """Flip one random bit in one random int leaf of a payload tree.
+
+    Returns the rewritten payload, or ``None`` when the payload holds no
+    int leaves to corrupt (e.g. the empty ``()`` of an abort part).  The
+    result is built only from tuples, ints, strs and ``None``, so its
+    ``repr`` round-trips through ``ast.literal_eval`` — the property the
+    record/replay layer relies on to replay corrupted runs bit-exactly.
+    """
+    leaves: List[Tuple] = []
+
+    def walk(value, path):
+        if isinstance(value, bool):
+            return
+        if isinstance(value, int):
+            leaves.append(path)
+        elif isinstance(value, tuple):
+            for i, item in enumerate(value):
+                walk(item, path + (i,))
+
+    walk(payload, ())
+    if not leaves:
+        return None
+    path = leaves[rng.randrange(len(leaves))]
+
+    def rewrite(value, path):
+        if not path:
+            bit = rng.randrange(max(1, value.bit_length() + 1))
+            return value ^ (1 << bit)
+        i = path[0]
+        return tuple(
+            rewrite(item, path[1:]) if j == i else item
+            for j, item in enumerate(value)
+        )
+
+    return rewrite(payload, path)
+
+
+class MessageCorruption(FaultInjector):
+    """Silently corrupt in-flight message content.
+
+    Unlike :class:`MessageFaults` (which loses, duplicates or postpones
+    otherwise-correct copies), this injector rewrites a copy's *payload* —
+    the silent-data-corruption class the paper's crash-only model excludes.
+    Three modes, each rolled independently per scheduled delivery copy
+    (first hit wins):
+
+    * ``bitflip`` — XOR one random bit of one random int leaf of the
+      payload (the classic flipped-bit on the wire);
+    * ``truncate`` — drop the payload's last field (a short read);
+    * ``stale`` — replace the copy with the previous part the same link
+      carried (a replayed old frame: authentic content, wrong time).
+
+    Rates apply per copy; ``link_scale`` multiplies them on selected
+    ``(sender, receiver)`` links so tests can make one link persistently
+    corrupt (the quarantine trigger).  Every corruption is remembered as
+    ``(sender, receiver, content_key)``, and :meth:`arrange_inbox`
+    matches delivered envelopes against that set out-of-band — the
+    :class:`repro.sim.monitors.CorruptionOracleMonitor` compares this
+    ground truth with the integrity layer's rejection log to flag any run
+    that silently *accepted* a corrupted frame.
+
+    Corrupted payloads stay within tuples/ints/strs/``None`` so recorded
+    runs replay bit-exactly (see :func:`flip_int_leaf`).
+    """
+
+    modifies_delivery = True
+
+    def __init__(
+        self,
+        bitflip: float = 0.0,
+        truncate: float = 0.0,
+        stale: float = 0.0,
+        seed: int = 0,
+        max_bitflips: Optional[int] = None,
+        max_truncations: Optional[int] = None,
+        max_stales: Optional[int] = None,
+        protect: Iterable[int] = (),
+        link_scale: Optional[Dict[Tuple[int, int], float]] = None,
+    ) -> None:
+        super().__init__()
+        for name, rate in (
+            ("bitflip", bitflip),
+            ("truncate", truncate),
+            ("stale", stale),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} rate must be in [0, 1], got {rate}")
+        self.bitflip = bitflip
+        self.truncate = truncate
+        self.stale = stale
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.max_bitflips = max_bitflips
+        self.max_truncations = max_truncations
+        self.max_stales = max_stales
+        self.protect = frozenset(protect)
+        self.link_scale = dict(link_scale or {})
+        self.counts = CorruptionCounts()
+        #: Epoch counter, kept in lock-step with the integrity
+        #: coordinator's (both advance once per network build) so
+        #: delivered-corruption records match rejection records even when
+        #: failover runs several networks per logical run.
+        self.epoch = -1
+        #: Corrupted deliveries created: ``{(sender, receiver,
+        #: content_key): mode}`` with mode ``"content"`` (bitflip /
+        #: truncate) or ``"stale"`` (replayed authentic content).
+        self._corrupt: Dict[Tuple, str] = {}
+        #: Content corruptions actually *seen by a receiver*, as
+        #: ``(epoch, round, sender, receiver, content_key)`` — the oracle
+        #: monitor's ground truth.  Stale replays land in
+        #: :attr:`delivered_stales` instead: an accepted replay whose
+        #: fresher copy was never accepted is authentic content one round
+        #: late — indistinguishable from an honest delay, so it is not
+        #: silent corruption.
+        self.delivered_corruptions: List[Tuple] = []
+        #: Replayed-but-authentic deliveries seen by a receiver.
+        self.delivered_stales: List[Tuple] = []
+        # Per-link memory of the previous part, for stale replays.
+        self._history: Dict[Tuple[int, int], Part] = {}
+
+    #: The accepted ``from_spec`` grammar, quoted verbatim in every
+    #: rejection so a CLI typo comes back with the fix attached.
+    SPEC_GRAMMAR = (
+        "mode:rate[,mode:rate...] with modes bitflip, truncate, stale "
+        "and rates in [0, 1] (e.g. 'bitflip:0.02,stale:0.01')"
+    )
+
+    @classmethod
+    def from_spec(cls, spec: str, seed: int = 0, **kwargs) -> "MessageCorruption":
+        """Build from a CLI spec like ``bitflip:0.02,truncate:0.01``.
+
+        Modes: ``bitflip``, ``truncate``, ``stale`` with per-copy rates.
+        Unknown modes, missing rates, non-numeric rates, and repeated
+        modes all raise ``ValueError`` naming the offending token and
+        :data:`SPEC_GRAMMAR`.  ``=`` is accepted as a separator alongside
+        ``:`` for symmetry with the fault spec grammar.
+        """
+        modes = ("bitflip", "truncate", "stale")
+
+        def reject(token: str, why: str) -> ValueError:
+            return ValueError(
+                f"bad corruption spec fragment {token!r}: {why} "
+                f"(accepted grammar: {cls.SPEC_GRAMMAR})"
+            )
+
+        values: Dict[str, float] = {}
+        for item in spec.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            sep = ":" if ":" in item else "="
+            mode, found, raw = item.partition(sep)
+            mode = mode.strip()
+            if not found:
+                raise reject(item, "needs mode:rate")
+            if mode not in modes:
+                raise reject(item, f"unknown corruption mode {mode!r}")
+            if mode in values:
+                raise reject(item, f"mode {mode!r} given more than once")
+            raw = raw.strip()
+            try:
+                values[mode] = float(raw)
+            except ValueError:
+                raise reject(item, f"rate {raw!r} is not a number") from None
+        values.update(kwargs)
+        return cls(seed=seed, **values)
+
+    def attach(self, network) -> None:
+        """Bind to a network; each attach starts a new epoch."""
+        super().attach(network)
+        self.epoch += 1
+        self._history = {}
+
+    def _budget_left(self, used: int, cap: Optional[int]) -> bool:
+        return cap is None or used < cap
+
+    def _record(
+        self, sender: int, receiver: int, part: Part, mode: str = "content"
+    ) -> None:
+        key = (sender, receiver, part.content_key)
+        # "content" wins a collision: if the same bytes were ever a
+        # content corruption, acceptance is never excusable.
+        if mode == "content" or key not in self._corrupt:
+            self._corrupt[key] = mode
+
+    def corruption_mode(
+        self, sender: int, receiver: int, part: Part
+    ) -> Optional[str]:
+        """How ``part`` on this link was corrupted (``"content"`` /
+        ``"stale"``), or None — the recorder annotates bundles with this
+        so replays rebuild the same split ground truth."""
+        return self._corrupt.get((sender, receiver, part.content_key))
+
+    def on_transmit(
+        self, due: int, sender: int, receiver: int, part: Part
+    ) -> List[Tuple[int, Part]]:
+        """Maybe corrupt one delivery copy (bitflip, truncate or stale)."""
+        link = (sender, receiver)
+        previous = self._history.get(link)
+        self._history[link] = part
+        if sender in self.protect or receiver in self.protect:
+            return [(due, part)]
+        scale = self.link_scale.get(link, 1.0)
+        rng = self.rng
+        if (
+            self.bitflip
+            and self._budget_left(self.counts.bitflips, self.max_bitflips)
+            and rng.random() < min(1.0, self.bitflip * scale)
+        ):
+            flipped = flip_int_leaf(part.payload, rng)
+            if flipped is not None:
+                self.counts.bitflips += 1
+                corrupted = Part(part.kind, flipped, part.bits)
+                self._record(sender, receiver, corrupted)
+                return [(due, corrupted)]
+        if (
+            self.truncate
+            and isinstance(part.payload, tuple)
+            and part.payload
+            and self._budget_left(self.counts.truncations, self.max_truncations)
+            and rng.random() < min(1.0, self.truncate * scale)
+        ):
+            self.counts.truncations += 1
+            corrupted = Part(part.kind, part.payload[:-1], part.bits)
+            self._record(sender, receiver, corrupted)
+            return [(due, corrupted)]
+        if (
+            self.stale
+            and previous is not None
+            and previous != part
+            and self._budget_left(self.counts.stale_replays, self.max_stales)
+            and rng.random() < min(1.0, self.stale * scale)
+        ):
+            self.counts.stale_replays += 1
+            self._record(sender, receiver, previous, mode="stale")
+            return [(due, previous)]
+        return [(due, part)]
+
+    def arrange_inbox(self, rnd: int, receiver: int, envelopes: List) -> List:
+        """Observe (never modify) the inbox: log delivered corruptions."""
+        for envelope in envelopes:
+            key = (envelope.sender, receiver, envelope.part.content_key)
+            mode = self._corrupt.get(key)
+            if mode is not None:
+                ledger = (
+                    self.delivered_corruptions
+                    if mode == "content"
+                    else self.delivered_stales
+                )
+                ledger.append(
+                    (self.epoch, rnd, envelope.sender, receiver,
+                     envelope.part.content_key)
+                )
+        return envelopes
+
+    def __repr__(self) -> str:
+        return (
+            f"MessageCorruption(bitflip={self.bitflip}, "
+            f"truncate={self.truncate}, stale={self.stale}, seed={self.seed})"
+        )
+
+
+def corruption_sources(injectors) -> List:
+    """Injectors (flattening recorder/replay wrappers) that track delivered
+    corruptions — anything exposing a ``delivered_corruptions`` list."""
+    sources: List = []
+    for injector in injectors or ():
+        if hasattr(injector, "delivered_corruptions"):
+            sources.append(injector)
+        inner = getattr(injector, "inner", None)
+        if isinstance(inner, (list, tuple)):
+            sources.extend(
+                i for i in inner if hasattr(i, "delivered_corruptions")
+            )
+    return sources

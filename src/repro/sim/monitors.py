@@ -12,6 +12,9 @@ catches out-of-model behaviour introduced by the chaos layer
 * :class:`OracleMonitor` — zero-error on termination: if the root handler
   exposes a ``result``, it must lie in the Section 2 correctness interval
   ``[agg(s1), agg(s2)]``.
+* :class:`CorruptionOracleMonitor` — no silent corruption: every
+  corrupted part the injector delivered must show up in the integrity
+  layer's rejection log.
 
 Every monitor runs in one of two modes: ``strict`` raises
 :class:`InvariantViolation` at the moment the invariant breaks, ``record``
@@ -268,6 +271,53 @@ class RecoverySafetyMonitor(Monitor):
             )
 
 
+class CorruptionOracleMonitor(Monitor):
+    """Silent-corruption oracle: every delivered corruption must be caught.
+
+    ``sources`` are injectors exposing ``delivered_corruptions`` — the
+    ground-truth ledger of corrupted parts that actually reached an inbox
+    (:class:`repro.sim.faults.MessageCorruption`, or the replay injector
+    reproducing a recorded corrupted run).  ``coordinator`` is the
+    :class:`repro.integrity.frames.IntegrityCoordinator` whose rejection
+    log is the defence's account of what it caught.  At finalization any
+    delivered corruption without a matching rejection is a
+    **silent corruption**: the protocol consumed corrupted bits without
+    noticing, the exact failure mode the integrity layer exists to
+    prevent.  With no coordinator (``--integrity off``) every delivered
+    corruption is silent by definition — the monitor then documents the
+    exposure rather than guarding a guarantee.
+
+    ``finalize`` may run once per epoch under failover; already-reported
+    keys are skipped so each silent corruption is reported exactly once.
+    """
+
+    rule = "silent-corruption"
+
+    def __init__(self, sources, coordinator=None, mode: str = "strict") -> None:
+        super().__init__(mode)
+        self.sources = list(sources)
+        self.coordinator = coordinator
+        self._reported: set = set()
+
+    def finalize(self, network) -> None:
+        """Match delivered corruptions against integrity rejections."""
+        # Imported lazily: repro.sim must not import repro.integrity at
+        # module scope (integrity builds on sim).
+        from ..integrity.frames import unresolved_corruptions
+
+        for key in unresolved_corruptions(self.sources, self.coordinator):
+            if key in self._reported:
+                continue
+            self._reported.add(key)
+            epoch, rnd, sender, receiver, content_key = key
+            self.report(
+                f"corrupted part {content_key[0]!r} delivered on link "
+                f"{sender}->{receiver} (epoch {epoch}, round {rnd}) was "
+                "never rejected by the integrity layer",
+                rnd,
+            )
+
+
 class RetransmitBudgetMonitor(Monitor):
     """The transport's per-frame retransmit budget must never be exceeded.
 
@@ -352,6 +402,8 @@ def standard_monitors(
     cc_bound: Optional[float] = None,
     recovery: bool = False,
     transport=None,
+    corruption=(),
+    integrity=None,
 ) -> List[Monitor]:
     """The default monitor stack for one protocol execution.
 
@@ -362,7 +414,9 @@ def standard_monitors(
     With ``recovery`` the hard root-safety check is replaced by
     :class:`RecoverySafetyMonitor` (root crashes are then sanctioned but
     still recorded); a ``transport`` coordinator adds the
-    retransmit-budget watchdog.
+    retransmit-budget watchdog; ``corruption`` sources (injectors with a
+    ``delivered_corruptions`` ledger) add the silent-corruption oracle,
+    matched against the ``integrity`` coordinator's rejection log.
     """
     monitors: List[Monitor] = [
         RecoverySafetyMonitor(topology.root, mode=mode)
@@ -376,6 +430,11 @@ def standard_monitors(
         monitors.append(CCEnvelopeMonitor(cc_bound, mode=mode))
     if transport is not None:
         monitors.append(RetransmitBudgetMonitor(transport, mode=mode))
+    corruption = list(corruption)
+    if corruption:
+        monitors.append(
+            CorruptionOracleMonitor(corruption, integrity, mode=mode)
+        )
     return monitors
 
 

@@ -41,7 +41,11 @@ from .message import Part
 
 #: Bundle file magic + schema version; bump on incompatible change.
 BUNDLE_FORMAT = "repro-bundle"
-BUNDLE_VERSION = 1
+#: Version written by this build.  v2 adds per-transmit ``outp`` entries
+#: (content rewrites from corruption injectors); v1 bundles contain no
+#: rewrites and load unchanged.
+BUNDLE_VERSION = 2
+SUPPORTED_BUNDLE_VERSIONS = frozenset({1, 2})
 
 
 class RecordingError(RuntimeError):
@@ -67,7 +71,10 @@ class ExecutionRecord:
     ``due`` (original due round), ``s``/``r`` (sender/receiver), ``part``
     (:func:`part_key`), ``occ`` (occurrence index among identical keys) and
     ``out`` (the due rounds actually delivered — ``[]`` is a drop, two
-    entries a duplication, a shifted round a delay).  ``reorders`` carry a
+    entries a duplication, a shifted round a delay).  When an injector
+    rewrote content (corruption), the entry also carries ``outp``: the
+    full ``[[due, part_key], ...]`` delivered list, replayed verbatim
+    (bundle version 2).  ``reorders`` carry a
     permutation ``perm`` such that ``new[i] = old[perm[i]]``; ``crashes``
     are online ``schedule_crash`` decisions ``{e, at, node, round}``
     re-applied at the end of round ``at``.
@@ -111,10 +118,11 @@ class ExecutionRecord:
             raise ValueError(
                 f"not a {BUNDLE_FORMAT} file (format={data.get('format')!r})"
             )
-        if data.get("version") != BUNDLE_VERSION:
+        if data.get("version") not in SUPPORTED_BUNDLE_VERSIONS:
             raise ValueError(
                 f"unsupported bundle version {data.get('version')!r} "
-                f"(this build reads version {BUNDLE_VERSION})"
+                f"(this build reads versions "
+                f"{sorted(SUPPORTED_BUNDLE_VERSIONS)})"
             )
         fields = {f for f in cls.__dataclass_fields__}
         unknown = set(data) - fields
@@ -304,23 +312,44 @@ class RecordingInjector(FaultInjector):
         occ = self._occ.get(key, 0)
         self._occ[key] = occ + 1
         if deliveries != [(due, part)]:
+            entry = {
+                "e": self.epoch,
+                "due": due,
+                "s": sender,
+                "r": receiver,
+                "part": part_key(part),
+                "occ": occ,
+                "out": [d for d, _ in deliveries],
+            }
             if any(p != part for _, p in deliveries):
-                raise RecordingError(
-                    "an injector rewrote a part's content; only drop / "
-                    "duplicate / delay decisions are replayable"
-                )
-            self.transmits.append(
-                {
-                    "e": self.epoch,
-                    "due": due,
-                    "s": sender,
-                    "r": receiver,
-                    "part": part_key(part),
-                    "occ": occ,
-                    "out": [d for d, _ in deliveries],
-                }
-            )
+                # A corruption injector rewrote content: record the full
+                # delivered (due, part) list so replay re-applies the
+                # rewrite instead of re-rolling injector RNG.  Rewrites
+                # the injector classified as stale replays (authentic
+                # content, wrong time) carry a third "stale" element so
+                # the replay rebuilds the same split ground truth.
+                entry["outp"] = [
+                    [d, part_key(p)]
+                    + (
+                        ["stale"]
+                        if p != part
+                        and self._rewrite_mode(sender, receiver, p) == "stale"
+                        else []
+                    )
+                    for d, p in deliveries
+                ]
+            self.transmits.append(entry)
         return deliveries
+
+    def _rewrite_mode(self, sender: int, receiver: int, part: Part):
+        """Ask the inner chain how a rewritten part was corrupted."""
+        for injector in self.inner:
+            fn = getattr(injector, "corruption_mode", None)
+            if fn is not None:
+                mode = fn(sender, receiver, part)
+                if mode is not None:
+                    return mode
+        return None
 
     def arrange_inbox(self, rnd: int, receiver: int, envelopes: List) -> List:
         """Run the inner chain on one inbox; record the final permutation."""

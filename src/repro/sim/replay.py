@@ -23,13 +23,14 @@ deliberately modified bundles.
 
 from __future__ import annotations
 
+import ast
 import random
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from .faults import FaultInjector
 from .message import Part
-from .recorder import ExecutionRecord
+from .recorder import ExecutionRecord, part_key
 
 
 class ReplayDivergence(RuntimeError):
@@ -84,7 +85,17 @@ class ReplayInjector(FaultInjector):
         for t in record.transmits:
             key = (t["due"], t["s"], t["r"], t["part"][0], t["part"][1],
                    t["part"][2], t["occ"])
-            self._transmits.setdefault(t["e"], {})[key] = list(t["out"])
+            # v2 entries with content rewrites carry the full delivered
+            # (due, part_key) list in "outp"; plain decisions only dues.
+            if t.get("outp") is not None:
+                # v2 entries: [due, part_key] or [due, part_key, "stale"].
+                out = [
+                    (e[0], tuple(e[1]), e[2] if len(e) > 2 else None)
+                    for e in t["outp"]
+                ]
+            else:
+                out = [(d, None, None) for d in t["out"]]
+            self._transmits.setdefault(t["e"], {})[key] = out
             dues = self._transmit_due.setdefault(t["e"], {})
             dues[t["due"]] = dues.get(t["due"], 0) + 1
         for r in record.reorders:
@@ -106,6 +117,24 @@ class ReplayInjector(FaultInjector):
         self._consumed_due: Dict[int, int] = {}
         self._consumed_reorders: Dict[int, int] = {}
         self._live_digest: Dict[int, List[int]] = {}
+        # Content rewrites re-applied so far, mirrored from the recording:
+        # lets the replay rebuild the same delivered-corruption ground
+        # truth the original corruption injector produced (split into
+        # content corruptions vs stale replays exactly as recorded), so
+        # the silent-corruption oracle monitor grades replays identically.
+        self._corrupt: Dict[Tuple, str] = {}
+        self.delivered_corruptions: List[Tuple] = []
+        self.delivered_stales: List[Tuple] = []
+
+    @property
+    def has_rewrites(self) -> bool:
+        """Whether the recording contains any content rewrites (corruption)."""
+        return any(
+            pk is not None
+            for per_epoch in self._transmits.values()
+            for out in per_epoch.values()
+            for _, pk, _mode in out
+        )
 
     # -- lifecycle ------------------------------------------------------ #
 
@@ -134,13 +163,54 @@ class ReplayInjector(FaultInjector):
         if out is None:
             return [(due, part)]
         self._consumed_due[due] = self._consumed_due.get(due, 0) + 1
-        return [(d, part) for d in out]
+        deliveries: List[Tuple[int, Part]] = []
+        own_key = part_key(part)
+        for d, pk, mode in out:
+            if pk is None or list(pk) == own_key:
+                deliveries.append((d, part))
+            else:
+                rebuilt = self._rebuild_part(pk, due)
+                deliveries.append((d, rebuilt))
+                key = (sender, receiver, rebuilt.content_key)
+                mode = mode or "content"
+                if mode == "content" or key not in self._corrupt:
+                    self._corrupt[key] = mode
+        return deliveries
+
+    def _rebuild_part(self, pk, due: int) -> Part:
+        """Reconstruct a recorded rewritten part from its part_key."""
+        kind, payload_repr, bits = pk
+        try:
+            payload = ast.literal_eval(payload_repr)
+        except (ValueError, SyntaxError) as exc:
+            self._diverge(
+                f"recorded rewritten payload {payload_repr!r} cannot be "
+                f"reconstructed: {exc}",
+                due,
+                cause=exc,
+            )
+            raise  # pragma: no cover — _diverge always raises
+        return Part(kind, payload, bits)
 
     def arrange_inbox(self, rnd: int, receiver: int, envelopes: List) -> List:
         """Apply the recorded permutation for this inbox, if one exists."""
         digest = self._live_digest.setdefault(rnd, [0, 0, 0, 0])
         digest[2] += len(envelopes)
         digest[3] += sum(e.part.bits for e in envelopes)
+        if self._corrupt:
+            for envelope in envelopes:
+                key = (envelope.sender, receiver, envelope.part.content_key)
+                mode = self._corrupt.get(key)
+                if mode is not None:
+                    ledger = (
+                        self.delivered_corruptions
+                        if mode == "content"
+                        else self.delivered_stales
+                    )
+                    ledger.append(
+                        (self.epoch, rnd, envelope.sender, receiver,
+                         envelope.part.content_key)
+                    )
         perm = self._reorders.get(self.epoch, {}).get((rnd, receiver))
         if perm is None:
             return envelopes
@@ -283,6 +353,7 @@ def replay_bundle(
     # (window size, failover epochs) as the recording.
     transport = None
     recovery = None
+    integrity = None
     allow_root_crash = bool(params.get("allow_root_crash"))
     if params.get("transport"):
         from ..resilience.transport import TransportConfig
@@ -292,6 +363,18 @@ def replay_bundle(
         from ..resilience.failover import RecoveryPolicy
 
         recovery = RecoveryPolicy.from_jsonable(params["recovery"])
+    if params.get("integrity"):
+        from ..integrity.frames import IntegrityConfig, as_integrity
+
+        # Coerce to a coordinator here so the monitor stack below and the
+        # run share one instance (same rule as run_protocol).
+        integrity = as_integrity(
+            IntegrityConfig.from_jsonable(params["integrity"])
+        )
+    if integrity is None and recovery is not None:
+        from ..integrity.frames import as_integrity
+
+        integrity = as_integrity(recovery.integrity)
     # Mirror the capture-time monitor configuration: "strict" reproduces
     # the run_protocol strict-monitors path (including its post-run oracle
     # raise); "record" re-attaches the standard stack in record mode —
@@ -305,6 +388,11 @@ def replay_bundle(
             f=params.get("f"),
             mode="record",
             recovery=allow_root_crash or recovery is not None,
+            # The replay injector re-applies recorded content rewrites, so
+            # it stands in for the original corruption injector as the
+            # silent-corruption oracle's ground truth.
+            corruption=[injector] if injector.has_rewrites else (),
+            integrity=integrity,
         )
     record = safe_run_protocol(
         bundle.protocol,
@@ -324,6 +412,7 @@ def replay_bundle(
         strict_monitors=bundle.monitor_mode == "strict",
         transport=transport,
         recovery=recovery,
+        integrity=integrity,
         allow_root_crash=allow_root_crash,
     )
     if strict and injector.divergence is not None:

@@ -1,11 +1,20 @@
-"""The concrete wire codec: round-trips and size achievability."""
+"""The concrete wire codec: round-trips, size achievability, and
+decoder hardening (fuzz: garbage only ever raises ``CodecError``)."""
+
+import random
 
 import pytest
 
 from repro.core import wire
 from repro.core.codec import (
+    CODEC_BAD_BITSTRING,
+    CODEC_BAD_TAG,
+    CODEC_BAD_VALUE,
+    CODEC_TRAILING,
+    CODEC_TRUNCATED,
     BitReader,
     BitWriter,
+    CodecError,
     decode_part,
     encode_part,
     encoding_fits_declared_size,
@@ -112,3 +121,121 @@ class TestSizeAchievability:
         for sender, part in sample_parts(p):
             encoded = encode_part(p, sender, part)
             assert len(encoded) <= part.bits, part.kind
+
+
+# --------------------------------------------------------------------- #
+# Decoder hardening: garbage in, structured CodecError out.
+# --------------------------------------------------------------------- #
+
+
+class TestDecoderFuzz:
+    """Decoders must never crash with an unhandled exception (KeyError,
+    IndexError, raw int() ValueError) and never silently accept garbage:
+    every failure is a :class:`CodecError` carrying a ``reason`` from the
+    documented taxonomy."""
+
+    REASONS = {
+        CODEC_BAD_TAG,
+        CODEC_TRUNCATED,
+        CODEC_BAD_BITSTRING,
+        CODEC_TRAILING,
+        CODEC_BAD_VALUE,
+    }
+
+    def _decode_or_error(self, p, bits, strict=True):
+        try:
+            return decode_part(p, bits, strict=strict), None
+        except CodecError as exc:
+            assert exc.reason in self.REASONS, exc.reason
+            return None, exc
+        # any other exception type propagates and fails the test
+
+    def test_codec_error_is_a_value_error(self):
+        # Pre-hardening callers caught ValueError; they keep working.
+        assert issubclass(CodecError, ValueError)
+        with pytest.raises(ValueError):
+            decode_part(make_params(), "")
+
+    def test_unknown_tag_is_bad_tag(self):
+        p = make_params()
+        # 31 = 0b11111 is not an assigned kind tag.
+        with pytest.raises(CodecError) as exc:
+            decode_part(p, "11111" + "0" * 40)
+        assert exc.value.reason == CODEC_BAD_TAG
+
+    def test_exhausted_bitstring_is_truncated(self):
+        p = make_params()
+        with pytest.raises(CodecError) as exc:
+            decode_part(p, "00000")  # valid tag, then nothing
+        assert exc.value.reason == CODEC_TRUNCATED
+
+    def test_non_binary_characters_are_bad_bitstring(self):
+        p = make_params()
+        with pytest.raises(CodecError) as exc:
+            decode_part(p, "0a0b0" + "0" * 40)
+        assert exc.value.reason == CODEC_BAD_BITSTRING
+
+    def test_out_of_range_sender_is_bad_value(self):
+        p = make_params(n=20)
+        good = encode_part(p, 3, wire.ack(p, 3))
+        # Overwrite the sender field (bits 5..5+id_bits) with all-ones:
+        # 31 >= 20 nodes.
+        bad = good[:5] + "1" * p.id_bits + good[5 + p.id_bits :]
+        with pytest.raises(CodecError) as exc:
+            decode_part(p, bad)
+        assert exc.value.reason == CODEC_BAD_VALUE
+
+    def test_strict_rejects_trailing_bits(self):
+        p = make_params()
+        good = encode_part(p, 3, wire.ack(p, 3))
+        ok, err = self._decode_or_error(p, good + "0", strict=True)
+        assert ok is None and err.reason == CODEC_TRAILING
+        # Non-strict tolerates padding (power-of-two-N slack).
+        ok, err = self._decode_or_error(p, good + "0", strict=False)
+        assert err is None
+
+    def test_every_truncation_of_every_valid_encoding(self):
+        p = make_params()
+        for sender, part in sample_parts(p):
+            encoded = encode_part(p, sender, part)
+            for cut in range(len(encoded)):
+                result, err = self._decode_or_error(p, encoded[:cut])
+                # A strict decode of a prefix either fails structurally
+                # or (rarely) parses to a shorter-but-complete part; it
+                # must never crash.
+                assert result is not None or err is not None
+
+    def test_every_single_bitflip_of_every_valid_encoding(self):
+        p = make_params()
+        for sender, part in sample_parts(p):
+            encoded = encode_part(p, sender, part)
+            for i in range(len(encoded)):
+                flipped = (
+                    encoded[:i]
+                    + ("1" if encoded[i] == "0" else "0")
+                    + encoded[i + 1 :]
+                )
+                result, err = self._decode_or_error(p, flipped)
+                if result is not None:
+                    decoded_sender, kind, payload = result
+                    # Accepted flips must still be well-typed parts.
+                    assert isinstance(decoded_sender, int)
+                    assert isinstance(kind, str) and isinstance(payload, tuple)
+
+    def test_random_garbage_never_crashes(self):
+        rng = random.Random(0xC0DEC)
+        p = make_params()
+        for _ in range(2000):
+            bits = "".join(
+                rng.choice("01") for _ in range(rng.randrange(0, 60))
+            )
+            self._decode_or_error(p, bits)
+
+    def test_random_garbage_with_noise_characters(self):
+        rng = random.Random(7)
+        p = make_params()
+        for _ in range(500):
+            bits = "".join(
+                rng.choice("01x2 ") for _ in range(rng.randrange(1, 40))
+            )
+            self._decode_or_error(p, bits)
