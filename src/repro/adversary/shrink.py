@@ -356,6 +356,16 @@ def rerecord_bundle(bundle: ExecutionRecord) -> ExecutionRecord:
         from ..integrity.frames import as_integrity
 
         integrity = as_integrity(recovery.integrity)
+    churn = None
+    churn_policy = None
+    if params.get("churn"):
+        from ..sim.faults import ChurnSchedule
+
+        churn = ChurnSchedule.from_jsonable(params["churn"])
+    if params.get("churn_policy"):
+        from ..resilience.epochs import ChurnPolicy
+
+        churn_policy = ChurnPolicy.from_jsonable(params["churn_policy"])
     replayer = ReplayInjector(bundle, strict=False)
     monitors = None
     if bundle.monitor_mode == "record":
@@ -363,10 +373,12 @@ def rerecord_bundle(bundle: ExecutionRecord) -> ExecutionRecord:
             topology,
             inputs,
             f=params.get("f"),
+            caaf=caaf,
             mode="record",
             recovery=allow_root_crash or recovery is not None,
             corruption=[replayer] if replayer.has_rewrites else (),
             integrity=integrity,
+            churn=churn is not None,
         )
     recorder = RecordingInjector([replayer])
     record = safe_run_protocol(
@@ -388,6 +400,8 @@ def rerecord_bundle(bundle: ExecutionRecord) -> ExecutionRecord:
         transport=transport,
         recovery=recovery,
         integrity=integrity,
+        churn=churn,
+        churn_policy=churn_policy,
         allow_root_crash=allow_root_crash,
     )
     if monitors and not record.failed and not record.extra.get("violations"):

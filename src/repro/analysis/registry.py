@@ -205,6 +205,16 @@ EXPERIMENTS: Tuple[Experiment, ...] = (
         "bench_integrity.py",
         ("e23_integrity.txt",),
     ),
+    Experiment(
+        "E24",
+        "Churn-tolerant epochs: exactly-once aggregation under rejoins",
+        "exact results at every churn rate <= 0.2 (durable and mixed "
+        "rejoins) with zero double-count / lost-contribution verdicts; a "
+        "durable blip's protocol CC equals the clean transport baseline "
+        "bit-for-bit (all repair traffic books as overhead)",
+        "bench_churn_epochs.py",
+        ("e24_churn_epochs.txt", "e24_churn_cc_isolation.txt"),
+    ),
 )
 
 

@@ -142,6 +142,8 @@ def run_protocol(
     transport=None,
     recovery=None,
     integrity=None,
+    churn=None,
+    churn_policy=None,
     allow_root_crash: bool = False,
 ) -> RunRecord:
     """Run one named protocol and grade its output.
@@ -161,6 +163,15 @@ def run_protocol(
     authenticated frame so corrupted deliveries are detected and dropped;
     it composes with both ``transport`` and ``recovery`` (overriding
     ``recovery.integrity`` when both are given).
+    ``churn`` (a :class:`repro.sim.faults.ChurnSchedule` or its spec
+    string, e.g. ``'5:crash@r3,5:revive@r7:amnesiac'``) runs them under
+    the churn-tolerant epoch manager
+    (:mod:`repro.resilience.epochs`) with exactly-once re-aggregation;
+    ``churn_policy`` (a :class:`repro.resilience.epochs.ChurnPolicy`)
+    tunes its transport/epoch budget.  ``churn`` is mutually exclusive
+    with ``recovery``; the row then carries the partial result's
+    status / certification / coverage columns plus the churn counters
+    (rejoins, handshakes, lost contributions, double-count audit).
     ``allow_root_crash`` relaxes strict validation for root-crashing
     schedules (implied by ``recovery``).
 
@@ -187,18 +198,28 @@ def run_protocol(
         raise ValueError(
             "pass transport via the RecoveryPolicy when recovery is set"
         )
+    if churn is not None and recovery is not None:
+        raise ValueError(
+            "churn and recovery are mutually exclusive runtimes "
+            "(the churn epoch manager assumes an immortal root)"
+        )
     if (
         transport is not None
         or recovery is not None
         or integrity is not None
+        or churn is not None
     ):
         from ..resilience.failover import RECOVERABLE_PROTOCOLS
 
         if protocol not in RECOVERABLE_PROTOCOLS:
             raise ValueError(
-                f"transport/recovery/integrity support "
+                f"transport/recovery/integrity/churn support "
                 f"{RECOVERABLE_PROTOCOLS}, not {protocol!r}"
             )
+    if churn is not None and isinstance(churn, str):
+        from ..sim.faults import ChurnSchedule
+
+        churn = ChurnSchedule.from_spec(churn, root=topology.root)
     if transport is not None:
         # Coerce once here so the same coordinator feeds the run, the
         # retransmit-budget monitor, and the row's overhead columns.
@@ -244,8 +265,24 @@ def run_protocol(
             transport=transport,
             corruption=corruption,
             integrity=integrity,
+            churn=churn is not None,
         )
     monitors = monitors or ()
+    if churn is not None:
+        if integrity is not None:
+            raise ValueError(
+                "churn does not compose with the integrity layer yet"
+            )
+        if churn_policy is None and transport is not None:
+            from ..resilience.epochs import ChurnPolicy
+
+            churn_policy = ChurnPolicy(transport=transport.config)
+        return _run_with_churn_record(
+            protocol, topology, inputs, schedule, f=f, b=b, c=c, caaf=caaf,
+            rng=rng, injectors=injectors, monitors=monitors,
+            strict_monitors=strict_monitors, churn=churn,
+            policy=churn_policy,
+        )
     if recovery is not None:
         return _run_with_recovery_record(
             protocol, topology, inputs, schedule, f=f, b=b, c=c, caaf=caaf,
@@ -507,6 +544,93 @@ def _run_with_recovery_record(
     return _finish_record(record, monitors, strict_monitors)
 
 
+def _run_with_churn_record(
+    protocol: str,
+    topology: Topology,
+    inputs: Dict[int, int],
+    schedule: FailureSchedule,
+    *,
+    f: Optional[int],
+    b: Optional[int],
+    c: int,
+    caaf: CAAF,
+    rng: Optional[random.Random],
+    injectors,
+    monitors,
+    strict_monitors: bool,
+    churn,
+    policy,
+) -> RunRecord:
+    """Churn path of :func:`run_protocol`.
+
+    Correctness matches the recovery path (certified + value inside its
+    own bounds) with one extra obligation audited by the exactly-once
+    oracle: no contribution is ever booked twice across incarnations
+    (``double_counted``) and none silently vanishes while a recoverable
+    copy survived (``lost_contributions``).
+    """
+    from ..resilience.epochs import run_with_churn
+    from ..sim.monitors import DoubleCountOracle
+
+    monitors = tuple(monitors)
+    oracle = next(
+        (m for m in monitors if isinstance(m, DoubleCountOracle)), None
+    )
+    if oracle is None:
+        oracle = DoubleCountOracle(
+            inputs,
+            caaf=caaf,
+            mode="strict" if strict_monitors else "record",
+        )
+        monitors = monitors + (oracle,)
+    out = run_with_churn(
+        protocol,
+        topology,
+        inputs,
+        churn,
+        schedule=schedule,
+        f=f,
+        b=b,
+        c=c,
+        caaf=caaf,
+        rng=rng,
+        injectors=injectors,
+        monitors=monitors,
+        policy=policy,
+        oracle=oracle,
+    )
+    partial = out.partial
+    correct = bool(
+        partial.certified
+        and partial.value is not None
+        and partial.lower_bound is not None
+        and partial.upper_bound is not None
+        and partial.lower_bound <= partial.value <= partial.upper_bound
+        and oracle.double_counts == 0
+    )
+    extra = {k: v for k, v in partial.as_dict().items() if k != "value"}
+    extra.update(partial.extra)
+    extra["double_counted"] = oracle.double_counts
+    extra["lost_contributions"] = oracle.lost_contributions
+    record = RunRecord(
+        protocol=protocol,
+        topology=topology.name,
+        n_nodes=topology.n_nodes,
+        diameter=topology.diameter,
+        f_budget=f,
+        f_actual=schedule.edge_failures(topology),
+        result=partial.value,
+        correct=correct,
+        cc_bits=out.stats.max_bits,
+        rounds=out.rounds,
+        flooding_rounds=-(-out.rounds // topology.diameter)
+        if out.rounds
+        else 0,
+        extra=extra,
+    )
+    return _finish_record(record, monitors, strict_monitors)
+
+
 def _finish_record(
     record: RunRecord, monitors, strict_monitors: bool
 ) -> RunRecord:
@@ -625,6 +749,12 @@ def _capture_bundle(
     transport = kwargs.get("transport")
     recovery = kwargs.get("recovery")
     integrity = as_integrity(kwargs.get("integrity"))
+    churn = kwargs.get("churn")
+    if churn is not None and isinstance(churn, str):
+        from ..sim.faults import ChurnSchedule
+
+        churn = ChurnSchedule.from_spec(churn, root=topology.root)
+    churn_policy = kwargs.get("churn_policy")
     bundle = make_execution_record(
         recorder,
         protocol,
@@ -652,6 +782,12 @@ def _capture_bundle(
             ),
             "allow_root_crash": (
                 True if kwargs.get("allow_root_crash") else None
+            ),
+            "churn": churn.as_jsonable() if churn is not None else None,
+            "churn_policy": (
+                churn_policy.as_jsonable()
+                if churn_policy is not None
+                else None
             ),
         },
         run_record=record,

@@ -55,6 +55,12 @@ class SweepPoint:
     partial_rows: int = 0
     certified_rows: int = 0
     overhead_mean: float = 0.0
+    #: Churn-semantics columns (populated only when some record ran under
+    #: the churn epoch manager): exact rows and exactly-once audit totals.
+    exact_rows: int = 0
+    double_counts: int = 0
+    lost_contributions: int = 0
+    churn_rows: int = 0
 
     def as_dict(self) -> Dict[str, Any]:
         row = dict(self.coords)
@@ -73,6 +79,10 @@ class SweepPoint:
             row["certified_rows"] = self.certified_rows
         if self.overhead_mean:
             row["overhead_mean"] = round(self.overhead_mean, 1)
+        if self.churn_rows:
+            row["exact_rows"] = self.exact_rows
+            row["double_counts"] = self.double_counts
+            row["lost_contributions"] = self.lost_contributions
         return row
 
 
@@ -107,6 +117,14 @@ def aggregate(coords: Dict[str, Any], records: Sequence[RunRecord]) -> SweepPoin
         ),
         certified_rows=sum(1 for r in clean if r.extra.get("certified")),
         overhead_mean=statistics.fmean(overheads) if overheads else 0.0,
+        exact_rows=sum(1 for r in clean if r.extra.get("status") == "exact"),
+        double_counts=sum(
+            int(r.extra.get("double_counted") or 0) for r in clean
+        ),
+        lost_contributions=sum(
+            int(r.extra.get("lost_contributions") or 0) for r in clean
+        ),
+        churn_rows=sum(1 for r in clean if "double_counted" in r.extra),
     )
 
 
@@ -167,6 +185,8 @@ def point_units(
     transport=None,
     recovery=None,
     integrity=None,
+    churn=None,
+    churn_policy=None,
     allow_root_crash: bool = False,
 ) -> List:
     """Build the per-seed work units of one sweep coordinate."""
@@ -192,6 +212,8 @@ def point_units(
             transport=transport,
             recovery=recovery,
             integrity=integrity,
+            churn=churn,
+            churn_policy=churn_policy,
             allow_root_crash=allow_root_crash,
             coords=dict(coords or {}),
         )
@@ -219,6 +241,8 @@ def run_point(
     transport=None,
     recovery=None,
     integrity=None,
+    churn=None,
+    churn_policy=None,
     allow_root_crash: bool = False,
     engine=None,
     schedule_spec: Optional[Dict[str, Any]] = None,
@@ -272,6 +296,8 @@ def run_point(
             transport=transport,
             recovery=recovery,
             integrity=integrity,
+            churn=churn,
+            churn_policy=churn_policy,
             allow_root_crash=allow_root_crash,
         )
         return aggregate(base, engine.run(units, checkpoint=checkpoint))
@@ -290,6 +316,12 @@ def run_point(
             if schedule_factory
             else FailureSchedule()
         )
+        # Churn draws sit between the schedule and the injectors — the
+        # same rng slot repro.exec.scheduler.execute_unit uses, so serial
+        # and pool runs see identical churn timelines.
+        from ..exec.scheduler import materialize_churn
+
+        seed_churn = materialize_churn(churn, topology, rng)
         injectors = list(injector_factory(seed)) if injector_factory else []
         if corrupt:
             from ..sim.faults import MessageCorruption
@@ -316,6 +348,8 @@ def run_point(
             transport=transport,
             recovery=recovery,
             integrity=integrity,
+            churn=seed_churn,
+            churn_policy=churn_policy,
             allow_root_crash=allow_root_crash,
         )
         record.seed = seed
@@ -340,6 +374,8 @@ def sweep_b(
     transport=None,
     recovery=None,
     integrity=None,
+    churn=None,
+    churn_policy=None,
     corrupt: Optional[str] = None,
     allow_root_crash: bool = False,
     engine=None,
@@ -372,13 +408,16 @@ def sweep_b(
             transport=transport,
             recovery=recovery,
             integrity=integrity,
+            churn=churn,
+            churn_policy=churn_policy,
             corrupt=corrupt,
             allow_root_crash=allow_root_crash,
             engine=engine,
         )
     points = []
     for b in bs:
-        factory = random_schedule_factory(f, horizon=b * topology.diameter)
+        horizon = b * topology.diameter
+        factory = random_schedule_factory(f, horizon=horizon)
         points.append(
             run_point(
                 "algorithm1",
@@ -397,8 +436,104 @@ def sweep_b(
                 transport=transport,
                 recovery=recovery,
                 integrity=integrity,
+                churn=_churn_for(churn, horizon),
+                churn_policy=churn_policy,
                 corrupt=corrupt,
                 allow_root_crash=allow_root_crash,
+            )
+        )
+    return points
+
+
+def _churn_for(churn, horizon: int):
+    """A random-churn spec pinned to one coordinate's time horizon.
+
+    Explicit spec strings / schedules pass through; a random spec without
+    a caller-chosen horizon is stretched to the coordinate's run length
+    so churn density stays comparable across budgets.
+    """
+    if isinstance(churn, dict) and "horizon" not in churn:
+        return dict(churn, horizon=horizon)
+    return churn
+
+
+def sweep_churn(
+    topology: Topology,
+    b: int,
+    f: int,
+    rates: Sequence[float],
+    seeds: Iterable[int],
+    amnesiac: float = 0.25,
+    flap_rate: float = 0.0,
+    c: int = 2,
+    checkpoint: Optional[SweepCheckpoint] = None,
+    timeout_s: Optional[float] = None,
+    retries: int = 0,
+    backoff_s: float = 0.0,
+    capture_dir: Optional[str] = None,
+    churn_policy=None,
+    engine=None,
+) -> List[SweepPoint]:
+    """Exactness and overhead of the churn epoch manager across churn rates.
+
+    Every point runs ``algorithm1`` under the churn runtime
+    (:mod:`repro.resilience.epochs`) with a per-seed random churn
+    timeline — each non-root node crashes and revives with probability
+    ``rate``, an ``amnesiac`` fraction of rejoins losing state, and each
+    edge flapping with probability ``flap_rate``.  Points carry the
+    exactly-once audit totals (``double_counts`` / ``lost_contributions``
+    — both must stay zero) and the exact-row count used by the E24
+    acceptance gate (durable churn at rate <= 0.05 stays >= 95% exact).
+
+    Accepts an ``engine`` exactly like :func:`sweep_b`; the churn spec
+    travels declaratively and is sampled in the worker from the same rng
+    slot the serial path uses.
+    """
+    seeds = list(seeds)
+    horizon = b * topology.diameter
+    points = []
+    for rate in rates:
+        churn_spec = {
+            "kind": "random",
+            "rate": rate,
+            "horizon": horizon,
+            "amnesiac": amnesiac,
+            "flap_rate": flap_rate,
+        }
+        coords = {
+            "b": b,
+            "f": f,
+            "n": topology.n_nodes,
+            "churn": rate,
+            "amnesiac": amnesiac,
+        }
+        points.append(
+            run_point(
+                "algorithm1",
+                topology,
+                seeds,
+                schedule_factory=(
+                    random_schedule_factory(f, horizon=horizon)
+                    if engine is None
+                    else None
+                ),
+                f=f,
+                b=b,
+                c=c,
+                coords=coords,
+                checkpoint=checkpoint,
+                timeout_s=timeout_s,
+                retries=retries,
+                backoff_s=backoff_s,
+                capture_dir=capture_dir,
+                churn=churn_spec,
+                churn_policy=churn_policy,
+                engine=engine,
+                schedule_spec=(
+                    random_schedule_spec(f, horizon=horizon)
+                    if engine is not None
+                    else None
+                ),
             )
         )
     return points
@@ -418,6 +553,8 @@ def _sweep_grid(
     transport=None,
     recovery=None,
     integrity=None,
+    churn=None,
+    churn_policy=None,
     corrupt: Optional[str] = None,
     allow_root_crash: bool = False,
     engine=None,
@@ -451,6 +588,8 @@ def _sweep_grid(
                 transport=transport,
                 recovery=recovery,
                 integrity=integrity,
+                churn=_churn_for(churn, b * topology.diameter),
+                churn_policy=churn_policy,
                 corrupt=corrupt,
                 allow_root_crash=allow_root_crash,
             )

@@ -137,6 +137,48 @@ def _resilience_config(args):
     return None, None, integrity
 
 
+def _churn_config(args, horizon: int):
+    """``(churn_spec, churn_policy)`` from the ``--churn`` family of flags.
+
+    The spec stays declarative (string or dict) so it can ride a work
+    unit across process boundaries; ``rate:<float>`` becomes the random
+    spec :func:`repro.exec.scheduler.materialize_churn` samples from the
+    run's seeded rng.
+    """
+    value = getattr(args, "churn", None)
+    if not value:
+        return None, None
+    if getattr(args, "recover", False):
+        raise SystemExit(
+            "error: --churn and --recover are mutually exclusive (the "
+            "churn epoch manager assumes an immortal root)"
+        )
+    if value.startswith("rate:"):
+        try:
+            rate = float(value[len("rate:"):])
+        except ValueError:
+            raise SystemExit(f"error: bad --churn rate in {value!r}")
+        spec = {
+            "kind": "random",
+            "rate": rate,
+            "horizon": horizon,
+            "amnesiac": args.amnesiac,
+            "flap_rate": args.flap_rate,
+        }
+    else:
+        spec = value
+    policy = None
+    if getattr(args, "max_epochs", None) is not None:
+        import dataclasses
+
+        from .resilience import ChurnPolicy
+
+        policy = dataclasses.replace(
+            ChurnPolicy.default(), max_epochs=args.max_epochs
+        )
+    return spec, policy
+
+
 def _maybe_crash_root(schedule, topology, args, rng: random.Random):
     """With ``--allow-root-crash``, schedule a root crash mid-run.
 
@@ -204,6 +246,12 @@ def cmd_run(args: argparse.Namespace) -> int:
     else:
         schedule = no_failures()
     schedule = _maybe_crash_root(schedule, topology, args, rng)
+    churn_spec, churn_policy = _churn_config(
+        args, horizon=max(2, (args.budget or 42) * topology.diameter)
+    )
+    from .exec.scheduler import materialize_churn
+
+    churn = materialize_churn(churn_spec, topology, rng)
     injectors = _parse_injectors(args.inject, args.seed, corrupt=args.corrupt)
     transport, recovery, integrity = _resilience_config(args)
     record = run_protocol(
@@ -220,6 +268,8 @@ def cmd_run(args: argparse.Namespace) -> int:
         transport=transport,
         recovery=recovery,
         integrity=integrity,
+        churn=churn,
+        churn_policy=churn_policy,
         allow_root_crash=args.allow_root_crash,
     )
     print(format_table([record.as_dict()], title=f"{args.protocol} on {topology}"))
@@ -249,6 +299,7 @@ def _cmd_run_engine(args: argparse.Namespace, topology) -> int:
         else {"kind": "none"}
     )
     transport, recovery, integrity = _resilience_config(args)
+    churn_spec, churn_policy = _churn_config(args, horizon=horizon)
     unit = WorkUnit(
         protocol=args.protocol,
         topology=topology,
@@ -270,6 +321,8 @@ def _cmd_run_engine(args: argparse.Namespace, topology) -> int:
         transport=transport,
         recovery=recovery,
         integrity=integrity,
+        churn=churn_spec,
+        churn_policy=churn_policy,
         allow_root_crash=args.allow_root_crash,
     )
     engine = _engine_from_args(args)
@@ -291,6 +344,11 @@ def cmd_sweep_b(args: argparse.Namespace) -> int:
     if checkpoint is not None and len(checkpoint):
         print(f"resuming: {len(checkpoint)} run(s) loaded from {args.resume}")
     transport, recovery, integrity = _resilience_config(args)
+    # The horizon is per-b; sweep_b pins each coordinate's random-churn
+    # spec to its own run length.
+    churn_spec, churn_policy = _churn_config(args, horizon=0)
+    if isinstance(churn_spec, dict):
+        churn_spec.pop("horizon", None)
     engine = _engine_from_args(args)
     try:
         points = sweep_b(
@@ -306,6 +364,8 @@ def cmd_sweep_b(args: argparse.Namespace) -> int:
             transport=transport,
             recovery=recovery,
             integrity=integrity,
+            churn=churn_spec,
+            churn_policy=churn_policy,
             corrupt=args.corrupt,
             allow_root_crash=args.allow_root_crash,
             engine=engine,
@@ -379,6 +439,12 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     gate (pair with ``--integrity mac`` — and ``--recover`` to turn
     detected-and-dropped frames into retransmissions instead of
     losses).
+
+    With ``--churn`` the run goes through the churn epoch manager and
+    two further verdicts gate the exactly-once guarantee:
+    *DOUBLE-COUNT* (a contribution booked twice across incarnations)
+    and *LOST-CONTRIBUTION* (a contribution with a surviving copy
+    missing from the certified coverage).  Either fails the campaign.
     """
     from .exec import WorkUnit
 
@@ -386,6 +452,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     spec = args.inject or "drop=0.05"
     transport, recovery, integrity = _resilience_config(args)
     crash_horizon = max(2, (args.budget or 42) * topology.diameter)
+    churn_spec, churn_policy = _churn_config(args, horizon=crash_horizon)
     schedule_spec = (
         {
             "kind": "random",
@@ -425,6 +492,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             transport=transport,
             recovery=recovery,
             integrity=integrity,
+            churn=churn_spec,
+            churn_policy=churn_policy,
             allow_root_crash=args.allow_root_crash,
             coords={"inject": spec},
         )
@@ -438,6 +507,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     rows = []
     silent_wrong = 0
     uncertified = 0
+    exactly_once_broken = 0
     for seed, record in zip(seeds, records):
         status = record.extra.get("status")
         if record.failed:
@@ -449,6 +519,16 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             # them: the value is untrustworthy whatever the oracle says.
             verdict = "CORRUPT-ACCEPTED"
             silent_wrong += 1
+        elif record.extra.get("double_counted"):
+            # The exactly-once oracle caught a contribution booked twice
+            # across incarnations: the certified value overstates reality.
+            verdict = "DOUBLE-COUNT"
+            exactly_once_broken += 1
+        elif record.extra.get("lost_contributions"):
+            # A contribution with a surviving copy (durable rejoin or a
+            # live snapshot holder) vanished from the certified coverage.
+            verdict = "LOST-CONTRIBUTION"
+            exactly_once_broken += 1
         elif status is not None and not record.extra.get("certified"):
             verdict = "PARTIAL-UNCERTIFIED"
             uncertified += 1
@@ -481,6 +561,11 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             rows[-1]["coverage"] = (
                 f"{record.extra['coverage']}/{topology.n_nodes}"
             )
+        if churn_spec is not None:
+            rows[-1]["epochs"] = record.extra.get("epochs", 1)
+            rows[-1]["rejoins"] = int(
+                record.extra.get("rejoins_durable") or 0
+            ) + int(record.extra.get("rejoins_amnesiac") or 0)
         if record.extra.get("bundle"):
             rows[-1]["bundle"] = record.extra["bundle"]
     print(
@@ -501,8 +586,14 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         f"{sum(1 for v in verdicts if v.startswith('error'))} errored, "
         f"{uncertified} uncertified, {silent_wrong} silent-wrong "
         f"(incl. {verdicts.count('CORRUPT-ACCEPTED')} corrupt-accepted)"
+        + (
+            f", {verdicts.count('DOUBLE-COUNT')} double-count, "
+            f"{verdicts.count('LOST-CONTRIBUTION')} lost-contribution"
+            if churn_spec is not None
+            else ""
+        )
     )
-    return 1 if silent_wrong or uncertified else 0
+    return 1 if silent_wrong or uncertified or exactly_once_broken else 0
 
 
 def cmd_replay(args: argparse.Namespace) -> int:
@@ -886,6 +977,38 @@ def build_parser() -> argparse.ArgumentParser:
             "corrupted deliveries (checksum: CRC-32; mac: seeded-key "
             "HMAC-SHA256); framing cost is booked as overhead, never "
             "protocol CC",
+        )
+        p.add_argument(
+            "--churn",
+            default=None,
+            help="crash-recovery churn (algorithm1 / unknown_f, exclusive "
+            "with --recover): an explicit ChurnSchedule spec "
+            "('5:crash@r3,5:revive@r7:amnesiac,flap:1-2@r2-r5') or "
+            "'rate:<float>' for seeded random crash/revive cycles; runs "
+            "go through the epoch manager with exactly-once booking",
+        )
+        p.add_argument(
+            "--amnesiac",
+            type=float,
+            default=0.25,
+            help="with --churn rate:<x>: fraction of rejoins that lose "
+            "state and need a snapshot handshake (0 = all durable)",
+        )
+        p.add_argument(
+            "--flap-rate",
+            type=float,
+            default=0.0,
+            dest="flap_rate",
+            help="with --churn rate:<x>: per-edge probability of one "
+            "link-flap window",
+        )
+        p.add_argument(
+            "--max-epochs",
+            type=int,
+            default=None,
+            dest="max_epochs",
+            help="with --churn: re-aggregation epoch budget "
+            "(default 4; exhaustion degrades to a certified partial)",
         )
 
     p_run = sub.add_parser("run", help="run one protocol execution")

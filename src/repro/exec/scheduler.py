@@ -48,11 +48,17 @@ class WorkUnit:
     ``coords`` is the sweep coordinate the run belongs to (it feeds the
     checkpoint key, exactly like the serial path's
     :func:`repro.analysis.checkpoint.make_key`); ``strict`` /
-    ``strict_monitors`` / ``transport`` / ``recovery`` / ``integrity``
-    mirror the corresponding
+    ``strict_monitors`` / ``transport`` / ``recovery`` / ``integrity`` /
+    ``churn_policy`` mirror the corresponding
     :func:`repro.analysis.runner.run_protocol` arguments; ``corrupt`` is
     the CLI spec string fed to
-    :meth:`repro.sim.faults.MessageCorruption.from_spec`.
+    :meth:`repro.sim.faults.MessageCorruption.from_spec`.  ``churn`` is
+    either a :meth:`repro.sim.faults.ChurnSchedule.from_spec` string
+    (deterministic) or ``{"kind": "random", "rate": float, "horizon":
+    int, "amnesiac": float, "flap_rate": float}``, sampled from the
+    unit's seeded RNG in the same derivation slot the serial sweep uses
+    (after the schedule draw), so pool and serial runs see identical
+    churn timelines.
     """
 
     protocol: str
@@ -75,6 +81,8 @@ class WorkUnit:
     transport: Any = None
     recovery: Any = None
     integrity: Any = None
+    churn: Any = None
+    churn_policy: Any = None
     allow_root_crash: bool = False
     timeout_s: Optional[float] = None
     retries: int = 0
@@ -151,6 +159,37 @@ def build_schedule(
     return schedule
 
 
+def build_churn(unit: WorkUnit, topology: Topology, rng: random.Random):
+    """Materialize the unit's churn spec, consuming ``rng`` exactly as
+    the serial sweep does (one draw block right after the schedule)."""
+    return materialize_churn(unit.churn, topology, rng)
+
+
+def materialize_churn(spec: Any, topology: Topology, rng: random.Random):
+    """Spec-to-schedule core shared by :func:`build_churn` and the serial
+    sweep path, so pool and serial runs draw identical churn timelines."""
+    if spec is None:
+        return None
+    from ..sim.faults import ChurnSchedule, random_churn
+
+    if isinstance(spec, str):
+        return ChurnSchedule.from_spec(spec, root=topology.root)
+    if isinstance(spec, ChurnSchedule):
+        return spec
+    kind = spec.get("kind", "random")
+    if kind != "random":
+        raise ValueError(f"unknown churn spec kind {kind!r}")
+    return random_churn(
+        topology,
+        spec["rate"],
+        rng,
+        horizon=spec.get("horizon", 4 * max(1, topology.diameter)),
+        amnesiac=spec.get("amnesiac", 0.25),
+        flap_rate=spec.get("flap_rate", 0.0),
+        root=topology.root,
+    )
+
+
 def build_injectors(unit: WorkUnit, topology: Topology) -> List[Any]:
     """Materialize the unit's injector specs (order: faults, corruption,
     adaptive) — the same order the CLI builds them in-process."""
@@ -198,6 +237,7 @@ def execute_unit(unit: WorkUnit):
         rng = random.Random(unit.seed)
         inputs = make_inputs(topology, rng, max_input=unit.max_input)
         schedule = build_schedule(unit, topology, rng)
+        churn = build_churn(unit, topology, rng)
         injectors = build_injectors(unit, topology)
         # Coerce integrity once so the monitor stack below shares the
         # coordinator with the run (same rule as run_protocol).
@@ -217,10 +257,12 @@ def execute_unit(unit: WorkUnit):
                 topology,
                 inputs,
                 f=unit.f,
+                caaf=by_name(unit.caaf),
                 mode=unit.monitors.get("mode", "record"),
                 recovery=bool(unit.monitors.get("recovery")),
                 corruption=corruption_sources(injectors),
                 integrity=integrity,
+                churn=churn is not None,
             )
         record = safe_run_protocol(
             unit.protocol,
@@ -245,6 +287,8 @@ def execute_unit(unit: WorkUnit):
             transport=unit.transport,
             recovery=unit.recovery,
             integrity=integrity,
+            churn=churn,
+            churn_policy=unit.churn_policy,
             allow_root_crash=unit.allow_root_crash,
         )
         record.seed = unit.seed

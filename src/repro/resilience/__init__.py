@@ -13,6 +13,10 @@ simulator stays bit-exact when nothing here is enabled.
 * :mod:`repro.resilience.partial` — graceful degradation to
   :class:`PartialAggregateResult`: certified coverage sets, deterministic
   error bounds, machine-readable health status.
+* :mod:`repro.resilience.epochs` — churn-tolerant epochs: crash-recovery
+  rejoins (durable / amnesiac), heartbeat membership detection, neighbour
+  anti-entropy snapshots, and exactly-once re-aggregation booked under
+  ``(node_id, incarnation)`` nonces.
 """
 
 from .partial import (
@@ -43,8 +47,30 @@ from .failover import (
     RecoveryPolicy,
     run_with_recovery,
 )
+from .epochs import (
+    ChurnEpochReport,
+    ChurnOutcome,
+    ChurnPolicy,
+    ContributionLedger,
+    HeartbeatTracker,
+    SNAP_KIND,
+    SNAP_REQ_KIND,
+    SnapshotStore,
+    neutral_input,
+    run_with_churn,
+)
 
 __all__ = [
+    "ChurnEpochReport",
+    "ChurnOutcome",
+    "ChurnPolicy",
+    "ContributionLedger",
+    "HeartbeatTracker",
+    "SNAP_KIND",
+    "SNAP_REQ_KIND",
+    "SnapshotStore",
+    "neutral_input",
+    "run_with_churn",
     "ELECT_KIND",
     "ElectionNode",
     "ElectionReport",

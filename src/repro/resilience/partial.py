@@ -59,6 +59,10 @@ class PartialAggregateResult:
     #: (or no layer was active to reject it).  ``certified`` — and hence
     #: ``exact`` — requires it.
     integrity_verified: bool = True
+    #: Under crash-recovery churn: the ``(node_id, incarnation)`` nonce
+    #: each covered contribution was booked under (empty outside churn
+    #: runs and for incarnation-0-only coverage).
+    incarnations: Tuple[Tuple[int, int], ...] = ()
     extra: Dict[str, int] = field(default_factory=dict)
 
     @property
@@ -68,7 +72,7 @@ class PartialAggregateResult:
 
     def as_dict(self) -> Dict[str, object]:
         """Row-friendly view (coverage reported as a count, not a list)."""
-        return {
+        row: Dict[str, object] = {
             "status": self.status,
             "certified": self.certified,
             "value": self.value,
@@ -83,6 +87,11 @@ class PartialAggregateResult:
             "live_gaps": self.live_gaps,
             "integrity_verified": self.integrity_verified,
         }
+        if any(inc for _node, inc in self.incarnations):
+            row["rejoined_coverage"] = sum(
+                1 for _node, inc in self.incarnations if inc
+            )
+        return row
 
 
 def certify(
@@ -99,6 +108,7 @@ def certify(
     overhead_bits: int = 0,
     live_gaps: int = 0,
     unresolved_corruptions: int = 0,
+    incarnations: Optional[Dict[int, int]] = None,
     extra: Optional[Dict[str, int]] = None,
 ) -> PartialAggregateResult:
     """Build a :class:`PartialAggregateResult` with derived bounds/status.
@@ -112,6 +122,10 @@ def certify(
     integrity layer never rejected: any non-zero count clears the
     ``integrity_verified`` bit and forces decertification — an ``exact``
     claim requires zero unresolved corruption.
+
+    ``incarnations`` maps covered node ids to the incarnation their
+    contribution was booked under (crash-recovery churn); nodes absent
+    from the map default to incarnation 0.
     """
     integrity_verified = unresolved_corruptions == 0
     if not integrity_verified:
@@ -148,5 +162,8 @@ def certify(
         overhead_bits=overhead_bits,
         live_gaps=live_gaps,
         integrity_verified=integrity_verified,
+        incarnations=tuple(
+            (u, (incarnations or {}).get(u, 0)) for u in coverage
+        ),
         extra=dict(extra or {}),
     )

@@ -60,6 +60,9 @@ TRANSPORT_KINDS = frozenset({FRAME_KIND, NACK_KIND})
 SEQ_BITS = 16
 #: Bits for a frame's attempt counter.
 ATTEMPT_BITS = 3
+#: Bits for the incarnation stamp revived nodes append to frames and
+#: NACKs (absent — and free — for incarnation 0, the pre-churn format).
+INCARNATION_BITS = 4
 #: Header cost of every frame: tag + sequence number + attempt counter.
 FRAME_HEADER_BITS = TAG_BITS + SEQ_BITS + ATTEMPT_BITS
 
@@ -154,6 +157,14 @@ class ReliableTransport:
         self.duplicates_suppressed = 0
         self.stale_frames = 0
         self.revivals = 0
+        #: NACKs discarded because they referenced a seq window from a
+        #: peer's *previous incarnation* (crash-recovery churn): the
+        #: rebooted peer re-syncs at the next window boundary, so
+        #: retransmitting against its ghost NACK would only burn budget.
+        self.stale_nacks = 0
+        #: Rejoins enacted through the ``on_churn_revive`` hook, by mode.
+        self.rejoins_durable = 0
+        self.rejoins_amnesiac = 0
         #: Frames/NACKs whose payload did not have the expected shape
         #: (possible under corruption injection without an integrity
         #: layer); dropped rather than crashing the decoder.
@@ -183,13 +194,20 @@ class ReliableTransport:
     def overhead_bits(self, part: Part) -> int:
         """How many of ``part``'s bits are transport overhead.
 
-        First-attempt frames cost their header (the wrapped protocol parts
-        inside are protocol bits); retransmitted frames and NACKs are
+        First-attempt frames cost their header — including the
+        incarnation stamp a revived sender appends, which is transport
+        framing, not protocol payload (the wrapped protocol parts inside
+        are the only protocol bits); retransmitted frames and NACKs are
         overhead in full; protocol parts cost nothing here.
         """
         if part.kind == FRAME_KIND:
             attempt = part.payload[1]
-            return part.bits if attempt > 0 else FRAME_HEADER_BITS
+            if attempt > 0:
+                return part.bits
+            header = FRAME_HEADER_BITS
+            if len(part.payload) > 3:
+                header += INCARNATION_BITS
+            return header
         if part.kind == NACK_KIND:
             return part.bits
         return 0
@@ -247,10 +265,48 @@ class ReliableTransport:
             "nacks": self.nacks,
             "duplicates_suppressed": self.duplicates_suppressed,
             "stale_frames": self.stale_frames,
+            "stale_nacks": self.stale_nacks,
             "revivals": self.revivals,
+            "rejoins_durable": self.rejoins_durable,
+            "rejoins_amnesiac": self.rejoins_amnesiac,
             "malformed": self.malformed,
             "gaps": len(self.gaps),
         }
+
+    def live_gaps_in(self, network) -> List[TransportGap]:
+        """Like :meth:`live_gaps`, judged against a churn-aware network.
+
+        Under crash-recovery churn a gap is the model's own silence — not
+        a transport failure — in three additional cases, all excused:
+
+        * the **sender** was down at any point of the logical round's
+          window (it never emitted, or could not retransmit, the frame);
+        * the **receiver** was down at any point of the window (a revived
+          node charges itself a gap for every frame it slept through);
+        * the **link was flapped** during the window (an edge failure,
+          which the paper's model sanctions and the f-budget monitor
+          counts — see :class:`repro.sim.monitors.FBudgetMonitor`).
+
+        :meth:`repro.sim.network.Network.is_alive` consults downtime
+        intervals and :meth:`~repro.sim.network.Network.link_up` the flap
+        windows, so all three checks are churn-aware.
+        """
+        window = self.window
+        link_up = getattr(network, "link_up", None)
+        out = []
+        for g in self.gaps:
+            start = (g.logical_round - 1) * window + 1
+            span = range(start, g.deadline + 1)
+            if any(not network.is_alive(g.sender, r) for r in span):
+                continue
+            if any(not network.is_alive(g.receiver, r) for r in span):
+                continue
+            if link_up is not None and any(
+                not link_up(g.sender, g.receiver, r) for r in span
+            ):
+                continue
+            out.append(g)
+        return out
 
 
 class TransportNode(NodeHandler):
@@ -281,6 +337,11 @@ class TransportNode(NodeHandler):
         #: Contents of my own current frame, kept for retransmission.
         self._outbox: tuple = ()
         self._outbox_round = 0
+        #: My incarnation (bumped by the churn injector's revive hook);
+        #: 0 keeps the pre-churn wire format bit-identical.
+        self._incarnation = 0
+        #: Highest incarnation observed per peer, learned from frames.
+        self._peer_inc: Dict[int, int] = {}
 
     # -- delegation ---------------------------------------------------- #
 
@@ -291,6 +352,34 @@ class TransportNode(NodeHandler):
 
     def wants_to_stop(self) -> bool:
         return self.inner.wants_to_stop()
+
+    # -- churn ---------------------------------------------------------- #
+
+    def on_churn_revive(self, mode: str, incarnation: int, rnd: int) -> None:
+        """Rejoin hook called by :class:`repro.sim.faults.ChurnSchedule`.
+
+        *Durable* rejoins keep everything: the local value, the outbox and
+        the seq/buffer state all survived on persistent storage.
+        *Amnesiac* rejoins lose it all — the transport re-syncs its seq
+        state to the current window (so pre-crash frames are recognized as
+        stale) and the inner protocol handler is replaced by an inert
+        :class:`AmnesiacInner` that only heartbeats until the epoch
+        manager re-admits the node at the next epoch boundary.
+        """
+        self._incarnation = incarnation
+        if mode == "amnesiac":
+            self.transport.rejoins_amnesiac += 1
+            window = self.transport.config.window
+            lr_now = (rnd - 1) // window + 1
+            self._buf = {}
+            self._outbox = ()
+            self._outbox_round = 0
+            self._delivered = lr_now - 1
+            self._expected = set(self.neighbours)
+            self._peer_inc = {}
+            self.inner = AmnesiacInner(self.node_id, self.inner)
+        else:
+            self.transport.rejoins_durable += 1
 
     # -- round machinery ----------------------------------------------- #
 
@@ -314,13 +403,12 @@ class TransportNode(NodeHandler):
             missing = sorted(self._expected - set(self._buf.get(lr, {})))
             if missing:
                 self.transport.nacks += 1
-                out.append(
-                    Part(
-                        NACK_KIND,
-                        (lr, tuple(missing)),
-                        self.transport.nack_bits(len(missing)),
-                    )
-                )
+                payload = (lr, tuple(missing))
+                bits = self.transport.nack_bits(len(missing))
+                if self._incarnation:
+                    payload += (self._incarnation,)
+                    bits += INCARNATION_BITS
+                out.append(Part(NACK_KIND, payload, bits))
         return out
 
     def _absorb(self, lr: int, slot: int, inbox) -> bool:
@@ -334,15 +422,22 @@ class TransportNode(NodeHandler):
                 # integrity layer a frame payload can be truncated or
                 # have a flipped field — drop it instead of crashing
                 # (the NACK path then recovers the logical frame).
+                # Incarnation-0 frames keep the historical 3-field shape
+                # so pre-churn recordings replay bit-identically; revived
+                # senders append their incarnation as a 4th field.
                 payload = part.payload
                 if (
                     not isinstance(payload, tuple)
-                    or len(payload) != 3
+                    or len(payload) not in (3, 4)
                     or not isinstance(payload[0], int)
                     or not isinstance(payload[2], tuple)
+                    or (len(payload) == 4 and not isinstance(payload[3], int))
                 ):
                     transport.malformed += 1
                     continue
+                frame_inc = payload[3] if len(payload) == 4 else 0
+                if frame_inc > self._peer_inc.get(sender, 0):
+                    self._peer_inc[sender] = frame_inc
                 frame_lr = payload[0]
                 if frame_lr <= self._delivered:
                     transport.stale_frames += 1
@@ -359,13 +454,24 @@ class TransportNode(NodeHandler):
                 payload = part.payload
                 if (
                     not isinstance(payload, tuple)
-                    or len(payload) != 2
+                    or len(payload) not in (2, 3)
                     or not isinstance(payload[0], int)
                     or not isinstance(payload[1], tuple)
+                    or (len(payload) == 3 and not isinstance(payload[2], int))
                 ):
                     transport.malformed += 1
                     continue
-                nack_lr, missing = payload
+                nack_lr, missing = payload[0], payload[1]
+                # Stale-NACK guard: a NACK stamped with an incarnation
+                # older than the sender's latest observed one references
+                # a seq window from before its crash.  The rebooted peer
+                # re-syncs at the next window boundary on its own, so
+                # retransmitting against the ghost request would only
+                # burn per-frame budget needed for real losses.
+                nack_inc = payload[2] if len(payload) == 3 else 0
+                if nack_inc < self._peer_inc.get(sender, 0):
+                    transport.stale_nacks += 1
+                    continue
                 if nack_lr == lr and slot > 1 and self.node_id in missing:
                     retransmit_requested = True
             else:  # non-transport part: a mixed network; pass through.
@@ -398,11 +504,35 @@ class TransportNode(NodeHandler):
 
     def _frame(self, lr: int, attempt: int) -> Part:
         payload_bits = sum(bits for _, _, bits in self._outbox)
-        return Part(
-            FRAME_KIND,
-            (lr, attempt, self._outbox),
-            FRAME_HEADER_BITS + payload_bits,
-        )
+        payload = (lr, attempt, self._outbox)
+        header = FRAME_HEADER_BITS
+        if self._incarnation:
+            payload += (self._incarnation,)
+            header += INCARNATION_BITS
+        return Part(FRAME_KIND, payload, header + payload_bits)
+
+
+class AmnesiacInner(NodeHandler):
+    """Inner handler of an amnesiac-rejoined node.
+
+    All protocol state died with the previous incarnation; until the
+    epoch manager re-admits the node at the next epoch boundary it only
+    sustains the transport heartbeat (empty frames) so neighbours detect
+    the rejoin.  ``result`` intentionally resolves to ``None``: a node
+    that lost its state cannot vouch for an output.
+    """
+
+    def __init__(self, node_id: int, lost: Optional[NodeHandler] = None):
+        self.node_id = node_id
+        #: The pre-crash handler, kept for forensics only (never run).
+        self.lost = lost
+        self.result = None
+
+    def on_round(self, rnd: int, inbox) -> List[Part]:
+        return []
+
+    def wants_to_stop(self) -> bool:
+        return False
 
 
 def wrap_network_args(

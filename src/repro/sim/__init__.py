@@ -1,10 +1,20 @@
 """Synchronous local-broadcast network simulator (the paper's model)."""
 
-from .faults import FaultCounts, FaultInjector, MessageFaults, ScheduledCrashes
+from .faults import (
+    REJOIN_AMNESIAC,
+    REJOIN_DURABLE,
+    ChurnSchedule,
+    FaultCounts,
+    FaultInjector,
+    MessageFaults,
+    ScheduledCrashes,
+    random_churn,
+)
 from .flooding import FloodManager
 from .message import TAG_BITS, Envelope, Part, id_bits, total_bits, value_bits
 from .monitors import (
     CCEnvelopeMonitor,
+    DoubleCountOracle,
     FBudgetMonitor,
     InvariantViolation,
     Monitor,
@@ -50,6 +60,8 @@ __all__ = [
     "make_execution_record",
     "replay_bundle",
     "serialize_topology",
+    "ChurnSchedule",
+    "DoubleCountOracle",
     "FBudgetMonitor",
     "FaultCounts",
     "FaultInjector",
@@ -63,6 +75,8 @@ __all__ = [
     "NodeHandler",
     "OracleMonitor",
     "Part",
+    "REJOIN_AMNESIAC",
+    "REJOIN_DURABLE",
     "RelayNode",
     "RootSafetyMonitor",
     "ScheduledCrashes",
@@ -75,6 +89,7 @@ __all__ = [
     "assert_model",
     "attach_tracer",
     "id_bits",
+    "random_churn",
     "standard_monitors",
     "theorem1_cc_envelope",
     "validate_model",

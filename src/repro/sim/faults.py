@@ -135,6 +135,483 @@ class ScheduledCrashes(FaultInjector):
             )
 
 
+#: Rejoin mode: the node returns with its persisted local value and
+#: transport seq state (a clean reboot from durable storage).
+REJOIN_DURABLE = "durable"
+#: Rejoin mode: all local state is lost; the node must re-fetch its
+#: contribution slot from a neighbour anti-entropy snapshot.
+REJOIN_AMNESIAC = "amnesiac"
+
+REJOIN_MODES = (REJOIN_DURABLE, REJOIN_AMNESIAC)
+
+
+class ChurnSchedule(ScheduledCrashes):
+    """Crash-*recovery* churn: revivable crashes plus link flap windows.
+
+    Extends the paper's oblivious crash schedule with two out-of-model
+    event classes studied by the Flow-Updating / gossip-aggregation line:
+
+    * **crash/revive cycles** — a node goes down at round ``c`` and comes
+      back at round ``v`` in one of two rejoin modes:
+      :data:`REJOIN_DURABLE` (local value and transport seq state
+      persisted) or :data:`REJOIN_AMNESIAC` (state lost; the node must
+      recover its contribution slot via the
+      :mod:`repro.resilience.epochs` rejoin handshake).  A cycle with no
+      revive round is an ordinary permanent crash.
+    * **link flaps** — an edge carries nothing in either direction for a
+      closed window of delivery rounds, then comes back.
+
+    The schedule stays oblivious: every event is fixed before execution.
+    Cycles are realized through :meth:`repro.sim.network.Network.schedule_downtime`
+    and flaps through :meth:`~repro.sim.network.Network.schedule_link_flap`,
+    both enforced by the network itself on *both* delivery paths, so a
+    flap-only churn schedule keeps the exact-model fast path.  At each
+    revive round the injector bumps the node's incarnation and calls the
+    handler's ``on_churn_revive(mode, incarnation, rnd)`` hook when one
+    exists (the reliable transport uses it to reset or persist seq state).
+
+    Illegal event structures are rejected at construction (reviving a
+    never-crashed node, a revive at or before its crash, overlapping
+    cycles, unknown rejoin modes); events naming unknown nodes or
+    nonexistent edges are rejected at attach time by the network, or
+    earlier via :meth:`validate`.
+    """
+
+    def __init__(
+        self,
+        cycles=None,
+        flaps=None,
+        root: Optional[int] = None,
+        allow_root_crash: bool = False,
+        incarnation_base=None,
+    ) -> None:
+        #: Per node: list of ``(crash_round, revive_round | None, mode)``
+        #: sorted by crash round.  ``revive_round is None`` is permanent.
+        self.cycles: Dict[int, List[Tuple[int, Optional[int], str]]] = {}
+        for node, entries in dict(cycles or {}).items():
+            normalized = []
+            for entry in entries:
+                crash_r, revive_r, mode = (tuple(entry) + (REJOIN_DURABLE,))[:3]
+                if mode not in REJOIN_MODES:
+                    raise ValueError(
+                        f"unknown rejoin mode {mode!r} for node {node} "
+                        f"(expected one of {REJOIN_MODES})"
+                    )
+                if crash_r < 1:
+                    raise ValueError(
+                        f"node {node} cannot crash at round {crash_r} (< 1)"
+                    )
+                if revive_r is not None and revive_r <= crash_r:
+                    raise ValueError(
+                        f"node {node} revives at round {revive_r} but "
+                        f"crashed at round {crash_r}: a revive must come "
+                        "strictly after its crash"
+                    )
+                normalized.append((crash_r, revive_r, mode))
+            normalized.sort()
+            for (c1, v1, _m1), (c2, _v2, _m2) in zip(
+                normalized, normalized[1:]
+            ):
+                if v1 is None:
+                    raise ValueError(
+                        f"node {node} crashes at round {c2} but its crash "
+                        f"at round {c1} never revives (reviving a "
+                        "never-crashed — or re-crashing a still-dead — "
+                        "node is illegal)"
+                    )
+                if c2 < v1:
+                    raise ValueError(
+                        f"node {node} crashes at round {c2} while still "
+                        f"down from round {c1} (revives at {v1})"
+                    )
+            if normalized:
+                self.cycles[node] = normalized
+        #: Link flap windows as ``(u, v, start, end)`` with ``start <= end``
+        #: (closed window of suppressed delivery rounds).
+        self.flaps: List[Tuple[int, int, int, int]] = []
+        for entry in flaps or ():
+            u, v, start, end = entry
+            if u == v:
+                raise ValueError(f"cannot flap self-loop edge {u}-{v}")
+            if start < 1 or end < start:
+                raise ValueError(
+                    f"flap window for edge {u}-{v} must satisfy "
+                    f"1 <= start <= end (got {start}-{end})"
+                )
+            self.flaps.append((u, v, start, end))
+        self.flaps.sort()
+        #: Incarnations accumulated before this schedule's round 1 (used
+        #: by per-epoch shifted views so frame incarnation numbers stay
+        #: globally monotonic across epochs).
+        self.incarnation_base: Dict[int, int] = dict(incarnation_base or {})
+        #: Revivals enacted so far: ``(round, node, mode, incarnation)``.
+        self.revive_log: List[Tuple[int, int, str, int]] = []
+        permanent = {
+            node: entries[-1][0]
+            for node, entries in self.cycles.items()
+            if entries and entries[-1][1] is None
+        }
+        super().__init__(
+            permanent, root=root, allow_root_crash=allow_root_crash
+        )
+        if (
+            root is not None
+            and root in self.cycles
+            and not allow_root_crash
+        ):
+            raise ValueError(ROOT_CRASH_ERROR)
+
+    #: The accepted ``from_spec`` grammar, quoted verbatim in every
+    #: rejection so a CLI typo comes back with the fix attached.
+    SPEC_GRAMMAR = (
+        "comma-separated events: '<node>:crash@r<R>', "
+        "'<node>:revive@r<R>[:durable|:amnesiac]' and "
+        "'flap:<u>-<v>@r<R1>-r<R2>' with rounds >= 1 "
+        "(e.g. '5:crash@r3,5:revive@r7:amnesiac,flap:1-2@r2-r5')"
+    )
+
+    @classmethod
+    def from_spec(cls, spec: str, **kwargs) -> "ChurnSchedule":
+        """Build from a CLI spec like
+        ``5:crash@r3,5:revive@r7:amnesiac,flap:1-2@r2-r5``.
+
+        Unknown event kinds, malformed rounds, revives of never-crashed
+        nodes, and empty flap windows all raise ``ValueError`` naming the
+        offending token and :data:`SPEC_GRAMMAR`.
+        """
+
+        def reject(token: str, why: str) -> ValueError:
+            return ValueError(
+                f"bad churn spec fragment {token!r}: {why} "
+                f"(accepted grammar: {cls.SPEC_GRAMMAR})"
+            )
+
+        def parse_round(raw: str, token: str) -> int:
+            raw = raw.strip()
+            if raw.startswith("r"):
+                raw = raw[1:]
+            try:
+                value = int(raw)
+            except ValueError:
+                raise reject(token, f"round {raw!r} is not an integer") from None
+            if value < 1:
+                raise reject(token, f"round {value} is < 1")
+            return value
+
+        events: List[Tuple[int, str, int, str]] = []
+        flaps: List[Tuple[int, int, int, int]] = []
+        for item in spec.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            if item.startswith("flap:"):
+                body = item[len("flap:"):]
+                edge, at, window = body.partition("@")
+                if not at:
+                    raise reject(item, "needs flap:<u>-<v>@r<R1>-r<R2>")
+                u_raw, dash, v_raw = edge.partition("-")
+                if not dash:
+                    raise reject(item, "edge needs the form <u>-<v>")
+                try:
+                    u, v = int(u_raw), int(v_raw)
+                except ValueError:
+                    raise reject(item, f"edge {edge!r} is not a node pair") from None
+                start_raw, dash, end_raw = window.partition("-")
+                if not dash:
+                    raise reject(item, "window needs the form r<R1>-r<R2>")
+                start = parse_round(start_raw, item)
+                end = parse_round(end_raw, item)
+                if end < start:
+                    raise reject(item, f"flap window {start}-{end} is empty")
+                flaps.append((u, v, start, end))
+                continue
+            pieces = item.split(":")
+            if len(pieces) < 2:
+                raise reject(item, "needs <node>:crash@r<R> or <node>:revive@r<R>")
+            try:
+                node = int(pieces[0])
+            except ValueError:
+                raise reject(item, f"node {pieces[0]!r} is not an integer") from None
+            action, at, round_raw = pieces[1].partition("@")
+            action = action.strip()
+            if not at:
+                raise reject(item, "event needs @r<R>")
+            rnd = parse_round(round_raw, item)
+            if action == "crash":
+                if len(pieces) > 2:
+                    raise reject(item, "crash events take no mode suffix")
+                events.append((node, "crash", rnd, ""))
+            elif action == "revive":
+                mode = pieces[2].strip() if len(pieces) > 2 else REJOIN_DURABLE
+                if mode not in REJOIN_MODES:
+                    raise reject(item, f"unknown rejoin mode {mode!r}")
+                events.append((node, "revive", rnd, mode))
+            else:
+                raise reject(item, f"unknown churn event {action!r}")
+
+        cycles: Dict[int, List[Tuple[int, Optional[int], str]]] = {}
+        open_crash: Dict[int, int] = {}
+        for node, action, rnd, mode in sorted(
+            events, key=lambda e: (e[0], e[2])
+        ):
+            if action == "crash":
+                if node in open_crash:
+                    raise reject(
+                        spec,
+                        f"node {node} crashes at round {rnd} while still "
+                        f"down from round {open_crash[node]}",
+                    )
+                open_crash[node] = rnd
+            else:
+                if node not in open_crash:
+                    raise reject(
+                        spec,
+                        f"node {node} revives at round {rnd} but never "
+                        "crashed before it",
+                    )
+                crash_r = open_crash.pop(node)
+                if rnd <= crash_r:
+                    raise reject(
+                        spec,
+                        f"node {node} revives at round {rnd}, at or "
+                        f"before its crash at round {crash_r}",
+                    )
+                cycles.setdefault(node, []).append((crash_r, rnd, mode))
+        for node, crash_r in open_crash.items():
+            cycles.setdefault(node, []).append((crash_r, None, REJOIN_DURABLE))
+        return cls(cycles=cycles, flaps=flaps, **kwargs)
+
+    # -------------------------------------------------------------- #
+    # Introspection used by the epoch manager and transport.
+    # -------------------------------------------------------------- #
+
+    @property
+    def has_flaps(self) -> bool:
+        return bool(self.flaps)
+
+    @property
+    def has_revives(self) -> bool:
+        return any(
+            revive_r is not None
+            for entries in self.cycles.values()
+            for _c, revive_r, _m in entries
+        )
+
+    def revive_events(self) -> List[Tuple[int, int, str]]:
+        """All revivals as ``(round, node, mode)``, sorted by round."""
+        out = [
+            (revive_r, node, mode)
+            for node, entries in self.cycles.items()
+            for _c, revive_r, mode in entries
+            if revive_r is not None
+        ]
+        out.sort()
+        return out
+
+    def incarnation_at(self, node: int, rnd: int) -> int:
+        """The node's incarnation in round ``rnd`` (revivals enacted at
+        their revive round), including any cross-epoch base."""
+        local = sum(
+            1
+            for _c, revive_r, _m in self.cycles.get(node, ())
+            if revive_r is not None and revive_r <= rnd
+        )
+        return self.incarnation_base.get(node, 0) + local
+
+    def is_down(self, node: int, rnd: int) -> bool:
+        """Whether the schedule has ``node`` down in round ``rnd``."""
+        for crash_r, revive_r, _mode in self.cycles.get(node, ()):
+            if crash_r <= rnd and (revive_r is None or rnd < revive_r):
+                return True
+        return False
+
+    def max_event_round(self) -> int:
+        """The last round any scheduled event fires (0 when empty)."""
+        rounds = [0]
+        for entries in self.cycles.values():
+            for crash_r, revive_r, _m in entries:
+                rounds.append(crash_r)
+                if revive_r is not None:
+                    rounds.append(revive_r)
+        for _u, _v, _s, end in self.flaps:
+            rounds.append(end)
+        return max(rounds)
+
+    def validate(self, topology) -> None:
+        """Reject events naming unknown nodes or nonexistent edges."""
+        nodes = set(topology.nodes())
+        edges = {frozenset(e) for e in topology.edges()}
+        for node in self.cycles:
+            if node not in nodes:
+                raise ValueError(
+                    f"churn schedule names unknown node {node}"
+                )
+        for u, v, start, end in self.flaps:
+            if frozenset((u, v)) not in edges:
+                raise ValueError(
+                    f"churn schedule flaps nonexistent edge {u}-{v} "
+                    f"(rounds {start}-{end})"
+                )
+
+    def shifted(self, elapsed: int) -> "ChurnSchedule":
+        """A view of this schedule rebased ``elapsed`` rounds later.
+
+        Used by the epoch manager: epoch ``e + 1`` starts its network at
+        round 1 after ``elapsed`` global rounds have run.  Cycles fully in
+        the past disappear (their revivals feed ``incarnation_base`` so
+        frame incarnations stay monotonic); cycles straddling the boundary
+        become a downtime starting at round 1; future events shift.
+        """
+        cycles: Dict[int, List[Tuple[int, Optional[int], str]]] = {}
+        base = dict(self.incarnation_base)
+        for node, entries in self.cycles.items():
+            kept = []
+            for crash_r, revive_r, mode in entries:
+                new_crash = crash_r - elapsed
+                new_revive = None if revive_r is None else revive_r - elapsed
+                if new_revive is not None and new_revive <= 1:
+                    # Fully in the past: the node is back up; only the
+                    # incarnation bump survives.
+                    base[node] = base.get(node, 0) + 1
+                    continue
+                kept.append((max(1, new_crash), new_revive, mode))
+            if kept:
+                cycles[node] = kept
+        flaps = []
+        for u, v, start, end in self.flaps:
+            new_end = end - elapsed
+            if new_end < 1:
+                continue
+            flaps.append((u, v, max(1, start - elapsed), new_end))
+        return ChurnSchedule(
+            cycles=cycles,
+            flaps=flaps,
+            allow_root_crash=self.allow_root_crash,
+            incarnation_base=base,
+        )
+
+    # -------------------------------------------------------------- #
+    # Serialization (bundle params / WorkUnit specs).
+    # -------------------------------------------------------------- #
+
+    def as_jsonable(self) -> Dict:
+        """JSON-ready form, round-tripped by :meth:`from_jsonable`."""
+        return {
+            "cycles": {
+                str(node): [list(entry) for entry in entries]
+                for node, entries in sorted(self.cycles.items())
+            },
+            "flaps": [list(entry) for entry in self.flaps],
+            "allow_root_crash": self.allow_root_crash,
+            "incarnation_base": {
+                str(node): inc
+                for node, inc in sorted(self.incarnation_base.items())
+                if inc
+            },
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: Dict) -> "ChurnSchedule":
+        return cls(
+            cycles={
+                int(node): [tuple(entry) for entry in entries]
+                for node, entries in (data.get("cycles") or {}).items()
+            },
+            flaps=[tuple(entry) for entry in data.get("flaps") or ()],
+            allow_root_crash=bool(data.get("allow_root_crash")),
+            incarnation_base={
+                int(node): inc
+                for node, inc in (data.get("incarnation_base") or {}).items()
+            },
+        )
+
+    # -------------------------------------------------------------- #
+    # Injector hooks.
+    # -------------------------------------------------------------- #
+
+    def attach(self, network) -> None:
+        """Seed permanent crashes, downtimes and flap windows."""
+        super().attach(network)  # permanent crashes + root protection
+        for node, entries in self.cycles.items():
+            if (
+                network.root is not None
+                and node == network.root
+                and not self.allow_root_crash
+                and not getattr(network, "allow_root_crash", False)
+            ):
+                raise ValueError(ROOT_CRASH_ERROR)
+            for crash_r, revive_r, _mode in entries:
+                if revive_r is not None:
+                    network.schedule_downtime(node, crash_r, revive_r)
+        for u, v, start, end in self.flaps:
+            network.schedule_link_flap(u, v, start, end)
+        for node, inc in self.incarnation_base.items():
+            if inc > network.incarnations.get(node, 0):
+                network.incarnations[node] = inc
+
+    def begin_round(self, rnd: int) -> None:
+        """Enact revivals due this round: bump the incarnation and give
+        the handler its ``on_churn_revive`` hook."""
+        for node, entries in self.cycles.items():
+            for _crash_r, revive_r, mode in entries:
+                if revive_r != rnd:
+                    continue
+                incarnation = self.network.bump_incarnation(node)
+                self.revive_log.append((rnd, node, mode, incarnation))
+                handler = self.network.handlers.get(node)
+                hook = getattr(handler, "on_churn_revive", None)
+                if hook is not None:
+                    hook(mode, incarnation, rnd)
+
+
+def random_churn(
+    topology,
+    rate: float,
+    rng: random.Random,
+    horizon: int,
+    amnesiac: float = 0.25,
+    flap_rate: float = 0.0,
+    root: Optional[int] = None,
+) -> ChurnSchedule:
+    """Sample a bounded churn schedule at a per-node churn ``rate``.
+
+    Each non-root node independently undergoes one crash/revive cycle
+    with probability ``rate``: the crash round is uniform in
+    ``[2, horizon]``, the outage lasts 1..``max(1, horizon // 2)`` rounds,
+    and the rejoin is amnesiac with probability ``amnesiac``.  Each edge
+    independently flaps for a short window with probability ``flap_rate``.
+    The draw order is fixed (sorted nodes, then sorted edges) so schedules
+    are reproducible per RNG state.
+    """
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError(f"churn rate must be in [0, 1], got {rate}")
+    if not 0.0 <= amnesiac <= 1.0:
+        raise ValueError(f"amnesiac fraction must be in [0, 1], got {amnesiac}")
+    if not 0.0 <= flap_rate <= 1.0:
+        raise ValueError(f"flap rate must be in [0, 1], got {flap_rate}")
+    horizon = max(2, horizon)
+    cycles: Dict[int, List[Tuple[int, Optional[int], str]]] = {}
+    for node in sorted(topology.nodes()):
+        if root is not None and node == root:
+            continue
+        if rng.random() >= rate:
+            continue
+        crash_r = rng.randint(2, horizon)
+        down_for = rng.randint(1, max(1, horizon // 2))
+        mode = (
+            REJOIN_AMNESIAC if rng.random() < amnesiac else REJOIN_DURABLE
+        )
+        cycles[node] = [(crash_r, crash_r + down_for, mode)]
+    flaps: List[Tuple[int, int, int, int]] = []
+    if flap_rate:
+        for u, v in sorted(tuple(sorted(e)) for e in topology.edges()):
+            if rng.random() >= flap_rate:
+                continue
+            start = rng.randint(2, horizon)
+            flaps.append((u, v, start, start + rng.randint(0, 3)))
+    return ChurnSchedule(cycles=cycles, flaps=flaps, root=root)
+
+
 @dataclass
 class FaultCounts:
     """Tally of injected faults, for reporting alongside run results."""

@@ -116,7 +116,20 @@ class RootSafetyMonitor(Monitor):
 
 
 class FBudgetMonitor(Monitor):
-    """Edge failures (edges with a crashed endpoint) must stay within ``f``."""
+    """Edge-failure *events* must stay within ``f``.
+
+    Section 2 charges the adversary per edge failure.  Under crash-stop
+    every edge fails at most once, so counting distinct edges with a
+    crashed endpoint was equivalent; under crash-recovery churn the same
+    edge can go down, come back, and go down again — each down-transition
+    is a separate edge-failure event and must be charged against ``f``
+    separately (the paper's edge-failure-event semantics).  An edge is
+    down while either endpoint is dead or the link itself is flapped
+    (:meth:`repro.sim.network.Network.link_up`); the monitor tracks
+    per-edge up/down state each round and accumulates transitions.  For
+    pure crash-stop schedules the count equals the historical
+    ``edges_incident(failed)`` recount.
+    """
 
     rule = "f-budget"
 
@@ -124,25 +137,40 @@ class FBudgetMonitor(Monitor):
         super().__init__(mode)
         self.topology = topology
         self.f = f
-        self._known_failed: frozenset = frozenset()
+        #: Cumulative edge-failure events (down-transitions) observed.
+        self.events_used = 0
+        self._edge_down: Dict[tuple, bool] = {}
         self._tripped = False
 
+    @staticmethod
+    def _is_down(network, u: int, v: int, rnd: int) -> bool:
+        if not network.is_alive(u, rnd) or not network.is_alive(v, rnd):
+            return True
+        link_up = getattr(network, "link_up", None)
+        return link_up is not None and not link_up(u, v, rnd)
+
     def after_round(self, network) -> None:
-        """Recount edge failures whenever the crashed set grows."""
+        """Charge every up->down edge transition against the budget."""
         if self._tripped:
             return
-        failed = frozenset(
-            u for u, r in network.crash_rounds.items() if r <= network.round
-        )
-        if failed == self._known_failed:
-            return
-        self._known_failed = failed
-        used = self.topology.edges_incident(set(failed) & set(self.topology.adjacency))
-        if used > self.f:
+        rnd = network.round
+        known = network.adjacency
+        charged = False
+        for u, v in self.topology.edges():
+            if u not in known or v not in known:
+                continue
+            key = (u, v) if u < v else (v, u)
+            down = self._is_down(network, u, v, rnd)
+            if down and not self._edge_down.get(key, False):
+                self.events_used += 1
+                charged = True
+            self._edge_down[key] = down
+        if charged and self.events_used > self.f:
             self._tripped = True
             self.report(
-                f"{used} edge failures exceed the budget f={self.f}",
-                network.round,
+                f"{self.events_used} edge-failure events exceed the "
+                f"budget f={self.f}",
+                rnd,
             )
 
 
@@ -318,6 +346,127 @@ class CorruptionOracleMonitor(Monitor):
             )
 
 
+class DoubleCountOracle(Monitor):
+    """Exactly-once contribution accounting under churn.
+
+    The churn epoch manager (:mod:`repro.resilience.epochs`) books every
+    leaf contribution under a ``(node_id, incarnation)`` nonce so a
+    rejoined node is never double-counted and never dropped while any
+    copy of its contribution survives.  This oracle compares the
+    *certified claim* against the ground-truth input multiset and reports
+    under two rules:
+
+    * ``double-count`` — the certified value exceeds (or, for
+      non-monotone aggregates, differs from) the aggregate over the
+      claimed coverage, a node was booked under two incarnations, or a
+      booked value differs from the node's true input;
+    * ``lost-contribution`` — a contribution is missing from the
+      certified coverage although a copy survived (the node rejoined
+      durable, or a live neighbour still held its anti-entropy snapshot).
+
+    An *uncertified* partial result is graded by neither rule — declining
+    to certify is the honest outcome when churn outran the budget.  The
+    epoch manager feeds the oracle through :meth:`grade_ledger` and
+    :meth:`grade_final`; per-network hooks are no-ops.
+    """
+
+    rule = "exactly-once"
+
+    def __init__(
+        self, inputs: Dict[int, int], caaf=None, mode: str = "strict"
+    ) -> None:
+        super().__init__(mode)
+        self.inputs = dict(inputs)
+        self.caaf = caaf
+        #: Count of double-count violations reported.
+        self.double_counts = 0
+        #: Count of lost-contribution violations reported.
+        self.lost_contributions = 0
+
+    def report_as(
+        self, rule: str, message: str, rnd: Optional[int] = None
+    ) -> None:
+        """Like :meth:`Monitor.report` but under a per-event rule."""
+        self.violations.append(MonitorEvent(rule, rnd, message))
+        if self.mode == "strict":
+            raise InvariantViolation(rule, message, rnd)
+
+    def grade_ledger(self, entries, double_booked=()) -> None:
+        """Audit booked nonces: one per node, each with its true value."""
+        for node, incarnation, value in double_booked:
+            self.double_counts += 1
+            self.report_as(
+                "double-count",
+                f"node {node} booked a second contribution under "
+                f"incarnation {incarnation} (value {value}): nonce dedup "
+                "failed",
+            )
+        # Imported lazily: repro.core imports repro.sim at package load.
+        from ..core.caaf import SUM
+
+        caaf = self.caaf or SUM
+        for node, incarnation, value in entries:
+            true_input = self.inputs.get(node)
+            if true_input is None:
+                continue
+            expected = caaf.prepare(true_input)
+            if value != expected:
+                self.double_counts += 1
+                self.report_as(
+                    "double-count",
+                    f"node {node} (incarnation {incarnation}) booked "
+                    f"value {value}, but its true contribution is "
+                    f"{expected}",
+                )
+
+    def grade_final(
+        self,
+        value: Optional[int],
+        coverage,
+        certified: bool,
+        recoverable=(),
+    ) -> None:
+        """Grade the final certified claim against the ground truth.
+
+        ``recoverable`` names nodes whose contribution provably had a
+        surviving copy at the end of the run; a certified coverage that
+        excludes one of them lost a contribution it could have kept.
+        """
+        if value is None or not certified:
+            return
+        from ..core.caaf import SUM
+
+        caaf = self.caaf or SUM
+        coverage = set(coverage)
+        expected = caaf.aggregate_inputs(
+            self.inputs[u] for u in sorted(coverage) if u in self.inputs
+        )
+        if value != expected:
+            if caaf is not None and caaf.monotone and value < expected:
+                self.lost_contributions += 1
+                self.report_as(
+                    "lost-contribution",
+                    f"certified value {value} falls short of the "
+                    f"aggregate {expected} over its claimed coverage "
+                    f"({len(coverage)} nodes)",
+                )
+            else:
+                self.double_counts += 1
+                self.report_as(
+                    "double-count",
+                    f"certified value {value} != aggregate {expected} "
+                    f"over its claimed coverage ({len(coverage)} nodes): "
+                    "a contribution was double-counted or mis-booked",
+                )
+        for node in sorted(set(recoverable) - coverage):
+            self.lost_contributions += 1
+            self.report_as(
+                "lost-contribution",
+                f"node {node}'s contribution had a surviving copy but "
+                "is missing from the certified coverage",
+            )
+
+
 class RetransmitBudgetMonitor(Monitor):
     """The transport's per-frame retransmit budget must never be exceeded.
 
@@ -404,6 +553,7 @@ def standard_monitors(
     transport=None,
     corruption=(),
     integrity=None,
+    churn: bool = False,
 ) -> List[Monitor]:
     """The default monitor stack for one protocol execution.
 
@@ -416,7 +566,9 @@ def standard_monitors(
     still recorded); a ``transport`` coordinator adds the
     retransmit-budget watchdog; ``corruption`` sources (injectors with a
     ``delivered_corruptions`` ledger) add the silent-corruption oracle,
-    matched against the ``integrity`` coordinator's rejection log.
+    matched against the ``integrity`` coordinator's rejection log; and
+    ``churn`` adds the :class:`DoubleCountOracle` (fed by the churn epoch
+    manager with the booked contribution ledger).
     """
     monitors: List[Monitor] = [
         RecoverySafetyMonitor(topology.root, mode=mode)
@@ -435,6 +587,8 @@ def standard_monitors(
         monitors.append(
             CorruptionOracleMonitor(corruption, integrity, mode=mode)
         )
+    if churn:
+        monitors.append(DoubleCountOracle(inputs, caaf=caaf, mode=mode))
     return monitors
 
 

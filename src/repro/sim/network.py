@@ -125,6 +125,17 @@ class Network:
         #: First dead round per node; mutated online by injectors via
         #: :meth:`schedule_crash`.
         self.crash_rounds: Dict[int, float] = {}
+        #: Bounded outages per node: half-open ``[start, end)`` round
+        #: intervals during which the node neither computes nor sends
+        #: (crash-recovery churn; see :class:`repro.sim.faults.ChurnSchedule`).
+        self.down_intervals: Dict[int, List[tuple]] = {}
+        #: Link flap intervals keyed by normalized edge ``(min, max)``:
+        #: closed ``[start, end]`` delivery-round windows during which the
+        #: link carries nothing in either direction.
+        self.link_flaps: Dict[tuple, List[tuple]] = {}
+        #: Current incarnation per node (0 = original process; bumped by
+        #: the churn injector each time the node revives).
+        self.incarnations: Dict[int, int] = {}
         self.injectors: List = list(injectors)
         if crash_rounds:
             from .faults import ScheduledCrashes
@@ -169,7 +180,12 @@ class Network:
         """Whether ``node`` is alive in round ``rnd`` (default: current)."""
         if rnd is None:
             rnd = self.round
-        return rnd < self.crash_rounds.get(node, NEVER)
+        if rnd >= self.crash_rounds.get(node, NEVER):
+            return False
+        for start, end in self.down_intervals.get(node, ()):
+            if start <= rnd < end:
+                return False
+        return True
 
     def alive_nodes(self, rnd: Optional[int] = None) -> List[int]:
         """All nodes alive in round ``rnd`` (default: current)."""
@@ -196,6 +212,63 @@ class Network:
         current = self.crash_rounds.get(node, NEVER)
         self.crash_rounds[node] = min(current, rnd)
 
+    def schedule_downtime(self, node: int, start: int, end: float) -> None:
+        """Mark ``node`` down for rounds ``start <= r < end`` (churn API).
+
+        Unlike :meth:`schedule_crash` the outage is bounded: the node
+        resumes computing and broadcasting in round ``end``.  The root is
+        protected exactly as for permanent crashes — even a temporary root
+        outage is outside Section 2 unless ``allow_root_crash`` is set.
+        """
+        if node not in self.adjacency:
+            raise ValueError(f"cannot take down unknown node {node}")
+        if (
+            self.root is not None
+            and node == self.root
+            and not self.allow_root_crash
+        ):
+            raise ValueError(ROOT_CRASH_ERROR)
+        if end <= start:
+            raise ValueError(
+                f"downtime for node {node} must end after it starts "
+                f"(got [{start}, {end}))"
+            )
+        intervals = self.down_intervals.setdefault(node, [])
+        intervals.append((start, end))
+        intervals.sort()
+
+    def schedule_link_flap(self, u: int, v: int, start: int, end: int) -> None:
+        """Suppress all deliveries over edge ``{u, v}`` due in rounds
+        ``start..end`` inclusive (churn API)."""
+        if u not in self.adjacency or v not in self.adjacency[u]:
+            raise ValueError(f"cannot flap nonexistent edge {u}-{v}")
+        if end < start:
+            raise ValueError(
+                f"flap window for edge {u}-{v} is empty ({start}-{end})"
+            )
+        key = (u, v) if u < v else (v, u)
+        windows = self.link_flaps.setdefault(key, [])
+        windows.append((start, end))
+        windows.sort()
+
+    def link_up(self, u: int, v: int, rnd: int) -> bool:
+        """Whether edge ``{u, v}`` carries deliveries due in round ``rnd``."""
+        key = (u, v) if u < v else (v, u)
+        for start, end in self.link_flaps.get(key, ()):
+            if start <= rnd <= end:
+                return False
+        return True
+
+    def incarnation_of(self, node: int) -> int:
+        """The node's current incarnation (0 until its first revival)."""
+        return self.incarnations.get(node, 0)
+
+    def bump_incarnation(self, node: int) -> int:
+        """Record a revival of ``node``; returns its new incarnation."""
+        inc = self.incarnations.get(node, 0) + 1
+        self.incarnations[node] = inc
+        return inc
+
     # ------------------------------------------------------------------ #
     # Round execution.
     # ------------------------------------------------------------------ #
@@ -215,7 +288,12 @@ class Network:
         # Live nodes compute and broadcast.
         for node in self.adjacency:
             if not self.is_alive(node, rnd):
-                if self.tracer is not None and self.crash_rounds.get(node) == rnd:
+                if self.tracer is not None and (
+                    self.crash_rounds.get(node) == rnd
+                    or any(
+                        s == rnd for s, _ in self.down_intervals.get(node, ())
+                    )
+                ):
                     self.tracer.on_crash(rnd, node)
                 continue
             inbox = inboxes.get(node, ())
@@ -248,6 +326,8 @@ class Network:
         inboxes: Dict[int, List[Envelope]] = {}
         for sender, parts in self._in_flight:
             for neighbour in self.adjacency[sender]:
+                if self.link_flaps and not self.link_up(sender, neighbour, rnd):
+                    continue
                 if self.is_alive(neighbour, rnd):
                     box = inboxes.setdefault(neighbour, [])
                     box.extend(Envelope(sender, p) for p in parts)
@@ -297,6 +377,10 @@ class Network:
             # crash round stays, matching the model's "the round r-1
             # broadcast is still delivered").
             if not self.is_alive(sender, rnd - 1):
+                continue
+            # A flapped link carries nothing in either direction while its
+            # window is open; copies delayed *into* the window are lost too.
+            if self.link_flaps and not self.link_up(sender, receiver, rnd):
                 continue
             inboxes.setdefault(receiver, []).append(Envelope(sender, part))
             if self.tracer is not None:

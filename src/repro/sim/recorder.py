@@ -42,10 +42,12 @@ from .message import Part
 #: Bundle file magic + schema version; bump on incompatible change.
 BUNDLE_FORMAT = "repro-bundle"
 #: Version written by this build.  v2 adds per-transmit ``outp`` entries
-#: (content rewrites from corruption injectors); v1 bundles contain no
-#: rewrites and load unchanged.
-BUNDLE_VERSION = 2
-SUPPORTED_BUNDLE_VERSIONS = frozenset({1, 2})
+#: (content rewrites from corruption injectors); v3 adds churn params
+#: (``params["churn"]`` — a serialized :class:`repro.sim.faults.ChurnSchedule`
+#: — and ``params["churn_policy"]``) so crash-recovery runs replay with
+#: the same revive/flap timeline.  v1/v2 bundles load unchanged.
+BUNDLE_VERSION = 3
+SUPPORTED_BUNDLE_VERSIONS = frozenset({1, 2, 3})
 
 
 class RecordingError(RuntimeError):

@@ -375,6 +375,16 @@ def replay_bundle(
         from ..integrity.frames import as_integrity
 
         integrity = as_integrity(recovery.integrity)
+    churn = None
+    churn_policy = None
+    if params.get("churn"):
+        from .faults import ChurnSchedule
+
+        churn = ChurnSchedule.from_jsonable(params["churn"])
+    if params.get("churn_policy"):
+        from ..resilience.epochs import ChurnPolicy
+
+        churn_policy = ChurnPolicy.from_jsonable(params["churn_policy"])
     # Mirror the capture-time monitor configuration: "strict" reproduces
     # the run_protocol strict-monitors path (including its post-run oracle
     # raise); "record" re-attaches the standard stack in record mode —
@@ -386,6 +396,7 @@ def replay_bundle(
             topology,
             inputs,
             f=params.get("f"),
+            caaf=caaf,
             mode="record",
             recovery=allow_root_crash or recovery is not None,
             # The replay injector re-applies recorded content rewrites, so
@@ -393,6 +404,7 @@ def replay_bundle(
             # silent-corruption oracle's ground truth.
             corruption=[injector] if injector.has_rewrites else (),
             integrity=integrity,
+            churn=churn is not None,
         )
     record = safe_run_protocol(
         bundle.protocol,
@@ -413,6 +425,8 @@ def replay_bundle(
         transport=transport,
         recovery=recovery,
         integrity=integrity,
+        churn=churn,
+        churn_policy=churn_policy,
         allow_root_crash=allow_root_crash,
     )
     if strict and injector.divergence is not None:
