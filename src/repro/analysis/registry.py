@@ -215,6 +215,17 @@ EXPERIMENTS: Tuple[Experiment, ...] = (
         "bench_churn_epochs.py",
         ("e24_churn_epochs.txt", "e24_churn_cc_isolation.txt"),
     ),
+    Experiment(
+        "E25",
+        "Gray-failure resilience: slow-but-alive nodes vs the detector",
+        "exact results at stall severities <= 2x in every transport arm "
+        "with zero false-suspect / unbounded-stall verdicts; adaptive "
+        "RTOs finish in under half the fixed-window rounds at identical "
+        "protocol CC, and a clean run's hedged CC equals the unhedged "
+        "baseline bit-for-bit",
+        "bench_gray_failures.py",
+        ("e25_gray_failures.txt", "e25_gray_hedge_cc.txt"),
+    ),
 )
 
 

@@ -102,6 +102,15 @@ def make_inputs(
     return {u: rng.randint(0, hi) for u in topology.nodes()}
 
 
+def _flat_injectors(injectors):
+    """Injectors plus one level of wrapper ``.inner`` chains."""
+    for injector in injectors or ():
+        yield injector
+        inner = getattr(injector, "inner", None)
+        if isinstance(inner, (list, tuple)):
+            yield from inner
+
+
 def _effective_schedule(
     schedule: FailureSchedule, network
 ) -> FailureSchedule:
@@ -144,6 +153,7 @@ def run_protocol(
     integrity=None,
     churn=None,
     churn_policy=None,
+    gray=None,
     allow_root_crash: bool = False,
 ) -> RunRecord:
     """Run one named protocol and grade its output.
@@ -172,6 +182,14 @@ def run_protocol(
     with ``recovery``; the row then carries the partial result's
     status / certification / coverage columns plus the churn counters
     (rejoins, handshakes, lost contributions, double-count audit).
+    ``gray`` (a :class:`repro.sim.faults.GrayFailureSchedule` or its spec
+    string, e.g. ``'3:stall@r4-r9:x2,link:1-2@r5-r12:x2:ramp'``) injects
+    gray failures — compute stalls and link-latency inflation that slow
+    nodes without killing them; the schedule is auto-attached as a fault
+    injector (unless one is already in ``injectors`` or the run is a
+    replay re-applying recorded delays) and its ground-truth ledger feeds
+    the :class:`repro.sim.monitors.StragglerOracle` when the standard
+    monitor stack is used.
     ``allow_root_crash`` relaxes strict validation for root-crashing
     schedules (implied by ``recovery``).
 
@@ -220,6 +238,33 @@ def run_protocol(
         from ..sim.faults import ChurnSchedule
 
         churn = ChurnSchedule.from_spec(churn, root=topology.root)
+    if gray is not None:
+        from ..sim.faults import GrayFailureSchedule, gray_sources
+        from ..sim.replay import ReplayInjector
+
+        if isinstance(gray, str):
+            gray = GrayFailureSchedule.from_spec(gray)
+        gray.validate(topology)
+        replaying = any(
+            isinstance(i, ReplayInjector) for i in _flat_injectors(injectors)
+        )
+        if gray.has_events and not gray_sources(injectors) and not replaying:
+            # A replay's ReplayInjector re-applies the recorded delivery
+            # shifts itself; attaching the schedule again would double the
+            # delays.  Otherwise the schedule rides *inside* a recording
+            # wrapper when one is present, so its due-shifts land in the
+            # bundle and replays reproduce them byte-for-byte.
+            from ..sim.recorder import RecordingInjector
+
+            recorder = next(
+                (i for i in injectors if isinstance(i, RecordingInjector)),
+                None,
+            )
+            if recorder is not None:
+                recorder.inner.append(gray)
+                recorder.modifies_delivery = True
+            else:
+                injectors = tuple(injectors) + (gray,)
     if transport is not None:
         # Coerce once here so the same coordinator feeds the run, the
         # retransmit-budget monitor, and the row's overhead columns.
@@ -266,6 +311,7 @@ def run_protocol(
             corruption=corruption,
             integrity=integrity,
             churn=churn is not None,
+            gray=gray,
         )
     monitors = monitors or ()
     if churn is not None:
@@ -442,6 +488,17 @@ def run_protocol(
         extra["live_gaps"] = len(
             transport.live_gaps(network.crash_rounds if network else {})
         )
+        stats.link_stats = transport.link_counters()
+        if transport.config.hedge:
+            extra["hedges"] = counters["hedges"]
+            extra["hedge_deliveries"] = counters["hedge_deliveries"]
+        if transport.detector is not None:
+            extra["suspects"] = counters["suspects"]
+            extra["confirms"] = counters["confirms"]
+    if gray is not None and gray.has_events:
+        extra["gray_stalled"] = gray.counts.stalled_copies
+        extra["gray_inflated"] = gray.counts.inflated_copies
+        extra["gray_delay_rounds"] = gray.counts.delay_rounds
     if integrity is not None:
         counters = integrity.counters()
         extra.setdefault("overhead_bits", stats.max_overhead_bits)
@@ -635,6 +692,15 @@ def _finish_record(
     record: RunRecord, monitors, strict_monitors: bool
 ) -> RunRecord:
     """Attach recorded monitor violations; enforce zero-error if strict."""
+    from ..sim.monitors import StragglerOracle
+
+    for monitor in monitors or ():
+        if isinstance(monitor, StragglerOracle):
+            # Missed-degradation grading needs the complete suspicion
+            # record, so it runs once here — after the whole run.
+            monitor.grade_final()
+            record.extra["false_suspects"] = monitor.false_suspects
+            record.extra["missed_degradations"] = monitor.missed_degradations
     events = violations_of(monitors)
     if events:
         record.extra["violations"] = [str(e) for e in events]
@@ -755,6 +821,11 @@ def _capture_bundle(
 
         churn = ChurnSchedule.from_spec(churn, root=topology.root)
     churn_policy = kwargs.get("churn_policy")
+    gray = kwargs.get("gray")
+    if gray is not None and isinstance(gray, str):
+        from ..sim.faults import GrayFailureSchedule
+
+        gray = GrayFailureSchedule.from_spec(gray)
     bundle = make_execution_record(
         recorder,
         protocol,
@@ -789,6 +860,7 @@ def _capture_bundle(
                 if churn_policy is not None
                 else None
             ),
+            "gray": gray.as_jsonable() if gray is not None else None,
         },
         run_record=record,
         seed=seed,

@@ -187,6 +187,7 @@ def point_units(
     integrity=None,
     churn=None,
     churn_policy=None,
+    gray=None,
     allow_root_crash: bool = False,
 ) -> List:
     """Build the per-seed work units of one sweep coordinate."""
@@ -214,6 +215,7 @@ def point_units(
             integrity=integrity,
             churn=churn,
             churn_policy=churn_policy,
+            gray=gray,
             allow_root_crash=allow_root_crash,
             coords=dict(coords or {}),
         )
@@ -243,6 +245,7 @@ def run_point(
     integrity=None,
     churn=None,
     churn_policy=None,
+    gray=None,
     allow_root_crash: bool = False,
     engine=None,
     schedule_spec: Optional[Dict[str, Any]] = None,
@@ -298,6 +301,7 @@ def run_point(
             integrity=integrity,
             churn=churn,
             churn_policy=churn_policy,
+            gray=gray,
             allow_root_crash=allow_root_crash,
         )
         return aggregate(base, engine.run(units, checkpoint=checkpoint))
@@ -319,9 +323,10 @@ def run_point(
         # Churn draws sit between the schedule and the injectors — the
         # same rng slot repro.exec.scheduler.execute_unit uses, so serial
         # and pool runs see identical churn timelines.
-        from ..exec.scheduler import materialize_churn
+        from ..exec.scheduler import materialize_churn, materialize_gray
 
         seed_churn = materialize_churn(churn, topology, rng)
+        seed_gray = materialize_gray(gray, topology, rng)
         injectors = list(injector_factory(seed)) if injector_factory else []
         if corrupt:
             from ..sim.faults import MessageCorruption
@@ -350,6 +355,7 @@ def run_point(
             integrity=integrity,
             churn=seed_churn,
             churn_policy=churn_policy,
+            gray=seed_gray,
             allow_root_crash=allow_root_crash,
         )
         record.seed = seed
@@ -376,6 +382,7 @@ def sweep_b(
     integrity=None,
     churn=None,
     churn_policy=None,
+    gray=None,
     corrupt: Optional[str] = None,
     allow_root_crash: bool = False,
     engine=None,
@@ -410,6 +417,7 @@ def sweep_b(
             integrity=integrity,
             churn=churn,
             churn_policy=churn_policy,
+            gray=gray,
             corrupt=corrupt,
             allow_root_crash=allow_root_crash,
             engine=engine,
@@ -438,6 +446,7 @@ def sweep_b(
                 integrity=integrity,
                 churn=_churn_for(churn, horizon),
                 churn_policy=churn_policy,
+                gray=_gray_for(gray, horizon),
                 corrupt=corrupt,
                 allow_root_crash=allow_root_crash,
             )
@@ -455,6 +464,14 @@ def _churn_for(churn, horizon: int):
     if isinstance(churn, dict) and "horizon" not in churn:
         return dict(churn, horizon=horizon)
     return churn
+
+
+def _gray_for(gray, horizon: int):
+    """A random-gray spec pinned to one coordinate's time horizon
+    (same rule as :func:`_churn_for`)."""
+    if isinstance(gray, dict) and "horizon" not in gray:
+        return dict(gray, horizon=horizon)
+    return gray
 
 
 def sweep_churn(
@@ -555,6 +572,7 @@ def _sweep_grid(
     integrity=None,
     churn=None,
     churn_policy=None,
+    gray=None,
     corrupt: Optional[str] = None,
     allow_root_crash: bool = False,
     engine=None,
@@ -590,6 +608,7 @@ def _sweep_grid(
                 integrity=integrity,
                 churn=_churn_for(churn, b * topology.diameter),
                 churn_policy=churn_policy,
+                gray=_gray_for(gray, b * topology.diameter),
                 corrupt=corrupt,
                 allow_root_crash=allow_root_crash,
             )

@@ -117,6 +117,8 @@ def _resilience_config(args):
     alone gets just the transport shim.  ``--integrity checksum|mac``
     adds authenticated wire frames on top of either (or standalone);
     the MAC key is derived from ``--seed`` so runs stay deterministic.
+    ``--rto adaptive`` and ``--hedge`` tune the transport's
+    retransmission timing and so need one of the two transport flags.
     """
     integrity = None
     if getattr(args, "integrity", "off") != "off":
@@ -124,16 +126,46 @@ def _resilience_config(args):
 
         integrity = IntegrityConfig(mode=args.integrity, key_seed=args.seed)
     budget = args.retransmit_budget
+    rto = getattr(args, "rto", "fixed")
+    hedge = bool(getattr(args, "hedge", False))
+    if rto != "fixed" or hedge:
+        flag = "--rto adaptive" if rto != "fixed" else "--hedge"
+        if not args.recover and budget is None:
+            raise SystemExit(
+                f"error: {flag} tunes the reliable transport's "
+                "retransmission timing; add --recover or "
+                "--retransmit-budget N"
+            )
+        if getattr(args, "churn", None):
+            raise SystemExit(
+                f"error: {flag} and --churn are mutually exclusive (the "
+                "churn epoch manager assumes fixed-window round "
+                "arithmetic)"
+            )
     if args.recover:
         from .resilience import RecoveryPolicy
 
-        if budget is None:
-            return None, RecoveryPolicy.default(), integrity
-        return None, RecoveryPolicy.default(retransmit_budget=budget), integrity
+        policy = RecoveryPolicy.default(
+            retransmit_budget=5 if budget is None else budget
+        )
+        if rto != "fixed" or hedge:
+            import dataclasses
+
+            policy = dataclasses.replace(
+                policy,
+                transport=dataclasses.replace(
+                    policy.transport, rto=rto, hedge=hedge
+                ),
+            )
+        return None, policy, integrity
     if budget is not None:
         from .resilience import TransportConfig
 
-        return TransportConfig(retransmits=budget), None, integrity
+        return (
+            TransportConfig(retransmits=budget, rto=rto, hedge=hedge),
+            None,
+            integrity,
+        )
     return None, None, integrity
 
 
@@ -147,6 +179,23 @@ def _churn_config(args, horizon: int):
     """
     value = getattr(args, "churn", None)
     if not value:
+        # The churn-scoped knobs are meaningless alone; reject them
+        # loudly instead of silently ignoring them.
+        if getattr(args, "flap_rate", 0.0):
+            raise SystemExit(
+                "error: --flap-rate shapes the --churn rate:<x> random "
+                "draw; it does nothing without --churn"
+            )
+        if getattr(args, "max_epochs", None) is not None:
+            raise SystemExit(
+                "error: --max-epochs budgets --churn re-aggregation "
+                "epochs; it does nothing without --churn"
+            )
+        if getattr(args, "amnesiac", None) is not None:
+            raise SystemExit(
+                "error: --amnesiac shapes the --churn rate:<x> random "
+                "draw; it does nothing without --churn"
+            )
         return None, None
     if getattr(args, "recover", False):
         raise SystemExit(
@@ -162,7 +211,7 @@ def _churn_config(args, horizon: int):
             "kind": "random",
             "rate": rate,
             "horizon": horizon,
-            "amnesiac": args.amnesiac,
+            "amnesiac": 0.25 if args.amnesiac is None else args.amnesiac,
             "flap_rate": args.flap_rate,
         }
     else:
@@ -177,6 +226,33 @@ def _churn_config(args, horizon: int):
             ChurnPolicy.default(), max_epochs=args.max_epochs
         )
     return spec, policy
+
+
+def _gray_config(args, horizon: int):
+    """Gray-failure spec from ``--gray`` (declarative, rides work units).
+
+    ``rate:<float>`` becomes the random spec
+    :func:`repro.exec.scheduler.materialize_gray` samples from the run's
+    seeded rng; anything else must parse as an explicit
+    :class:`repro.sim.faults.GrayFailureSchedule` spec and is validated
+    here so typos fail before any run starts.
+    """
+    value = getattr(args, "gray", None)
+    if not value:
+        return None
+    if value.startswith("rate:"):
+        try:
+            rate = float(value[len("rate:"):])
+        except ValueError:
+            raise SystemExit(f"error: bad --gray rate in {value!r}")
+        return {"kind": "random", "rate": rate, "horizon": horizon}
+    from .sim.faults import GrayFailureSchedule
+
+    try:
+        GrayFailureSchedule.from_spec(value)
+    except ValueError as exc:
+        raise SystemExit(f"error: bad --gray spec: {exc}")
+    return value
 
 
 def _maybe_crash_root(schedule, topology, args, rng: random.Random):
@@ -246,12 +322,13 @@ def cmd_run(args: argparse.Namespace) -> int:
     else:
         schedule = no_failures()
     schedule = _maybe_crash_root(schedule, topology, args, rng)
-    churn_spec, churn_policy = _churn_config(
-        args, horizon=max(2, (args.budget or 42) * topology.diameter)
-    )
-    from .exec.scheduler import materialize_churn
+    horizon = max(2, (args.budget or 42) * topology.diameter)
+    churn_spec, churn_policy = _churn_config(args, horizon=horizon)
+    gray_spec = _gray_config(args, horizon=horizon)
+    from .exec.scheduler import materialize_churn, materialize_gray
 
     churn = materialize_churn(churn_spec, topology, rng)
+    gray = materialize_gray(gray_spec, topology, rng)
     injectors = _parse_injectors(args.inject, args.seed, corrupt=args.corrupt)
     transport, recovery, integrity = _resilience_config(args)
     record = run_protocol(
@@ -270,6 +347,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         integrity=integrity,
         churn=churn,
         churn_policy=churn_policy,
+        gray=gray,
         allow_root_crash=args.allow_root_crash,
     )
     print(format_table([record.as_dict()], title=f"{args.protocol} on {topology}"))
@@ -300,6 +378,7 @@ def _cmd_run_engine(args: argparse.Namespace, topology) -> int:
     )
     transport, recovery, integrity = _resilience_config(args)
     churn_spec, churn_policy = _churn_config(args, horizon=horizon)
+    gray_spec = _gray_config(args, horizon=horizon)
     unit = WorkUnit(
         protocol=args.protocol,
         topology=topology,
@@ -323,6 +402,7 @@ def _cmd_run_engine(args: argparse.Namespace, topology) -> int:
         integrity=integrity,
         churn=churn_spec,
         churn_policy=churn_policy,
+        gray=gray_spec,
         allow_root_crash=args.allow_root_crash,
     )
     engine = _engine_from_args(args)
@@ -349,6 +429,9 @@ def cmd_sweep_b(args: argparse.Namespace) -> int:
     churn_spec, churn_policy = _churn_config(args, horizon=0)
     if isinstance(churn_spec, dict):
         churn_spec.pop("horizon", None)
+    gray_spec = _gray_config(args, horizon=0)
+    if isinstance(gray_spec, dict):
+        gray_spec.pop("horizon", None)
     engine = _engine_from_args(args)
     try:
         points = sweep_b(
@@ -366,6 +449,7 @@ def cmd_sweep_b(args: argparse.Namespace) -> int:
             integrity=integrity,
             churn=churn_spec,
             churn_policy=churn_policy,
+            gray=gray_spec,
             corrupt=args.corrupt,
             allow_root_crash=args.allow_root_crash,
             engine=engine,
@@ -445,6 +529,13 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     *DOUBLE-COUNT* (a contribution booked twice across incarnations)
     and *LOST-CONTRIBUTION* (a contribution with a surviving copy
     missing from the certified coverage).  Either fails the campaign.
+
+    With ``--gray`` the runs limp through stalled nodes and inflated
+    links (nothing crashes) and the straggler oracle grades detection
+    quality: *FALSE-SUSPECT* (the φ-accrual detector confirmed a node
+    that was merely slow) and *UNBOUNDED-STALL* (a degradation past the
+    transport's tolerance window that the detector never flagged).
+    Either fails the campaign — the gray-resilience CI gate.
     """
     from .exec import WorkUnit
 
@@ -453,6 +544,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     transport, recovery, integrity = _resilience_config(args)
     crash_horizon = max(2, (args.budget or 42) * topology.diameter)
     churn_spec, churn_policy = _churn_config(args, horizon=crash_horizon)
+    gray_spec = _gray_config(args, horizon=crash_horizon)
     schedule_spec = (
         {
             "kind": "random",
@@ -494,6 +586,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             integrity=integrity,
             churn=churn_spec,
             churn_policy=churn_policy,
+            gray=gray_spec,
             allow_root_crash=args.allow_root_crash,
             coords={"inject": spec},
         )
@@ -508,6 +601,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     silent_wrong = 0
     uncertified = 0
     exactly_once_broken = 0
+    gray_broken = 0
     for seed, record in zip(seeds, records):
         status = record.extra.get("status")
         if record.failed:
@@ -529,6 +623,17 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             # live snapshot holder) vanished from the certified coverage.
             verdict = "LOST-CONTRIBUTION"
             exactly_once_broken += 1
+        elif record.extra.get("false_suspects"):
+            # The φ-accrual detector confirmed (and the transport
+            # evicted) a node that was merely slow: gray failures must
+            # stretch the run, never shrink its coverage.
+            verdict = "FALSE-SUSPECT"
+            gray_broken += 1
+        elif record.extra.get("missed_degradations"):
+            # A degradation well past the transport's tolerance window
+            # that the detector never even suspected.
+            verdict = "UNBOUNDED-STALL"
+            gray_broken += 1
         elif status is not None and not record.extra.get("certified"):
             verdict = "PARTIAL-UNCERTIFIED"
             uncertified += 1
@@ -566,6 +671,9 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             rows[-1]["rejoins"] = int(
                 record.extra.get("rejoins_durable") or 0
             ) + int(record.extra.get("rejoins_amnesiac") or 0)
+        if gray_spec is not None:
+            rows[-1]["stalled"] = record.extra.get("gray_stalled", 0)
+            rows[-1]["suspects"] = record.extra.get("suspects", 0)
         if record.extra.get("bundle"):
             rows[-1]["bundle"] = record.extra["bundle"]
     print(
@@ -592,8 +700,14 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             if churn_spec is not None
             else ""
         )
+        + (
+            f", {verdicts.count('FALSE-SUSPECT')} false-suspect, "
+            f"{verdicts.count('UNBOUNDED-STALL')} unbounded-stall"
+            if gray_spec is not None
+            else ""
+        )
     )
-    return 1 if silent_wrong or uncertified or exactly_once_broken else 0
+    return 1 if silent_wrong or uncertified or exactly_once_broken or gray_broken else 0
 
 
 def cmd_replay(args: argparse.Namespace) -> int:
@@ -990,9 +1104,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--amnesiac",
             type=float,
-            default=0.25,
+            default=None,
             help="with --churn rate:<x>: fraction of rejoins that lose "
-            "state and need a snapshot handshake (0 = all durable)",
+            "state and need a snapshot handshake (0 = all durable; "
+            "default 0.25)",
         )
         p.add_argument(
             "--flap-rate",
@@ -1009,6 +1124,31 @@ def build_parser() -> argparse.ArgumentParser:
             dest="max_epochs",
             help="with --churn: re-aggregation epoch budget "
             "(default 4; exhaustion degrades to a certified partial)",
+        )
+        p.add_argument(
+            "--gray",
+            default=None,
+            help="gray-failure schedule: an explicit spec "
+            "('3:stall@r5-r12:x2:ramp,link:1-2@r4-r9:x3') or "
+            "'rate:<float>' for seeded random degradations; nodes limp "
+            "and links inflate but nothing crashes",
+        )
+        p.add_argument(
+            "--rto",
+            default="fixed",
+            choices=["fixed", "adaptive"],
+            help="retransmission timing: 'fixed' keeps the historical "
+            "NACK schedule; 'adaptive' times NACKs per link from an EWMA "
+            "RTT estimator and closes clean windows early (needs "
+            "--recover or --retransmit-budget)",
+        )
+        p.add_argument(
+            "--hedge",
+            action="store_true",
+            help="hedged retransmission: a neighbour holding a copy of a "
+            "twice-NACKed frame relays it on the alternative path, "
+            "booked entirely as overhead (needs --recover or "
+            "--retransmit-budget)",
         )
 
     p_run = sub.add_parser("run", help="run one protocol execution")

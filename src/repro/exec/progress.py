@@ -19,9 +19,10 @@ they live only in the telemetry stream, never in results, so the
 engine's determinism contract is untouched.
 
 :class:`ProgressTracker` is a listener that folds the stream into
-renderable state (done counts, failures, worker utilization, ETA from
-the mean unit wall time), and :func:`live_renderer` turns that state
-into the single carriage-return status line the CLI shows on a TTY.
+renderable state (done counts, failures, worker utilization, p50/p95
+unit wall latency, ETA from the mean unit wall time), and
+:func:`live_renderer` turns that state into the single carriage-return
+status line the CLI shows on a TTY.
 """
 
 from __future__ import annotations
@@ -136,6 +137,25 @@ class ProgressTracker:
         mean = sum(self.wall_samples) / len(self.wall_samples)
         return mean * self.remaining / max(1, self.jobs)
 
+    def wall_percentile(self, q: float) -> Optional[float]:
+        """The ``q``-th percentile (0..100) of executed-unit wall times,
+        by linear interpolation; ``None`` before the first sample."""
+        if not self.wall_samples:
+            return None
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        ordered = sorted(self.wall_samples)
+        rank = (len(ordered) - 1) * q / 100.0
+        lo = int(rank)
+        hi = min(lo + 1, len(ordered) - 1)
+        return ordered[lo] + (ordered[hi] - ordered[lo]) * (rank - lo)
+
+    @staticmethod
+    def _fmt_s(seconds: float) -> str:
+        if seconds < 1:
+            return f"{seconds * 1000:.0f}ms"
+        return f"{seconds:.1f}s"
+
     def render(self, width: int = 24) -> str:
         done, total = self.done, max(1, self.total)
         filled = int(width * done / total)
@@ -147,6 +167,12 @@ class ProgressTracker:
         if self.failed:
             parts.append(f"{self.failed} failed")
         parts.append(f"{self.in_flight}/{self.jobs} busy")
+        if self.wall_samples:
+            p50 = self.wall_percentile(50.0)
+            p95 = self.wall_percentile(95.0)
+            parts.append(
+                f"p50 {self._fmt_s(p50)} / p95 {self._fmt_s(p95)}"
+            )
         eta = self.eta_s()
         if eta is not None:
             parts.append(f"ETA {int(eta // 60):02d}:{int(eta % 60):02d}")

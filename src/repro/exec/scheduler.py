@@ -58,7 +58,10 @@ class WorkUnit:
     int, "amnesiac": float, "flap_rate": float}``, sampled from the
     unit's seeded RNG in the same derivation slot the serial sweep uses
     (after the schedule draw), so pool and serial runs see identical
-    churn timelines.
+    churn timelines.  ``gray`` is either a
+    :meth:`repro.sim.faults.GrayFailureSchedule.from_spec` string or
+    ``{"kind": "random", "rate": float, "horizon": int, "link_rate":
+    float, "max_severity": int}``, drawn right after the churn slot.
     """
 
     protocol: str
@@ -83,6 +86,7 @@ class WorkUnit:
     integrity: Any = None
     churn: Any = None
     churn_policy: Any = None
+    gray: Any = None
     allow_root_crash: bool = False
     timeout_s: Optional[float] = None
     retries: int = 0
@@ -190,6 +194,37 @@ def materialize_churn(spec: Any, topology: Topology, rng: random.Random):
     )
 
 
+def build_gray(unit: WorkUnit, topology: Topology, rng: random.Random):
+    """Materialize the unit's gray-failure spec, consuming ``rng`` exactly
+    as the serial sweep does (one draw block right after the churn slot)."""
+    return materialize_gray(unit.gray, topology, rng)
+
+
+def materialize_gray(spec: Any, topology: Topology, rng: random.Random):
+    """Spec-to-schedule core shared by :func:`build_gray` and the serial
+    sweep path, so pool and serial runs draw identical degradations."""
+    if spec is None:
+        return None
+    from ..sim.faults import GrayFailureSchedule, random_gray
+
+    if isinstance(spec, str):
+        return GrayFailureSchedule.from_spec(spec)
+    if isinstance(spec, GrayFailureSchedule):
+        return spec
+    kind = spec.get("kind", "random")
+    if kind != "random":
+        raise ValueError(f"unknown gray spec kind {kind!r}")
+    return random_gray(
+        topology,
+        spec["rate"],
+        rng,
+        horizon=spec.get("horizon", 4 * max(1, topology.diameter)),
+        link_rate=spec.get("link_rate"),
+        max_severity=spec.get("max_severity", 2),
+        root=topology.root,
+    )
+
+
 def build_injectors(unit: WorkUnit, topology: Topology) -> List[Any]:
     """Materialize the unit's injector specs (order: faults, corruption,
     adaptive) — the same order the CLI builds them in-process."""
@@ -219,8 +254,8 @@ def execute_unit(unit: WorkUnit):
     """Run one work unit; the worker-process entry point.
 
     Reproduces the serial derivation exactly: ``rng = Random(seed)`` →
-    inputs → schedule (→ optional root crash) → injectors → monitors →
-    :func:`repro.analysis.runner.safe_run_protocol`.  Per-unit timeouts
+    inputs → schedule (→ optional root crash) → churn → gray → injectors
+    → monitors → :func:`repro.analysis.runner.safe_run_protocol`.  Per-unit timeouts
     go through ``safe_run_protocol``'s own ``timeout_s`` path — workers
     execute in their process's main thread, so the ``SIGALRM`` wall-clock
     limit is exactly as hard there as in a serial run.
@@ -238,7 +273,15 @@ def execute_unit(unit: WorkUnit):
         inputs = make_inputs(topology, rng, max_input=unit.max_input)
         schedule = build_schedule(unit, topology, rng)
         churn = build_churn(unit, topology, rng)
+        gray = build_gray(unit, topology, rng)
         injectors = build_injectors(unit, topology)
+        transport = unit.transport
+        if gray is not None and transport is not None:
+            # Coerce to a coordinator so the straggler oracle below
+            # watches the same detector the run uses.
+            from ..resilience.transport import as_transport
+
+            transport = as_transport(transport)
         # Coerce integrity once so the monitor stack below shares the
         # coordinator with the run (same rule as run_protocol).
         from ..integrity.frames import as_integrity
@@ -263,6 +306,8 @@ def execute_unit(unit: WorkUnit):
                 corruption=corruption_sources(injectors),
                 integrity=integrity,
                 churn=churn is not None,
+                gray=gray,
+                transport=transport if gray is not None else None,
             )
         record = safe_run_protocol(
             unit.protocol,
@@ -284,11 +329,12 @@ def execute_unit(unit: WorkUnit):
             injectors=tuple(injectors),
             monitors=monitors,
             capture_dir=unit.capture_dir,
-            transport=unit.transport,
+            transport=transport,
             recovery=unit.recovery,
             integrity=integrity,
             churn=churn,
             churn_policy=unit.churn_policy,
+            gray=gray,
             allow_root_crash=unit.allow_root_crash,
         )
         record.seed = unit.seed

@@ -17,8 +17,22 @@ simulator stays bit-exact when nothing here is enabled.
   rejoins (durable / amnesiac), heartbeat membership detection, neighbour
   anti-entropy snapshots, and exactly-once re-aggregation booked under
   ``(node_id, incarnation)`` nonces.
+* :mod:`repro.resilience.detector` — gray-failure detection: φ-accrual
+  graded suspicion (trust / suspect / confirm) from frame inter-arrival
+  samples, and per-link adaptive retransmission timeouts (EWMA RTT with
+  Karn-style sample exclusion).
 """
 
+from .detector import (
+    LEVEL_CONFIRM,
+    LEVEL_SUSPECT,
+    LEVEL_TRUST,
+    LEVELS,
+    AdaptiveRto,
+    PhiAccrualDetector,
+    PhiConfig,
+    SuspicionEvent,
+)
 from .partial import (
     PartialAggregateResult,
     STATUS_EXACT,
@@ -28,7 +42,9 @@ from .partial import (
 )
 from .transport import (
     FRAME_KIND,
+    HEDGE_KIND,
     NACK_KIND,
+    RTO_MODES,
     TRANSPORT_KINDS,
     ReliableTransport,
     TransportConfig,
@@ -61,6 +77,7 @@ from .epochs import (
 )
 
 __all__ = [
+    "AdaptiveRto",
     "ChurnEpochReport",
     "ChurnOutcome",
     "ChurnPolicy",
@@ -76,12 +93,21 @@ __all__ = [
     "ElectionReport",
     "EpochReport",
     "FRAME_KIND",
+    "HEDGE_KIND",
+    "LEVEL_CONFIRM",
+    "LEVEL_SUSPECT",
+    "LEVEL_TRUST",
+    "LEVELS",
     "NACK_KIND",
     "PartialAggregateResult",
+    "PhiAccrualDetector",
+    "PhiConfig",
     "RECOVERABLE_PROTOCOLS",
+    "RTO_MODES",
     "RecoveryOutcome",
     "RecoveryPolicy",
     "ReliableTransport",
+    "SuspicionEvent",
     "STATUS_EXACT",
     "STATUS_FAILED",
     "STATUS_PARTIAL",

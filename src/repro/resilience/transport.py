@@ -50,11 +50,17 @@ from typing import Dict, List, NamedTuple, Optional, Tuple
 
 from ..sim.message import Envelope, Part, TAG_BITS, id_bits
 from ..sim.node import NodeHandler
+from .detector import LEVEL_CONFIRM, PhiAccrualDetector, AdaptiveRto
 
 #: Wire kinds used by the transport shim.
 FRAME_KIND = "xport_frame"
 NACK_KIND = "xport_nack"
-TRANSPORT_KINDS = frozenset({FRAME_KIND, NACK_KIND})
+#: A neighbour's relay of another sender's frame (hedged retransmission).
+HEDGE_KIND = "xport_hedge"
+TRANSPORT_KINDS = frozenset({FRAME_KIND, NACK_KIND, HEDGE_KIND})
+
+#: Accepted retransmission-timing modes.
+RTO_MODES = ("fixed", "adaptive")
 
 #: Bits for a logical-round sequence number on the wire.
 SEQ_BITS = 16
@@ -79,10 +85,25 @@ class TransportConfig:
             consecutive NACK slots.  The gap sequence is 2, 4, 8, ...
             capped here; ``backoff_cap=2`` forces linear (every other
             slot) NACKing.
+        rto: Retransmission-timing mode.  ``"fixed"`` keeps the
+            historical schedule (NACKs at the precomputed slots, windows
+            of exactly :attr:`window` rounds) and is bit-identical to
+            pre-gray builds.  ``"adaptive"`` times NACKs per link from an
+            EWMA RTT estimator (:class:`repro.resilience.detector.AdaptiveRto`)
+            and lets the coordinator close a logical round early once
+            every live node reports a complete inbox — clean stretches
+            run 2-round windows instead of :attr:`window`-round ones,
+            while degraded links stretch back up to the fixed cap.
+        hedge: Enable hedged retransmission: a neighbour holding a copy
+            of a frame a receiver has NACKed twice relays it on the
+            alternative path (booked entirely as overhead).  On clean
+            runs no NACK is ever repeated, so hedging changes nothing.
     """
 
     retransmits: int = 2
     backoff_cap: int = 8
+    rto: str = "fixed"
+    hedge: bool = False
 
     def __post_init__(self) -> None:
         if self.retransmits < 0:
@@ -93,6 +114,20 @@ class TransportConfig:
             raise ValueError(
                 f"backoff_cap must be >= 2, got {self.backoff_cap}"
             )
+        if self.rto not in RTO_MODES:
+            raise ValueError(
+                f"rto must be one of {RTO_MODES}, got {self.rto!r}"
+            )
+
+    @property
+    def adaptive(self) -> bool:
+        """Whether per-link adaptive RTO replaces the fixed schedule."""
+        return self.rto == "adaptive"
+
+    @property
+    def detecting(self) -> bool:
+        """Whether the φ-accrual detector runs (adaptive RTO or hedging)."""
+        return self.adaptive or self.hedge
 
     @property
     def nack_slots(self) -> Tuple[int, ...]:
@@ -118,13 +153,25 @@ class TransportConfig:
         return (slots[-1] + 1) if slots else 2
 
     def as_jsonable(self) -> Dict[str, int]:
-        return {"retransmits": self.retransmits, "backoff_cap": self.backoff_cap}
+        # rto/hedge are emitted only when non-default so pre-gray (v3 and
+        # older) bundle bytes are unchanged for fixed-schedule configs.
+        out: Dict[str, object] = {
+            "retransmits": self.retransmits,
+            "backoff_cap": self.backoff_cap,
+        }
+        if self.rto != "fixed":
+            out["rto"] = self.rto
+        if self.hedge:
+            out["hedge"] = True
+        return out
 
     @classmethod
     def from_jsonable(cls, data: Dict[str, int]) -> "TransportConfig":
         return cls(
             retransmits=int(data["retransmits"]),
             backoff_cap=int(data.get("backoff_cap", 8)),
+            rto=str(data.get("rto", "fixed")),
+            hedge=bool(data.get("hedge", False)),
         )
 
 
@@ -170,6 +217,31 @@ class ReliableTransport:
         #: layer); dropped rather than crashing the decoder.
         self.malformed = 0
         self.gaps: List[TransportGap] = []
+        #: Hedged relays sent / hedged copies that filled a missing slot.
+        self.hedges = 0
+        self.hedge_deliveries = 0
+        #: Per-link retransmission audit: attempts granted and budget-cap
+        #: hits, keyed ``(frame sender, NACKing receiver)`` — the
+        #: aggregate counters above stay, but per-link RTO adaptation is
+        #: only auditable with the link-level split.
+        self.link_attempts: Dict[Tuple[int, int], int] = {}
+        self.link_cap_hits: Dict[Tuple[int, int], int] = {}
+        #: φ-accrual suspicion and per-link RTO state (adaptive / hedge
+        #: modes only; ``None`` keeps the fixed path untouched).
+        self.detector: Optional[PhiAccrualDetector] = (
+            PhiAccrualDetector() if self.config.detecting else None
+        )
+        self.rtos: Dict[Tuple[int, int], AdaptiveRto] = {}
+        #: Hedge claims already granted, per ``(origin, lr, receiver)``.
+        self._hedge_claims: set = set()
+        # Adaptive-window state: start round of the current logical round
+        # plus the sealed history (lr -> start round).  Fixed mode never
+        # touches these; slot arithmetic stays closed-form.
+        self._cur_lr = 1
+        self._cur_start = 1
+        self._starts: Dict[int, int] = {1: 1}
+        #: Per-round missing-frame reports: round -> node -> count.
+        self._reports: Dict[int, Dict[int, int]] = {}
 
     @property
     def window(self) -> int:
@@ -178,10 +250,105 @@ class ReliableTransport:
     def wrap(self, handlers: Dict[int, NodeHandler], adjacency) -> Dict[int, "TransportNode"]:
         """Wrap every handler in a :class:`TransportNode` bound to this coordinator."""
         self.n_nodes = max(self.n_nodes, len(adjacency))
+        # A new network's rounds restart at 1 (failover epochs): reset the
+        # window tracker and the detector's arrival clocks, keeping the
+        # learned inter-arrival history and RTO estimators.
+        self._cur_lr = 1
+        self._cur_start = 1
+        self._starts = {1: 1}
+        self._reports = {}
+        if self.detector is not None:
+            self.detector._last = {}
+            self.detector._level = {}
         return {
             u: TransportNode(self, u, handlers[u], adjacency[u])
             for u in handlers
         }
+
+    # ------------------------------------------------------------------ #
+    # Adaptive windows (rto="adaptive" only).
+    # ------------------------------------------------------------------ #
+
+    def locate(self, rnd: int) -> Tuple[int, int]:
+        """The ``(logical round, slot)`` physical round ``rnd`` falls in.
+
+        Fixed mode is closed-form arithmetic.  Adaptive mode seals window
+        boundaries lazily: the first ``locate`` call for a round decides —
+        from the previous round's missing-frame reports only, so the
+        decision is identical no matter which node asks first — whether
+        the current logical round closes here.  A window closes when
+        every reporting node had a complete inbox (earliest possible:
+        after slot 2), or at the fixed cap :attr:`window`.
+        """
+        if not self.config.adaptive:
+            window = self.config.window
+            return (rnd - 1) // window + 1, (rnd - 1) % window + 1
+        slot = rnd - self._cur_start + 1
+        if slot >= 3 and self._should_close(slot):
+            self._cur_lr += 1
+            self._cur_start = rnd
+            self._starts[self._cur_lr] = rnd
+            slot = 1
+        return self._cur_lr, slot
+
+    def _should_close(self, slot: int) -> bool:
+        if slot > self.config.window:
+            return True
+        reports = self._reports.get(self._cur_start + slot - 2)
+        return bool(reports) and all(v == 0 for v in reports.values())
+
+    def window_start(self, logical_round: int) -> int:
+        """First physical round of ``logical_round``'s window."""
+        if not self.config.adaptive:
+            return (logical_round - 1) * self.config.window + 1
+        return self._starts.get(
+            logical_round, (logical_round - 1) * self.config.window + 1
+        )
+
+    def report_missing(self, node: int, rnd: int, missing: int) -> None:
+        """One node's end-of-round count of still-missing frames."""
+        self._reports.setdefault(rnd, {})[node] = missing
+        for old in [r for r in self._reports if r < rnd - 2]:
+            del self._reports[old]
+
+    # ------------------------------------------------------------------ #
+    # Detection and per-link timing (adaptive / hedge modes).
+    # ------------------------------------------------------------------ #
+
+    def rto_of(self, receiver: int, sender: int) -> AdaptiveRto:
+        """The receiver's RTO estimator for frames from ``sender``."""
+        key = (receiver, sender)
+        estimator = self.rtos.get(key)
+        if estimator is None:
+            estimator = self.rtos[key] = AdaptiveRto()
+        return estimator
+
+    def note_arrival(
+        self, receiver: int, sender: int, frame_lr: int, rnd: int
+    ) -> None:
+        """Feed one first-attempt frame arrival to detector and RTO.
+
+        Karn-style exclusion: links with any retransmission outstanding
+        for this frame contribute no RTT sample (an original-vs-retransmit
+        ambiguity would poison the estimator); the φ-accrual arrival clock
+        still advances — a frame is a heartbeat however it got here.
+        """
+        if self.detector is None:
+            return
+        self.detector.observe(receiver, sender, frame_lr)
+        if self.retx_used.get((sender, frame_lr), 0) == 0:
+            rtt = max(1, rnd - self.window_start(frame_lr))
+            self.rto_of(receiver, sender).sample(rtt)
+
+    def claim_hedge(self, origin: int, logical_round: int, receiver: int) -> bool:
+        """First-claimant election for one hedged relay (deterministic:
+        nodes run in a fixed order, so the same neighbour wins on replay)."""
+        key = (origin, logical_round, receiver)
+        if key in self._hedge_claims:
+            return False
+        self._hedge_claims.add(key)
+        self.hedges += 1
+        return True
 
     # ------------------------------------------------------------------ #
     # Bit accounting.
@@ -210,6 +377,10 @@ class ReliableTransport:
             return header
         if part.kind == NACK_KIND:
             return part.bits
+        if part.kind == HEDGE_KIND:
+            # A relayed copy of another node's frame: repair traffic in
+            # full, exactly like a retransmission.
+            return part.bits
         return 0
 
     # ------------------------------------------------------------------ #
@@ -224,6 +395,44 @@ class ReliableTransport:
         self.retx_used[(sender, logical_round)] = used + 1
         self.retransmissions += 1
         return used + 1
+
+    def consume_retransmit(
+        self, sender: int, logical_round: int, requesters
+    ) -> Optional[int]:
+        """Like :meth:`try_consume_retransmit`, with per-link attribution.
+
+        ``requesters`` are the receivers whose NACKs triggered this
+        attempt; each ``(sender, requester)`` link is charged one attempt
+        (or one cap hit when the budget is already spent), making per-link
+        RTO adaptation auditable in traces.
+        """
+        attempt = self.try_consume_retransmit(sender, logical_round)
+        ledger = self.link_attempts if attempt is not None else self.link_cap_hits
+        for requester in requesters:
+            key = (sender, requester)
+            ledger[key] = ledger.get(key, 0) + 1
+        return attempt
+
+    def link_counters(self) -> Dict[str, Dict[str, object]]:
+        """Per-link retransmit/RTO audit, JSON-ready (``"s->r"`` keys)."""
+        out: Dict[str, Dict[str, object]] = {
+            "attempts": {
+                f"{s}->{r}": n
+                for (s, r), n in sorted(self.link_attempts.items())
+            },
+            "cap_hits": {
+                f"{s}->{r}": n
+                for (s, r), n in sorted(self.link_cap_hits.items())
+            },
+            "budget": self.config.retransmits,
+        }
+        if self.rtos:
+            out["rto"] = {
+                f"{r}->{s}": est.as_dict()
+                for (r, s), est in sorted(self.rtos.items())
+                if est.samples
+            }
+        return out
 
     def record_gap(
         self, logical_round: int, sender: int, receiver: int, deadline: int
@@ -259,7 +468,7 @@ class ReliableTransport:
 
     def counters(self) -> Dict[str, int]:
         """Plain-dict counter snapshot for reports and run rows."""
-        return {
+        out = {
             "frames": self.frames,
             "retransmissions": self.retransmissions,
             "nacks": self.nacks,
@@ -272,6 +481,12 @@ class ReliableTransport:
             "malformed": self.malformed,
             "gaps": len(self.gaps),
         }
+        if self.config.hedge:
+            out["hedges"] = self.hedges
+            out["hedge_deliveries"] = self.hedge_deliveries
+        if self.detector is not None:
+            out.update(self.detector.counters())
+        return out
 
     def live_gaps_in(self, network) -> List[TransportGap]:
         """Like :meth:`live_gaps`, judged against a churn-aware network.
@@ -291,11 +506,10 @@ class ReliableTransport:
         intervals and :meth:`~repro.sim.network.Network.link_up` the flap
         windows, so all three checks are churn-aware.
         """
-        window = self.window
         link_up = getattr(network, "link_up", None)
         out = []
         for g in self.gaps:
-            start = (g.logical_round - 1) * window + 1
+            start = self.window_start(g.logical_round)
             span = range(start, g.deadline + 1)
             if any(not network.is_alive(g.sender, r) for r in span):
                 continue
@@ -342,6 +556,10 @@ class TransportNode(NodeHandler):
         self._incarnation = 0
         #: Highest incarnation observed per peer, learned from frames.
         self._peer_inc: Dict[int, int] = {}
+        #: Adaptive mode: slot of my last NACK, per ``(lr, sender)``.
+        self._last_nack: Dict[Tuple[int, int], int] = {}
+        #: Hedge mode: NACKs seen, per ``(lr, origin, requester)``.
+        self._nack_seen: Dict[Tuple[int, int, int], int] = {}
 
     # -- delegation ---------------------------------------------------- #
 
@@ -369,8 +587,7 @@ class TransportNode(NodeHandler):
         self._incarnation = incarnation
         if mode == "amnesiac":
             self.transport.rejoins_amnesiac += 1
-            window = self.transport.config.window
-            lr_now = (rnd - 1) // window + 1
+            lr_now = self.transport.locate(rnd)[0]
             self._buf = {}
             self._outbox = ()
             self._outbox_round = 0
@@ -385,36 +602,77 @@ class TransportNode(NodeHandler):
 
     def on_round(self, rnd: int, inbox) -> List[Part]:
         cfg = self.transport.config
-        window = cfg.window
-        lr = (rnd - 1) // window + 1
-        slot = (rnd - 1) % window + 1
+        lr, slot = self.transport.locate(rnd)
 
-        retransmit_requested = self._absorb(lr, slot, inbox)
+        requesters, hedge_relays = self._absorb(lr, slot, rnd, inbox)
         out: List[Part] = []
 
         if slot == 1:
             out.append(self._advance_logical_round(lr, rnd))
-        elif retransmit_requested and self._outbox_round == lr:
-            attempt = self.transport.try_consume_retransmit(self.node_id, lr)
+        elif requesters and self._outbox_round == lr:
+            attempt = self.transport.consume_retransmit(
+                self.node_id, lr, sorted(requesters)
+            )
             if attempt is not None:
                 out.append(self._frame(lr, attempt))
 
-        if slot in cfg.nack_slots:
-            missing = sorted(self._expected - set(self._buf.get(lr, {})))
-            if missing:
+        for origin, parts in hedge_relays:
+            out.append(self._hedge(lr, origin, parts))
+
+        missing = sorted(self._expected - set(self._buf.get(lr, {})))
+        if cfg.adaptive:
+            due = [m for m in missing if self._nack_due(lr, m, slot)]
+            if due:
                 self.transport.nacks += 1
-                payload = (lr, tuple(missing))
-                bits = self.transport.nack_bits(len(missing))
+                for m in due:
+                    self._last_nack[(lr, m)] = slot
+                payload = (lr, tuple(due))
+                bits = self.transport.nack_bits(len(due))
                 if self._incarnation:
                     payload += (self._incarnation,)
                     bits += INCARNATION_BITS
                 out.append(Part(NACK_KIND, payload, bits))
+            self.transport.report_missing(self.node_id, rnd, len(missing))
+        elif slot in cfg.nack_slots and missing:
+            self.transport.nacks += 1
+            payload = (lr, tuple(missing))
+            bits = self.transport.nack_bits(len(missing))
+            if self._incarnation:
+                payload += (self._incarnation,)
+                bits += INCARNATION_BITS
+            out.append(Part(NACK_KIND, payload, bits))
         return out
 
-    def _absorb(self, lr: int, slot: int, inbox) -> bool:
-        """File incoming frames and NACKs; returns whether I was NACKed."""
+    def _nack_due(self, lr: int, sender: int, slot: int) -> bool:
+        """Adaptive NACK pacing: wait out the link's RTO before nagging.
+
+        The first NACK for a missing frame waits ``rto + 1`` slots past
+        the broadcast slot (one round for the frame, ``rto`` for the path
+        it usually takes); re-NACKs back off by at least the RTO so a
+        congested link is not hammered with requests it cannot honour.
+        """
+        rto = self.transport.rto_of(self.node_id, sender).rto
+        last = self._last_nack.get((lr, sender))
+        if last is None:
+            return slot >= rto + 2
+        return slot >= last + max(2, rto)
+
+    def _hedge(self, lr: int, origin: int, parts: tuple) -> Part:
+        """Relay a buffered copy of ``origin``'s frame (hedged repair)."""
+        payload_bits = sum(bits for _k, _p, bits in parts)
+        header = FRAME_HEADER_BITS + id_bits(max(self.transport.n_nodes, 2))
+        return Part(HEDGE_KIND, (lr, origin, parts), header + payload_bits)
+
+    def _absorb(self, lr: int, slot: int, rnd: int, inbox):
+        """File incoming frames, NACKs and hedges.
+
+        Returns ``(requesters, hedge_relays)``: the set of neighbours
+        whose NACKs named me this round, and ``(origin, parts)`` pairs I
+        won the hedge election for and must relay.
+        """
         transport = self.transport
-        retransmit_requested = False
+        requesters: set = set()
+        hedge_relays: List[tuple] = []
         for envelope in inbox:
             sender, part = envelope.sender, envelope.part
             if part.kind == FRAME_KIND:
@@ -447,8 +705,37 @@ class TransportNode(NodeHandler):
                     transport.duplicates_suppressed += 1
                     continue
                 buf[sender] = payload[2]
+                if payload[1] == 0:
+                    transport.note_arrival(self.node_id, sender, frame_lr, rnd)
                 if sender not in self._expected and sender in self.neighbours:
                     self._expected.add(sender)
+                    transport.revivals += 1
+            elif part.kind == HEDGE_KIND:
+                # A neighbour relaying another node's buffered frame on my
+                # behalf.  Hedges never feed the detector or the RTO — the
+                # relay path's timing says nothing about the origin link.
+                payload = part.payload
+                if (
+                    not isinstance(payload, tuple)
+                    or len(payload) != 3
+                    or not isinstance(payload[0], int)
+                    or not isinstance(payload[1], int)
+                    or not isinstance(payload[2], tuple)
+                ):
+                    transport.malformed += 1
+                    continue
+                hedge_lr, origin, parts = payload
+                if hedge_lr <= self._delivered:
+                    transport.stale_frames += 1
+                    continue
+                buf = self._buf.setdefault(hedge_lr, {})
+                if origin in buf:
+                    transport.duplicates_suppressed += 1
+                    continue
+                buf[origin] = parts
+                transport.hedge_deliveries += 1
+                if origin not in self._expected and origin in self.neighbours:
+                    self._expected.add(origin)
                     transport.revivals += 1
             elif part.kind == NACK_KIND:
                 payload = part.payload
@@ -473,21 +760,53 @@ class TransportNode(NodeHandler):
                     transport.stale_nacks += 1
                     continue
                 if nack_lr == lr and slot > 1 and self.node_id in missing:
-                    retransmit_requested = True
+                    requesters.add(sender)
+                if transport.config.hedge and nack_lr == lr:
+                    # Hedged retransmission: on the *second* NACK I see
+                    # from the same requester for the same missing origin,
+                    # the primary path is presumed degraded — if I hold a
+                    # buffered copy, stand for the relay election.
+                    for origin in missing:
+                        if origin == self.node_id:
+                            continue
+                        key = (lr, origin, sender)
+                        seen = self._nack_seen.get(key, 0) + 1
+                        self._nack_seen[key] = seen
+                        parts = self._buf.get(lr, {}).get(origin)
+                        if parts is None or seen < 2:
+                            continue
+                        if transport.claim_hedge(origin, lr, sender):
+                            hedge_relays.append((origin, parts))
             else:  # non-transport part: a mixed network; pass through.
                 buf = self._buf.setdefault(lr, {})
                 existing = buf.get(sender, ())
                 buf[sender] = existing + ((part.kind, part.payload, part.bits),)
-        return retransmit_requested
+        return requesters, hedge_relays
 
     def _advance_logical_round(self, lr: int, rnd: int) -> Part:
         """Finalize round ``lr - 1``, feed the inner handler, emit frame ``lr``."""
         transport = self.transport
         if lr > 1:
             arrived = self._buf.pop(lr - 1, {})
+            detector = transport.detector
             for sender in sorted(self._expected - set(arrived)):
                 transport.record_gap(lr - 1, sender, self.node_id, rnd)
-                self._expected.discard(sender)
+                # Graded eviction: with a φ-accrual detector a missing
+                # frame alone does not kill the peer — only a *confirmed*
+                # suspicion (φ past the confirm threshold) stops expecting
+                # it, so stragglers stay in the membership.
+                if (
+                    detector is None
+                    or detector.level(self.node_id, sender, lr, rnd)
+                    == LEVEL_CONFIRM
+                ):
+                    self._expected.discard(sender)
+            self._last_nack = {
+                k: v for k, v in self._last_nack.items() if k[0] >= lr
+            }
+            self._nack_seen = {
+                k: v for k, v in self._nack_seen.items() if k[0] >= lr
+            }
             logical_inbox = [
                 Envelope(sender, Part(kind, payload, bits))
                 for sender in sorted(arrived)

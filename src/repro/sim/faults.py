@@ -1110,3 +1110,464 @@ def corruption_sources(injectors) -> List:
                 i for i in inner if hasattr(i, "delivered_corruptions")
             )
     return sources
+
+
+#: Gray-failure latency profiles.
+GRAY_CONSTANT = "constant"
+GRAY_RAMP = "ramp"
+GRAY_LIMP = "limp"
+GRAY_PROFILES = (GRAY_CONSTANT, GRAY_RAMP, GRAY_LIMP)
+
+#: Period, in rounds, of the intermittent ("limpware") profile: the node
+#: alternates ``limp_period`` degraded rounds with ``limp_period`` clean
+#: ones inside its interval.
+LIMP_PERIOD = 2
+
+
+@dataclass
+class GrayCounts:
+    """Tally of injected gray-failure delays, for run reports."""
+
+    stalled_copies: int = 0
+    inflated_copies: int = 0
+    delay_rounds: int = 0
+
+    @property
+    def total(self) -> int:
+        """Delivery copies touched by any gray event."""
+        return self.stalled_copies + self.inflated_copies
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict view for tables and JSON rows."""
+        return {
+            "stalled_copies": self.stalled_copies,
+            "inflated_copies": self.inflated_copies,
+            "delay_rounds": self.delay_rounds,
+        }
+
+
+class GrayFailureSchedule(FaultInjector):
+    """Gray failures: nodes and links that limp without ever dying.
+
+    The paper's fault model is binary — a node is alive or crashed — but
+    real deployments mostly suffer *gray* failures: stragglers, congested
+    links, and "limpware" that is slow without being dead.  This injector
+    realizes two event classes, both purely *latency* faults (no copy is
+    ever lost, reordered or rewritten):
+
+    * **compute stalls** — every delivery *originating* at a stalled node
+      while its interval is active is postponed by the profile's delay
+      (the node takes extra rounds to produce and push its broadcast);
+    * **link inflation** — every delivery crossing a degraded edge (in
+      either direction) is postponed likewise.
+
+    Each event carries a ``severity`` — the peak added latency in physical
+    rounds — and a deterministic latency ``profile``:
+
+    * ``constant`` — the full ``severity`` for the whole interval;
+    * ``ramp`` — degrades linearly from 1 round at interval start up to
+      ``severity`` at interval end (a slowly dying disk/NIC);
+    * ``limp`` — alternates ``severity`` and 0 in blocks of
+      :data:`LIMP_PERIOD` rounds (intermittent "limpware").
+
+    Profiles are pure functions of the broadcast round, so a recorded run
+    replays bit-exactly and the schedule doubles as its own **ground-truth
+    ledger** (:meth:`degraded_intervals`) for the
+    :class:`repro.sim.monitors.StragglerOracle` to grade suspicion
+    against.  The schedule is oblivious: every event is fixed before the
+    protocol flips any coins.
+    """
+
+    modifies_delivery = True
+
+    def __init__(self, stalls=None, links=None) -> None:
+        super().__init__()
+
+        def check(label, start, end, severity, profile):
+            if start < 1 or end < start:
+                raise ValueError(
+                    f"gray interval for {label} must satisfy "
+                    f"1 <= start <= end (got {start}-{end})"
+                )
+            if severity < 1:
+                raise ValueError(
+                    f"gray severity for {label} must be >= 1 rounds, "
+                    f"got {severity}"
+                )
+            if profile not in GRAY_PROFILES:
+                raise ValueError(
+                    f"unknown gray profile {profile!r} for {label} "
+                    f"(expected one of {GRAY_PROFILES})"
+                )
+
+        #: Per node: list of ``(start, end, severity, profile)`` sorted by
+        #: start round; intervals may not overlap.
+        self.stalls: Dict[int, List[Tuple[int, int, int, str]]] = {}
+        for node, entries in dict(stalls or {}).items():
+            normalized = []
+            for entry in entries:
+                start, end, severity, profile = (
+                    tuple(entry) + (1, GRAY_CONSTANT)
+                )[:4]
+                check(f"node {node}", start, end, severity, profile)
+                normalized.append((start, end, int(severity), profile))
+            normalized.sort()
+            for (s1, e1, _v1, _p1), (s2, _e2, _v2, _p2) in zip(
+                normalized, normalized[1:]
+            ):
+                if s2 <= e1:
+                    raise ValueError(
+                        f"node {node} has overlapping stall intervals "
+                        f"({s1}-{e1} and starting {s2})"
+                    )
+            if normalized:
+                self.stalls[node] = normalized
+        #: Link events as ``(u, v, start, end, severity, profile)`` —
+        #: undirected: deliveries in both directions are inflated.
+        self.links: List[Tuple[int, int, int, int, int, str]] = []
+        for entry in links or ():
+            u, v, start, end, severity, profile = (
+                tuple(entry) + (1, GRAY_CONSTANT)
+            )[:6]
+            if u == v:
+                raise ValueError(f"cannot degrade self-loop edge {u}-{v}")
+            check(f"edge {u}-{v}", start, end, severity, profile)
+            self.links.append((u, v, start, end, int(severity), profile))
+        self.links.sort()
+        self.counts = GrayCounts()
+
+    #: The accepted ``from_spec`` grammar, quoted verbatim in every
+    #: rejection so a CLI typo comes back with the fix attached.
+    SPEC_GRAMMAR = (
+        "comma-separated events: '<node>:stall@r<R1>-r<R2>:x<S>"
+        "[:constant|:ramp|:limp]' and 'link:<u>-<v>@r<R1>-r<R2>:x<S>"
+        "[:profile]' with rounds >= 1 and severity x<S> >= 1 added "
+        "rounds of latency (e.g. '5:stall@r3-r9:x2:ramp,"
+        "link:1-2@r2-r8:x1')"
+    )
+
+    @classmethod
+    def from_spec(cls, spec: str, **kwargs) -> "GrayFailureSchedule":
+        """Build from a CLI spec like
+        ``5:stall@r3-r9:x2:ramp,link:1-2@r2-r8:x1``.
+
+        Unknown event kinds, malformed rounds or severities, and unknown
+        profiles all raise ``ValueError`` naming the offending token and
+        :data:`SPEC_GRAMMAR`.
+        """
+
+        def reject(token: str, why: str) -> ValueError:
+            return ValueError(
+                f"bad gray spec fragment {token!r}: {why} "
+                f"(accepted grammar: {cls.SPEC_GRAMMAR})"
+            )
+
+        def parse_round(raw: str, token: str) -> int:
+            raw = raw.strip()
+            if raw.startswith("r"):
+                raw = raw[1:]
+            try:
+                value = int(raw)
+            except ValueError:
+                raise reject(token, f"round {raw!r} is not an integer") from None
+            if value < 1:
+                raise reject(token, f"round {value} is < 1")
+            return value
+
+        def parse_window(raw: str, token: str) -> Tuple[int, int]:
+            start_raw, dash, end_raw = raw.partition("-")
+            if not dash:
+                raise reject(token, "window needs the form r<R1>-r<R2>")
+            start = parse_round(start_raw, token)
+            end = parse_round(end_raw, token)
+            if end < start:
+                raise reject(token, f"gray window {start}-{end} is empty")
+            return start, end
+
+        def parse_tail(pieces, token) -> Tuple[int, str]:
+            if not pieces:
+                raise reject(token, "needs a severity :x<S>")
+            sev_raw = pieces[0].strip()
+            if not sev_raw.startswith("x"):
+                raise reject(token, f"severity {sev_raw!r} needs the form x<S>")
+            try:
+                severity = int(sev_raw[1:])
+            except ValueError:
+                raise reject(
+                    token, f"severity {sev_raw[1:]!r} is not an integer"
+                ) from None
+            if severity < 1:
+                raise reject(token, f"severity {severity} is < 1")
+            profile = pieces[1].strip() if len(pieces) > 1 else GRAY_CONSTANT
+            if profile not in GRAY_PROFILES:
+                raise reject(token, f"unknown gray profile {profile!r}")
+            if len(pieces) > 2:
+                raise reject(token, "too many ':' fields")
+            return severity, profile
+
+        stalls: Dict[int, List[Tuple[int, int, int, str]]] = {}
+        links: List[Tuple[int, int, int, int, int, str]] = []
+        for item in spec.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            if item.startswith("link:"):
+                body = item[len("link:"):]
+                pieces = body.split(":")
+                edge, at, window_raw = pieces[0].partition("@")
+                if not at:
+                    raise reject(item, "needs link:<u>-<v>@r<R1>-r<R2>:x<S>")
+                u_raw, dash, v_raw = edge.partition("-")
+                if not dash:
+                    raise reject(item, "edge needs the form <u>-<v>")
+                try:
+                    u, v = int(u_raw), int(v_raw)
+                except ValueError:
+                    raise reject(item, f"edge {edge!r} is not a node pair") from None
+                start, end = parse_window(window_raw, item)
+                severity, profile = parse_tail(pieces[1:], item)
+                links.append((u, v, start, end, severity, profile))
+                continue
+            pieces = item.split(":")
+            if len(pieces) < 2:
+                raise reject(item, "needs <node>:stall@r<R1>-r<R2>:x<S>")
+            try:
+                node = int(pieces[0])
+            except ValueError:
+                raise reject(item, f"node {pieces[0]!r} is not an integer") from None
+            action, at, window_raw = pieces[1].partition("@")
+            if action.strip() != "stall":
+                raise reject(item, f"unknown gray event {action.strip()!r}")
+            if not at:
+                raise reject(item, "event needs @r<R1>-r<R2>")
+            start, end = parse_window(window_raw, item)
+            severity, profile = parse_tail(pieces[2:], item)
+            stalls.setdefault(node, []).append((start, end, severity, profile))
+        return cls(stalls=stalls, links=links, **kwargs)
+
+    # -------------------------------------------------------------- #
+    # Ledger introspection (the StragglerOracle's ground truth).
+    # -------------------------------------------------------------- #
+
+    @property
+    def has_events(self) -> bool:
+        return bool(self.stalls or self.links)
+
+    def degraded_intervals(self) -> List[Tuple[str, Tuple, int, int, int, str]]:
+        """All degraded intervals as
+        ``(kind, subject, start, end, severity, profile)`` — kind
+        ``"stall"`` with a node subject or ``"link"`` with an edge pair —
+        sorted by start round."""
+        out: List[Tuple[str, Tuple, int, int, int, str]] = []
+        for node, entries in sorted(self.stalls.items()):
+            for start, end, severity, profile in entries:
+                out.append(("stall", (node,), start, end, severity, profile))
+        for u, v, start, end, severity, profile in self.links:
+            out.append(("link", (u, v), start, end, severity, profile))
+        out.sort(key=lambda e: (e[2], e[0], e[1]))
+        return out
+
+    def delay_of(self, sender: int, receiver: int, sent_round: int) -> int:
+        """Added latency, in rounds, for a copy broadcast in ``sent_round``.
+
+        A sender stall and a degraded link compound (their delays add);
+        the profile is evaluated at the broadcast round, so the delay is a
+        pure function of ``(sender, receiver, sent_round)``.
+        """
+        delay = 0
+        for start, end, severity, profile in self.stalls.get(sender, ()):
+            if start <= sent_round <= end:
+                delay += _profile_delay(
+                    profile, severity, sent_round, start, end
+                )
+        edge = frozenset((sender, receiver))
+        for u, v, start, end, severity, profile in self.links:
+            if frozenset((u, v)) == edge and start <= sent_round <= end:
+                delay += _profile_delay(
+                    profile, severity, sent_round, start, end
+                )
+        return delay
+
+    def stall_active(self, node: int, rnd: int) -> bool:
+        """Whether any stall interval has ``node`` degraded in ``rnd``
+        (profile-aware: a limp node's clean half-periods count as up)."""
+        for start, end, severity, profile in self.stalls.get(node, ()):
+            if (
+                start <= rnd <= end
+                and _profile_delay(profile, severity, rnd, start, end) > 0
+            ):
+                return True
+        return False
+
+    def max_event_round(self) -> int:
+        """The last round any gray interval is active (0 when empty)."""
+        rounds = [0]
+        for entries in self.stalls.values():
+            rounds.extend(end for _s, end, _v, _p in entries)
+        rounds.extend(end for _u, _v, _s, end, _sev, _p in self.links)
+        return max(rounds)
+
+    def max_severity(self) -> int:
+        """The worst peak latency across all events (0 when empty)."""
+        severities = [0]
+        for entries in self.stalls.values():
+            severities.extend(sev for _s, _e, sev, _p in entries)
+        severities.extend(sev for _u, _v, _s, _e, sev, _p in self.links)
+        return max(severities)
+
+    def validate(self, topology) -> None:
+        """Reject events naming unknown nodes or nonexistent edges."""
+        nodes = set(topology.nodes())
+        edges = {frozenset(e) for e in topology.edges()}
+        for node in self.stalls:
+            if node not in nodes:
+                raise ValueError(f"gray schedule names unknown node {node}")
+        for u, v, start, end, _sev, _p in self.links:
+            if frozenset((u, v)) not in edges:
+                raise ValueError(
+                    f"gray schedule degrades nonexistent edge {u}-{v} "
+                    f"(rounds {start}-{end})"
+                )
+
+    # -------------------------------------------------------------- #
+    # Serialization (bundle params / WorkUnit specs).
+    # -------------------------------------------------------------- #
+
+    def as_jsonable(self) -> Dict:
+        """JSON-ready form, round-tripped by :meth:`from_jsonable`."""
+        return {
+            "stalls": {
+                str(node): [list(entry) for entry in entries]
+                for node, entries in sorted(self.stalls.items())
+            },
+            "links": [list(entry) for entry in self.links],
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: Dict) -> "GrayFailureSchedule":
+        return cls(
+            stalls={
+                int(node): [tuple(entry) for entry in entries]
+                for node, entries in (data.get("stalls") or {}).items()
+            },
+            links=[tuple(entry) for entry in data.get("links") or ()],
+        )
+
+    # -------------------------------------------------------------- #
+    # Injector hooks.
+    # -------------------------------------------------------------- #
+
+    def on_transmit(
+        self, due: int, sender: int, receiver: int, part: Part
+    ) -> List[Tuple[int, Part]]:
+        """Postpone one delivery copy by the active events' added latency."""
+        sent_round = due - 1
+        stall = 0
+        for start, end, severity, profile in self.stalls.get(sender, ()):
+            if start <= sent_round <= end:
+                stall += _profile_delay(
+                    profile, severity, sent_round, start, end
+                )
+        inflation = 0
+        edge = frozenset((sender, receiver))
+        for u, v, start, end, severity, profile in self.links:
+            if frozenset((u, v)) == edge and start <= sent_round <= end:
+                inflation += _profile_delay(
+                    profile, severity, sent_round, start, end
+                )
+        if not stall and not inflation:
+            return [(due, part)]
+        if stall:
+            self.counts.stalled_copies += 1
+        if inflation:
+            self.counts.inflated_copies += 1
+        self.counts.delay_rounds += stall + inflation
+        return [(due + stall + inflation, part)]
+
+    def __repr__(self) -> str:
+        return (
+            f"GrayFailureSchedule(stalls={len(self.stalls)} node(s), "
+            f"links={len(self.links)} edge(s), "
+            f"max_severity={self.max_severity()})"
+        )
+
+
+def _profile_delay(
+    profile: str, severity: int, rnd: int, start: int, end: int
+) -> int:
+    """The profile's added latency at round ``rnd`` of ``[start, end]``."""
+    if profile == GRAY_RAMP:
+        span = max(1, end - start)
+        return 1 + (severity - 1) * (rnd - start) // span
+    if profile == GRAY_LIMP:
+        return severity if ((rnd - start) // LIMP_PERIOD) % 2 == 0 else 0
+    return severity
+
+
+def random_gray(
+    topology,
+    rate: float,
+    rng: random.Random,
+    horizon: int,
+    link_rate: Optional[float] = None,
+    max_severity: int = 2,
+    root: Optional[int] = None,
+) -> GrayFailureSchedule:
+    """Sample a bounded gray-failure schedule at a per-node stall ``rate``.
+
+    Each non-root node independently stalls with probability ``rate``:
+    the interval starts uniformly in ``[2, horizon]``, lasts
+    1..``max(1, horizon // 2)`` rounds, with severity 1..``max_severity``
+    added rounds and a uniformly drawn profile.  Each edge independently
+    degrades with probability ``link_rate`` (defaults to ``rate / 2``).
+    The draw order is fixed (sorted nodes, then sorted edges) so schedules
+    are reproducible per RNG state.  The root is never stalled (its
+    compute path is the certification authority), though its incident
+    links may degrade.
+    """
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError(f"gray rate must be in [0, 1], got {rate}")
+    if link_rate is None:
+        link_rate = rate / 2
+    if not 0.0 <= link_rate <= 1.0:
+        raise ValueError(f"gray link rate must be in [0, 1], got {link_rate}")
+    if max_severity < 1:
+        raise ValueError(f"max_severity must be >= 1, got {max_severity}")
+    horizon = max(2, horizon)
+    stalls: Dict[int, List[Tuple[int, int, int, str]]] = {}
+    for node in sorted(topology.nodes()):
+        if root is not None and node == root:
+            continue
+        if rng.random() >= rate:
+            continue
+        start = rng.randint(2, horizon)
+        length = rng.randint(1, max(1, horizon // 2))
+        severity = rng.randint(1, max_severity)
+        profile = GRAY_PROFILES[rng.randrange(len(GRAY_PROFILES))]
+        stalls[node] = [(start, start + length - 1, severity, profile)]
+    links: List[Tuple[int, int, int, int, int, str]] = []
+    if link_rate:
+        for u, v in sorted(tuple(sorted(e)) for e in topology.edges()):
+            if rng.random() >= link_rate:
+                continue
+            start = rng.randint(2, horizon)
+            length = rng.randint(1, max(1, horizon // 2))
+            severity = rng.randint(1, max_severity)
+            profile = GRAY_PROFILES[rng.randrange(len(GRAY_PROFILES))]
+            links.append((u, v, start, start + length - 1, severity, profile))
+    return GrayFailureSchedule(stalls=stalls, links=links)
+
+
+def gray_sources(injectors) -> List:
+    """Injectors (flattening recorder/replay wrappers) that carry a
+    gray-failure ledger — anything exposing ``degraded_intervals``."""
+    sources: List = []
+    for injector in injectors or ():
+        if hasattr(injector, "degraded_intervals"):
+            sources.append(injector)
+        inner = getattr(injector, "inner", None)
+        if isinstance(inner, (list, tuple)):
+            sources.extend(
+                i for i in inner if hasattr(i, "degraded_intervals")
+            )
+    return sources

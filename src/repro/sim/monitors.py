@@ -467,6 +467,123 @@ class DoubleCountOracle(Monitor):
             )
 
 
+class StragglerOracle(Monitor):
+    """Gray-failure detection quality, graded against the fault ledger.
+
+    The :class:`repro.sim.faults.GrayFailureSchedule` knows exactly which
+    nodes/links were degraded and when; the transport's φ-accrual
+    detector only sees frame inter-arrival times.  This oracle compares
+    the two and reports under two rules:
+
+    * ``false-suspect`` — an observer *confirmed* suspicion of a peer
+      that was alive at that round.  Gray-degraded nodes are slow, not
+      dead; evicting one turns a latency wobble into a lost contribution,
+      which is precisely the failure mode graded detection must prevent.
+    * ``unbounded-stall`` — a ledger interval severe enough to stretch
+      delivery past the transport's window cap (``severity >= the
+      detection bound``) and long enough that suspicion *must* have
+      accrued (at least three windows), yet no observer ever raised even
+      ``suspect`` on the affected node.  Silent unbounded stretch is the
+      gray failure the paper's binary fault model cannot see.
+
+    False suspicions are graded at each network's ``finalize`` (liveness
+    is only known there); missed degradations are graded once, by the
+    runner, after the whole run via :meth:`grade_final` — mid-run the
+    detector may simply not have accrued yet.
+    """
+
+    rule = "straggler"
+
+    def __init__(
+        self,
+        gray,
+        transport=None,
+        mode: str = "strict",
+        stretch_limit: Optional[int] = None,
+    ) -> None:
+        super().__init__(mode)
+        self.gray = gray
+        self.transport = transport
+        #: Severity at/above which an undetected interval is a miss;
+        #: defaults to the transport window (what windowing can absorb).
+        self.stretch_limit = stretch_limit
+        self.false_suspects = 0
+        self.missed_degradations = 0
+        self._false_reported: set = set()
+        self._missed_reported: set = set()
+
+    def report_as(
+        self, rule: str, message: str, rnd: Optional[int] = None
+    ) -> None:
+        """Like :meth:`Monitor.report` but under a per-event rule."""
+        self.violations.append(MonitorEvent(rule, rnd, message))
+        if self.mode == "strict":
+            raise InvariantViolation(rule, message, rnd)
+
+    def _detector(self):
+        return getattr(self.transport, "detector", None)
+
+    def finalize(self, network) -> None:
+        detector = self._detector()
+        if detector is None:
+            return
+        for e in detector.events:
+            if e.level != "confirm":
+                continue
+            key = (e.observer, e.peer)
+            if key in self._false_reported:
+                continue
+            if network.is_alive(e.peer, e.round):
+                self._false_reported.add(key)
+                self.false_suspects += 1
+                self.report_as(
+                    "false-suspect",
+                    f"node {e.observer} confirmed suspicion of node "
+                    f"{e.peer} (phi={e.phi:.1f}) although it was alive: "
+                    "a straggler was evicted",
+                    e.round,
+                )
+
+    def grade_final(self) -> None:
+        """Grade missed degradations; the runner calls this once at the end."""
+        detector = self._detector()
+        if detector is None or self.gray is None:
+            return
+        limit = self.stretch_limit
+        if limit is None:
+            limit = (
+                self.transport.config.window
+                if self.transport is not None
+                else None
+            )
+        if limit is None:
+            return
+        suspected = {e.peer for e in detector.events}
+        for kind, subject, start, end, severity, profile in (
+            self.gray.degraded_intervals()
+        ):
+            if severity < limit or (end - start + 1) < 3 * limit:
+                continue
+            node = subject[0]
+            key = (kind, subject, start, end)
+            if node in suspected or key in self._missed_reported:
+                continue
+            self._missed_reported.add(key)
+            self.missed_degradations += 1
+            where = (
+                f"node {node}"
+                if kind == "stall"
+                else f"link {subject[0]}-{subject[1]}"
+            )
+            self.report_as(
+                "unbounded-stall",
+                f"{profile} {kind} on {where} over rounds {start}-{end} "
+                f"stretched delivery by {severity} rounds (detection "
+                f"bound {limit}) but no observer ever suspected node "
+                f"{node}",
+            )
+
+
 class RetransmitBudgetMonitor(Monitor):
     """The transport's per-frame retransmit budget must never be exceeded.
 
@@ -554,6 +671,7 @@ def standard_monitors(
     corruption=(),
     integrity=None,
     churn: bool = False,
+    gray=None,
 ) -> List[Monitor]:
     """The default monitor stack for one protocol execution.
 
@@ -568,7 +686,9 @@ def standard_monitors(
     ``delivered_corruptions`` ledger) add the silent-corruption oracle,
     matched against the ``integrity`` coordinator's rejection log; and
     ``churn`` adds the :class:`DoubleCountOracle` (fed by the churn epoch
-    manager with the booked contribution ledger).
+    manager with the booked contribution ledger); a ``gray`` fault
+    schedule adds the :class:`StragglerOracle` grading the transport's
+    suspicion record against the ground-truth degradation ledger.
     """
     monitors: List[Monitor] = [
         RecoverySafetyMonitor(topology.root, mode=mode)
@@ -589,6 +709,8 @@ def standard_monitors(
         )
     if churn:
         monitors.append(DoubleCountOracle(inputs, caaf=caaf, mode=mode))
+    if gray is not None:
+        monitors.append(StragglerOracle(gray, transport=transport, mode=mode))
     return monitors
 
 

@@ -45,9 +45,14 @@ BUNDLE_FORMAT = "repro-bundle"
 #: (content rewrites from corruption injectors); v3 adds churn params
 #: (``params["churn"]`` — a serialized :class:`repro.sim.faults.ChurnSchedule`
 #: — and ``params["churn_policy"]``) so crash-recovery runs replay with
-#: the same revive/flap timeline.  v1/v2 bundles load unchanged.
-BUNDLE_VERSION = 3
-SUPPORTED_BUNDLE_VERSIONS = frozenset({1, 2, 3})
+#: the same revive/flap timeline; v4 adds gray-failure params
+#: (``params["gray"]`` — a serialized
+#: :class:`repro.sim.faults.GrayFailureSchedule` — plus the transport's
+#: ``rto``/``hedge`` knobs inside ``params["transport"]``) so straggler
+#: runs replay with the same degradation ledger and detection config.
+#: v1/v2/v3 bundles load unchanged.
+BUNDLE_VERSION = 4
+SUPPORTED_BUNDLE_VERSIONS = frozenset({1, 2, 3, 4})
 
 
 class RecordingError(RuntimeError):

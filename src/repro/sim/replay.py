@@ -385,6 +385,20 @@ def replay_bundle(
         from ..resilience.epochs import ChurnPolicy
 
         churn_policy = ChurnPolicy.from_jsonable(params["churn_policy"])
+    gray = None
+    if params.get("gray"):
+        from .faults import GrayFailureSchedule
+
+        # Rebuilt for the straggler oracle's ground-truth ledger only:
+        # the replay injector re-applies the recorded delivery shifts, so
+        # run_protocol must not (and does not) attach the schedule again.
+        gray = GrayFailureSchedule.from_jsonable(params["gray"])
+    if gray is not None and transport is not None:
+        from ..resilience.transport import as_transport
+
+        # Coerce here so the oracle watches the same detector the run
+        # uses (run_protocol's own as_transport passes it through).
+        transport = as_transport(transport)
     # Mirror the capture-time monitor configuration: "strict" reproduces
     # the run_protocol strict-monitors path (including its post-run oracle
     # raise); "record" re-attaches the standard stack in record mode —
@@ -405,6 +419,8 @@ def replay_bundle(
             corruption=[injector] if injector.has_rewrites else (),
             integrity=integrity,
             churn=churn is not None,
+            gray=gray,
+            transport=transport if gray is not None else None,
         )
     record = safe_run_protocol(
         bundle.protocol,
@@ -427,6 +443,7 @@ def replay_bundle(
         integrity=integrity,
         churn=churn,
         churn_policy=churn_policy,
+        gray=gray,
         allow_root_crash=allow_root_crash,
     )
     if strict and injector.divergence is not None:

@@ -24,6 +24,12 @@ class SimStats:
     #: retransmissions, elections) — accounted separately so ``max_bits``
     #: keeps meaning the *protocol* CC and envelope checks stay honest.
     overhead_bits: Dict[int, int] = field(default_factory=dict)
+    #: Per-link retransmission/RTO audit from the reliable transport
+    #: (``{"attempts": {"s->r": n}, "cap_hits": {...}, "budget": k,
+    #: "rto": {...}}``) — empty when no transport ran.  The aggregate
+    #: retransmission counter lives in the transport's own counters;
+    #: this split makes per-link timing adaptation auditable in traces.
+    link_stats: Dict[str, Dict] = field(default_factory=dict)
     rounds_executed: int = 0
 
     def record_broadcast(
@@ -63,6 +69,18 @@ class SimStats:
             self.parts_sent[node] = self.parts_sent.get(node, 0) + n
         for node, n in other.broadcasts.items():
             self.broadcasts[node] = self.broadcasts.get(node, 0) + n
+        for section, links in other.link_stats.items():
+            if isinstance(links, dict):
+                mine = self.link_stats.setdefault(section, {})
+                for link, n in links.items():
+                    mine[link] = (
+                        mine.get(link, 0) + n
+                        if isinstance(n, (int, float))
+                        and isinstance(mine.get(link, 0), (int, float))
+                        else n
+                    )
+            else:
+                self.link_stats[section] = links
         self.rounds_executed += other.rounds_executed
 
     @property

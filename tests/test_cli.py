@@ -164,3 +164,137 @@ class TestCommands:
     def test_parser_requires_subcommand(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+class TestGrayFlags:
+    def test_run_with_gray_and_adaptive_rto(self, capsys):
+        code = main(
+            [
+                "run",
+                "--topology",
+                "grid:3x3",
+                "-f",
+                "2",
+                "-b",
+                "64",
+                "--retransmit-budget",
+                "2",
+                "--rto",
+                "adaptive",
+                "--gray",
+                "rate:0.3",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "gray_stalled" in out
+
+    def test_run_with_explicit_gray_spec(self, capsys):
+        code = main(
+            [
+                "run",
+                "--topology",
+                "grid:3x3",
+                "-f",
+                "2",
+                "-b",
+                "64",
+                "--retransmit-budget",
+                "2",
+                "--gray",
+                "4:stall@r5-r15:x2",
+            ]
+        )
+        assert code == 0
+        assert "True" in capsys.readouterr().out
+
+    def test_chaos_gray_gate(self, capsys):
+        code = main(
+            [
+                "chaos",
+                "--topology",
+                "grid:3x3",
+                "--protocol",
+                "algorithm1",
+                "-f",
+                "2",
+                "-b",
+                "64",
+                "--inject",
+                "drop=0.02",
+                "--retransmit-budget",
+                "2",
+                "--rto",
+                "adaptive",
+                "--hedge",
+                "--gray",
+                "rate:0.3",
+                "--seeds",
+                "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "false-suspect" in out and "unbounded-stall" in out
+        assert "suspects" in out
+
+
+class TestFlagValidation:
+    """Flag combinations that would silently do nothing are rejected."""
+
+    @pytest.mark.parametrize(
+        "argv,needle",
+        [
+            (["run", "--rto", "adaptive"], "--rto adaptive"),
+            (["run", "--hedge"], "--hedge"),
+            (
+                [
+                    "run",
+                    "--retransmit-budget",
+                    "2",
+                    "--rto",
+                    "adaptive",
+                    "--churn",
+                    "rate:0.1",
+                ],
+                "mutually exclusive",
+            ),
+            (
+                ["run", "--retransmit-budget", "2", "--hedge", "--churn", "rate:0.1"],
+                "mutually exclusive",
+            ),
+            (["run", "--flap-rate", "0.5"], "--flap-rate"),
+            (["run", "--max-epochs", "3"], "--max-epochs"),
+            (["run", "--amnesiac", "0.5"], "--amnesiac"),
+            (["run", "--gray", "rate:bogus"], "--gray"),
+            (
+                ["run", "--gray", "nonsense", "--retransmit-budget", "2"],
+                "--gray",
+            ),
+        ],
+    )
+    def test_rejected_combinations(self, argv, needle):
+        with pytest.raises(SystemExit) as err:
+            main(argv + ["--topology", "grid:3x3"])
+        assert needle in str(err.value)
+
+    def test_amnesiac_with_churn_still_works(self, capsys):
+        code = main(
+            [
+                "run",
+                "--topology",
+                "grid:3x3",
+                "--protocol",
+                "unknown_f",
+                "-f",
+                "1",
+                "--churn",
+                "rate:0.05",
+                "--amnesiac",
+                "0.0",
+                "--retransmit-budget",
+                "2",
+            ]
+        )
+        assert code == 0
+        assert "unknown_f" in capsys.readouterr().out
