@@ -36,10 +36,46 @@ def engine_from_env():
     benchmarks/...`` parallelizes — and ``REPRO_CACHE_DIR=...`` makes
     re-runs warm-start — without changing a single result (the engine's
     determinism contract).
+
+    ``REPRO_TRACE_OUT`` / ``REPRO_METRICS_OUT`` additionally arm the
+    observability capture (``REPRO_TRACE_DETAIL`` picks the level,
+    default ``phases``) for the whole bench process; the artifacts are
+    flushed at interpreter exit so one trace covers every engine run
+    the bench performed.
     """
     from repro.exec import ExecutionEngine, ResultCache
 
+    _obs_capture_from_env()
     jobs = int(os.environ.get("REPRO_JOBS") or 1)
     cache_dir = os.environ.get("REPRO_CACHE_DIR")
     cache = ResultCache(cache_dir) if cache_dir else None
     return ExecutionEngine(jobs=jobs, cache=cache)
+
+
+_OBS_CAPTURE = None
+
+
+def _obs_capture_from_env():
+    """Activate (once per process) an observability capture when
+    ``REPRO_TRACE_OUT`` / ``REPRO_METRICS_OUT`` are set; registered
+    with :mod:`atexit` so the files appear even when the bench exits
+    through pytest's machinery."""
+    global _OBS_CAPTURE
+    trace_out = os.environ.get("REPRO_TRACE_OUT")
+    metrics_out = os.environ.get("REPRO_METRICS_OUT")
+    if _OBS_CAPTURE is not None or (not trace_out and not metrics_out):
+        return _OBS_CAPTURE
+    import atexit
+
+    from repro.obs import ObsCapture
+
+    seed = int(os.environ.get("REPRO_TRACE_SEED") or 0)
+    detail = os.environ.get("REPRO_TRACE_DETAIL") or "phases"
+    _OBS_CAPTURE = ObsCapture(seed=seed, detail=detail).activate()
+
+    def _flush(cap=_OBS_CAPTURE, t=trace_out, m=metrics_out):
+        cap.deactivate()
+        cap.write(trace_out=t, metrics_out=m)
+
+    atexit.register(_flush)
+    return _OBS_CAPTURE

@@ -1,0 +1,158 @@
+"""E26 — observability overhead: tracing must be (nearly) free.
+
+The subsystem's hot-path contract is that a disabled tracer costs one
+module-attribute load per instrumentation site, and that arming spans
+never changes what the protocols compute.  This bench measures both:
+
+* **Overhead arms.**  A fixed Algorithm 1 run (6x6 grid, f=8) repeats
+  ``REPEATS`` times per arm — baseline (no capture installed), detail
+  ``off`` (capture active, spans disarmed), ``phases`` (protocol
+  phase/epoch spans), and ``messages`` (plus one instant event per
+  broadcast).  Median wall clocks gate the budgets: ``off`` within 2%
+  of baseline, ``phases`` within 10%.  ``messages`` is reported but
+  ungated — per-broadcast events are a debugging level, priced
+  accordingly.
+* **Non-perturbation arm.**  Every traced arm's run record must be
+  bit-identical to the baseline record: observability is bookkeeping,
+  never simulated traffic.
+
+The trajectory point lands in ``BENCH_e26_obs_overhead.json`` at the
+repo root (per-arm medians, relative overheads, span/event counts).
+"""
+
+import json
+import os
+import random
+import statistics
+import time
+
+import pytest
+
+from repro.analysis import format_table, run_protocol
+from repro.graphs import grid_graph
+from repro.obs import ObsCapture
+
+from _util import emit, once
+
+GRID_SIDE = 6
+F = 8
+B = 90
+REPEATS = 9
+# Wall-clock gates as baseline multiples.  The 2% contract for `off`
+# is what the issue promises; timer noise on shared CI runners can
+# exceed that on a single rep, which is why the gate reads medians
+# over REPEATS interleaved rounds.
+MAX_OFF_OVERHEAD = 1.02
+MAX_PHASES_OVERHEAD = 1.10
+TRAJECTORY_PATH = os.path.join(
+    os.path.dirname(__file__), "..", "BENCH_e26_obs_overhead.json"
+)
+
+ARMS = ("baseline", "off", "phases", "messages")
+
+
+def _one_run(detail):
+    """One fixed-seed Algorithm 1 run, optionally under capture.
+
+    Returns ``(wall_s, record_dict, span_count, event_count)``.
+    """
+    topo = grid_graph(GRID_SIDE, GRID_SIDE)
+    inputs = {u: 1 for u in topo.nodes()}
+    t0 = time.perf_counter()
+    if detail == "baseline":
+        record = run_protocol(
+            "algorithm1", topo, inputs, f=F, b=B, rng=random.Random(0)
+        )
+        wall = time.perf_counter() - t0
+        return wall, record.as_dict(), 0, 0
+    with ObsCapture(seed=0, detail=detail) as cap:
+        record = run_protocol(
+            "algorithm1", topo, inputs, f=F, b=B, rng=random.Random(0)
+        )
+    wall = time.perf_counter() - t0
+    cap.tracer.close_all()
+    return (
+        wall,
+        record.as_dict(),
+        len(cap.tracer.spans),
+        len(cap.tracer.events),
+    )
+
+
+def run_overhead_study():
+    walls = {arm: [] for arm in ARMS}
+    records = {}
+    counts = {}
+    # Interleave the arms round-robin so slow-host drift (thermal,
+    # noisy neighbours) hits every arm equally instead of biasing
+    # whichever ran last.
+    for _ in range(REPEATS):
+        for arm in ARMS:
+            wall, record, n_spans, n_events = _one_run(arm)
+            walls[arm].append(wall)
+            records[arm] = record
+            counts[arm] = {"spans": n_spans, "events": n_events}
+    study = {"arms": []}
+    base = statistics.median(walls["baseline"])
+    for arm in ARMS:
+        med = statistics.median(walls[arm])
+        study["arms"].append(
+            {
+                "arm": arm,
+                "median_s": round(med, 4),
+                "overhead": round(med / max(base, 1e-9), 3),
+                **counts[arm],
+            }
+        )
+    study["records_identical"] = all(
+        records[arm] == records["baseline"] for arm in ARMS
+    )
+    return study
+
+
+def _write_trajectory(study):
+    point = {
+        "experiment": "E26",
+        "protocol": "algorithm1",
+        "topology": f"grid({GRID_SIDE}x{GRID_SIDE})",
+        "f": F,
+        "b": B,
+        "repeats": REPEATS,
+        "rows": study["arms"],
+        "records_identical": study["records_identical"],
+    }
+    with open(os.path.abspath(TRAJECTORY_PATH), "w") as fh:
+        json.dump(point, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+@pytest.mark.benchmark(group="obs")
+def test_observability_overhead(benchmark):
+    study = once(benchmark, run_overhead_study)
+    emit(
+        "e26_obs_overhead",
+        format_table(
+            study["arms"],
+            title=(
+                f"E26: tracing overhead, algorithm1 on grid "
+                f"{GRID_SIDE}x{GRID_SIDE} (f={F}, b={B}, "
+                f"median of {REPEATS})"
+            ),
+        ),
+    )
+    _write_trajectory(study)
+
+    # Tracing never changes what the protocol computed.
+    assert study["records_identical"]
+
+    by_arm = {row["arm"]: row for row in study["arms"]}
+    # Armed tracing actually recorded the protocol phases.
+    assert by_arm["phases"]["spans"] >= 7  # 4 AGG + 3 VERI at least
+    assert by_arm["off"]["spans"] == 0
+    assert by_arm["messages"]["events"] > by_arm["phases"]["events"]
+
+    # The hot-path budgets.
+    assert by_arm["off"]["overhead"] <= MAX_OFF_OVERHEAD, by_arm["off"]
+    assert (
+        by_arm["phases"]["overhead"] <= MAX_PHASES_OVERHEAD
+    ), by_arm["phases"]

@@ -226,6 +226,15 @@ EXPERIMENTS: Tuple[Experiment, ...] = (
         "bench_gray_failures.py",
         ("e25_gray_failures.txt", "e25_gray_hedge_cc.txt"),
     ),
+    Experiment(
+        "E26",
+        "Reproduction infrastructure: unified observability",
+        "disabled capture within 2% of baseline wall clock and phase-level "
+        "tracing within 10%, with run records bit-identical across every "
+        "detail level and same-seed traces byte-identical",
+        "bench_obs_overhead.py",
+        ("e26_obs_overhead.txt",),
+    ),
 )
 
 

@@ -35,6 +35,7 @@ from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, Optional
 
 from ..adversary.schedule import FailureSchedule
+from ..obs import metrics as _obs_metrics
 from ..baselines.bruteforce import run_bruteforce
 from ..baselines.folklore import run_folklore, run_plain_tag
 from ..core.caaf import CAAF, SUM
@@ -528,7 +529,9 @@ def run_protocol(
         flooding_rounds=-(-rounds // topology.diameter),
         extra=extra,
     )
-    return _finish_record(record, monitors, strict_monitors)
+    return _finish_record(
+        record, monitors, strict_monitors, link_stats=stats.link_stats
+    )
 
 
 def _run_with_recovery_record(
@@ -598,7 +601,9 @@ def _run_with_recovery_record(
         flooding_rounds=-(-out.rounds // topology.diameter),
         extra=extra,
     )
-    return _finish_record(record, monitors, strict_monitors)
+    return _finish_record(
+        record, monitors, strict_monitors, link_stats=out.stats.link_stats
+    )
 
 
 def _run_with_churn_record(
@@ -685,11 +690,13 @@ def _run_with_churn_record(
         else 0,
         extra=extra,
     )
-    return _finish_record(record, monitors, strict_monitors)
+    return _finish_record(
+        record, monitors, strict_monitors, link_stats=out.stats.link_stats
+    )
 
 
 def _finish_record(
-    record: RunRecord, monitors, strict_monitors: bool
+    record: RunRecord, monitors, strict_monitors: bool, link_stats=None
 ) -> RunRecord:
     """Attach recorded monitor violations; enforce zero-error if strict."""
     from ..sim.monitors import StragglerOracle
@@ -709,6 +716,20 @@ def _finish_record(
             "oracle",
             f"{record.protocol} output {record.result} graded incorrect "
             f"against the Section 2 oracle",
+        )
+    if _obs_metrics.enabled:
+        # Fold the finished run into the active observability registry —
+        # the facade that supersedes per-call-site SimStats mining.
+        _obs_metrics.record_run(
+            _obs_metrics.active(),
+            protocol=record.protocol,
+            cc_bits=record.cc_bits,
+            rounds=record.rounds,
+            flooding_rounds=record.flooding_rounds,
+            correct=record.correct,
+            overhead_bits=record.extra.get("overhead_bits"),
+            extra=record.extra,
+            link_stats=link_stats,
         )
     return record
 

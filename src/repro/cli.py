@@ -19,6 +19,10 @@ Usage (installed as ``repro-agg`` or via ``python -m repro.cli``)::
     repro-agg figure1   -n 1024 -f 128 --bs 42,84,168,336 [--plot]
     repro-agg select    --topology grid:5x5 -f 4 -b 45 -k 7
     repro-agg topology  --topology geometric:100 --out field.json
+    repro-agg run       --topology grid:5x5 -f 4 -b 60 \
+                        --trace-out trace.json --metrics-out metrics.prom
+    repro-agg obs       summarize trace.json
+    repro-agg obs       validate trace.json --prom metrics.prom
 
 Every subcommand prints the same ASCII tables the benchmarks save.
 ``run`` accepts ``--inject drop=0.1,dup=0.05,...`` (message-fault
@@ -31,6 +35,13 @@ fan-out; results are bit-identical to ``--jobs 1``), ``--cache-dir``
 (content-addressed result cache; ``--force`` recomputes), and
 ``--progress-log`` (structured JSONL telemetry).  ``cache`` inspects and
 maintains a cache directory.
+
+``run``, ``sweep-b``, ``sweep-f``, and ``chaos`` additionally accept
+the observability flags ``--trace-out`` (span trace: Chrome
+``trace_event`` JSON for Perfetto, or flat deterministic JSONL when
+the path ends in ``.jsonl``), ``--metrics-out`` (Prometheus textfile
+snapshot), and ``--trace-detail off|phases|messages``.  ``obs``
+summarizes, diffs, ranks, and validates those artifacts.
 """
 
 from __future__ import annotations
@@ -301,6 +312,40 @@ def _engine_from_args(args):
         cache=cache,
         force=getattr(args, "force", False),
         emitter=emitter,
+    )
+
+
+def _obs_from_args(args: argparse.Namespace):
+    """Build + activate an :class:`repro.obs.ObsCapture` from the shared
+    ``--trace-out`` / ``--metrics-out`` / ``--trace-detail`` flags.
+
+    Returns ``None`` when nothing was requested (the common path: the
+    tracer module flag stays ``False`` and instrumented hot paths cost
+    one attribute read).  ``--trace-detail`` defaults to ``phases``
+    once an output path asks for capture; an explicit ``off`` keeps
+    the metrics registry live but arms no spans.
+    """
+    trace_out = getattr(args, "trace_out", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    detail = getattr(args, "trace_detail", None)
+    if not trace_out and not metrics_out:
+        return None
+    from .obs import ObsCapture
+
+    cap = ObsCapture(
+        seed=getattr(args, "seed", 0), detail=detail or "phases"
+    )
+    return cap.activate()
+
+
+def _obs_finish(cap, args: argparse.Namespace) -> None:
+    """Deactivate a capture and flush it to the requested sinks."""
+    if cap is None:
+        return
+    cap.deactivate()
+    cap.write(
+        trace_out=getattr(args, "trace_out", None),
+        metrics_out=getattr(args, "metrics_out", None),
     )
 
 
@@ -708,6 +753,135 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         )
     )
     return 1 if silent_wrong or uncertified or exactly_once_broken or gray_broken else 0
+
+
+def cmd_obs(args: argparse.Namespace) -> int:
+    """Inspect observability artifacts written by ``--trace-out`` /
+    ``--metrics-out``.
+
+    ``summarize`` aggregates one trace (span counts + round-time
+    totals per name); ``diff`` compares two summaries sorted by
+    absolute delta; ``top`` lists the k slowest individual spans;
+    ``validate`` checks a Chrome trace for well-formedness and
+    balanced B/E tracks (``--prom FILE`` additionally lints a
+    Prometheus textfile) with nonzero exit on any problem — the CI
+    smoke gate.
+    """
+    import json as _json
+
+    from .obs import export as obs_export
+
+    def _fmt_us(us: float) -> str:
+        return f"{us / 1000.0:.0f} rounds"
+
+    if args.action == "summarize":
+        if len(args.paths) != 1:
+            raise SystemExit("obs summarize takes exactly one trace file")
+        summary = obs_export.summarize_trace(
+            obs_export.load_trace(args.paths[0])
+        )
+        rows = [
+            {
+                "span": name,
+                "count": cell["count"],
+                "total": _fmt_us(cell["total_us"]),
+                "max": _fmt_us(cell["max_us"]),
+            }
+            for name, cell in summary["by_name"].items()
+        ]
+        if rows:
+            print(format_table(rows, title=f"spans in {args.paths[0]}"))
+        print(
+            f"{summary['spans']} span(s), {summary['instants']} "
+            f"instant event(s)"
+        )
+        for name, count in summary["instants_by_name"].items():
+            print(f"  {name}: {count}")
+        return 0
+
+    if args.action == "diff":
+        if len(args.paths) != 2:
+            raise SystemExit("obs diff takes exactly two trace files")
+        a = obs_export.summarize_trace(obs_export.load_trace(args.paths[0]))
+        b = obs_export.summarize_trace(obs_export.load_trace(args.paths[1]))
+        rows = [
+            {
+                "span": name,
+                "a": _fmt_us(ta),
+                "b": _fmt_us(tb),
+                "delta": _fmt_us(tb - ta),
+            }
+            for name, ta, tb in obs_export.diff_summaries(a, b)
+        ]
+        if rows:
+            print(
+                format_table(
+                    rows, title=f"{args.paths[0]} vs {args.paths[1]}"
+                )
+            )
+        else:
+            print("no spans in either trace")
+        return 0
+
+    if args.action == "top":
+        if len(args.paths) != 1:
+            raise SystemExit("obs top takes exactly one trace file")
+        spans = obs_export.top_spans(
+            obs_export.load_trace(args.paths[0]), k=args.k
+        )
+        rows = [
+            {
+                "span": s["name"],
+                "cat": s["cat"],
+                "pid": s["pid"],
+                "tid": s["tid"],
+                "start": _fmt_us(s["ts"]),
+                "duration": _fmt_us(s["dur"]),
+            }
+            for s in spans
+        ]
+        if rows:
+            print(
+                format_table(
+                    rows, title=f"top {len(rows)} spans in {args.paths[0]}"
+                )
+            )
+        else:
+            print("no spans in trace")
+        return 0
+
+    # validate
+    if len(args.paths) > 1:
+        raise SystemExit("obs validate takes at most one trace file")
+    problems: List[str] = []
+    for path in args.paths:
+        with open(path, "r", encoding="utf-8") as fh:
+            text = fh.read()
+        try:
+            doc = _json.loads(text)
+        except _json.JSONDecodeError:
+            doc = None
+        if isinstance(doc, dict) and "type" not in doc:
+            errors = obs_export.validate_chrome_trace(doc)
+        else:
+            # JSONL traces are validated through the shared pairing
+            # path: resynthesized B/E events must balance too.
+            errors = obs_export.validate_chrome_trace(
+                {"traceEvents": obs_export.load_trace(path)}
+            )
+        problems.extend(f"{path}: {e}" for e in errors)
+        print(f"{path}: {'OK' if not errors else f'{len(errors)} problem(s)'}")
+    if args.prom:
+        with open(args.prom, "r", encoding="utf-8") as fh:
+            errors = obs_export.lint_prometheus(fh.read())
+        problems.extend(f"{args.prom}: {e}" for e in errors)
+        print(
+            f"{args.prom}: "
+            f"{'OK' if not errors else f'{len(errors)} problem(s)'}"
+        )
+    for problem in problems:
+        print(f"  {problem}")
+    return 1 if problems else 0
 
 
 def cmd_replay(args: argparse.Namespace) -> int:
@@ -1151,6 +1325,32 @@ def build_parser() -> argparse.ArgumentParser:
             "--retransmit-budget)",
         )
 
+    def obs(p):
+        p.add_argument(
+            "--trace-out",
+            default=None,
+            dest="trace_out",
+            help="write a span trace here (.jsonl = flat deterministic "
+            "lines; anything else = Chrome trace_event JSON for "
+            "Perfetto / chrome://tracing)",
+        )
+        p.add_argument(
+            "--metrics-out",
+            default=None,
+            dest="metrics_out",
+            help="write a Prometheus textfile metrics snapshot here",
+        )
+        p.add_argument(
+            "--trace-detail",
+            default=None,
+            dest="trace_detail",
+            choices=["off", "phases", "messages"],
+            help="span granularity: off = metrics only, phases = "
+            "protocol phase/epoch/transport spans (default when an "
+            "output is requested), messages = + one instant event per "
+            "broadcast",
+        )
+
     p_run = sub.add_parser("run", help="run one protocol execution")
     common(p_run)
     p_run.add_argument(
@@ -1174,6 +1374,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     resilience(p_run)
     parallel(p_run)
+    obs(p_run)
     p_run.set_defaults(func=cmd_run)
 
     p_sweep = sub.add_parser("sweep-b", help="Algorithm 1 CC vs time budget")
@@ -1208,6 +1409,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     resilience(p_sweep)
     parallel(p_sweep)
+    obs(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep_b)
 
     p_sweep_f = sub.add_parser(
@@ -1235,6 +1437,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a repro bundle here for every failing run",
     )
     parallel(p_sweep_f)
+    obs(p_sweep_f)
     p_sweep_f.set_defaults(func=cmd_sweep_f)
 
     p_chaos = sub.add_parser(
@@ -1275,7 +1478,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     resilience(p_chaos)
     parallel(p_chaos)
+    obs(p_chaos)
     p_chaos.set_defaults(func=cmd_chaos)
+
+    p_obs = sub.add_parser(
+        "obs", help="summarize / diff / validate trace + metrics artifacts"
+    )
+    p_obs.add_argument(
+        "action", choices=["summarize", "diff", "top", "validate"]
+    )
+    p_obs.add_argument(
+        "paths",
+        nargs="*",
+        help="trace file(s): Chrome JSON or JSONL from --trace-out",
+    )
+    p_obs.add_argument(
+        "-k", type=int, default=10, help="span count for `obs top`"
+    )
+    p_obs.add_argument(
+        "--prom",
+        default=None,
+        help="with validate: lint this Prometheus textfile too",
+    )
+    p_obs.set_defaults(func=cmd_obs)
 
     p_replay = sub.add_parser(
         "replay", help="re-execute a repro bundle, checking for divergence"
@@ -1376,6 +1601,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    cap = _obs_from_args(args)
     try:
         return args.func(args)
     except KeyboardInterrupt:
@@ -1383,6 +1609,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         # interrupt propagates here; rerunning the same command resumes.
         print("interrupted", file=sys.stderr)
         return 130
+    finally:
+        # Partial traces from interrupted/failed runs still flush:
+        # close_all() balances whatever spans were open.
+        _obs_finish(cap, args)
 
 
 if __name__ == "__main__":

@@ -35,6 +35,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..adversary.schedule import FailureSchedule
 from ..graphs.topology import Topology
+from ..obs import spans as _spans
 from ..sim.flooding import FloodManager
 from ..sim.message import Envelope, Part
 from ..sim.network import Network
@@ -102,15 +103,58 @@ class AggNode(NodeHandler):
         self.done = False
         #: Root-only: the final aggregate (None if aborted / not finished).
         self.result: Optional[int] = None
+        self._obs_phase: Optional[int] = None
 
     # ------------------------------------------------------------------ #
     # Round dispatch.
     # ------------------------------------------------------------------ #
 
+    #: Phase names in dispatch order, for observability spans.
+    OBS_PHASES = (
+        "agg.tree_construction",
+        "agg.tree_aggregation",
+        "agg.speculative_flooding",
+        "agg.selection",
+    )
+
+    def _obs_mark(self, rnd: int, rel: int) -> None:
+        """Emit root-timeline phase spans (phases are fixed round
+        windows shared by every node, so the root's view is the
+        protocol's).  Only called when tracing is armed."""
+        cd = self.p.cd
+        idx = (
+            0
+            if rel <= 2 * cd + 1
+            else 1
+            if rel <= 4 * cd + 2
+            else 2
+            if rel <= 6 * cd + 3
+            else 3
+        )
+        tracer = _spans.active()
+        if idx != self._obs_phase:
+            if self._obs_phase is not None:
+                tracer.end(tid=self.node_id, round=rnd - 1)
+            tracer.begin(
+                self.OBS_PHASES[idx], cat="agg", tid=self.node_id, round=rnd
+            )
+            self._obs_phase = idx
+        if rel == self.p.agg_rounds:
+            tracer.end(tid=self.node_id, round=rnd)
+            self._obs_phase = None
+
+    def obs_close(self, rnd: int) -> None:
+        """Close any open phase span (handler discarded mid-phase)."""
+        if self._obs_phase is not None and _spans.enabled:
+            _spans.active().end(tid=self.node_id, round=rnd)
+            self._obs_phase = None
+
     def on_round(self, rnd: int, inbox: Sequence[Envelope]) -> List[Part]:
         rel = rnd - self.start_round + 1
         if rel < 1 or rel > self.p.agg_rounds:
             return []
+        if _spans.enabled and self.is_root:
+            self._obs_mark(rnd, rel)
 
         fresh = self.floods.absorb(inbox, rel)
         self._note_flood_observations(fresh)

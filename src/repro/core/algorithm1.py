@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Sequence, Set
 
 from ..adversary.schedule import FailureSchedule
 from ..graphs.topology import Topology
+from ..obs import spans as _spans
 from ..sim.message import Envelope, Part
 from ..sim.network import Network
 from ..sim.node import NodeHandler
@@ -167,6 +168,14 @@ class Algorithm1Node(NodeHandler):
                         )
                         self.pairs_run += 1
                         self._current_interval = interval
+                        if _spans.enabled:
+                            _spans.active().event(
+                                "algorithm1.arm_interval",
+                                cat="protocol",
+                                tid=self.node_id,
+                                round=rnd,
+                                interval=interval,
+                            )
                     else:
                         self._agg = None
                 else:
@@ -185,10 +194,21 @@ class Algorithm1Node(NodeHandler):
         if rnd == plan.bruteforce_start and self._bf is None:
             from ..baselines.bruteforce import BruteForceNode
 
+            if self._agg is not None:
+                self._agg.obs_close(rnd)
+            if self._veri is not None:
+                self._veri.obs_close(rnd)
             self._agg = None
             self._veri = None
             if self.is_root:
                 self.used_bruteforce = True
+                if _spans.enabled:
+                    _spans.active().event(
+                        "algorithm1.arm_bruteforce",
+                        cat="protocol",
+                        tid=self.node_id,
+                        round=rnd,
+                    )
             self._bf = BruteForceNode(
                 self.p, self.node_id, self.my_input, start_round=rnd
             )
@@ -202,6 +222,15 @@ class Algorithm1Node(NodeHandler):
             and self._veri.done
         ):
             accepted = (not self._agg.aborted) and self._veri.output is True
+            if _spans.enabled:
+                _spans.active().event(
+                    "algorithm1.pair_decided",
+                    cat="protocol",
+                    tid=self.node_id,
+                    round=rnd,
+                    interval=self._current_interval,
+                    accepted=accepted,
+                )
             if accepted:
                 self.result = self._agg.result
                 self.winning_interval = self._current_interval
@@ -310,7 +339,20 @@ def run_algorithm1(
     # Logical round K is computed at physical round (K-1)*window + 1, so
     # this cap lets the inner protocol reach exactly its last round.
     max_rounds = (plan.total_rounds - 1) * window + 1
-    stats = network.run(max_rounds, stop_on_output=True)
+    if _spans.enabled:
+        with _spans.active().span(
+            "algorithm1",
+            cat="protocol",
+            tid=topology.root,
+            round=0,
+            b=b,
+            f=f,
+            x=plan.x,
+            t=plan.t,
+        ):
+            stats = network.run(max_rounds, stop_on_output=True)
+    else:
+        stats = network.run(max_rounds, stop_on_output=True)
     root = nodes[topology.root]
     return TradeoffOutcome(
         result=root.result,

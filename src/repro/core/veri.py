@@ -38,6 +38,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..adversary.schedule import FailureSchedule
 from ..graphs.topology import Topology
+from ..obs import spans as _spans
 from ..sim.flooding import FloodManager
 from ..sim.message import Envelope, Part
 from ..sim.network import Network
@@ -84,15 +85,47 @@ class VeriNode(NodeHandler):
         self.done = False
         #: Root-only: VERI's verdict (None until the execution finishes).
         self.output: Optional[bool] = None
+        self._obs_phase: Optional[int] = None
 
     # ------------------------------------------------------------------ #
     # Round dispatch.
     # ------------------------------------------------------------------ #
 
+    #: Phase names in dispatch order, for observability spans.
+    OBS_PHASES = (
+        "veri.failed_parent",
+        "veri.failed_child",
+        "veri.lfc_detection",
+    )
+
+    def _obs_mark(self, rnd: int, rel: int) -> None:
+        """Root-timeline phase spans; see ``AggNode._obs_mark``."""
+        cd = self.p.cd
+        idx = 0 if rel <= 2 * cd + 1 else 1 if rel <= 4 * cd + 2 else 2
+        tracer = _spans.active()
+        if idx != self._obs_phase:
+            if self._obs_phase is not None:
+                tracer.end(tid=self.node_id, round=rnd - 1)
+            tracer.begin(
+                self.OBS_PHASES[idx], cat="veri", tid=self.node_id, round=rnd
+            )
+            self._obs_phase = idx
+        if rel == self.p.veri_rounds:
+            tracer.end(tid=self.node_id, round=rnd)
+            self._obs_phase = None
+
+    def obs_close(self, rnd: int) -> None:
+        """Close any open phase span (handler discarded mid-phase)."""
+        if self._obs_phase is not None and _spans.enabled:
+            _spans.active().end(tid=self.node_id, round=rnd)
+            self._obs_phase = None
+
     def on_round(self, rnd: int, inbox: Sequence[Envelope]) -> List[Part]:
         rel = rnd - self.start_round + 1
         if rel < 1 or rel > self.p.veri_rounds:
             return []
+        if _spans.enabled and self.is_root:
+            self._obs_mark(rnd, rel)
 
         fresh = self.floods.absorb(inbox, rel)
         self._note_flood_observations(fresh)

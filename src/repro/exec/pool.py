@@ -40,7 +40,9 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.runner import RunRecord, RunTimeout, error_record
-from .progress import ProgressEmitter
+from ..obs import metrics as _obs_metrics
+from ..obs import spans as _spans
+from .progress import ProgressEmitter, export_final_latency
 from .scheduler import WorkUnit, execute_unit, plan_order
 
 try:  # BrokenProcessPool moved around across Python versions
@@ -440,12 +442,21 @@ class ExecutionEngine:
             emit("unit_checkpointed", index=index, unit=units[index].label())
         for index, record in cache_hits:
             emit("unit_cached", index=index, unit=units[index].label())
+            if _spans.enabled:
+                _spans.active().event(
+                    "unit_cached",
+                    cat="exec",
+                    pid=_spans.SpanTracer.EXEC_PID,
+                    tid=index,
+                    unit=units[index].label(),
+                )
             writer.offer(index, record)
 
         order = plan_order(units, pending)
         backend = self._make_backend()
         started = time.monotonic()
         unit_started_at: Dict[int, float] = {}
+        wall_samples: List[float] = []
         executed = failed = 0
         try:
             cursor = 0
@@ -460,6 +471,18 @@ class ExecutionEngine:
                         unit=units[index].label(),
                         cost_hint=units[index].cost_hint,
                     )
+                    if _spans.enabled:
+                        # One track per unit (tid=index) keeps the B/E
+                        # stream balanced under windowed submission; the
+                        # clock is the logical-round high-water mark, so
+                        # serial runs stay byte-deterministic.
+                        _spans.active().begin(
+                            f"unit:{units[index].label()}",
+                            cat="exec",
+                            pid=_spans.SpanTracer.EXEC_PID,
+                            tid=index,
+                            cost_hint=units[index].cost_hint,
+                        )
                     backend.submit(
                         index, units[index], self._hard_timeout(units[index])
                     )
@@ -479,6 +502,7 @@ class ExecutionEngine:
                 wall = round(
                     time.monotonic() - unit_started_at.get(index, started), 6
                 )
+                wall_samples.append(wall)
                 results[index] = record
                 executed += 1
                 if self.cache is not None:
@@ -493,6 +517,13 @@ class ExecutionEngine:
                         wall_s=wall,
                         error_kind=record.error_kind,
                     )
+                    if _spans.enabled:
+                        _spans.active().end(
+                            pid=_spans.SpanTracer.EXEC_PID,
+                            tid=index,
+                            failed=True,
+                            error_kind=record.error_kind,
+                        )
                 else:
                     emit(
                         "unit_finished",
@@ -502,6 +533,13 @@ class ExecutionEngine:
                         cc_bits=record.cc_bits,
                         correct=record.correct,
                     )
+                    if _spans.enabled:
+                        _spans.active().end(
+                            pid=_spans.SpanTracer.EXEC_PID,
+                            tid=index,
+                            cc_bits=record.cc_bits,
+                            correct=record.correct,
+                        )
         except KeyboardInterrupt:
             flushed = 0
             for index, record in backend.drain():
@@ -527,6 +565,10 @@ class ExecutionEngine:
             checkpointed=len(served_from_checkpoint),
             failed=failed,
         )
+        if _obs_metrics.enabled:
+            # Wall latency is the one non-deterministic metric domain;
+            # it only appears for engine runs, never in serial traces.
+            export_final_latency(wall_samples, jobs=self.jobs)
         assert all(record is not None for record in results)
         return results  # type: ignore[return-value]
 

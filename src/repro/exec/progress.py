@@ -156,9 +156,25 @@ class ProgressTracker:
             return f"{seconds * 1000:.0f}ms"
         return f"{seconds:.1f}s"
 
+    def latency_summary(self) -> Optional[Dict[str, float]]:
+        """Final p50/p95/mean of executed-unit wall times, or ``None``
+        when zero units completed (never divides by an empty sample
+        set — the zero-completed-units guard for renderers and metric
+        export alike)."""
+        if not self.wall_samples:
+            return None
+        return {
+            "p50": self.wall_percentile(50.0),
+            "p95": self.wall_percentile(95.0),
+            "mean": sum(self.wall_samples) / len(self.wall_samples),
+        }
+
     def render(self, width: int = 24) -> str:
         done, total = self.done, max(1, self.total)
-        filled = int(width * done / total)
+        # Clamp: events arriving without an engine_started header leave
+        # total at 0, which used to overflow the bar (and a bar wider
+        # than `width` is always a bug, never a feature).
+        filled = min(width, int(width * done / total))
         bar = "#" * filled + "-" * (width - filled)
         parts = [
             f"[{bar}] {done}/{self.total}",
@@ -166,17 +182,32 @@ class ProgressTracker:
         ]
         if self.failed:
             parts.append(f"{self.failed} failed")
-        parts.append(f"{self.in_flight}/{self.jobs} busy")
-        if self.wall_samples:
-            p50 = self.wall_percentile(50.0)
-            p95 = self.wall_percentile(95.0)
+        parts.append(f"{self.in_flight}/{max(1, self.jobs)} busy")
+        summary = self.latency_summary()
+        if summary is not None:
             parts.append(
-                f"p50 {self._fmt_s(p50)} / p95 {self._fmt_s(p95)}"
+                f"p50 {self._fmt_s(summary['p50'])} / "
+                f"p95 {self._fmt_s(summary['p95'])}"
             )
         eta = self.eta_s()
         if eta is not None:
             parts.append(f"ETA {int(eta // 60):02d}:{int(eta % 60):02d}")
         return " | ".join(parts)
+
+
+def export_final_latency(wall_samples, jobs: int = 1) -> None:
+    """Fold final executed-unit wall latencies into the active
+    observability registry (p50/p95 gauges + a fixed-bucket histogram).
+
+    A no-op when no registry is active or zero units completed — wall
+    metrics are advisory and never appear for empty runs.
+    """
+    from ..obs import metrics as _metrics
+
+    if _metrics.enabled:
+        _metrics.record_unit_latency(
+            _metrics.active(), wall_samples, jobs=jobs
+        )
 
 
 def live_renderer(

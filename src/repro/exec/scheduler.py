@@ -266,8 +266,15 @@ def execute_unit(unit: WorkUnit):
     """
     from ..analysis.runner import error_record, make_inputs, safe_run_protocol
     from ..core.caaf import by_name
+    from ..obs import spans as _spans
 
     topology = unit.topology
+    if _spans.enabled:
+        # In-process (serial backend) with tracing armed: group this
+        # unit's protocol spans under their own trace process.  Worker
+        # processes never see the parent's tracer, so this is a no-op
+        # for the process-pool backend.
+        _spans.active().push_process(unit.label())
     try:
         rng = random.Random(unit.seed)
         inputs = make_inputs(topology, rng, max_input=unit.max_input)
@@ -354,6 +361,9 @@ def execute_unit(unit: WorkUnit):
         return error_record(
             unit.protocol, topology, exc, f=unit.f, seed=unit.seed
         )
+    finally:
+        if _spans.enabled:
+            _spans.active().pop_process()
 
 
 def plan_order(

@@ -56,6 +56,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..adversary.schedule import FailureSchedule
 from ..graphs.topology import Topology
+from ..obs import spans as _spans
 from ..sim.faults import (
     ChurnSchedule,
     FaultInjector,
@@ -625,6 +626,17 @@ def run_with_churn(
             if elapsed
             else dict(schedule.crash_rounds)
         )
+        if _spans.enabled:
+            _spans.active().begin(
+                f"epoch[{epoch}]",
+                cat="epoch",
+                tid=topology.root,
+                round=elapsed,
+                epoch=epoch,
+                contributors=sum(
+                    1 for u in all_nodes if eff_inputs[u] != neutral
+                ),
+            )
         out = _run_epoch(
             protocol,
             topology,
@@ -648,6 +660,13 @@ def run_with_churn(
             transports.append(transport)
             epoch_gaps = len(transport.live_gaps_in(network))
         elapsed += out.rounds
+        if _spans.enabled:
+            _spans.active().end(
+                tid=topology.root,
+                round=elapsed,
+                rounds=out.rounds,
+                produced=out.result is not None,
+            )
         v_e = out.result
 
         def _discard_and_retry() -> None:
@@ -659,6 +678,14 @@ def run_with_churn(
             for rnd_g, node, mode in churn.revive_events():
                 if rnd_g <= elapsed and mode == REJOIN_AMNESIAC:
                     store.drop_holder(node)
+            if _spans.enabled:
+                _spans.active().event(
+                    "epoch.discarded",
+                    cat="epoch",
+                    tid=topology.root,
+                    round=elapsed,
+                    epoch=epoch,
+                )
             epochs.append(
                 ChurnEpochReport(
                     epoch,
@@ -733,6 +760,15 @@ def run_with_churn(
         epoch_values.append(v_e)
         for u in matched:
             ledger.book(u, churn.incarnation_at(u, elapsed), prepared[u])
+        if _spans.enabled:
+            _spans.active().event(
+                "epoch.booked",
+                cat="epoch",
+                tid=topology.root,
+                round=elapsed,
+                epoch=epoch,
+                booked=len(matched),
+            )
 
         # ---- decide whether another epoch is needed ------------------- #
         # Amnesiac rejoins (observed or enacted) void the holder's cache.

@@ -48,6 +48,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, NamedTuple, Optional, Tuple
 
+from ..obs import spans as _spans
 from ..sim.message import Envelope, Part, TAG_BITS, id_bits
 from ..sim.node import NodeHandler
 from .detector import LEVEL_CONFIRM, PhiAccrualDetector, AdaptiveRto
@@ -348,6 +349,14 @@ class ReliableTransport:
             return False
         self._hedge_claims.add(key)
         self.hedges += 1
+        if _spans.enabled:
+            _spans.active().event(
+                "transport.hedge",
+                cat="transport",
+                tid=origin,
+                round=logical_round,
+                receiver=receiver,
+            )
         return True
 
     # ------------------------------------------------------------------ #
@@ -408,9 +417,21 @@ class ReliableTransport:
         """
         attempt = self.try_consume_retransmit(sender, logical_round)
         ledger = self.link_attempts if attempt is not None else self.link_cap_hits
+        requesters = tuple(requesters)
         for requester in requesters:
             key = (sender, requester)
             ledger[key] = ledger.get(key, 0) + 1
+        if _spans.enabled:
+            _spans.active().event(
+                "transport.retransmit"
+                if attempt is not None
+                else "transport.cap_hit",
+                cat="transport",
+                tid=sender,
+                round=logical_round,
+                attempt=attempt,
+                requesters=len(requesters),
+            )
         return attempt
 
     def link_counters(self) -> Dict[str, Dict[str, object]]:

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Mapping, Optional, Sequence
 
+from ..obs import spans as _spans
 from .message import Envelope, Part
 from .node import NodeHandler
 from .stats import SimStats
@@ -306,6 +307,16 @@ class Network:
                     else 0
                 )
                 self.stats.record_broadcast(node, len(parts), bits, overhead)
+                if _spans.messages:
+                    _spans.active().event(
+                        "send",
+                        cat="message",
+                        tid=node,
+                        round=rnd,
+                        parts=len(parts),
+                        bits=bits,
+                        kinds=",".join(p.kind for p in parts),
+                    )
                 if self.tracer is not None:
                     self.tracer.on_send(rnd, node, parts, bits)
                 for injector in self.injectors:

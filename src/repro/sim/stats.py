@@ -12,6 +12,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List
 
+from ..obs.metrics import merge_counter_tree
+
 
 @dataclass
 class SimStats:
@@ -69,18 +71,10 @@ class SimStats:
             self.parts_sent[node] = self.parts_sent.get(node, 0) + n
         for node, n in other.broadcasts.items():
             self.broadcasts[node] = self.broadcasts.get(node, 0) + n
-        for section, links in other.link_stats.items():
-            if isinstance(links, dict):
-                mine = self.link_stats.setdefault(section, {})
-                for link, n in links.items():
-                    mine[link] = (
-                        mine.get(link, 0) + n
-                        if isinstance(n, (int, float))
-                        and isinstance(mine.get(link, 0), (int, float))
-                        else n
-                    )
-            else:
-                self.link_stats[section] = links
+        # Link attribution merges through the observability registry's
+        # single counter-tree rule (numeric leaves add, anything else is
+        # overwritten) instead of a hand-rolled copy of it.
+        merge_counter_tree(self.link_stats, other.link_stats)
         self.rounds_executed += other.rounds_executed
 
     @property
