@@ -7,8 +7,11 @@ the violation.  :func:`shrink_bundle` searches the *combined* space of
 
 * declared oblivious crashes (``bundle.schedule`` entries),
 * recorded drop/duplicate/delay decisions (``bundle.transmits``),
-* recorded inbox reorders (``bundle.reorders``), and
-* recorded online (adaptive) crashes (``bundle.crashes``)
+* recorded inbox reorders (``bundle.reorders``),
+* recorded online (adaptive) crashes (``bundle.crashes``), and
+* declared Byzantine behaviours (``bundle.params["byz"]["behaviors"]``
+  entries — the deterministic schedule is re-run live on replay, so
+  removing a behaviour removes that node's lies wholesale)
 
 for a 1-minimal subset that still fails: removing any single remaining
 event makes the failure disappear.  Candidates are evaluated by replaying
@@ -32,8 +35,13 @@ from typing import Any, Callable, List, Optional, Sequence, Tuple
 from ..sim.recorder import ExecutionRecord
 
 #: One shrinkable event: ("schedule", node) | ("transmit", index) |
-#: ("reorder", index) | ("crash", index).
+#: ("reorder", index) | ("crash", index) | ("byz", node).
 Component = Tuple[str, Any]
+
+
+def _byz_behaviors(bundle: ExecutionRecord) -> dict:
+    """The bundle's Byzantine behaviour map (``{node_str: behaviour}``)."""
+    return (bundle.params.get("byz") or {}).get("behaviors") or {}
 
 
 def components_of(bundle: ExecutionRecord) -> List[Component]:
@@ -43,6 +51,7 @@ def components_of(bundle: ExecutionRecord) -> List[Component]:
     out.extend(("transmit", i) for i in range(len(bundle.transmits)))
     out.extend(("reorder", i) for i in range(len(bundle.reorders)))
     out.extend(("crash", i) for i in range(len(bundle.crashes)))
+    out.extend(("byz", node) for node in sorted(_byz_behaviors(bundle)))
     return out
 
 
@@ -57,8 +66,18 @@ def restrict_bundle(
     a *probe*, not a recording (re-record it to get those back).
     """
     kept = set(keep)
+    params = dict(bundle.params)
+    if params.get("byz"):
+        byz = dict(params["byz"])
+        byz["behaviors"] = {
+            node: behaviour
+            for node, behaviour in _byz_behaviors(bundle).items()
+            if ("byz", node) in kept
+        }
+        params["byz"] = byz
     return replace(
         bundle,
+        params=params,
         schedule={
             node: rnd
             for node, rnd in bundle.schedule.items()
@@ -366,6 +385,18 @@ def rerecord_bundle(bundle: ExecutionRecord) -> ExecutionRecord:
         from ..resilience.epochs import ChurnPolicy
 
         churn_policy = ChurnPolicy.from_jsonable(params["churn_policy"])
+    byz = None
+    byz_config = None
+    if params.get("byz"):
+        from ..sim.faults import ByzantineSchedule
+
+        # Re-run live (no RNG to re-roll) so the fresh recording carries
+        # the same lies and the same ground-truth taint ledger.
+        byz = ByzantineSchedule.from_jsonable(params["byz"])
+    if params.get("byz_config"):
+        from ..resilience.byzantine import ByzantineConfig
+
+        byz_config = ByzantineConfig.from_jsonable(params["byz_config"])
     replayer = ReplayInjector(bundle, strict=False)
     monitors = None
     if bundle.monitor_mode == "record":
@@ -379,6 +410,7 @@ def rerecord_bundle(bundle: ExecutionRecord) -> ExecutionRecord:
             corruption=[replayer] if replayer.has_rewrites else (),
             integrity=integrity,
             churn=churn is not None,
+            byz=byz if byz is not None and byz.has_events else None,
         )
     recorder = RecordingInjector([replayer])
     record = safe_run_protocol(
@@ -402,6 +434,8 @@ def rerecord_bundle(bundle: ExecutionRecord) -> ExecutionRecord:
         integrity=integrity,
         churn=churn,
         churn_policy=churn_policy,
+        byz=byz,
+        byz_config=byz_config,
         allow_root_crash=allow_root_crash,
     )
     if monitors and not record.failed and not record.extra.get("violations"):

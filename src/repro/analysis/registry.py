@@ -235,6 +235,19 @@ EXPERIMENTS: Tuple[Experiment, ...] = (
         "bench_obs_overhead.py",
         ("e26_obs_overhead.txt",),
     ),
+    Experiment(
+        "E27",
+        "Byzantine-tolerant aggregation: equivocation vs the witnesses",
+        "every delivered result exact or within its certified influence "
+        "bound (|error| <= b*v_max) across all attack modes and random "
+        "compromise rates, with zero false-conviction / "
+        "undetected-equivocation / influence-exceeded verdicts; outright "
+        "equivocation and omission end in conviction and eviction, and a "
+        "zero-compromise armed run's protocol CC is bit-identical to the "
+        "unarmed baseline (witness echoes book as overhead only)",
+        "bench_byzantine.py",
+        ("e27_byzantine.txt", "e27_byz_cc_isolation.txt"),
+    ),
 )
 
 

@@ -155,6 +155,8 @@ def run_protocol(
     churn=None,
     churn_policy=None,
     gray=None,
+    byz=None,
+    byz_config=None,
     allow_root_crash: bool = False,
 ) -> RunRecord:
     """Run one named protocol and grade its output.
@@ -191,6 +193,20 @@ def run_protocol(
     replay re-applying recorded delays) and its ground-truth ledger feeds
     the :class:`repro.sim.monitors.StragglerOracle` when the standard
     monitor stack is used.
+    ``byz`` (a :class:`repro.sim.faults.ByzantineSchedule` or its spec
+    string, e.g. ``'5:equivocate,7:inflate=4@r3'``) runs ``algorithm1`` /
+    ``unknown_f`` under the witness defence
+    (:mod:`repro.resilience.byzantine`): compromised-node claims are
+    cross-validated, equivocators are convicted and evicted through
+    discard-and-retry epochs, and the row carries an influence-bounded
+    partial certificate (|error| <= residual_budget * v_max).
+    ``byz_config`` (a :class:`repro.resilience.byzantine.ByzantineConfig`)
+    tunes witnesses / eviction policy / epoch budget.  A schedule with no
+    compromised nodes takes the plain path bit-for-bit.  ``byz`` is
+    mutually exclusive with ``transport`` / ``recovery`` / ``churn`` /
+    ``gray`` and with corruption injectors — the witness audits assume
+    in-model delivery, so any other delivery-rewriting fault source would
+    make honest nodes convictable.
     ``allow_root_crash`` relaxes strict validation for root-crashing
     schedules (implied by ``recovery``).
 
@@ -298,6 +314,43 @@ def run_protocol(
     from ..sim.faults import corruption_sources
 
     corruption = corruption_sources(injectors)
+    if byz is not None:
+        from ..sim.faults import ByzantineSchedule
+
+        if isinstance(byz, str):
+            byz = ByzantineSchedule.from_spec(byz)
+        byz.validate(topology)
+        if byz.has_events:
+            # A ReplayInjector counts as a corruption source only when its
+            # bundle actually recorded content rewrites — a byz bundle's
+            # replay carries the ledger attribute but no rewrites.
+            corrupting = [
+                s for s in corruption if getattr(s, "has_rewrites", True)
+            ]
+            clashes = [
+                name
+                for name, other in (
+                    ("transport", transport),
+                    ("recovery", recovery),
+                    ("churn", churn),
+                    ("gray", gray if gray is not None and gray.has_events
+                     else None),
+                    ("corruption injectors", corrupting or None),
+                )
+                if other is not None
+            ]
+            if clashes:
+                raise ValueError(
+                    "byz is mutually exclusive with "
+                    f"{', '.join(clashes)}: the witness audits assume "
+                    "in-model delivery for honest nodes"
+                )
+            from ..resilience.failover import RECOVERABLE_PROTOCOLS
+
+            if protocol not in RECOVERABLE_PROTOCOLS:
+                raise ValueError(
+                    f"byz supports {RECOVERABLE_PROTOCOLS}, not {protocol!r}"
+                )
     if monitors is None and strict_monitors:
         monitors = standard_monitors(
             topology,
@@ -313,6 +366,7 @@ def run_protocol(
             integrity=integrity,
             churn=churn is not None,
             gray=gray,
+            byz=byz if byz is not None and byz.has_events else None,
         )
     monitors = monitors or ()
     if churn is not None:
@@ -329,6 +383,16 @@ def run_protocol(
             rng=rng, injectors=injectors, monitors=monitors,
             strict_monitors=strict_monitors, churn=churn,
             policy=churn_policy,
+        )
+    if byz is not None and byz.has_events:
+        # Zero-compromise schedules fall through to the plain path so a
+        # ``--byz`` run with no actual adversary stays bit-identical to
+        # the baseline (same CC, rounds, and trace digests).
+        return _run_with_byzantine_record(
+            protocol, topology, inputs, schedule, f=f, b=b, c=c, caaf=caaf,
+            rng=rng, injectors=injectors, monitors=monitors,
+            strict_monitors=strict_monitors, byz=byz, config=byz_config,
+            integrity=integrity,
         )
     if recovery is not None:
         return _run_with_recovery_record(
@@ -505,6 +569,10 @@ def run_protocol(
         extra.setdefault("overhead_bits", stats.max_overhead_bits)
         extra["integrity_rejected"] = counters["rejected"]
         extra["quarantined_links"] = sorted(integrity.quarantined_links)
+        if counters.get("quarantined_nodes"):
+            extra["quarantined_nodes"] = (
+                integrity.quarantine.quarantined_node_ids()
+            )
     if corruption:
         from ..integrity.frames import unresolved_corruptions
 
@@ -695,6 +763,109 @@ def _run_with_churn_record(
     )
 
 
+def _run_with_byzantine_record(
+    protocol: str,
+    topology: Topology,
+    inputs: Dict[int, int],
+    schedule: FailureSchedule,
+    *,
+    f: Optional[int],
+    b: Optional[int],
+    c: int,
+    caaf: CAAF,
+    rng: Optional[random.Random],
+    injectors,
+    monitors,
+    strict_monitors: bool,
+    byz,
+    config,
+    integrity=None,
+) -> RunRecord:
+    """Byzantine path of :func:`run_protocol`.
+
+    Correctness for a defended run means: the partial result is certified
+    and its value sits inside the Section 2 bracket *widened by its own
+    influence bound* (``lower - bound <= value <= upper + bound``) — an
+    unconvicted compromised node may legally pull the value by up to
+    ``v_max`` — and the witness pool convicted no honest node.  The
+    detection-quality grading itself (false convictions, undetected
+    equivocations, bound violations) runs through the
+    :class:`repro.sim.monitors.ByzantineOracle` against the schedule's
+    ground-truth taint ledger.
+    """
+    from ..resilience.byzantine import run_with_byzantine
+    from ..sim.monitors import ByzantineOracle
+
+    monitors = tuple(monitors)
+    oracle = next(
+        (m for m in monitors if isinstance(m, ByzantineOracle)), None
+    )
+    if oracle is None:
+        oracle = ByzantineOracle(
+            byz,
+            inputs,
+            caaf=caaf,
+            mode="strict" if strict_monitors else "record",
+        )
+        monitors = monitors + (oracle,)
+    out = run_with_byzantine(
+        protocol,
+        topology,
+        inputs,
+        byz,
+        schedule=schedule,
+        f=f,
+        b=b,
+        c=c,
+        caaf=caaf,
+        rng=rng,
+        injectors=injectors,
+        monitors=monitors,
+        config=config,
+        integrity=integrity,
+    )
+    partial = out.partial
+    # Whole-run grading: needs the complete taint ledger and the final
+    # certificate, so it runs here rather than per-network.
+    oracle.grade_convictions(out.convictions)
+    oracle.grade_result(partial)
+    bound = partial.influence_bound or 0
+    correct = bool(
+        partial.certified
+        and partial.value is not None
+        and partial.lower_bound is not None
+        and partial.upper_bound is not None
+        and partial.lower_bound - bound
+        <= partial.value
+        <= partial.upper_bound + bound
+        and oracle.false_convictions == 0
+    )
+    extra = {k: v for k, v in partial.as_dict().items() if k != "value"}
+    extra.update(partial.extra)
+    extra["false_convictions"] = oracle.false_convictions
+    extra["undetected_equivocations"] = oracle.undetected_equivocations
+    extra["influence_exceeded"] = oracle.influence_exceeded
+    record = RunRecord(
+        protocol=protocol,
+        topology=topology.name,
+        n_nodes=topology.n_nodes,
+        diameter=topology.diameter,
+        f_budget=f,
+        f_actual=schedule.edge_failures(topology),
+        result=partial.value,
+        correct=correct,
+        cc_bits=out.stats.max_bits,
+        rounds=out.rounds,
+        flooding_rounds=-(-out.rounds // topology.diameter)
+        if out.rounds
+        else 0,
+        extra=extra,
+    )
+    return _finish_record(
+        record, monitors, strict_monitors, link_stats=out.stats.link_stats
+    )
+
+
 def _finish_record(
     record: RunRecord, monitors, strict_monitors: bool, link_stats=None
 ) -> RunRecord:
@@ -847,6 +1018,12 @@ def _capture_bundle(
         from ..sim.faults import GrayFailureSchedule
 
         gray = GrayFailureSchedule.from_spec(gray)
+    byz = kwargs.get("byz")
+    if byz is not None and isinstance(byz, str):
+        from ..sim.faults import ByzantineSchedule
+
+        byz = ByzantineSchedule.from_spec(byz)
+    byz_config = kwargs.get("byz_config")
     bundle = make_execution_record(
         recorder,
         protocol,
@@ -882,6 +1059,10 @@ def _capture_bundle(
                 else None
             ),
             "gray": gray.as_jsonable() if gray is not None else None,
+            "byz": byz.as_jsonable() if byz is not None else None,
+            "byz_config": (
+                byz_config.as_jsonable() if byz_config is not None else None
+            ),
         },
         run_record=record,
         seed=seed,

@@ -61,6 +61,12 @@ class SweepPoint:
     double_counts: int = 0
     lost_contributions: int = 0
     churn_rows: int = 0
+    #: Byzantine-semantics columns (populated only when some record ran
+    #: under the witness runtime): rows with a taint ledger, total
+    #: convictions, and oracle violations (must stay zero).
+    byz_rows: int = 0
+    convictions: int = 0
+    byz_violations: int = 0
 
     def as_dict(self) -> Dict[str, Any]:
         row = dict(self.coords)
@@ -83,6 +89,10 @@ class SweepPoint:
             row["exact_rows"] = self.exact_rows
             row["double_counts"] = self.double_counts
             row["lost_contributions"] = self.lost_contributions
+        if self.byz_rows:
+            row["byz_rows"] = self.byz_rows
+            row["convictions"] = self.convictions
+            row["byz_violations"] = self.byz_violations
         return row
 
 
@@ -125,6 +135,14 @@ def aggregate(coords: Dict[str, Any], records: Sequence[RunRecord]) -> SweepPoin
             int(r.extra.get("lost_contributions") or 0) for r in clean
         ),
         churn_rows=sum(1 for r in clean if "double_counted" in r.extra),
+        byz_rows=sum(1 for r in clean if "false_convictions" in r.extra),
+        convictions=sum(int(r.extra.get("convicted") or 0) for r in clean),
+        byz_violations=sum(
+            int(r.extra.get("false_convictions") or 0)
+            + int(r.extra.get("undetected_equivocations") or 0)
+            + int(r.extra.get("influence_exceeded") or 0)
+            for r in clean
+        ),
     )
 
 
@@ -188,6 +206,8 @@ def point_units(
     churn=None,
     churn_policy=None,
     gray=None,
+    byz=None,
+    byz_config=None,
     allow_root_crash: bool = False,
 ) -> List:
     """Build the per-seed work units of one sweep coordinate."""
@@ -216,6 +236,8 @@ def point_units(
             churn=churn,
             churn_policy=churn_policy,
             gray=gray,
+            byz=byz,
+            byz_config=byz_config,
             allow_root_crash=allow_root_crash,
             coords=dict(coords or {}),
         )
@@ -246,6 +268,8 @@ def run_point(
     churn=None,
     churn_policy=None,
     gray=None,
+    byz=None,
+    byz_config=None,
     allow_root_crash: bool = False,
     engine=None,
     schedule_spec: Optional[Dict[str, Any]] = None,
@@ -302,6 +326,8 @@ def run_point(
             churn=churn,
             churn_policy=churn_policy,
             gray=gray,
+            byz=byz,
+            byz_config=byz_config,
             allow_root_crash=allow_root_crash,
         )
         return aggregate(base, engine.run(units, checkpoint=checkpoint))
@@ -323,10 +349,15 @@ def run_point(
         # Churn draws sit between the schedule and the injectors — the
         # same rng slot repro.exec.scheduler.execute_unit uses, so serial
         # and pool runs see identical churn timelines.
-        from ..exec.scheduler import materialize_churn, materialize_gray
+        from ..exec.scheduler import (
+            materialize_byz,
+            materialize_churn,
+            materialize_gray,
+        )
 
         seed_churn = materialize_churn(churn, topology, rng)
         seed_gray = materialize_gray(gray, topology, rng)
+        seed_byz = materialize_byz(byz, topology, rng)
         injectors = list(injector_factory(seed)) if injector_factory else []
         if corrupt:
             from ..sim.faults import MessageCorruption
@@ -356,6 +387,8 @@ def run_point(
             churn=seed_churn,
             churn_policy=churn_policy,
             gray=seed_gray,
+            byz=seed_byz,
+            byz_config=byz_config,
             allow_root_crash=allow_root_crash,
         )
         record.seed = seed
@@ -384,6 +417,8 @@ def sweep_b(
     churn_policy=None,
     gray=None,
     corrupt: Optional[str] = None,
+    byz=None,
+    byz_config=None,
     allow_root_crash: bool = False,
     engine=None,
 ) -> List[SweepPoint]:
@@ -419,6 +454,8 @@ def sweep_b(
             churn_policy=churn_policy,
             gray=gray,
             corrupt=corrupt,
+            byz=byz,
+            byz_config=byz_config,
             allow_root_crash=allow_root_crash,
             engine=engine,
         )
@@ -448,6 +485,8 @@ def sweep_b(
                 churn_policy=churn_policy,
                 gray=_gray_for(gray, horizon),
                 corrupt=corrupt,
+                byz=_byz_for(byz, horizon),
+                byz_config=byz_config,
                 allow_root_crash=allow_root_crash,
             )
         )
@@ -472,6 +511,14 @@ def _gray_for(gray, horizon: int):
     if isinstance(gray, dict) and "horizon" not in gray:
         return dict(gray, horizon=horizon)
     return gray
+
+
+def _byz_for(byz, horizon: int):
+    """A random-Byzantine spec pinned to one coordinate's time horizon
+    (same rule as :func:`_churn_for`)."""
+    if isinstance(byz, dict) and "horizon" not in byz:
+        return dict(byz, horizon=horizon)
+    return byz
 
 
 def sweep_churn(
@@ -574,6 +621,8 @@ def _sweep_grid(
     churn_policy=None,
     gray=None,
     corrupt: Optional[str] = None,
+    byz=None,
+    byz_config=None,
     allow_root_crash: bool = False,
     engine=None,
 ) -> List[SweepPoint]:
@@ -610,6 +659,8 @@ def _sweep_grid(
                 churn_policy=churn_policy,
                 gray=_gray_for(gray, b * topology.diameter),
                 corrupt=corrupt,
+                byz=_byz_for(byz, b * topology.diameter),
+                byz_config=byz_config,
                 allow_root_crash=allow_root_crash,
             )
         )

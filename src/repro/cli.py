@@ -119,6 +119,109 @@ def _parse_injectors(spec: Optional[str], seed: int, corrupt: Optional[str] = No
     return tuple(injectors)
 
 
+#: Activity registry for the fault/resilience flag surface: attribute
+#: name -> ``(flag label, predicate)``.  A flag is *active* when its
+#: predicate holds on the parsed args; only active flags participate in
+#: the pairwise exclusion table below.
+FAULT_FLAG_ACTIVITY = {
+    "recover": ("--recover", lambda a: bool(getattr(a, "recover", False))),
+    "retransmit_budget": (
+        "--retransmit-budget",
+        lambda a: getattr(a, "retransmit_budget", None) is not None,
+    ),
+    "churn": ("--churn", lambda a: bool(getattr(a, "churn", None))),
+    "gray": ("--gray", lambda a: bool(getattr(a, "gray", None))),
+    "corrupt": ("--corrupt", lambda a: bool(getattr(a, "corrupt", None))),
+    "inject": ("--inject", lambda a: bool(getattr(a, "inject", None))),
+    "rto": ("--rto adaptive", lambda a: getattr(a, "rto", "fixed") != "fixed"),
+    "hedge": ("--hedge", lambda a: bool(getattr(a, "hedge", False))),
+    "allow_root_crash": (
+        "--allow-root-crash",
+        lambda a: bool(getattr(a, "allow_root_crash", False)),
+    ),
+    "byz": ("--byz", lambda a: bool(getattr(a, "byz", None))),
+}
+
+#: The single shared mutual-exclusion table for fault-model flags:
+#: ``(a, b, reason)`` rows over :data:`FAULT_FLAG_ACTIVITY` attributes.
+#: Every verb that accepts the resilience flag group funnels through
+#: :func:`validate_fault_flags`, so a new fault family adds rows here
+#: instead of scattering ad-hoc checks through the config helpers.
+FAULT_EXCLUSIONS = (
+    (
+        "churn",
+        "recover",
+        "the churn epoch manager assumes an immortal root",
+    ),
+    (
+        "rto",
+        "churn",
+        "the churn epoch manager assumes fixed-window round arithmetic",
+    ),
+    (
+        "hedge",
+        "churn",
+        "the churn epoch manager assumes fixed-window round arithmetic",
+    ),
+    (
+        "byz",
+        "recover",
+        "the witness audits assume in-model delivery for honest nodes",
+    ),
+    (
+        "byz",
+        "retransmit_budget",
+        "the witness audits assume in-model delivery for honest nodes",
+    ),
+    (
+        "byz",
+        "churn",
+        "the witness audits assume in-model delivery for honest nodes",
+    ),
+    (
+        "byz",
+        "gray",
+        "the witness audits assume in-model delivery for honest nodes",
+    ),
+    (
+        "byz",
+        "corrupt",
+        "equivocation is modelled at the sender; wire corruption would "
+        "blur the authenticated-frame evidence convictions stand on",
+    ),
+    (
+        "byz",
+        "inject",
+        "the witness audits assume in-model delivery for honest nodes",
+    ),
+    (
+        "byz",
+        "allow_root_crash",
+        "the witness protocol trusts the root as judge, so the root "
+        "must stay honest and immortal",
+    ),
+)
+
+
+def validate_fault_flags(args) -> None:
+    """Reject incompatible fault-model flag pairs in one place.
+
+    Walks :data:`FAULT_EXCLUSIONS` and raises ``SystemExit`` on the
+    first pair whose two flags are both active, with the table's reason
+    in the message.  Dependency checks (a knob that needs its parent
+    flag) stay in the per-family ``_*_config`` helpers; this table only
+    owns *exclusions*.
+    """
+    for a, b, reason in FAULT_EXCLUSIONS:
+        label_a, active_a = FAULT_FLAG_ACTIVITY[a]
+        label_b, active_b = FAULT_FLAG_ACTIVITY[b]
+        if active_a(args) and active_b(args):
+            raise SystemExit(
+                f"error: {label_a} and {label_b} are mutually exclusive "
+                f"({reason})"
+            )
+
+
 def _resilience_config(args):
     """``(transport, recovery, integrity)`` from the ``--recover`` /
     ``--retransmit-budget`` / ``--integrity`` flags.
@@ -146,12 +249,6 @@ def _resilience_config(args):
                 f"error: {flag} tunes the reliable transport's "
                 "retransmission timing; add --recover or "
                 "--retransmit-budget N"
-            )
-        if getattr(args, "churn", None):
-            raise SystemExit(
-                f"error: {flag} and --churn are mutually exclusive (the "
-                "churn epoch manager assumes fixed-window round "
-                "arithmetic)"
             )
     if args.recover:
         from .resilience import RecoveryPolicy
@@ -208,11 +305,6 @@ def _churn_config(args, horizon: int):
                 "draw; it does nothing without --churn"
             )
         return None, None
-    if getattr(args, "recover", False):
-        raise SystemExit(
-            "error: --churn and --recover are mutually exclusive (the "
-            "churn epoch manager assumes an immortal root)"
-        )
     if value.startswith("rate:"):
         try:
             rate = float(value[len("rate:"):])
@@ -264,6 +356,62 @@ def _gray_config(args, horizon: int):
     except ValueError as exc:
         raise SystemExit(f"error: bad --gray spec: {exc}")
     return value
+
+
+def _byz_config(args, horizon: int):
+    """``(byz_spec, byz_config)`` from the ``--byz`` family of flags.
+
+    The spec stays declarative (string or dict) so it can ride a work
+    unit across process boundaries; ``rate:<float>`` becomes the random
+    spec :func:`repro.exec.scheduler.materialize_byz` samples from the
+    run's seeded rng, anything else must parse as an explicit
+    :class:`repro.sim.faults.ByzantineSchedule` spec.  ``--witnesses`` /
+    ``--evict-policy`` build the :class:`repro.resilience.
+    ByzantineConfig` the witness runtime runs under.
+    """
+    value = getattr(args, "byz", None)
+    if not value:
+        # The byz-scoped knobs are meaningless alone; reject them loudly
+        # instead of silently ignoring them.
+        if getattr(args, "witnesses", None) is not None:
+            raise SystemExit(
+                "error: --witnesses sizes the --byz witness panels; it "
+                "does nothing without --byz"
+            )
+        if getattr(args, "evict_policy", None) is not None:
+            raise SystemExit(
+                "error: --evict-policy picks the --byz conviction "
+                "response; it does nothing without --byz"
+            )
+        return None, None
+    if value.startswith("rate:"):
+        try:
+            rate = float(value[len("rate:"):])
+        except ValueError:
+            raise SystemExit(f"error: bad --byz rate in {value!r}")
+        spec = {"kind": "random", "rate": rate, "horizon": horizon}
+    else:
+        from .sim.faults import ByzantineSchedule
+
+        try:
+            ByzantineSchedule.from_spec(value)
+        except ValueError as exc:
+            raise SystemExit(f"error: bad --byz spec: {exc}")
+        spec = value
+    config = None
+    if (
+        getattr(args, "witnesses", None) is not None
+        or getattr(args, "evict_policy", None) is not None
+    ):
+        from .resilience import ByzantineConfig
+
+        config = ByzantineConfig(
+            witnesses=(
+                2 if args.witnesses is None else args.witnesses
+            ),
+            evict_policy=args.evict_policy or "evict",
+        )
+    return spec, config
 
 
 def _maybe_crash_root(schedule, topology, args, rng: random.Random):
@@ -350,6 +498,7 @@ def _obs_finish(cap, args: argparse.Namespace) -> None:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    validate_fault_flags(args)
     topology = parse_topology(args.topology, args.seed)
     if args.jobs > 1 or args.cache_dir or args.force:
         return _cmd_run_engine(args, topology)
@@ -370,10 +519,16 @@ def cmd_run(args: argparse.Namespace) -> int:
     horizon = max(2, (args.budget or 42) * topology.diameter)
     churn_spec, churn_policy = _churn_config(args, horizon=horizon)
     gray_spec = _gray_config(args, horizon=horizon)
-    from .exec.scheduler import materialize_churn, materialize_gray
+    byz_spec, byz_config = _byz_config(args, horizon=horizon)
+    from .exec.scheduler import (
+        materialize_byz,
+        materialize_churn,
+        materialize_gray,
+    )
 
     churn = materialize_churn(churn_spec, topology, rng)
     gray = materialize_gray(gray_spec, topology, rng)
+    byz = materialize_byz(byz_spec, topology, rng)
     injectors = _parse_injectors(args.inject, args.seed, corrupt=args.corrupt)
     transport, recovery, integrity = _resilience_config(args)
     record = run_protocol(
@@ -393,6 +548,8 @@ def cmd_run(args: argparse.Namespace) -> int:
         churn=churn,
         churn_policy=churn_policy,
         gray=gray,
+        byz=byz,
+        byz_config=byz_config,
         allow_root_crash=args.allow_root_crash,
     )
     print(format_table([record.as_dict()], title=f"{args.protocol} on {topology}"))
@@ -424,6 +581,7 @@ def _cmd_run_engine(args: argparse.Namespace, topology) -> int:
     transport, recovery, integrity = _resilience_config(args)
     churn_spec, churn_policy = _churn_config(args, horizon=horizon)
     gray_spec = _gray_config(args, horizon=horizon)
+    byz_spec, byz_config = _byz_config(args, horizon=horizon)
     unit = WorkUnit(
         protocol=args.protocol,
         topology=topology,
@@ -448,6 +606,8 @@ def _cmd_run_engine(args: argparse.Namespace, topology) -> int:
         churn=churn_spec,
         churn_policy=churn_policy,
         gray=gray_spec,
+        byz=byz_spec,
+        byz_config=byz_config,
         allow_root_crash=args.allow_root_crash,
     )
     engine = _engine_from_args(args)
@@ -464,6 +624,7 @@ def _cmd_run_engine(args: argparse.Namespace, topology) -> int:
 
 
 def cmd_sweep_b(args: argparse.Namespace) -> int:
+    validate_fault_flags(args)
     topology = parse_topology(args.topology, args.seed)
     checkpoint = SweepCheckpoint(args.resume) if args.resume else None
     if checkpoint is not None and len(checkpoint):
@@ -477,6 +638,9 @@ def cmd_sweep_b(args: argparse.Namespace) -> int:
     gray_spec = _gray_config(args, horizon=0)
     if isinstance(gray_spec, dict):
         gray_spec.pop("horizon", None)
+    byz_spec, byz_config = _byz_config(args, horizon=0)
+    if isinstance(byz_spec, dict):
+        byz_spec.pop("horizon", None)
     engine = _engine_from_args(args)
     try:
         points = sweep_b(
@@ -496,6 +660,8 @@ def cmd_sweep_b(args: argparse.Namespace) -> int:
             churn_policy=churn_policy,
             gray=gray_spec,
             corrupt=args.corrupt,
+            byz=byz_spec,
+            byz_config=byz_config,
             allow_root_crash=args.allow_root_crash,
             engine=engine,
         )
@@ -581,15 +747,30 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     that was merely slow) and *UNBOUNDED-STALL* (a degradation past the
     transport's tolerance window that the detector never flagged).
     Either fails the campaign — the gray-resilience CI gate.
+
+    With ``--byz`` the runs go through the witness cross-validation
+    runtime against compromised senders (no message faults are injected:
+    the lies *are* the faults) and the Byzantine oracle grades the
+    defense from its ground-truth taint ledger: *FALSE-CONVICTION* (an
+    honest node convicted on witness evidence), *UNDETECTED-EQUIVOCATION*
+    (a delivered contradictory claim that never produced an accusation),
+    and *INFLUENCE-EXCEEDED* (a certified value farther from the honest
+    bracket than the advertised ``b * v_max`` influence bound).  Any of
+    the three fails the campaign — the Byzantine CI gate.
     """
     from .exec import WorkUnit
 
+    validate_fault_flags(args)
     topology = parse_topology(args.topology, args.seed)
-    spec = args.inject or "drop=0.05"
     transport, recovery, integrity = _resilience_config(args)
     crash_horizon = max(2, (args.budget or 42) * topology.diameter)
     churn_spec, churn_policy = _churn_config(args, horizon=crash_horizon)
     gray_spec = _gray_config(args, horizon=crash_horizon)
+    byz_spec, byz_config = _byz_config(args, horizon=crash_horizon)
+    # Under --byz the compromised senders are the fault source; the
+    # drop-rate default would trip the byz/inject exclusion the witness
+    # audits rely on (an explicit --inject already errored above).
+    spec = args.inject or (None if byz_spec is not None else "drop=0.05")
     schedule_spec = (
         {
             "kind": "random",
@@ -632,8 +813,10 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             churn=churn_spec,
             churn_policy=churn_policy,
             gray=gray_spec,
+            byz=byz_spec,
+            byz_config=byz_config,
             allow_root_crash=args.allow_root_crash,
-            coords={"inject": spec},
+            coords={"inject": spec or f"byz:{args.byz}"},
         )
         for seed in seeds
     ]
@@ -647,6 +830,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     uncertified = 0
     exactly_once_broken = 0
     gray_broken = 0
+    byz_broken = 0
     for seed, record in zip(seeds, records):
         status = record.extra.get("status")
         if record.failed:
@@ -679,6 +863,22 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             # that the detector never even suspected.
             verdict = "UNBOUNDED-STALL"
             gray_broken += 1
+        elif record.extra.get("false_convictions"):
+            # The witness protocol convicted an honest node: eviction
+            # must only ever stand on a cryptographic equivocation
+            # proof or a failed delta audit, never on suspicion.
+            verdict = "FALSE-CONVICTION"
+            byz_broken += 1
+        elif record.extra.get("undetected_equivocations"):
+            # A compromised sender split the witness panels with
+            # contradictory claims and no accusation ever surfaced.
+            verdict = "UNDETECTED-EQUIVOCATION"
+            byz_broken += 1
+        elif record.extra.get("influence_exceeded"):
+            # The delivered value sits farther from the honest bracket
+            # than the certified b * v_max influence bound admits.
+            verdict = "INFLUENCE-EXCEEDED"
+            byz_broken += 1
         elif status is not None and not record.extra.get("certified"):
             verdict = "PARTIAL-UNCERTIFIED"
             uncertified += 1
@@ -719,6 +919,11 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         if gray_spec is not None:
             rows[-1]["stalled"] = record.extra.get("gray_stalled", 0)
             rows[-1]["suspects"] = record.extra.get("suspects", 0)
+        if byz_spec is not None:
+            rows[-1]["convicted"] = record.extra.get("convicted", 0)
+            rows[-1]["evicted"] = record.extra.get("evicted", 0)
+            rows[-1]["bound"] = record.extra.get("influence_bound", 0)
+            rows[-1]["epochs"] = record.extra.get("epochs", 1)
         if record.extra.get("bundle"):
             rows[-1]["bundle"] = record.extra["bundle"]
     print(
@@ -726,7 +931,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             rows,
             title=(
                 f"chaos: {args.protocol} on {topology.name} "
-                f"[{spec}]"
+                f"[{spec or f'byz:{args.byz}'}]"
                 + (f" + {args.adaptive}" if args.adaptive else "")
             ),
         )
@@ -751,8 +956,24 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             if gray_spec is not None
             else ""
         )
+        + (
+            f", {verdicts.count('FALSE-CONVICTION')} false-conviction, "
+            f"{verdicts.count('UNDETECTED-EQUIVOCATION')} "
+            "undetected-equivocation, "
+            f"{verdicts.count('INFLUENCE-EXCEEDED')} influence-exceeded"
+            if byz_spec is not None
+            else ""
+        )
     )
-    return 1 if silent_wrong or uncertified or exactly_once_broken or gray_broken else 0
+    return (
+        1
+        if silent_wrong
+        or uncertified
+        or exactly_once_broken
+        or gray_broken
+        or byz_broken
+        else 0
+    )
 
 
 def cmd_obs(args: argparse.Namespace) -> int:
@@ -1323,6 +1544,34 @@ def build_parser() -> argparse.ArgumentParser:
             "twice-NACKed frame relays it on the alternative path, "
             "booked entirely as overhead (needs --recover or "
             "--retransmit-budget)",
+        )
+        p.add_argument(
+            "--byz",
+            default=None,
+            help="Byzantine compromise schedule (algorithm1 / unknown_f): "
+            "an explicit spec '5:equivocate,7:inflate=4@r3,9:omit' "
+            "(modes: equivocate, inflate, deflate, replay, omit) or "
+            "'rate:<float>' for seeded random compromise; runs go "
+            "through witness cross-validation with accusation/eviction "
+            "and influence-bounded certification (echo traffic is "
+            "booked as overhead, never protocol CC)",
+        )
+        p.add_argument(
+            "--witnesses",
+            type=int,
+            default=None,
+            help="with --byz: witnesses echoing each claim for "
+            "cross-validation (default 2)",
+        )
+        p.add_argument(
+            "--evict-policy",
+            default=None,
+            choices=["evict", "flag"],
+            dest="evict_policy",
+            help="with --byz: conviction response — 'evict' discards the "
+            "epoch and re-aggregates without the convict (default); "
+            "'flag' keeps the value but leaves the convict's influence "
+            "unbounded (uncertified)",
         )
 
     def obs(p):

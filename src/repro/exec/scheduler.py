@@ -62,6 +62,12 @@ class WorkUnit:
     :meth:`repro.sim.faults.GrayFailureSchedule.from_spec` string or
     ``{"kind": "random", "rate": float, "horizon": int, "link_rate":
     float, "max_severity": int}``, drawn right after the churn slot.
+    ``byz`` is either a
+    :meth:`repro.sim.faults.ByzantineSchedule.from_spec` string or
+    ``{"kind": "random", "rate": float, "horizon": int,
+    "max_magnitude": int}``, drawn right after the gray slot;
+    ``byz_config`` is a
+    :class:`repro.resilience.byzantine.ByzantineConfig` (picklable).
     """
 
     protocol: str
@@ -87,6 +93,8 @@ class WorkUnit:
     churn: Any = None
     churn_policy: Any = None
     gray: Any = None
+    byz: Any = None
+    byz_config: Any = None
     allow_root_crash: bool = False
     timeout_s: Optional[float] = None
     retries: int = 0
@@ -225,6 +233,36 @@ def materialize_gray(spec: Any, topology: Topology, rng: random.Random):
     )
 
 
+def build_byz(unit: WorkUnit, topology: Topology, rng: random.Random):
+    """Materialize the unit's Byzantine spec, consuming ``rng`` exactly
+    as the serial sweep does (one draw block right after the gray slot)."""
+    return materialize_byz(unit.byz, topology, rng)
+
+
+def materialize_byz(spec: Any, topology: Topology, rng: random.Random):
+    """Spec-to-schedule core shared by :func:`build_byz` and the serial
+    sweep path, so pool and serial runs draw identical compromises."""
+    if spec is None:
+        return None
+    from ..sim.faults import ByzantineSchedule, random_byz
+
+    if isinstance(spec, str):
+        return ByzantineSchedule.from_spec(spec)
+    if isinstance(spec, ByzantineSchedule):
+        return spec
+    kind = spec.get("kind", "random")
+    if kind != "random":
+        raise ValueError(f"unknown byz spec kind {kind!r}")
+    return random_byz(
+        topology,
+        spec["rate"],
+        rng,
+        horizon=spec.get("horizon", 4 * max(1, topology.diameter)),
+        root=topology.root,
+        max_magnitude=spec.get("max_magnitude", 3),
+    )
+
+
 def build_injectors(unit: WorkUnit, topology: Topology) -> List[Any]:
     """Materialize the unit's injector specs (order: faults, corruption,
     adaptive) — the same order the CLI builds them in-process."""
@@ -281,6 +319,7 @@ def execute_unit(unit: WorkUnit):
         schedule = build_schedule(unit, topology, rng)
         churn = build_churn(unit, topology, rng)
         gray = build_gray(unit, topology, rng)
+        byz = build_byz(unit, topology, rng)
         injectors = build_injectors(unit, topology)
         transport = unit.transport
         if gray is not None and transport is not None:
@@ -315,6 +354,7 @@ def execute_unit(unit: WorkUnit):
                 churn=churn is not None,
                 gray=gray,
                 transport=transport if gray is not None else None,
+                byz=byz if byz is not None and byz.has_events else None,
             )
         record = safe_run_protocol(
             unit.protocol,
@@ -342,6 +382,8 @@ def execute_unit(unit: WorkUnit):
             churn=churn,
             churn_policy=unit.churn_policy,
             gray=gray,
+            byz=byz,
+            byz_config=unit.byz_config,
             allow_root_crash=unit.allow_root_crash,
         )
         record.seed = unit.seed

@@ -27,7 +27,12 @@ from .frames import (
     compute_tag,
     unresolved_corruptions,
 )
-from .quarantine import Link, LinkQuarantine, QuarantineEvent
+from .quarantine import (
+    Link,
+    LinkQuarantine,
+    NodeQuarantineEvent,
+    QuarantineEvent,
+)
 
 __all__ = sorted(
     [
@@ -43,6 +48,7 @@ __all__ = sorted(
         "Link",
         "LinkQuarantine",
         "MAC_BITS",
+        "NodeQuarantineEvent",
         "QuarantineEvent",
         "REASON_DIGEST",
         "REASON_QUARANTINED",

@@ -278,6 +278,7 @@ class IntegrityCoordinator:
             "rejected": sum(self.rejected.values()),
             **{f"rejected_{k}": v for k, v in sorted(self.rejected.items())},
             "quarantined": len(self.quarantine.quarantined),
+            "quarantined_nodes": len(self.quarantine.quarantined_nodes),
         }
 
 

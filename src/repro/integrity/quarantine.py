@@ -22,6 +22,15 @@ the same sender clears it.  A merely-noisy link (per-copy corruption rate
 window, while a persistently corrupt link — the adversary the quarantine
 exists for — crosses it almost immediately.  Long low-rate runs therefore
 never quarantine by accumulation alone.
+
+Blame also escalates from links to **nodes**: a compromised node corrupts
+on every link it speaks, and quarantining its links one at a time lets it
+bleed each receiver's retransmit budget in turn.  Once
+``node_threshold`` (default 2) of a sender's outgoing links are
+individually quarantined, the fault is node-local rather than link-local,
+and the whole node is quarantined — every receiver drops its frames
+unverified from then on, even on links whose own score never crossed the
+link threshold.
 """
 
 from __future__ import annotations
@@ -41,21 +50,39 @@ class QuarantineEvent(NamedTuple):
     score: int
 
 
+class NodeQuarantineEvent(NamedTuple):
+    """One sender crossing the node-level blame threshold."""
+
+    node: int
+    round: int
+    links: int
+
+
 class LinkQuarantine:
     """Score ledger: per-link *consecutive* blamed-rejection counts and
     quarantined links."""
 
-    def __init__(self, threshold: int) -> None:
+    def __init__(self, threshold: int, node_threshold: int = 2) -> None:
         if threshold < 1:
             raise ValueError(f"threshold must be >= 1, got {threshold}")
+        if node_threshold < 2:
+            raise ValueError(
+                f"node_threshold must be >= 2 (one blamed link is "
+                f"link-local evidence), got {node_threshold}"
+            )
         self.threshold = threshold
+        self.node_threshold = node_threshold
         self.scores: Dict[Link, int] = {}
         self.quarantined: Set[Link] = set()
+        self.quarantined_nodes: Set[int] = set()
         self.events: List[QuarantineEvent] = []
+        self.node_events: List[NodeQuarantineEvent] = []
 
     def is_quarantined(self, link: Link) -> bool:
-        """Whether frames on ``link`` are dropped without verification."""
-        return link in self.quarantined
+        """Whether frames on ``link`` are dropped without verification
+        (true for an individually quarantined link *or* any link out of
+        a node-quarantined sender)."""
+        return link in self.quarantined or link[0] in self.quarantined_nodes
 
     def clear(self, link: Link) -> None:
         """A frame on ``link`` verified: reset its consecutive-blame score
@@ -67,13 +94,23 @@ class LinkQuarantine:
         """Book one rejection on ``link``; returns True when this rejection
         newly quarantines the link.  Unblamed rejections (stale replays)
         leave the score untouched."""
-        if not blamed or link in self.quarantined:
+        if not blamed or self.is_quarantined(link):
             return False
         score = self.scores.get(link, 0) + 1
         self.scores[link] = score
         if score >= self.threshold:
             self.quarantined.add(link)
             self.events.append(QuarantineEvent(link[0], link[1], rnd, score))
+            sender = link[0]
+            blamed_links = sum(1 for s, _ in self.quarantined if s == sender)
+            if (
+                blamed_links >= self.node_threshold
+                and sender not in self.quarantined_nodes
+            ):
+                self.quarantined_nodes.add(sender)
+                self.node_events.append(
+                    NodeQuarantineEvent(sender, rnd, blamed_links)
+                )
             return True
         return False
 
@@ -81,11 +118,17 @@ class LinkQuarantine:
         """Quarantined ``(sender, receiver)`` links, sorted for stable output."""
         return sorted(self.quarantined)
 
+    def quarantined_node_ids(self) -> List[int]:
+        """Node-quarantined senders, sorted for stable output."""
+        return sorted(self.quarantined_nodes)
+
     def as_dict(self) -> Dict[str, object]:
         """Plain-dict view for reports and run rows."""
         return {
             "threshold": self.threshold,
+            "node_threshold": self.node_threshold,
             "quarantined": [list(link) for link in self.quarantined_links()],
+            "quarantined_nodes": self.quarantined_node_ids(),
             "scores": {
                 f"{s}->{r}": score
                 for (s, r), score in sorted(self.scores.items())

@@ -21,7 +21,24 @@ simulator stays bit-exact when nothing here is enabled.
   graded suspicion (trust / suspect / confirm) from frame inter-arrival
   samples, and per-link adaptive retransmission timeouts (EWMA RTT with
   Karn-style sample exclusion).
+* :mod:`repro.resilience.byzantine` — Byzantine defense: witness-based
+  cross-validation of sub-aggregate claims, accusation/conviction from
+  authenticated contradictory frames, eviction through discard-and-retry
+  epochs, and influence-bounded certification (|error| <= b * v_max).
 """
+
+from .byzantine import (
+    AUDITABLE_CAAFS,
+    Accusation,
+    ByzEpochReport,
+    ByzantineConfig,
+    ByzantineOutcome,
+    Conviction,
+    EVICT_POLICIES,
+    WitnessCoordinator,
+    WitnessTap,
+    run_with_byzantine,
+)
 
 from .detector import (
     LEVEL_CONFIRM,
@@ -77,7 +94,17 @@ from .epochs import (
 )
 
 __all__ = [
+    "AUDITABLE_CAAFS",
+    "Accusation",
     "AdaptiveRto",
+    "ByzEpochReport",
+    "ByzantineConfig",
+    "ByzantineOutcome",
+    "Conviction",
+    "EVICT_POLICIES",
+    "WitnessCoordinator",
+    "WitnessTap",
+    "run_with_byzantine",
     "ChurnEpochReport",
     "ChurnOutcome",
     "ChurnPolicy",

@@ -1,0 +1,823 @@
+"""Byzantine-tolerant aggregation: witness audit, eviction, influence bounds.
+
+The integrity layer (PR 5) authenticates the *channel*: a MAC'd frame
+proves who sent a claim, not that the claim is true.  A compromised node
+signs lies with its own key — equivocating sub-aggregates, inflating its
+contribution, replaying stale claims, or selectively omitting copies
+(:class:`repro.sim.faults.ByzantineSchedule`).  This module is the
+defence, in three pieces:
+
+**Witness cross-validation.**  Every sub-aggregate claim a node delivers
+is echoed (content digest + tag) to ``k`` deterministically elected
+witnesses of the sender — its first ``k`` sorted neighbours, an election
+every node computes locally from the adjacency it already knows.  Echoes
+travel over the reliable broadcast layer and are booked as
+``overhead_bits``, never protocol CC.  The
+:class:`WitnessCoordinator` models the witnesses' pooled view: because
+local broadcast reaches every neighbour and echoes are reliable, the
+pool collectively sees every *delivered* copy of every claim.
+
+**Accusation / conviction.**  From the pooled view, four sound checks —
+no honest node can trip any of them under the Byzantine fault model
+(which excludes message corruption, drops, and link flaps by
+construction; see the CLI's fault-schedule validator):
+
+* *same-round equivocation*: two delivered copies of one broadcast claim
+  with different payloads are two authenticated contradictory frames —
+  the classic equivocation proof;
+* *flood/claim contradiction*: AGG finalizes ``psum`` in the node's
+  phase-2 slot and floods the same field in phase 3
+  (:class:`repro.core.agg.AggNode` never mutates it in between), so a
+  self-flood differing from the node's aggregation claim of the same AGG
+  instance is equally contradictory;
+* *influence (delta) audit*: a node's claim minus the child claims it
+  provably folded (the ``aggregation`` parts delivered to it in its slot
+  round, restricted to acked children) is its own contribution, which
+  for a sum-like CAAF must lie in ``[0, v_max]``;
+* *selective omission*: a local broadcast reaches every live neighbour
+  or none (a dead sender's copies all drop together), so a claim
+  delivered to a strict non-empty subset of the sender's live neighbours
+  was selectively suppressed.
+
+A conviction drives **eviction** through the epoch discard-and-retry
+machinery: the tainted epoch's bits are discarded (booked as overhead),
+the convicted nodes are crashed at round 1 of a rerun, and the protocol
+budget ``f`` is raised by their incident edges.  Under
+``evict_policy="flag"`` convictions only decertify.
+
+**Influence-bounded certification.**  Any lie that survives the audit is
+a contribution still inside ``[0, v_max]``, i.e. per surviving
+compromised node at most ``v_max`` of error, and errors add linearly for
+sum-like CAAFs.  With declared budget ``b`` and ``e`` evicted nodes the
+result therefore ships with the deterministic bound
+``|error| <= (b - e) * v_max`` on the aggregate over its coverage —
+the :class:`repro.resilience.partial.PartialAggregateResult` ladder's
+new ``influence_bound`` rung.  A result is *exact* only when the
+residual budget is zero.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..adversary.schedule import FailureSchedule
+from ..graphs.topology import Topology
+from ..obs import metrics as _metrics
+from ..obs import spans as _spans
+from ..sim.faults import FaultInjector
+from ..sim.message import TAG_BITS, id_bits
+from ..sim.monitors import FBudgetMonitor
+from ..sim.network import Network
+from ..sim.stats import SimStats
+from .failover import RECOVERABLE_PROTOCOLS, _run_epoch
+from .partial import PartialAggregateResult, certify
+
+#: Eviction policies: ``evict`` reruns without convicted nodes (the
+#: discard-and-retry path); ``flag`` only decertifies.
+EVICT_POLICIES = ("evict", "flag")
+
+#: CAAFs the influence audit can invert (group aggregates with a known
+#: per-node contribution range).
+AUDITABLE_CAAFS = ("SUM", "COUNT")
+
+#: Bits of the content digest carried by one witness echo frame.
+ECHO_DIGEST_BITS = 32
+
+#: Wire kinds that are first-person sub-aggregate claims (the flood kind
+#: only when the payload's source *is* the sender — relays are someone
+#: else's claim).
+CLAIM_KINDS = ("aggregation", "flooded_psum")
+
+#: Conviction reasons.
+REASON_EQUIVOCATION = "equivocation"
+REASON_INFLUENCE = "influence"
+REASON_OMISSION = "omission"
+
+
+@dataclass(frozen=True)
+class ByzantineConfig:
+    """What the witness/eviction defence is allowed to do.
+
+    Attributes:
+        witnesses: Echo fan-out ``k`` — every delivered claim is echoed
+            to the sender's first ``k`` sorted neighbours.
+        evict_policy: ``evict`` reruns without convicted nodes;
+            ``flag`` records convictions and decertifies.
+        max_epochs: Total protocol epochs (first run included) the
+            eviction loop may spend.
+    """
+
+    witnesses: int = 2
+    evict_policy: str = "evict"
+    max_epochs: int = 3
+
+    def __post_init__(self) -> None:
+        if self.witnesses < 1:
+            raise ValueError(f"witnesses must be >= 1, got {self.witnesses}")
+        if self.evict_policy not in EVICT_POLICIES:
+            raise ValueError(
+                f"evict_policy must be one of {EVICT_POLICIES}, "
+                f"got {self.evict_policy!r}"
+            )
+        if self.max_epochs < 1:
+            raise ValueError(f"max_epochs must be >= 1, got {self.max_epochs}")
+
+    def as_jsonable(self) -> Dict[str, object]:
+        return {
+            "witnesses": self.witnesses,
+            "evict_policy": self.evict_policy,
+            "max_epochs": self.max_epochs,
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: Dict[str, object]) -> "ByzantineConfig":
+        return cls(
+            witnesses=int(data.get("witnesses", 2)),
+            evict_policy=str(data.get("evict_policy", "evict")),
+            max_epochs=int(data.get("max_epochs", 3)),
+        )
+
+
+@dataclass(frozen=True)
+class Accusation:
+    """One cross-validation finding, raised by an elected witness."""
+
+    epoch: int
+    gen: int
+    round: Optional[int]
+    accuser: int
+    accused: int
+    reason: str
+    detail: str
+
+
+@dataclass(frozen=True)
+class Conviction:
+    """An accusation backed by proof (two contradictory authenticated
+    frames, an out-of-range contribution, or a partial delivery set)."""
+
+    node: int
+    epoch: int
+    gen: int
+    round: Optional[int]
+    reason: str
+    proof: str
+
+
+class WitnessTap(FaultInjector):
+    """Delivery observer feeding the :class:`WitnessCoordinator`.
+
+    Models the pooled witness view: ``arrange_inbox`` logs every
+    delivered envelope (and returns it untouched — the tap never
+    modifies delivery content; ``modifies_delivery`` is set only so the
+    network routes inboxes through it), ``end_round`` closes the round
+    so partial-delivery checks see the complete picture.  The tap is
+    attached *after* the Byzantine schedule, so it observes exactly what
+    receivers observed.
+    """
+
+    modifies_delivery = True
+
+    def __init__(self, coordinator: "WitnessCoordinator") -> None:
+        super().__init__()
+        self.coordinator = coordinator
+
+    def attach(self, network: Network) -> None:
+        super().attach(network)
+        self.coordinator.begin_gen(network)
+
+    def arrange_inbox(self, rnd: int, receiver: int, envelopes: List) -> List:
+        self.coordinator.observe_inbox(rnd, receiver, envelopes)
+        return envelopes
+
+    def end_round(self, rnd: int) -> None:
+        self.coordinator.finish_round(rnd)
+
+
+class WitnessCoordinator:
+    """Pooled witness view: observation ledger, audits, convictions.
+
+    One coordinator lives across all epochs of a
+    :func:`run_with_byzantine` run.  Each network build (AGG/VERI pairs
+    may build several per epoch) starts a new *generation* via the tap's
+    ``attach``; each generation is audited independently — equivocation
+    and omission as rounds close, the flood/claim and influence audits
+    when the generation ends (claims from different generations never
+    cross-contaminate an audit).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        inputs: Dict[int, int],
+        caaf,
+        config: ByzantineConfig,
+        budget: int,
+        integrity=None,
+    ) -> None:
+        self.topology = topology
+        self.caaf = caaf
+        self.config = config
+        #: Declared adversary budget b (certification assumption).
+        self.budget = budget
+        self.integrity = integrity
+        self.root = topology.root
+        self._adj = {
+            u: tuple(sorted(vs)) for u, vs in topology.adjacency.items()
+        }
+        self._id_bits = id_bits(topology.n_nodes)
+        #: Per-node honest contribution ceiling: COUNT contributes
+        #: ``prepare(x) = 1``, SUM contributes ``prepare(x) = x``.
+        self.v_max = (
+            1
+            if caaf.name == "COUNT"
+            else max(inputs.values(), default=0)
+        )
+        self.gen = -1
+        self.epoch = 0
+        self._network: Optional[Network] = None
+        #: Per-gen delivery ledger: ``(rnd, receiver, sender, kind,
+        #: payload)`` for tree/claim kinds.
+        self._deliveries: List[Tuple] = []
+        #: Direct claims of the round in flight:
+        #: ``{(sender, kind, source): {receiver: payload}}``.
+        self._round_claims: Dict[Tuple, Dict[int, tuple]] = {}
+        self.accusations: List[Accusation] = []
+        self.convictions: Dict[int, Conviction] = {}
+        self._fresh: Set[int] = set()
+        #: Echo traffic per echoing node (overhead, never protocol CC).
+        self.echo_bits: Dict[int, int] = {}
+        self.echoes = 0
+
+    # ---------------------------------------------------------------- #
+    # Witness election.
+    # ---------------------------------------------------------------- #
+
+    def witnesses_of(self, sender: int) -> Tuple[int, ...]:
+        """Deterministic election: the sender's first ``k`` sorted
+        neighbours — computable by every node from local knowledge."""
+        return self._adj.get(sender, ())[: self.config.witnesses]
+
+    def _accuser_for(self, accused: int) -> int:
+        witnesses = self.witnesses_of(accused)
+        return witnesses[0] if witnesses else self.root
+
+    # ---------------------------------------------------------------- #
+    # Observation (fed by the tap).
+    # ---------------------------------------------------------------- #
+
+    def begin_gen(self, network: Network) -> None:
+        """A new network build: audit the finished generation first."""
+        self._finalize_gen()
+        self.gen += 1
+        self._network = network
+        self._deliveries = []
+        self._round_claims = {}
+
+    def observe_inbox(self, rnd: int, receiver: int, envelopes) -> None:
+        for env in envelopes:
+            parts = self._unwrap(env.sender, env.part)
+            for kind, payload in parts:
+                if kind not in (
+                    "aggregation",
+                    "flooded_psum",
+                    "ack",
+                    "tree_construct",
+                ):
+                    continue
+                self._deliveries.append(
+                    (rnd, receiver, env.sender, kind, payload)
+                )
+                if self._is_direct_claim(env.sender, kind, payload):
+                    source = payload[0] if kind == "flooded_psum" else None
+                    self._round_claims.setdefault(
+                        (env.sender, kind, source), {}
+                    )[receiver] = payload
+                    self._book_echo(env.sender, receiver)
+
+    def _unwrap(self, sender: int, part) -> List[Tuple[str, tuple]]:
+        """Peel an authenticated frame down to its inner parts.
+
+        A frame whose tag does not verify is dropped by the integrity
+        layer before the protocol sees it, so the witness pool ignores
+        it too (under the Byzantine fault model every frame verifies —
+        a compromised node re-signs its lies with its own key).
+        """
+        if part.kind != "integ_frame":
+            return [(part.kind, part.payload)]
+        try:
+            seq, claimed_sender, inner, tag = part.payload
+        except (TypeError, ValueError):
+            return []
+        if claimed_sender != sender:
+            return []
+        if self.integrity is not None:
+            from ..integrity.frames import compute_tag
+
+            if compute_tag(self.integrity, claimed_sender, seq, inner) != tag:
+                return []
+        return [(kind, payload) for kind, payload, _bits in inner]
+
+    @staticmethod
+    def _is_direct_claim(sender: int, kind: str, payload) -> bool:
+        if kind == "aggregation":
+            return True
+        if kind == "flooded_psum":
+            return bool(payload) and payload[0] == sender
+        return False
+
+    def _book_echo(self, sender: int, receiver: int) -> None:
+        """One delivered claim -> one echo from the receiver to each
+        elected witness of the sender (minus itself)."""
+        fanout = sum(1 for w in self.witnesses_of(sender) if w != receiver)
+        if not fanout:
+            return
+        frame = TAG_BITS + 2 * self._id_bits + ECHO_DIGEST_BITS
+        self.echoes += fanout
+        self.echo_bits[receiver] = (
+            self.echo_bits.get(receiver, 0) + fanout * frame
+        )
+
+    # ---------------------------------------------------------------- #
+    # Convictions.
+    # ---------------------------------------------------------------- #
+
+    def _convict(
+        self,
+        node: int,
+        reason: str,
+        proof: str,
+        rnd: Optional[int] = None,
+    ) -> None:
+        accuser = self._accuser_for(node)
+        self.accusations.append(
+            Accusation(
+                self.epoch, self.gen, rnd, accuser, node, reason, proof
+            )
+        )
+        if _spans.enabled:
+            _spans.active().event(
+                "byz.accusation",
+                cat="byzantine",
+                tid=accuser,
+                round=rnd or 0,
+                accused=node,
+                reason=reason,
+            )
+        if _metrics.enabled:
+            _metrics.active().counter(
+                "byz_accusations", "witness accusations raised"
+            ).inc(reason=reason)
+        if node in self.convictions:
+            return
+        self.convictions[node] = Conviction(
+            node, self.epoch, self.gen, rnd, reason, proof
+        )
+        self._fresh.add(node)
+        if _spans.enabled:
+            _spans.active().event(
+                "byz.conviction",
+                cat="byzantine",
+                tid=accuser,
+                round=rnd or 0,
+                accused=node,
+                reason=reason,
+            )
+        if _metrics.enabled:
+            _metrics.active().counter(
+                "byz_convictions", "nodes convicted by the witness pool"
+            ).inc(reason=reason)
+
+    def take_new_convictions(self) -> Set[int]:
+        """Convictions since the last call (the eviction loop's cue)."""
+        fresh, self._fresh = self._fresh, set()
+        return fresh
+
+    # ---------------------------------------------------------------- #
+    # Round-close checks: equivocation + selective omission.
+    # ---------------------------------------------------------------- #
+
+    def finish_round(self, rnd: int) -> None:
+        network = self._network
+        claims, self._round_claims = self._round_claims, {}
+        for (sender, kind, source), seen in sorted(
+            claims.items(), key=lambda kv: (kv[0][0], kv[0][1], str(kv[0][2]))
+        ):
+            if sender == self.root:
+                continue
+            variants = sorted(set(seen.values()))
+            if len(variants) > 1:
+                self._convict(
+                    sender,
+                    REASON_EQUIVOCATION,
+                    f"round {rnd}: {kind} claim delivered as "
+                    f"{variants[0]} and {variants[1]} — two authenticated "
+                    "contradictory frames",
+                    rnd,
+                )
+            if network is None:
+                continue
+            expected = {
+                u
+                for u in self._adj.get(sender, ())
+                if network.is_alive(u, rnd)
+            }
+            missing = expected - set(seen)
+            if missing and seen:
+                self._convict(
+                    sender,
+                    REASON_OMISSION,
+                    f"round {rnd}: {kind} claim reached "
+                    f"{sorted(seen)} but was withheld from live "
+                    f"neighbours {sorted(missing)}",
+                    rnd,
+                )
+
+    # ---------------------------------------------------------------- #
+    # Generation-close audits: flood/claim consistency + influence.
+    # ---------------------------------------------------------------- #
+
+    def finalize(self) -> None:
+        """Audit the final (still open) generation."""
+        self._finalize_gen()
+        self._deliveries = []
+
+    def _instances(self) -> List[List[Tuple]]:
+        """Split a generation's deliveries into AGG instances.
+
+        A ``tree_construct`` beacon arriving after claims were seen
+        opens a new instance (Algorithm 1 embeds sequential AGG
+        executions on one network; each starts with a construction
+        wave).
+        """
+        instances: List[List[Tuple]] = [[]]
+        saw_claims = False
+        last_boundary = None
+        for entry in sorted(self._deliveries, key=lambda e: e[0]):
+            rnd, _receiver, _sender, kind, _payload = entry
+            if kind == "tree_construct" and saw_claims:
+                if last_boundary != rnd:
+                    instances.append([])
+                    saw_claims = False
+                    last_boundary = rnd
+            elif kind in CLAIM_KINDS:
+                saw_claims = True
+            instances[-1].append(entry)
+        return instances
+
+    def _finalize_gen(self) -> None:
+        if not self._deliveries:
+            return
+        for instance in self._instances():
+            self._audit_instance(instance)
+
+    def _audit_instance(self, deliveries: Sequence[Tuple]) -> None:
+        children: Dict[int, Set[int]] = {}
+        #: sender -> (delivered_round, psum) of its aggregation claim.
+        claim: Dict[int, Tuple[int, int]] = {}
+        #: (receiver, round) -> {sender: psum} of delivered claims.
+        folded_view: Dict[Tuple[int, int], Dict[int, int]] = {}
+        floods: Dict[int, List[Tuple[int, int]]] = {}
+        for rnd, receiver, sender, kind, payload in deliveries:
+            if kind == "ack" and payload == (receiver,):
+                children.setdefault(receiver, set()).add(sender)
+            elif kind == "aggregation":
+                psum = payload[0]
+                claim.setdefault(sender, (rnd, psum))
+                folded_view.setdefault((receiver, rnd), {})[sender] = psum
+            elif kind == "flooded_psum" and payload[0] == sender:
+                floods.setdefault(sender, []).append((rnd, payload[1]))
+
+        for sender in sorted(set(claim) | set(floods)):
+            if sender == self.root or sender in self.convictions:
+                continue
+            claimed = claim.get(sender)
+            for rnd, flood_psum in floods.get(sender, ()):
+                if claimed is not None and flood_psum != claimed[1]:
+                    self._convict(
+                        sender,
+                        REASON_EQUIVOCATION,
+                        f"flooded psum {flood_psum} contradicts the "
+                        f"node's aggregation claim {claimed[1]} of the "
+                        "same AGG instance (psum is final after the "
+                        "phase-2 slot)",
+                        rnd,
+                    )
+                    break
+            if sender in self.convictions:
+                continue
+            if self.caaf.name not in AUDITABLE_CAAFS:
+                continue
+            if claimed is not None:
+                rnd, psum = claimed
+            elif floods.get(sender):
+                # A node beyond tree depth cd floods its bare input
+                # without ever folding (no phase-2 slot).
+                rnd, psum = floods[sender][0]
+            else:
+                continue
+            folded = folded_view.get((sender, rnd - 1), {})
+            folded_sum = sum(
+                p
+                for child, p in folded.items()
+                if child in children.get(sender, ())
+            )
+            contribution = psum - folded_sum
+            if not 0 <= contribution <= self.v_max:
+                self._convict(
+                    sender,
+                    REASON_INFLUENCE,
+                    f"claimed psum {psum} minus the {len(folded)} folded "
+                    f"child claims ({folded_sum}) leaves a contribution "
+                    f"of {contribution}, outside [0, {self.v_max}]",
+                    rnd,
+                )
+
+    # ---------------------------------------------------------------- #
+    # Reporting.
+    # ---------------------------------------------------------------- #
+
+    @property
+    def total_echo_bits(self) -> int:
+        return sum(self.echo_bits.values())
+
+    def counters(self) -> Dict[str, int]:
+        return {
+            "witnesses": self.config.witnesses,
+            "echoes": self.echoes,
+            "echo_bits": self.total_echo_bits,
+            "accusations": len(self.accusations),
+            "convictions": len(self.convictions),
+        }
+
+
+@dataclass
+class ByzEpochReport:
+    """One protocol epoch inside a Byzantine-defended run."""
+
+    epoch: int
+    rounds: int
+    result: Optional[int]
+    convicted: Tuple[int, ...]
+    discarded: bool = False
+
+
+@dataclass
+class ByzantineOutcome:
+    """Everything a Byzantine-defended run produced."""
+
+    partial: PartialAggregateResult
+    result: Optional[int]
+    stats: SimStats
+    rounds: int
+    network: Optional[Network]
+    epochs: List[ByzEpochReport]
+    coordinator: WitnessCoordinator
+    evicted: Tuple[int, ...]
+
+    @property
+    def convictions(self) -> Dict[int, Conviction]:
+        return self.coordinator.convictions
+
+    @property
+    def accusations(self) -> List[Accusation]:
+        return self.coordinator.accusations
+
+
+def _merged_crashes(
+    schedule: FailureSchedule, evicted: Set[int]
+) -> FailureSchedule:
+    crashes = dict(schedule.crash_rounds)
+    for node in evicted:
+        crashes[node] = min(1, crashes.get(node, 1))
+    return FailureSchedule(crashes)
+
+
+def run_with_byzantine(
+    protocol: str,
+    topology: Topology,
+    inputs: Dict[int, int],
+    byz,
+    schedule: Optional[FailureSchedule] = None,
+    *,
+    f: Optional[int] = None,
+    b: Optional[int] = None,
+    c: int = 2,
+    caaf=None,
+    rng: Optional[random.Random] = None,
+    injectors: Sequence = (),
+    monitors: Sequence = (),
+    config: Optional[ByzantineConfig] = None,
+    integrity=None,
+) -> ByzantineOutcome:
+    """Run ``protocol`` under a Byzantine schedule with the witness defence.
+
+    The first epoch runs with the compromised nodes in place; every
+    conviction (under ``evict_policy="evict"``) discards the tainted
+    epoch — its bits become overhead — and reruns with the convicted
+    nodes crashed at round 1 and the edge budget raised by their incident
+    edges.  The final epoch's output is certified with the residual
+    influence bound ``(b - evicted) * v_max``.
+    """
+    from ..core.caaf import SUM
+
+    caaf = caaf or SUM
+    config = config or ByzantineConfig()
+    schedule = schedule or FailureSchedule()
+    if protocol not in RECOVERABLE_PROTOCOLS:
+        raise ValueError(
+            f"byzantine defence supports protocols {RECOVERABLE_PROTOCOLS}, "
+            f"got {protocol!r}"
+        )
+    if caaf.name not in AUDITABLE_CAAFS:
+        raise ValueError(
+            "influence-bounded certification needs an invertible sum-like "
+            f"CAAF {AUDITABLE_CAAFS}, got {caaf.name!r} — the delta audit "
+            "cannot bound a compromised node's pull on min/max-style "
+            "aggregates"
+        )
+    byz.validate(topology)
+    if integrity is not None:
+        byz.integrity = integrity.config
+
+    coordinator = WitnessCoordinator(
+        topology,
+        inputs,
+        caaf,
+        config,
+        budget=byz.budget,
+        integrity=integrity.config if integrity is not None else None,
+    )
+    all_nodes = sorted(topology.nodes())
+    degree = {u: len(vs) for u, vs in topology.adjacency.items()}
+    epoch_monitors = [
+        m
+        for m in monitors
+        if getattr(m, "rule", None) not in ("oracle", "byzantine")
+    ]
+
+    combined = SimStats()
+    reports: List[ByzEpochReport] = []
+    evicted: Set[int] = set()
+    elapsed = 0
+    final_out = None
+    final_epoch = 0
+
+    for epoch in range(1, config.max_epochs + 1):
+        coordinator.epoch = epoch
+        tap = WitnessTap(coordinator)
+        epoch_schedule = _merged_crashes(schedule, evicted)
+        f_eff = (f if f is not None else 0) + sum(
+            degree.get(u, 0) for u in evicted
+        )
+        if _spans.enabled:
+            _spans.active().begin(
+                f"byz.epoch[{epoch}]",
+                cat="byzantine",
+                tid=topology.root,
+                round=elapsed,
+                epoch=epoch,
+                evicted=len(evicted),
+            )
+        out = _run_epoch(
+            protocol,
+            topology,
+            inputs,
+            epoch_schedule,
+            f=f_eff if (f is not None or evicted) else f,
+            b=b,
+            c=c,
+            caaf=caaf,
+            rng=rng,
+            injectors=(byz, tap) + tuple(injectors),
+            monitors=epoch_monitors,
+            transport=None,
+            integrity=integrity,
+        )
+        coordinator.finalize()
+        fresh = coordinator.take_new_convictions() - evicted
+        elapsed += out.rounds
+        if _spans.enabled:
+            _spans.active().end(
+                tid=topology.root,
+                round=elapsed,
+                rounds=out.rounds,
+                convictions=len(fresh),
+            )
+        retry = (
+            bool(fresh)
+            and config.evict_policy == "evict"
+            and epoch < config.max_epochs
+        )
+        reports.append(
+            ByzEpochReport(
+                epoch,
+                out.rounds,
+                out.result,
+                tuple(sorted(fresh)),
+                discarded=retry,
+            )
+        )
+        if not retry:
+            combined.absorb(out.stats)
+            final_out = out
+            final_epoch = epoch
+            break
+        # Discard-and-retry: the tainted epoch's bits are defence
+        # overhead, never protocol CC; the rerun crashes the convicts.
+        combined.absorb(out.stats, as_overhead=True)
+        evicted |= fresh
+        if _spans.enabled:
+            _spans.active().event(
+                "byz.eviction",
+                cat="byzantine",
+                tid=topology.root,
+                round=elapsed,
+                evicted=sorted(fresh),
+            )
+        if _metrics.enabled:
+            _metrics.active().counter(
+                "byz_evictions", "convicted nodes evicted via epoch retry"
+            ).inc(len(fresh))
+        for monitor in epoch_monitors:
+            if isinstance(monitor, FBudgetMonitor):
+                # The rerun re-fires scheduled crashes and adds the
+                # convicts' incident edges — both sanctioned, so the
+                # allowance grows accordingly.
+                monitor.f += sum(degree.get(u, 0) for u in fresh) + sum(
+                    degree.get(u, 0) for u in schedule.crash_rounds
+                )
+
+    # ---- influence-bounded certification ---------------------------- #
+    for node, bits in coordinator.echo_bits.items():
+        combined.overhead_bits[node] = (
+            combined.overhead_bits.get(node, 0) + bits
+        )
+    residual_convicts = sorted(set(coordinator.convictions) - evicted)
+    b_rem = max(0, byz.budget - len(evicted))
+    value = final_out.result if final_out is not None else None
+    # Coverage: provably included contributions only — the root's
+    # surviving component of the final epoch (mid-run crashes may or may
+    # not have folded in; the certificate's bounds bracket both).
+    # Evicted nodes crash at round 1, so they fall out here naturally.
+    if final_out is not None and final_out.network is not None:
+        network = final_out.network
+        failed = {
+            u
+            for u, r in network.crash_rounds.items()
+            if r <= network.round
+        }
+        covered = sorted(topology.alive_component(failed))
+    else:
+        covered = [u for u in all_nodes if u not in evicted]
+    if value is None:
+        certified = False
+        reason = f"epoch {final_epoch} produced no output"
+    elif residual_convicts:
+        certified = False
+        reason = (
+            f"convicted nodes {residual_convicts} still in the run "
+            f"(evict_policy={config.evict_policy!r}, "
+            f"epoch budget {config.max_epochs}): their influence is "
+            "unbounded"
+        )
+    else:
+        certified = True
+        reason = (
+            "byzantine-audited: exact (zero residual budget)"
+            if b_rem == 0
+            else f"byzantine-audited: |error| <= {b_rem} x v_max"
+        )
+    partial = certify(
+        value,
+        all_nodes,
+        covered,
+        inputs,
+        caaf,
+        certified=certified,
+        reason=reason,
+        epochs=len(reports),
+        overhead_bits=combined.total_overhead_bits,
+        byz_budget=byz.budget,
+        convicted=tuple(sorted(coordinator.convictions)),
+        influence_bound=(b_rem * coordinator.v_max) if certified else None,
+        v_max=coordinator.v_max,
+        extra={
+            "echo_bits": coordinator.total_echo_bits,
+            "accusations": len(coordinator.accusations),
+            "convictions": len(coordinator.convictions),
+            "evicted": len(evicted),
+        },
+    )
+    return ByzantineOutcome(
+        partial=partial,
+        result=value,
+        stats=combined,
+        rounds=elapsed,
+        network=final_out.network if final_out is not None else None,
+        epochs=reports,
+        coordinator=coordinator,
+        evicted=tuple(sorted(evicted)),
+    )

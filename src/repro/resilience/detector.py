@@ -58,6 +58,10 @@ class PhiConfig:
             may drive eviction/failover (φ = 8: one time in 10^8).
         min_samples: Gaps required before the observed history replaces
             the prior (mean 1 logical round — the healthy cadence).
+            Must be at least 2: the variance of a single inter-arrival
+            sample is identically zero, so a one-sample "fit" would rest
+            entirely on the ``min_std`` floor while claiming to be
+            observed history.
     """
 
     window_size: int = 16
@@ -77,6 +81,11 @@ class PhiConfig:
             raise ValueError(
                 "thresholds must satisfy 0 < suspect < confirm, got "
                 f"{self.suspect_threshold} / {self.confirm_threshold}"
+            )
+        if self.min_samples < 2:
+            raise ValueError(
+                "min_samples must be >= 2 (one sample has zero variance "
+                f"— no history to fit), got {self.min_samples}"
             )
 
 
@@ -133,10 +142,15 @@ class PhiAccrualDetector:
         if elapsed <= 0:
             return 0.0
         gaps = self._gaps.get(key, ())
-        if len(gaps) >= self.config.min_samples:
+        # Defense in depth against the cold-start hazard: even if the
+        # config's min_samples guard is bypassed, never fit fewer than
+        # two gaps — a single sample's variance is identically zero and
+        # the whole suspicion would rest on the floor alone.
+        if len(gaps) >= max(2, self.config.min_samples):
             mean = sum(gaps) / len(gaps)
             var = sum((g - mean) ** 2 for g in gaps) / len(gaps)
-            std = max(self.config.min_std, math.sqrt(var))
+            var = max(self.config.min_std ** 2, var)
+            std = math.sqrt(var)
         else:
             # Prior: a healthy transport delivers one frame per logical
             # round.

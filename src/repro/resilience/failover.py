@@ -488,6 +488,10 @@ def run_with_recovery(
         counters = integrity.counters()
         extra["integrity_rejected"] = counters["rejected"]
         extra["quarantined_links"] = sorted(integrity.quarantined_links)
+        if counters.get("quarantined_nodes"):
+            extra["quarantined_nodes"] = (
+                integrity.quarantine.quarantined_node_ids()
+            )
 
     if final_network is not None and final_network.is_alive(final_topo.root):
         failed = {

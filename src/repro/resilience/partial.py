@@ -63,6 +63,16 @@ class PartialAggregateResult:
     #: each covered contribution was booked under (empty outside churn
     #: runs and for incarnation-0-only coverage).
     incarnations: Tuple[Tuple[int, int], ...] = ()
+    #: Byzantine certification rung: the declared adversary budget ``b``
+    #: (0 outside Byzantine-defended runs), the nodes the witness pool
+    #: convicted, and — when certified — the deterministic bound
+    #: ``|value - aggregate(coverage)| <= influence_bound``
+    #: (``= residual_budget * v_max``).  ``None`` means no bound is
+    #: claimed; ``0`` means provably exact over the coverage.
+    byz_budget: int = 0
+    convicted: Tuple[int, ...] = ()
+    influence_bound: Optional[int] = None
+    v_max: Optional[int] = None
     extra: Dict[str, int] = field(default_factory=dict)
 
     @property
@@ -91,6 +101,11 @@ class PartialAggregateResult:
             row["rejoined_coverage"] = sum(
                 1 for _node, inc in self.incarnations if inc
             )
+        if self.byz_budget or self.convicted or self.influence_bound is not None:
+            row["byz_budget"] = self.byz_budget
+            row["convicted"] = len(self.convicted)
+            row["influence_bound"] = self.influence_bound
+            row["v_max"] = self.v_max
         return row
 
 
@@ -109,6 +124,10 @@ def certify(
     live_gaps: int = 0,
     unresolved_corruptions: int = 0,
     incarnations: Optional[Dict[int, int]] = None,
+    byz_budget: int = 0,
+    convicted: Tuple[int, ...] = (),
+    influence_bound: Optional[int] = None,
+    v_max: Optional[int] = None,
     extra: Optional[Dict[str, int]] = None,
 ) -> PartialAggregateResult:
     """Build a :class:`PartialAggregateResult` with derived bounds/status.
@@ -144,7 +163,10 @@ def certify(
     upper = caaf.aggregate_inputs([inputs[u] for u in all_sorted])
     if value is None or not certified:
         status = STATUS_FAILED if value is None else STATUS_PARTIAL
-    elif len(coverage) == len(all_sorted):
+    elif len(coverage) == len(all_sorted) and not influence_bound:
+        # A non-zero influence bound means unconvicted compromised nodes
+        # may still sit inside the coverage: the value is certified only
+        # up to the bound, never claimed exact.
         status = STATUS_EXACT
     else:
         status = STATUS_PARTIAL
@@ -165,5 +187,9 @@ def certify(
         incarnations=tuple(
             (u, (incarnations or {}).get(u, 0)) for u in coverage
         ),
+        byz_budget=byz_budget,
+        convicted=tuple(sorted(convicted)),
+        influence_bound=influence_bound,
+        v_max=v_max,
         extra=dict(extra or {}),
     )

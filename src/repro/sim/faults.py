@@ -1571,3 +1571,530 @@ def gray_sources(injectors) -> List:
                 i for i in inner if hasattr(i, "degraded_intervals")
             )
     return sources
+
+
+#: Byzantine node behaviors.
+BYZ_EQUIVOCATE = "equivocate"
+BYZ_INFLATE = "inflate"
+BYZ_DEFLATE = "deflate"
+BYZ_REPLAY = "replay"
+BYZ_OMIT = "omit"
+BYZ_MODES = (BYZ_EQUIVOCATE, BYZ_INFLATE, BYZ_DEFLATE, BYZ_REPLAY, BYZ_OMIT)
+
+#: Wire kinds a Byzantine node lies about: its own sub-aggregate claims.
+#: ``aggregation`` carries ``(psum, max_level)`` upstream; ``flooded_psum``
+#: carries ``(source, psum)`` during speculative flooding.  A compromised
+#: node perturbs only *its own* claims (floods it originates), never
+#: content it merely relays — relay tampering is a corruption fault and
+#: stays with :class:`MessageCorruption`.
+BYZ_TARGET_KINDS = frozenset({"aggregation", "flooded_psum"})
+
+
+@dataclass
+class ByzCounts:
+    """Tally of enacted Byzantine perturbations, for run reports."""
+
+    equivocations: int = 0
+    inflations: int = 0
+    deflations: int = 0
+    replays: int = 0
+    omissions: int = 0
+
+    @property
+    def total(self) -> int:
+        """Delivery copies touched by any Byzantine behavior."""
+        return (
+            self.equivocations
+            + self.inflations
+            + self.deflations
+            + self.replays
+            + self.omissions
+        )
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict view for tables and JSON rows."""
+        return {
+            "equivocations": self.equivocations,
+            "inflations": self.inflations,
+            "deflations": self.deflations,
+            "replays": self.replays,
+            "omissions": self.omissions,
+        }
+
+
+class ByzantineSchedule(FaultInjector):
+    """Compromised non-root nodes that lie about their sub-aggregates.
+
+    Every fault model so far keeps nodes *honest*: crashes, churn, gray
+    latency and link corruption never make a node sign a false claim.
+    This injector compromises selected non-root nodes — each follows one
+    deterministic misbehavior from its activation round on:
+
+    * ``equivocate`` — send different sub-aggregates to different
+      neighbors: receivers at an odd rank in the sender's sorted
+      neighbor list get ``psum + k``, even ranks the true value (two
+      authenticated contradictory frames — the classic equivocation);
+    * ``inflate`` / ``deflate`` — shift the claimed psum by ``+k`` /
+      ``-k`` (clamped at 0) consistently to everyone;
+    * ``replay`` — resend the node's *previous* claim of the same kind
+      (authentic old content presented as current);
+    * ``omit`` — selectively suppress copies to odd-rank neighbors (a
+      targeted silence indistinguishable from a crash to the victim).
+
+    The compromised node knows its own signing key: when the integrity
+    layer is active (:attr:`integrity` set to the run's
+    ``IntegrityConfig``), perturbed inner parts are re-signed with
+    :func:`repro.integrity.frames.compute_tag`, so the lie verifies —
+    exactly the fault class channel authentication cannot catch.
+
+    Perturbed payloads stay within tuples/ints/strs/``None`` so recorded
+    runs replay bit-exactly, and every rewrite preserves the copy's bit
+    size (a lie costs the same bits as the truth).  The schedule is its
+    own **ground-truth ledger** for grading: :attr:`delivered_taints`
+    books every tainted copy a receiver actually saw (equivocation marks
+    *all* copies of the split broadcast, so two contradictory delivered
+    contents are visible to the oracle), :attr:`omitted` books suppressed
+    copies, and :meth:`tainted_nodes` lists compromised nodes that
+    actually fired.
+    """
+
+    modifies_delivery = True
+
+    def __init__(
+        self,
+        behaviors=None,
+        root: Optional[int] = None,
+    ) -> None:
+        super().__init__()
+        #: Per node: ``(mode, magnitude, start_round)``.
+        self.behaviors: Dict[int, Tuple[str, int, int]] = {}
+        for node, entry in dict(behaviors or {}).items():
+            mode, k, start = (tuple(entry) + (1, 1))[:3]
+            if mode not in BYZ_MODES:
+                raise ValueError(
+                    f"unknown byzantine mode {mode!r} for node {node} "
+                    f"(expected one of {BYZ_MODES})"
+                )
+            if int(k) < 1:
+                raise ValueError(
+                    f"byzantine magnitude for node {node} must be >= 1, "
+                    f"got {k}"
+                )
+            if int(start) < 1:
+                raise ValueError(
+                    f"byzantine start round for node {node} must be >= 1, "
+                    f"got {start}"
+                )
+            self.behaviors[int(node)] = (mode, int(k), int(start))
+        if root is not None and root in self.behaviors:
+            raise ValueError(
+                "the root cannot be byzantine: it is the certification "
+                "authority of every aggregate (Section 2 trusts the root)"
+            )
+        #: The run's IntegrityConfig when the integrity layer is active —
+        #: set by the runner so perturbed frames are re-signed (a
+        #: compromised node holds its own key).  ``None`` outside
+        #: integrity runs.
+        self.integrity = None
+        #: Epoch counter, kept in lock-step with the defense
+        #: coordinator's (both advance once per network build) so tainted
+        #: deliveries match observations across eviction retries.
+        self.epoch = -1
+        #: Tainted deliveries a receiver actually saw, as
+        #: ``(epoch, round, sender, receiver, content_key)`` — the
+        #: ByzantineOracle's ground truth.
+        self.delivered_taints: List[Tuple] = []
+        #: Copies suppressed by ``omit``, as
+        #: ``(epoch, due_round, sender, receiver, content_key)``.
+        self.omitted: List[Tuple] = []
+        self.counts = ByzCounts()
+        #: Rewrites created: ``{(sender, receiver, content_key): mode}``;
+        #: the recorder annotates bundles with :meth:`byz_mode` so
+        #: replays rebuild the same ground truth.
+        self._taint: Dict[Tuple, str] = {}
+        # Receiver rank in each sender's sorted neighbor list (equivocate
+        # / omit target selection); filled at attach.
+        self._rank: Dict[Tuple[int, int], int] = {}
+        self._degree: Dict[int, int] = {}
+        # Per (sender, kind): last completed claim and the claim of the
+        # round currently streaming through on_transmit, for ``replay``.
+        self._hist: Dict[Tuple[int, str], Tuple[int, tuple]] = {}
+        self._cur: Dict[Tuple[int, str], Tuple[int, tuple]] = {}
+
+    #: The accepted ``from_spec`` grammar, quoted verbatim in every
+    #: rejection so a CLI typo comes back with the fix attached.
+    SPEC_GRAMMAR = (
+        "comma-separated behaviors: '<node>:<mode>[=<k>][@r<R>]' with "
+        "modes equivocate, inflate, deflate, replay, omit, magnitude "
+        "k >= 1 (default 1) and activation round R >= 1 (default 1) "
+        "(e.g. '5:equivocate,7:inflate=4@r3,9:omit')"
+    )
+
+    @classmethod
+    def from_spec(cls, spec: str, **kwargs) -> "ByzantineSchedule":
+        """Build from a CLI spec like ``5:equivocate,7:inflate=4@r3``.
+
+        Unknown modes, malformed magnitudes or rounds, and nodes given
+        more than once all raise ``ValueError`` naming the offending
+        token and :data:`SPEC_GRAMMAR`.
+        """
+
+        def reject(token: str, why: str) -> ValueError:
+            return ValueError(
+                f"bad byzantine spec fragment {token!r}: {why} "
+                f"(accepted grammar: {cls.SPEC_GRAMMAR})"
+            )
+
+        behaviors: Dict[int, Tuple[str, int, int]] = {}
+        for item in spec.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            node_raw, sep, body = item.partition(":")
+            if not sep:
+                raise reject(item, "needs <node>:<mode>")
+            try:
+                node = int(node_raw)
+            except ValueError:
+                raise reject(item, f"node {node_raw!r} is not an integer") from None
+            if node in behaviors:
+                raise reject(item, f"node {node} given more than once")
+            body, at, round_raw = body.partition("@")
+            start = 1
+            if at:
+                round_raw = round_raw.strip()
+                if round_raw.startswith("r"):
+                    round_raw = round_raw[1:]
+                try:
+                    start = int(round_raw)
+                except ValueError:
+                    raise reject(
+                        item, f"round {round_raw!r} is not an integer"
+                    ) from None
+                if start < 1:
+                    raise reject(item, f"round {start} is < 1")
+            mode, eq, k_raw = body.partition("=")
+            mode = mode.strip()
+            if mode not in BYZ_MODES:
+                raise reject(item, f"unknown byzantine mode {mode!r}")
+            k = 1
+            if eq:
+                try:
+                    k = int(k_raw.strip())
+                except ValueError:
+                    raise reject(
+                        item, f"magnitude {k_raw.strip()!r} is not an integer"
+                    ) from None
+                if k < 1:
+                    raise reject(item, f"magnitude {k} is < 1")
+            behaviors[node] = (mode, k, start)
+        return cls(behaviors=behaviors, **kwargs)
+
+    # -------------------------------------------------------------- #
+    # Introspection (the ByzantineOracle's ground truth).
+    # -------------------------------------------------------------- #
+
+    @property
+    def has_events(self) -> bool:
+        return bool(self.behaviors)
+
+    @property
+    def budget(self) -> int:
+        """The declared adversary budget b: number of compromised nodes."""
+        return len(self.behaviors)
+
+    def byz_nodes(self) -> List[int]:
+        """Compromised node ids, sorted."""
+        return sorted(self.behaviors)
+
+    def tainted_nodes(self) -> List[int]:
+        """Compromised nodes that actually delivered a taint or omitted a
+        copy this run, sorted."""
+        nodes = {entry[2] for entry in self.delivered_taints}
+        nodes.update(entry[2] for entry in self.omitted)
+        return sorted(nodes)
+
+    def byz_mode(
+        self, sender: int, receiver: int, part: Part
+    ) -> Optional[str]:
+        """How ``part`` on this link was tainted (one of
+        :data:`BYZ_MODES`), or None — the recorder annotates bundles with
+        this so replays rebuild the same ground truth."""
+        return self._taint.get((sender, receiver, part.content_key))
+
+    def max_event_round(self) -> int:
+        """The latest activation round (behaviors stay active forever)."""
+        return max(
+            (start for _m, _k, start in self.behaviors.values()), default=0
+        )
+
+    def validate(self, topology) -> None:
+        """Reject behaviors naming unknown nodes or the root.
+
+        The root is the output: a compromised root could report anything
+        and no witness protocol over its *inputs* could tell — Section 2
+        protects it, and so does every defended run.
+        """
+        nodes = set(topology.nodes())
+        for node in self.behaviors:
+            if node not in nodes:
+                raise ValueError(
+                    f"byzantine schedule names unknown node {node}"
+                )
+            if node == topology.root:
+                raise ValueError(
+                    f"byzantine schedule compromises the root {node}: the "
+                    "model (and the witness defense) assume an honest root"
+                )
+
+    # -------------------------------------------------------------- #
+    # Serialization (bundle params / WorkUnit specs).
+    # -------------------------------------------------------------- #
+
+    def as_jsonable(self) -> Dict:
+        """JSON-ready form, round-tripped by :meth:`from_jsonable`."""
+        return {
+            "behaviors": {
+                str(node): list(entry)
+                for node, entry in sorted(self.behaviors.items())
+            },
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: Dict) -> "ByzantineSchedule":
+        return cls(
+            behaviors={
+                int(node): tuple(entry)
+                for node, entry in (data.get("behaviors") or {}).items()
+            },
+        )
+
+    # -------------------------------------------------------------- #
+    # Injector hooks.
+    # -------------------------------------------------------------- #
+
+    def attach(self, network) -> None:
+        """Bind to a network; each attach starts a new epoch."""
+        super().attach(network)
+        if network.root is not None and network.root in self.behaviors:
+            raise ValueError(
+                "the root cannot be byzantine: it is the certification "
+                "authority of every aggregate (Section 2 trusts the root)"
+            )
+        self.epoch += 1
+        self._rank = {}
+        self._degree = {}
+        for sender, neighbours in network.adjacency.items():
+            ordered = sorted(neighbours)
+            self._degree[sender] = len(ordered)
+            for rank, receiver in enumerate(ordered):
+                self._rank[(sender, receiver)] = rank
+        self._hist = {}
+        self._cur = {}
+
+    def _remember(self, sender: int, kind: str, sent_round: int, payload):
+        """Track the sender's previous claim of ``kind`` for ``replay``.
+
+        ``on_transmit`` runs once per neighbor copy of the same
+        broadcast; copies of the current round must not shadow the
+        previous round's claim, so promotion happens only when a newer
+        round streams through.  Returns the previous completed claim.
+        """
+        key = (sender, kind)
+        current = self._cur.get(key)
+        if current is not None and current[0] < sent_round:
+            self._hist[key] = current
+            current = None
+        if current is None:
+            self._cur[key] = (sent_round, payload)
+        previous = self._hist.get(key)
+        return previous[1] if previous is not None else None
+
+    def _reframe(self, part: Part, inner_parts: List[Part]) -> Part:
+        """Re-sign a rewritten integrity frame (the node holds its key)."""
+        from ..integrity.frames import compute_tag
+
+        seq, claimed_sender, _inner, _tag = part.payload
+        inner = tuple((p.kind, p.payload, p.bits) for p in inner_parts)
+        tag = compute_tag(self.integrity, claimed_sender, seq, inner)
+        return Part(part.kind, (seq, claimed_sender, inner, tag), part.bits)
+
+    def _perturb_claim(
+        self,
+        sender: int,
+        receiver: int,
+        sent_round: int,
+        part: Part,
+    ) -> Tuple[Optional[Part], Optional[str]]:
+        """Rewrite one claim part per the sender's behavior.
+
+        Returns ``(rewritten_part, mode)``; ``(None, "omit")`` suppresses
+        the copy, ``(part, None)`` passes it through untouched.
+        """
+        mode, k, start = self.behaviors[sender]
+        if sent_round < start:
+            return part, None
+        if part.kind == "flooded_psum" and part.payload[0] != sender:
+            return part, None  # relayed content: never tampered
+        rank = self._rank.get((sender, receiver), 0)
+        if mode == BYZ_OMIT:
+            if self._degree.get(sender, 0) < 2 or rank % 2 == 0:
+                return part, None
+            self.counts.omissions += 1
+            return None, BYZ_OMIT
+        if part.kind == "aggregation":
+            psum, max_level = part.payload
+            rebuild = lambda v: (v, max_level)  # noqa: E731
+        else:
+            source, psum = part.payload
+            rebuild = lambda v: (source, v)  # noqa: E731
+        previous = self._remember(sender, part.kind, sent_round, part.payload)
+        if mode == BYZ_EQUIVOCATE:
+            if self._degree.get(sender, 0) < 2:
+                return part, None
+            # Odd ranks get the lie, even ranks the truth; every copy of
+            # the split broadcast is tainted so the ledger shows both
+            # contradictory delivered contents.
+            self.counts.equivocations += 1
+            if rank % 2 == 1:
+                return Part(part.kind, rebuild(psum + k), part.bits), mode
+            return part, mode
+        if mode == BYZ_INFLATE:
+            self.counts.inflations += 1
+            return Part(part.kind, rebuild(psum + k), part.bits), mode
+        if mode == BYZ_DEFLATE:
+            self.counts.deflations += 1
+            return Part(part.kind, rebuild(max(0, psum - k)), part.bits), mode
+        # BYZ_REPLAY: resend the previous claim of this kind, if any.
+        if previous is None or previous == part.payload:
+            return part, None
+        self.counts.replays += 1
+        return Part(part.kind, previous, part.bits), mode
+
+    def on_transmit(
+        self, due: int, sender: int, receiver: int, part: Part
+    ) -> List[Tuple[int, Part]]:
+        """Maybe rewrite (or suppress) one delivery copy of a claim."""
+        if sender not in self.behaviors:
+            return [(due, part)]
+        sent_round = due - 1
+        if part.kind in BYZ_TARGET_KINDS:
+            rewritten, mode = self._perturb_claim(
+                sender, receiver, sent_round, part
+            )
+            if mode is None:
+                return [(due, part)]
+            if rewritten is None:
+                self.omitted.append(
+                    (self.epoch, due, sender, receiver, part.content_key)
+                )
+                return []
+            self._taint[(sender, receiver, rewritten.content_key)] = mode
+            return [(due, rewritten)]
+        if part.kind == "integ_frame" and self.integrity is not None:
+            try:
+                seq, claimed_sender, inner, _tag = part.payload
+            except (TypeError, ValueError):
+                return [(due, part)]
+            if claimed_sender != sender:
+                return [(due, part)]
+            changed = False
+            suppressed = False
+            new_inner: List[Part] = []
+            for kind, payload, bits in inner:
+                inner_part = Part(kind, payload, bits)
+                if kind not in BYZ_TARGET_KINDS:
+                    new_inner.append(inner_part)
+                    continue
+                rewritten, mode = self._perturb_claim(
+                    sender, receiver, sent_round, inner_part
+                )
+                if mode is None:
+                    new_inner.append(inner_part)
+                    continue
+                if rewritten is None:
+                    suppressed = True
+                    self.omitted.append(
+                        (self.epoch, due, sender, receiver,
+                         inner_part.content_key)
+                    )
+                    continue
+                new_inner.append(rewritten)
+                changed_mode = mode
+                changed = True
+            if not changed and not suppressed:
+                return [(due, part)]
+            reframed = self._reframe(part, new_inner)
+            if changed:
+                self._taint[(sender, receiver, reframed.content_key)] = (
+                    changed_mode
+                )
+            return [(due, reframed)]
+        return [(due, part)]
+
+    def arrange_inbox(self, rnd: int, receiver: int, envelopes: List) -> List:
+        """Observe (never modify) the inbox: log delivered taints."""
+        for envelope in envelopes:
+            key = (envelope.sender, receiver, envelope.part.content_key)
+            if key in self._taint:
+                self.delivered_taints.append(
+                    (self.epoch, rnd, envelope.sender, receiver,
+                     envelope.part.content_key)
+                )
+        return envelopes
+
+    def __repr__(self) -> str:
+        return (
+            f"ByzantineSchedule(b={self.budget}, "
+            f"behaviors={sorted(self.behaviors.items())})"
+        )
+
+
+def random_byz(
+    topology,
+    rate: float,
+    rng: random.Random,
+    horizon: int,
+    root: Optional[int] = None,
+    max_magnitude: int = 3,
+) -> ByzantineSchedule:
+    """Sample a bounded Byzantine schedule at a per-node compromise ``rate``.
+
+    Each non-root node is independently compromised with probability
+    ``rate``: the mode is drawn uniformly from :data:`BYZ_MODES`, the
+    magnitude from 1..``max_magnitude``, and the activation round from
+    ``[1, max(1, horizon // 2)]``.  The draw order is fixed (sorted
+    nodes) so schedules are reproducible per RNG state.  The root is
+    never compromised (it is the certification authority).
+    """
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError(f"byzantine rate must be in [0, 1], got {rate}")
+    if max_magnitude < 1:
+        raise ValueError(f"max_magnitude must be >= 1, got {max_magnitude}")
+    horizon = max(2, horizon)
+    behaviors: Dict[int, Tuple[str, int, int]] = {}
+    for node in sorted(topology.nodes()):
+        if root is not None and node == root:
+            continue
+        if rng.random() >= rate:
+            continue
+        mode = BYZ_MODES[rng.randrange(len(BYZ_MODES))]
+        k = rng.randint(1, max_magnitude)
+        start = rng.randint(1, max(1, horizon // 2))
+        behaviors[node] = (mode, k, start)
+    return ByzantineSchedule(behaviors=behaviors, root=root)
+
+
+def byz_sources(injectors) -> List:
+    """Injectors (flattening recorder/replay wrappers) that carry a
+    Byzantine taint ledger — anything exposing ``delivered_taints``."""
+    sources: List = []
+    for injector in injectors or ():
+        if hasattr(injector, "delivered_taints"):
+            sources.append(injector)
+        inner = getattr(injector, "inner", None)
+        if isinstance(inner, (list, tuple)):
+            sources.extend(
+                i for i in inner if hasattr(i, "delivered_taints")
+            )
+    return sources

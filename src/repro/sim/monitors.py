@@ -584,6 +584,147 @@ class StragglerOracle(Monitor):
             )
 
 
+class ByzantineOracle(Monitor):
+    """Byzantine detection quality, graded against the taint ledger.
+
+    The :class:`repro.sim.faults.ByzantineSchedule` knows exactly which
+    nodes lied and which contradictory contents were delivered; the
+    witness defence (:mod:`repro.resilience.byzantine`) only sees
+    delivered claims.  This oracle compares the two and reports under
+    three rules:
+
+    * ``false-conviction`` — the witness pool convicted an honest node.
+      Eviction turns a conviction into a crash, so a false conviction
+      silently drops a truthful contribution — the one failure mode a
+      sound accusation protocol must never exhibit.
+    * ``undetected-equivocation`` — the ground-truth ledger shows two
+      contradictory delivered contents for one claim (same epoch, round,
+      sender, kind) yet the sender was never convicted.  Two delivered
+      variants are an equivocation proof by definition; missing it means
+      the cross-validation echo lost information.
+    * ``influence-exceeded`` — a certified result whose error over its
+      claimed coverage exceeds its shipped ``influence_bound`` (or that
+      ships no bound at all while compromised nodes remain): the
+      certification promised more than the defence delivered.
+
+    Convictions and equivocations are graded once per run via
+    :meth:`grade_convictions`; the final certificate via
+    :meth:`grade_result`.  Per-network hooks are no-ops — grading needs
+    the whole-run ledger, which only the runner holds.
+    """
+
+    rule = "byzantine"
+
+    def __init__(
+        self,
+        byz,
+        inputs: Dict[int, int],
+        caaf=None,
+        mode: str = "strict",
+    ) -> None:
+        super().__init__(mode)
+        self.byz = byz
+        self.inputs = dict(inputs)
+        self.caaf = caaf
+        self.false_convictions = 0
+        self.undetected_equivocations = 0
+        self.influence_exceeded = 0
+        self._reported: set = set()
+
+    def report_as(
+        self, rule: str, message: str, rnd: Optional[int] = None
+    ) -> None:
+        """Like :meth:`Monitor.report` but under a per-event rule."""
+        self.violations.append(MonitorEvent(rule, rnd, message))
+        if self.mode == "strict":
+            raise InvariantViolation(rule, message, rnd)
+
+    def grade_convictions(self, convictions) -> None:
+        """Grade the conviction set against the compromised-node ledger.
+
+        ``convictions`` is any iterable of convicted node ids (the
+        defence coordinator's ``convictions`` mapping iterates as one).
+        """
+        if self.byz is None:
+            return
+        convicted = set(convictions)
+        compromised = set(self.byz.byz_nodes())
+        for node in sorted(convicted - compromised):
+            key = ("false", node)
+            if key in self._reported:
+                continue
+            self._reported.add(key)
+            self.false_convictions += 1
+            self.report_as(
+                "false-conviction",
+                f"honest node {node} was convicted by the witness pool "
+                f"(compromised nodes: {sorted(compromised)}): its "
+                "contribution was wrongly evicted",
+            )
+        groups: Dict[tuple, set] = {}
+        rounds: Dict[tuple, int] = {}
+        for epoch, rnd, sender, _receiver, content_key in (
+            self.byz.delivered_taints
+        ):
+            kind, payload = content_key
+            group = (epoch, rnd, sender, kind)
+            groups.setdefault(group, set()).add(payload)
+            rounds[group] = rnd
+        for group in sorted(groups, key=str):
+            variants = groups[group]
+            epoch, rnd, sender, kind = group
+            if len(variants) < 2 or sender in convicted:
+                continue
+            key = ("equiv", group)
+            if key in self._reported:
+                continue
+            self._reported.add(key)
+            self.undetected_equivocations += 1
+            self.report_as(
+                "undetected-equivocation",
+                f"node {sender} delivered {len(variants)} contradictory "
+                f"{kind!r} contents in epoch {epoch} round {rnd} but was "
+                "never convicted",
+                rnd,
+            )
+
+    def grade_result(self, partial) -> None:
+        """Grade the final certificate: the shipped bound must hold.
+
+        An honest run's value lies in the Section 2 correctness bracket
+        ``[lower_bound, upper_bound]`` (coverage aggregate up to the
+        all-nodes aggregate — mid-run crashes may or may not have folded
+        in before dying); the certificate promises the compromised
+        residue moves it by at most ``influence_bound`` beyond that.
+        """
+        if partial is None or not partial.certified or partial.value is None:
+            return
+        bound = partial.influence_bound
+        if bound is None:
+            remaining = set(self.byz.byz_nodes()) & set(partial.coverage)
+            if remaining:
+                self.influence_exceeded += 1
+                self.report_as(
+                    "influence-exceeded",
+                    f"certified result ships no influence bound although "
+                    f"compromised nodes {sorted(remaining)} remain in its "
+                    "coverage",
+                )
+            return
+        lo = (partial.lower_bound or 0) - bound
+        hi = (
+            partial.upper_bound if partial.upper_bound is not None else 0
+        ) + bound
+        if not lo <= partial.value <= hi:
+            self.influence_exceeded += 1
+            self.report_as(
+                "influence-exceeded",
+                f"certified value {partial.value} falls outside "
+                f"[{partial.lower_bound}, {partial.upper_bound}] widened "
+                f"by the shipped influence bound {bound}",
+            )
+
+
 class RetransmitBudgetMonitor(Monitor):
     """The transport's per-frame retransmit budget must never be exceeded.
 
@@ -672,6 +813,7 @@ def standard_monitors(
     integrity=None,
     churn: bool = False,
     gray=None,
+    byz=None,
 ) -> List[Monitor]:
     """The default monitor stack for one protocol execution.
 
@@ -688,7 +830,10 @@ def standard_monitors(
     ``churn`` adds the :class:`DoubleCountOracle` (fed by the churn epoch
     manager with the booked contribution ledger); a ``gray`` fault
     schedule adds the :class:`StragglerOracle` grading the transport's
-    suspicion record against the ground-truth degradation ledger.
+    suspicion record against the ground-truth degradation ledger; a
+    ``byz`` schedule adds the :class:`ByzantineOracle` grading witness
+    convictions and the shipped influence bound against the taint
+    ledger.
     """
     monitors: List[Monitor] = [
         RecoverySafetyMonitor(topology.root, mode=mode)
@@ -711,6 +856,8 @@ def standard_monitors(
         monitors.append(DoubleCountOracle(inputs, caaf=caaf, mode=mode))
     if gray is not None:
         monitors.append(StragglerOracle(gray, transport=transport, mode=mode))
+    if byz is not None:
+        monitors.append(ByzantineOracle(byz, inputs, caaf=caaf, mode=mode))
     return monitors
 
 

@@ -49,10 +49,19 @@ BUNDLE_FORMAT = "repro-bundle"
 #: (``params["gray"]`` — a serialized
 #: :class:`repro.sim.faults.GrayFailureSchedule` — plus the transport's
 #: ``rto``/``hedge`` knobs inside ``params["transport"]``) so straggler
-#: runs replay with the same degradation ledger and detection config.
-#: v1/v2/v3 bundles load unchanged.
-BUNDLE_VERSION = 4
-SUPPORTED_BUNDLE_VERSIONS = frozenset({1, 2, 3, 4})
+#: runs replay with the same degradation ledger and detection config;
+#: v5 adds Byzantine params (``params["byz"]`` — a serialized
+#: :class:`repro.sim.faults.ByzantineSchedule` — and
+#: ``params["byz_config"]`` — a serialized
+#: :class:`repro.resilience.byzantine.ByzantineConfig`) so defended runs
+#: replay with the same compromised-node behaviours and witness
+#: configuration; the schedule is deterministic, so replay re-runs it
+#: live rather than re-applying recorded rewrites.  ``outp`` entries may
+#: carry a forensic ``byz:<mode>`` marker when a Byzantine injector rides
+#: inside the recorded chain — replay routes those away from the
+#: corruption ledgers.  v1/v2/v3/v4 bundles load unchanged.
+BUNDLE_VERSION = 5
+SUPPORTED_BUNDLE_VERSIONS = frozenset({1, 2, 3, 4, 5})
 
 
 class RecordingError(RuntimeError):
@@ -160,12 +169,14 @@ class ExecutionRecord:
 
     @property
     def n_decisions(self) -> int:
-        """All shrinkable events: fault decisions + scheduled crashes."""
+        """All shrinkable events: fault decisions + scheduled crashes +
+        declared Byzantine behaviours."""
         return (
             len(self.transmits)
             + len(self.reorders)
             + len(self.crashes)
             + len(self.schedule)
+            + len((self.params.get("byz") or {}).get("behaviors") or {})
         )
 
     def content_hash(self, length: int = 10) -> str:
@@ -334,13 +345,16 @@ class RecordingInjector(FaultInjector):
                 # rewrite instead of re-rolling injector RNG.  Rewrites
                 # the injector classified as stale replays (authentic
                 # content, wrong time) carry a third "stale" element so
-                # the replay rebuilds the same split ground truth.
+                # the replay rebuilds the same split ground truth; a
+                # Byzantine injector's rewrites carry ``byz:<mode>`` so
+                # replay keeps them out of the corruption ledgers.
                 entry["outp"] = [
                     [d, part_key(p)]
                     + (
-                        ["stale"]
+                        [mode]
                         if p != part
-                        and self._rewrite_mode(sender, receiver, p) == "stale"
+                        and (mode := self._rewrite_mode(sender, receiver, p))
+                        is not None
                         else []
                     )
                     for d, p in deliveries
@@ -349,13 +363,23 @@ class RecordingInjector(FaultInjector):
         return deliveries
 
     def _rewrite_mode(self, sender: int, receiver: int, part: Part):
-        """Ask the inner chain how a rewritten part was corrupted."""
+        """Ask the inner chain how a rewritten part was tampered.
+
+        Corruption injectors answer through ``corruption_mode`` (only the
+        ``stale`` classification matters to replay); Byzantine schedules
+        through ``byz_mode``, reported as a ``byz:<mode>`` marker.
+        """
         for injector in self.inner:
             fn = getattr(injector, "corruption_mode", None)
             if fn is not None:
                 mode = fn(sender, receiver, part)
-                if mode is not None:
+                if mode == "stale":
                     return mode
+            fn = getattr(injector, "byz_mode", None)
+            if fn is not None:
+                mode = fn(sender, receiver, part)
+                if mode is not None:
+                    return f"byz:{mode}"
         return None
 
     def arrange_inbox(self, rnd: int, receiver: int, envelopes: List) -> List:

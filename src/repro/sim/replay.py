@@ -128,12 +128,16 @@ class ReplayInjector(FaultInjector):
 
     @property
     def has_rewrites(self) -> bool:
-        """Whether the recording contains any content rewrites (corruption)."""
+        """Whether the recording contains any content rewrites (corruption).
+
+        Byzantine-marked rewrites don't count: they are re-applied but
+        belong to the schedule's taint ledger, not the corruption oracle.
+        """
         return any(
-            pk is not None
+            pk is not None and not (mode or "").startswith("byz:")
             for per_epoch in self._transmits.values()
             for out in per_epoch.values()
-            for _, pk, _mode in out
+            for _, pk, mode in out
         )
 
     # -- lifecycle ------------------------------------------------------ #
@@ -171,8 +175,14 @@ class ReplayInjector(FaultInjector):
             else:
                 rebuilt = self._rebuild_part(pk, due)
                 deliveries.append((d, rebuilt))
-                key = (sender, receiver, rebuilt.content_key)
                 mode = mode or "content"
+                if mode.startswith("byz:"):
+                    # Forensic Byzantine markers: the lie is re-applied
+                    # but never booked as corruption — the taint ledger
+                    # belongs to the (deterministic, re-run) schedule,
+                    # not the corruption oracle.
+                    continue
+                key = (sender, receiver, rebuilt.content_key)
                 if mode == "content" or key not in self._corrupt:
                     self._corrupt[key] = mode
         return deliveries
@@ -393,6 +403,19 @@ def replay_bundle(
         # the replay injector re-applies the recorded delivery shifts, so
         # run_protocol must not (and does not) attach the schedule again.
         gray = GrayFailureSchedule.from_jsonable(params["gray"])
+    byz = None
+    byz_config = None
+    if params.get("byz"):
+        from .faults import ByzantineSchedule
+
+        # Unlike gray, the Byzantine schedule is re-run live: it holds no
+        # RNG, so replaying it reproduces the recorded lies *and* rebuilds
+        # the ground-truth taint ledger the ByzantineOracle grades against.
+        byz = ByzantineSchedule.from_jsonable(params["byz"])
+    if params.get("byz_config"):
+        from ..resilience.byzantine import ByzantineConfig
+
+        byz_config = ByzantineConfig.from_jsonable(params["byz_config"])
     if gray is not None and transport is not None:
         from ..resilience.transport import as_transport
 
@@ -421,6 +444,7 @@ def replay_bundle(
             churn=churn is not None,
             gray=gray,
             transport=transport if gray is not None else None,
+            byz=byz if byz is not None and byz.has_events else None,
         )
     record = safe_run_protocol(
         bundle.protocol,
@@ -444,6 +468,8 @@ def replay_bundle(
         churn=churn,
         churn_policy=churn_policy,
         gray=gray,
+        byz=byz,
+        byz_config=byz_config,
         allow_root_crash=allow_root_crash,
     )
     if strict and injector.divergence is not None:
